@@ -1,0 +1,38 @@
+//! E4 — the resolution/ε axis: cost of shrinking the error bound, and the
+//! price of the accurate variant's boundary fix-up.
+//!
+//! (The *error* table itself is printed by `repro --exp e4`; criterion
+//! measures the time side of the trade-off.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use raster_join::{RasterJoin, RasterJoinConfig};
+use urban_data::query::SpatialAggQuery;
+use urbane_bench::workload::Workload;
+
+fn bench_accuracy(c: &mut Criterion) {
+    let w = Workload::standard(200_000, 42);
+    let pts = &w.taxi;
+    let regions = w.neighborhoods();
+    let q = SpatialAggQuery::count();
+
+    let mut group = c.benchmark_group("e4_accuracy");
+    group.sample_size(10);
+    for res in [128u32, 512, 1024, 2048] {
+        let join = RasterJoin::new(RasterJoinConfig::with_resolution(res));
+        group.bench_with_input(BenchmarkId::new("bounded", res), &join, |b, join| {
+            b.iter(|| join.execute(pts, &regions, &q).unwrap())
+        });
+        let join = RasterJoin::new(RasterJoinConfig::weighted(res));
+        group.bench_with_input(BenchmarkId::new("weighted", res), &join, |b, join| {
+            b.iter(|| join.execute(pts, &regions, &q).unwrap())
+        });
+        let join = RasterJoin::new(RasterJoinConfig::accurate(res));
+        group.bench_with_input(BenchmarkId::new("accurate", res), &join, |b, join| {
+            b.iter(|| join.execute(pts, &regions, &q).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_accuracy);
+criterion_main!(benches);

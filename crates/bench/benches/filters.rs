@@ -1,0 +1,67 @@
+//! E5 — ad-hoc filter evaluation: raster join and index join pay per-row
+//! predicate cost; the pre-aggregation cube answers aligned queries in
+//! microseconds but cannot answer ad-hoc ones at all (shown by `repro`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use raster_join::{RasterJoin, RasterJoinConfig};
+use spatial_index::{index_join, GridIndex, PreAggCube};
+use urban_data::filter::Filter;
+use urban_data::query::SpatialAggQuery;
+use urban_data::time::{TimeBucket, TimeRange, DAY};
+use urbane_bench::workload::{demo_start, Workload};
+
+fn bench_filters(c: &mut Criterion) {
+    let w = Workload::standard(200_000, 42);
+    let pts = &w.taxi;
+    let regions = w.neighborhoods();
+    let start = demo_start();
+
+    let bounded = RasterJoin::new(RasterJoinConfig::with_resolution(1024));
+    let grid = GridIndex::build_auto(&regions);
+    let cube =
+        PreAggCube::build(pts, &regions, TimeBucket::Day, Some("passengers"), Some("fare"))
+            .unwrap();
+
+    let queries = vec![
+        ("none", SpatialAggQuery::count()),
+        (
+            "time_week",
+            SpatialAggQuery::count().filter(Filter::Time(TimeRange::new(start, start + 7 * DAY))),
+        ),
+        (
+            "fare_range",
+            SpatialAggQuery::count().filter(Filter::AttrRange {
+                column: "fare".into(),
+                min: 10.0,
+                max: 30.0,
+            }),
+        ),
+        (
+            "fare_and_time",
+            SpatialAggQuery::count()
+                .filter(Filter::AttrRange { column: "fare".into(), min: 10.0, max: 30.0 })
+                .filter(Filter::Time(TimeRange::new(start, start + 7 * DAY))),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("e5_filters");
+    group.sample_size(10);
+    for (name, q) in &queries {
+        group.bench_with_input(BenchmarkId::new("rj_bounded", name), q, |b, q| {
+            b.iter(|| bounded.execute(pts, &regions, q).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("grid_join", name), q, |b, q| {
+            b.iter(|| index_join(pts, &regions, &grid, q).unwrap())
+        });
+        // The cube can only run its aligned subset — bench those.
+        if cube.query(q).is_ok() {
+            group.bench_with_input(BenchmarkId::new("preagg_cube", name), q, |b, q| {
+                b.iter(|| cube.query(q).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_filters);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E3 — latency vs. polygon complexity.
+//!
+//! Raster join's polygon cost is resolution-bound (fragments), not
+//! vertex-bound; index joins pay per candidate PIP test whose cost grows
+//! with vertex count. The bench sweeps the demo's resolution pyramid plus
+//! many-vertex star stressors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use raster_join::{RasterJoin, RasterJoinConfig};
+use spatial_index::{index_join, GridIndex};
+use urban_data::query::SpatialAggQuery;
+use urbane_bench::workload::Workload;
+
+fn bench_complexity(c: &mut Criterion) {
+    let w = Workload::standard(200_000, 42);
+    let pts = &w.taxi;
+    let q = SpatialAggQuery::count();
+    let bounded = RasterJoin::new(RasterJoinConfig::with_resolution(1024));
+
+    let sets = vec![
+        ("boroughs_5", w.boroughs()),
+        ("neighborhoods_260", w.neighborhoods()),
+        ("tracts_2116", w.tracts()),
+        ("stars_260x64", w.stars(260, 64)),
+    ];
+
+    let mut group = c.benchmark_group("e3_polygon_complexity");
+    group.sample_size(10);
+    for (name, rs) in &sets {
+        group.bench_with_input(BenchmarkId::new("rj_bounded", name), rs, |b, rs| {
+            b.iter(|| bounded.execute(pts, rs, &q).unwrap())
+        });
+        let grid = GridIndex::build_auto(rs);
+        group.bench_with_input(BenchmarkId::new("grid_join", name), rs, |b, rs| {
+            b.iter(|| index_join(pts, rs, &grid, &q).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_complexity);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Standard workloads shared by every experiment: the NYC-like city, its
+//! taxi/311/crime data sets, and the resolution pyramid — all seeded, so
+//! every table in EXPERIMENTS.md is regenerable bit-for-bit.
+
+use urban_data::gen::city::CityModel;
+use urban_data::gen::events::{generate_complaints, generate_crime, EventConfig};
+use urban_data::gen::regions::{boroughs, grid_regions, star_regions, voronoi_neighborhoods};
+use urban_data::gen::taxi::{generate_taxi, TaxiConfig};
+use urban_data::time::timestamp;
+use urban_data::{PointTable, RegionSet};
+
+/// The demo's reference timestamp: 2009-01-01 (the paper's Figure 1 month).
+pub fn demo_start() -> i64 {
+    timestamp(2009, 1, 1, 0, 0, 0)
+}
+
+/// The standard workload bundle.
+pub struct Workload {
+    /// The city model.
+    pub city: CityModel,
+    /// Taxi pickups (the largest data set).
+    pub taxi: PointTable,
+    /// 311 complaints.
+    pub complaints: PointTable,
+    /// Crime incidents.
+    pub crime: PointTable,
+}
+
+impl Workload {
+    /// Build the standard workload at a given taxi cardinality. The event
+    /// data sets scale at 1/5 and 1/10 of the taxi rows (roughly matching
+    /// the real NYC data volume ratios).
+    pub fn standard(taxi_rows: usize, seed: u64) -> Self {
+        let city = CityModel::nyc_like();
+        let start = demo_start();
+        let taxi =
+            generate_taxi(&city, &TaxiConfig { rows: taxi_rows, seed, start, days: 30 });
+        let complaints = generate_complaints(
+            &city,
+            &EventConfig { rows: taxi_rows / 5, seed: seed + 1, start, days: 30, n_types: 12 },
+        );
+        let crime = generate_crime(
+            &city,
+            &EventConfig { rows: taxi_rows / 10, seed: seed + 2, start, days: 30, n_types: 10 },
+        );
+        Workload { city, taxi, complaints, crime }
+    }
+
+    /// The demo's neighborhood region set (260 regions, like NYC's NTAs).
+    pub fn neighborhoods(&self) -> RegionSet {
+        voronoi_neighborhoods(&self.city.bbox(), 260, 42, 2)
+    }
+
+    /// The borough region set (5 regions).
+    pub fn boroughs(&self) -> RegionSet {
+        boroughs(&self.city.bbox())
+    }
+
+    /// Census-tract-like grid (~2.1k regions, like NYC's tracts).
+    pub fn tracts(&self) -> RegionSet {
+        grid_regions(&self.city.bbox(), 46, 46)
+    }
+
+    /// Fine grid (~10k regions).
+    pub fn fine_grid(&self) -> RegionSet {
+        grid_regions(&self.city.bbox(), 100, 100)
+    }
+
+    /// Complex non-convex stress polygons (E3's vertex-count axis).
+    pub fn stars(&self, n: usize, vertices: usize) -> RegionSet {
+        star_regions(&self.city.bbox(), n, vertices, 7)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_workload_shapes() {
+        let w = Workload::standard(10_000, 1);
+        assert_eq!(w.taxi.len(), 10_000);
+        assert_eq!(w.complaints.len(), 2_000);
+        assert_eq!(w.crime.len(), 1_000);
+        assert!(w.city.bbox().contains_box(&w.taxi.bbox()));
+    }
+
+    #[test]
+    fn region_sets_have_expected_cardinalities() {
+        let w = Workload::standard(100, 1);
+        assert_eq!(w.boroughs().len(), 5);
+        assert_eq!(w.neighborhoods().len(), 260);
+        assert_eq!(w.tracts().len(), 46 * 46);
+        assert_eq!(w.stars(50, 64).len(), 50);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = Workload::standard(1_000, 3);
+        let b = Workload::standard(1_000, 3);
+        assert_eq!(a.taxi, b.taxi);
+        assert_eq!(a.neighborhoods(), b.neighborhoods());
+    }
+}

@@ -1,0 +1,286 @@
+//! Bounded (ε-approximate) Raster Join — the paper's fast path.
+//!
+//! One tile = one render target. The point pass accumulates per-pixel
+//! `(count, Σvalue)` (plus min/max channels when the aggregate needs them)
+//! with blending; the polygon pass rasterizes each region and folds the
+//! covered pixels into its aggregate state. Every point is therefore
+//! resolved at pixel granularity: its positional error is at most half the
+//! pixel diagonal — the plan's ε.
+
+use crate::executor::PolygonPath;
+use crate::Result;
+use gpu_raster::blend::BlendOp;
+use gpu_raster::{Buffer2D, Pipeline};
+use urban_data::query::{AggKind, AggState, AggTable, SpatialAggQuery};
+use urban_data::{PointTable, RegionSet};
+use urbane_geom::projection::Viewport;
+use urbane_geom::triangulate::triangulate;
+use urbane_geom::MultiPolygon;
+
+/// Per-tile accumulation buffers produced by the point pass.
+pub(crate) struct PointBuffers {
+    /// Channel 0: point count, channel 1: Σ aggregated value.
+    pub count_sum: Buffer2D<[f32; 2]>,
+    /// Per-pixel min of the aggregated value (only for MIN aggregates).
+    pub min: Option<Buffer2D<f32>>,
+    /// Per-pixel max of the aggregated value (only for MAX aggregates).
+    pub max: Option<Buffer2D<f32>>,
+}
+
+/// Render the point pass for one tile: filter, project, blend.
+pub(crate) fn point_pass(
+    pipe: &mut Pipeline,
+    points: &PointTable,
+    query: &SpatialAggQuery,
+) -> Result<PointBuffers> {
+    let agg = query.agg_kind();
+    let col = agg.resolve(points)?;
+    let filter = query.filters.compile(points)?;
+    let (w, h) = (pipe.viewport().width, pipe.viewport().height);
+
+    let mut count_sum = Buffer2D::new(w, h, [0.0f32; 2]);
+    let needs_min = matches!(agg, AggKind::Min(_));
+    let needs_max = matches!(agg, AggKind::Max(_));
+    let mut min_buf = needs_min.then(|| Buffer2D::new(w, h, f32::INFINITY));
+    let mut max_buf = needs_max.then(|| Buffer2D::new(w, h, f32::NEG_INFINITY));
+
+    // The filtered fragment stream — this is the per-frame hot loop the
+    // paper's performance argument rests on: one pass, one fragment each.
+    let viewport = *pipe.viewport();
+    let idxs = (0..points.len()).filter(|&i| filter.matches(i));
+    pipe.draw_points(
+        &mut count_sum,
+        idxs.clone().map(|i| points.loc(i)),
+        {
+            let vals: Vec<f32> = match col {
+                Some(c) => idxs.clone().map(|i| points.attr(i, c)).collect(),
+                None => Vec::new(),
+            };
+            move |k| [1.0, if vals.is_empty() { 0.0 } else { vals[k] }]
+        },
+        BlendOp::Add,
+    );
+    if let (Some(buf), Some(c)) = (min_buf.as_mut(), col) {
+        for i in (0..points.len()).filter(|&i| filter.matches(i)) {
+            gpu_raster::point::draw_point(buf, &viewport, points.loc(i), points.attr(i, c), BlendOp::Min);
+        }
+    }
+    if let (Some(buf), Some(c)) = (max_buf.as_mut(), col) {
+        for i in (0..points.len()).filter(|&i| filter.matches(i)) {
+            gpu_raster::point::draw_point(buf, &viewport, points.loc(i), points.attr(i, c), BlendOp::Max);
+        }
+    }
+
+    Ok(PointBuffers { count_sum, min: min_buf, max: max_buf })
+}
+
+/// Fold one pixel of the accumulation buffers into a region's state.
+#[inline]
+pub(crate) fn fold_pixel(state: &mut AggState, bufs: &PointBuffers, x: u32, y: u32) {
+    let [count, sum] = bufs.count_sum.get(x, y);
+    if count <= 0.0 {
+        return;
+    }
+    state.count += count as u64;
+    state.weight += count as f64; // full-weight fold: weight tracks count
+    state.sum += sum as f64;
+    if let Some(minb) = &bufs.min {
+        state.min = state.min.min(minb.get(x, y) as f64);
+    }
+    if let Some(maxb) = &bufs.max {
+        state.max = state.max.max(maxb.get(x, y) as f64);
+    }
+}
+
+/// Polygon pass for one region: rasterize its geometry in the tile and fold
+/// every covered pixel. `skip` filters out pixels handled elsewhere (the
+/// accurate variant's boundary pixels); pass `|_, _| false` for pure bounded.
+pub(crate) fn gather_region<F: FnMut(u32, u32) -> bool>(
+    pipe: &mut Pipeline,
+    bufs: &PointBuffers,
+    geom: &MultiPolygon,
+    path: PolygonPath,
+    state: &mut AggState,
+    mut skip: F,
+) -> Result<()> {
+    let (w, h) = (bufs.count_sum.width(), bufs.count_sum.height());
+    let viewport = *pipe.viewport();
+    if !viewport.world.intersects(&geom.bbox()) {
+        return Ok(());
+    }
+    for poly in geom.polygons() {
+        if !viewport.world.intersects(&poly.bbox()) {
+            continue;
+        }
+        match path {
+            PolygonPath::Scanline => {
+                let screen_rings: Vec<Vec<urbane_geom::Point>> = poly
+                    .rings()
+                    .map(|r| r.vertices().iter().map(|&p| viewport.world_to_screen(p)).collect())
+                    .collect();
+                let refs: Vec<&[urbane_geom::Point]> =
+                    screen_rings.iter().map(|v| v.as_slice()).collect();
+                gpu_raster::polygon_scan::rasterize_rings(&refs, w, h, |x, y| {
+                    if !skip(x, y) {
+                        fold_pixel(state, bufs, x, y);
+                    }
+                });
+            }
+            PolygonPath::Triangulated => {
+                for t in triangulate(poly)? {
+                    let a = viewport.world_to_screen(t.a);
+                    let b = viewport.world_to_screen(t.b);
+                    let c = viewport.world_to_screen(t.c);
+                    gpu_raster::triangle::rasterize_triangle(a, b, c, w, h, |x, y| {
+                        if !skip(x, y) {
+                            fold_pixel(state, bufs, x, y);
+                        }
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Execute bounded Raster Join for one tile.
+pub(crate) fn bounded_tile(
+    viewport: &Viewport,
+    points: &PointTable,
+    regions: &RegionSet,
+    query: &SpatialAggQuery,
+    path: PolygonPath,
+) -> Result<(AggTable, gpu_raster::RenderStats)> {
+    let mut pipe = Pipeline::new(*viewport);
+    let bufs = point_pass(&mut pipe, points, query)?;
+    let mut table = AggTable::new(query.agg_kind(), regions.len());
+    for (id, _, geom) in regions.iter() {
+        gather_region(
+            &mut pipe,
+            &bufs,
+            geom,
+            path,
+            &mut table.states[id as usize],
+            |_, _| false,
+        )?;
+    }
+    Ok((table, *pipe.stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urban_data::query::AggKind;
+    use urban_data::schema::{AttrType, Schema};
+    use urbane_geom::{BoundingBox, Point, Polygon};
+
+    fn viewport() -> Viewport {
+        Viewport::new(BoundingBox::from_coords(0.0, 0.0, 16.0, 16.0), 16, 16)
+    }
+
+    fn points() -> PointTable {
+        let schema = Schema::new([("v", AttrType::Numeric)]).unwrap();
+        let mut t = PointTable::new(schema);
+        // Cluster in the left half.
+        t.push(Point::new(2.5, 2.5), 0, &[10.0]).unwrap();
+        t.push(Point::new(3.5, 3.5), 1, &[20.0]).unwrap();
+        t.push(Point::new(2.5, 2.5), 2, &[30.0]).unwrap(); // same pixel as #0
+        // One in the right half.
+        t.push(Point::new(12.5, 12.5), 3, &[40.0]).unwrap();
+        t
+    }
+
+    fn halves() -> RegionSet {
+        RegionSet::from_polygons(
+            "halves",
+            "h",
+            vec![
+                Polygon::from_coords(&[(0.0, 0.0), (8.0, 0.0), (8.0, 16.0), (0.0, 16.0)]).unwrap(),
+                Polygon::from_coords(&[(8.0, 0.0), (16.0, 0.0), (16.0, 16.0), (8.0, 16.0)])
+                    .unwrap(),
+            ],
+        )
+    }
+
+    #[test]
+    fn count_and_sum_exact_away_from_boundaries() {
+        let (table, stats) =
+            bounded_tile(&viewport(), &points(), &halves(), &SpatialAggQuery::count(), PolygonPath::Scanline)
+                .unwrap();
+        assert_eq!(table.value(0), Some(3.0));
+        assert_eq!(table.value(1), Some(1.0));
+        assert_eq!(stats.points_in, 4);
+
+        let q = SpatialAggQuery::new(AggKind::Sum("v".into()));
+        let (table, _) =
+            bounded_tile(&viewport(), &points(), &halves(), &q, PolygonPath::Scanline).unwrap();
+        assert_eq!(table.value(0), Some(60.0));
+        assert_eq!(table.value(1), Some(40.0));
+    }
+
+    #[test]
+    fn avg_min_max() {
+        let q = SpatialAggQuery::new(AggKind::Avg("v".into()));
+        let (t, _) = bounded_tile(&viewport(), &points(), &halves(), &q, PolygonPath::Scanline).unwrap();
+        assert_eq!(t.value(0), Some(20.0));
+
+        let q = SpatialAggQuery::new(AggKind::Min("v".into()));
+        let (t, _) = bounded_tile(&viewport(), &points(), &halves(), &q, PolygonPath::Scanline).unwrap();
+        assert_eq!(t.value(0), Some(10.0));
+        assert_eq!(t.value(1), Some(40.0));
+
+        let q = SpatialAggQuery::new(AggKind::Max("v".into()));
+        let (t, _) = bounded_tile(&viewport(), &points(), &halves(), &q, PolygonPath::Scanline).unwrap();
+        assert_eq!(t.value(0), Some(30.0));
+    }
+
+    #[test]
+    fn triangulated_path_matches_scanline() {
+        for agg in [AggKind::Count, AggKind::Sum("v".into()), AggKind::Avg("v".into())] {
+            let q = SpatialAggQuery::new(agg);
+            let (scan, _) =
+                bounded_tile(&viewport(), &points(), &halves(), &q, PolygonPath::Scanline).unwrap();
+            let (tri, _) =
+                bounded_tile(&viewport(), &points(), &halves(), &q, PolygonPath::Triangulated)
+                    .unwrap();
+            assert_eq!(scan.values(), tri.values());
+        }
+    }
+
+    #[test]
+    fn filters_drop_fragments() {
+        use urban_data::filter::Filter;
+        use urban_data::time::TimeRange;
+        let q = SpatialAggQuery::count().filter(Filter::Time(TimeRange::new(0, 2)));
+        let (t, stats) =
+            bounded_tile(&viewport(), &points(), &halves(), &q, PolygonPath::Scanline).unwrap();
+        assert_eq!(t.value(0), Some(2.0));
+        assert_eq!(t.value(1), None);
+        assert_eq!(stats.points_in, 2, "filtered points never reach the pipeline");
+    }
+
+    #[test]
+    fn empty_group_is_null() {
+        let schema = Schema::new([("v", AttrType::Numeric)]).unwrap();
+        let empty = PointTable::new(schema);
+        let (t, _) =
+            bounded_tile(&viewport(), &empty, &halves(), &SpatialAggQuery::count(), PolygonPath::Scanline)
+                .unwrap();
+        assert_eq!(t.value(0), None);
+        assert_eq!(t.value(1), None);
+    }
+
+    #[test]
+    fn region_outside_tile_gets_nothing() {
+        let far = RegionSet::from_polygons(
+            "far",
+            "f",
+            vec![Polygon::from_coords(&[(100.0, 100.0), (110.0, 100.0), (110.0, 110.0), (100.0, 110.0)])
+                .unwrap()],
+        );
+        let (t, _) =
+            bounded_tile(&viewport(), &points(), &far, &SpatialAggQuery::count(), PolygonPath::Scanline)
+                .unwrap();
+        assert_eq!(t.value(0), None);
+    }
+}

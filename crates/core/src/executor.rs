@@ -1,0 +1,507 @@
+//! The public Raster Join executor: configuration, canvas planning, tiled
+//! (optionally multithreaded) execution, and result merging.
+
+use crate::accurate::accurate_tile;
+use crate::bounded::bounded_tile;
+use crate::canvas::{CanvasPlan, CanvasSpec};
+use crate::{RasterJoinError, Result};
+use gpu_raster::blend::BlendOp;
+use gpu_raster::{Buffer2D, Pipeline, RenderStats};
+use urban_data::query::{AggTable, SpatialAggQuery};
+use urban_data::{PointTable, RegionSet};
+use urbane_geom::projection::Viewport;
+
+/// Bounded (ε-approximate), weighted (coverage-corrected), or accurate
+/// (exact) execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Fast path: per-point error bounded by the plan's ε.
+    Bounded,
+    /// Boundary pixels folded fractionally by exact area coverage: expected
+    /// counts are exact under the in-pixel-uniformity model, at a fraction
+    /// of the accurate variant's cost. COUNT/SUM/AVG become real-valued.
+    Weighted,
+    /// Hybrid path: boundary pixels fixed up with exact PIP tests.
+    Accurate,
+}
+
+/// How region polygons are rasterized (ablation E9.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolygonPath {
+    /// Direct scanline fill — the software fast path.
+    Scanline,
+    /// Triangulate + triangle rasterization — what the GPU does.
+    Triangulated,
+}
+
+/// Points-first (paper) vs. polygon-id-buffer scatter (ablation E9.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointStrategy {
+    /// Render points into accumulation buffers, then gather per region.
+    /// Handles overlapping regions correctly.
+    PointsFirst,
+    /// Rasterize region ids into an id buffer, then scatter points through
+    /// it. One pass over points, but **requires non-overlapping regions**
+    /// (later regions overwrite earlier ids) and supports bounded mode only.
+    IdBuffer,
+}
+
+/// Raster Join configuration.
+#[derive(Debug, Clone)]
+pub struct RasterJoinConfig {
+    /// Accuracy/resolution request.
+    pub spec: CanvasSpec,
+    /// Texture-size limit per tile (`GL_MAX_TEXTURE_SIZE` analogue).
+    pub max_tile: u32,
+    /// Bounded or accurate execution.
+    pub mode: ExecutionMode,
+    /// Scanline or triangulated polygon rasterization.
+    pub path: PolygonPath,
+    /// Points-first or id-buffer strategy.
+    pub strategy: PointStrategy,
+    /// Worker threads for multi-tile plans (1 = serial).
+    pub threads: usize,
+}
+
+impl Default for RasterJoinConfig {
+    fn default() -> Self {
+        RasterJoinConfig {
+            spec: CanvasSpec::Resolution(1024),
+            max_tile: 2048,
+            mode: ExecutionMode::Bounded,
+            path: PolygonPath::Scanline,
+            strategy: PointStrategy::PointsFirst,
+            threads: 1,
+        }
+    }
+}
+
+impl RasterJoinConfig {
+    /// Bounded execution with a guaranteed error of `epsilon` world units.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        RasterJoinConfig { spec: CanvasSpec::Epsilon(epsilon), ..Default::default() }
+    }
+
+    /// Bounded execution at an explicit canvas resolution.
+    pub fn with_resolution(resolution: u32) -> Self {
+        RasterJoinConfig { spec: CanvasSpec::Resolution(resolution), ..Default::default() }
+    }
+
+    /// Coverage-weighted execution at the given canvas resolution.
+    pub fn weighted(resolution: u32) -> Self {
+        RasterJoinConfig {
+            spec: CanvasSpec::Resolution(resolution),
+            mode: ExecutionMode::Weighted,
+            ..Default::default()
+        }
+    }
+
+    /// Accurate (exact) execution at the given canvas resolution — the
+    /// resolution here is a performance knob, not an accuracy knob.
+    pub fn accurate(resolution: u32) -> Self {
+        RasterJoinConfig {
+            spec: CanvasSpec::Resolution(resolution),
+            mode: ExecutionMode::Accurate,
+            ..Default::default()
+        }
+    }
+}
+
+/// The answer plus execution metadata.
+#[derive(Debug, Clone)]
+pub struct RasterJoinResult {
+    /// Per-region aggregates.
+    pub table: AggTable,
+    /// The guaranteed per-point positional error bound (0-equivalent for
+    /// accurate mode, where the fix-up removes it; still reported for the
+    /// underlying canvas).
+    pub epsilon: f64,
+    /// Canvas geometry used.
+    pub canvas_width: u32,
+    /// Canvas height.
+    pub canvas_height: u32,
+    /// Number of tiles rendered.
+    pub tiles: usize,
+    /// Merged pipeline statistics.
+    pub stats: RenderStats,
+}
+
+/// The Raster Join operator.
+#[derive(Debug, Clone)]
+pub struct RasterJoin {
+    config: RasterJoinConfig,
+}
+
+impl RasterJoin {
+    /// Operator with the given configuration.
+    pub fn new(config: RasterJoinConfig) -> Self {
+        RasterJoin { config }
+    }
+
+    /// Operator with defaults (bounded, 1024-px canvas).
+    pub fn with_defaults() -> Self {
+        Self::new(RasterJoinConfig::default())
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RasterJoinConfig {
+        &self.config
+    }
+
+    /// Evaluate `query` joining `points` with `regions`.
+    pub fn execute(
+        &self,
+        points: &PointTable,
+        regions: &RegionSet,
+        query: &SpatialAggQuery,
+    ) -> Result<RasterJoinResult> {
+        if regions.is_empty() {
+            return Err(RasterJoinError::Config("empty region set".into()));
+        }
+        let plan = CanvasPlan::plan(&regions.bbox(), self.config.spec, self.config.max_tile)?;
+
+        if self.config.strategy == PointStrategy::IdBuffer
+            && self.config.mode == ExecutionMode::Accurate
+        {
+            return Err(RasterJoinError::Config(
+                "the id-buffer strategy supports bounded mode only".into(),
+            ));
+        }
+
+        let agg = query.agg_kind();
+        let run_tile = |vp: &Viewport| -> Result<(AggTable, RenderStats)> {
+            match self.config.strategy {
+                PointStrategy::IdBuffer => id_buffer_tile(vp, points, regions, query, self.config.path),
+                PointStrategy::PointsFirst => match self.config.mode {
+                    ExecutionMode::Bounded => {
+                        bounded_tile(vp, points, regions, query, self.config.path)
+                    }
+                    ExecutionMode::Weighted => {
+                        crate::weighted::weighted_tile(vp, points, regions, query, self.config.path)
+                    }
+                    ExecutionMode::Accurate => {
+                        accurate_tile(vp, points, regions, query, self.config.path)
+                    }
+                },
+            }
+        };
+
+        let mut table = AggTable::new(agg, regions.len());
+        let mut stats = RenderStats::new();
+        let threads = self.config.threads.max(1);
+        if threads == 1 || plan.tiles.len() == 1 {
+            for vp in &plan.tiles {
+                let (t, s) = run_tile(vp)?;
+                table.merge(&t)?;
+                stats.merge(&s);
+            }
+        } else {
+            let results = crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for chunk in plan.tiles.chunks(plan.tiles.len().div_ceil(threads)) {
+                    handles.push(scope.spawn(move |_| {
+                        let mut acc: Option<(AggTable, RenderStats)> = None;
+                        for vp in chunk {
+                            let (t, s) = run_tile(vp)?;
+                            match &mut acc {
+                                None => acc = Some((t, s)),
+                                Some((at, ast)) => {
+                                    at.merge(&t).map_err(RasterJoinError::from)?;
+                                    ast.merge(&s);
+                                }
+                            }
+                        }
+                        Ok::<_, RasterJoinError>(acc)
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("tile worker panicked"))
+                    .collect::<Vec<_>>()
+            })
+            .expect("thread scope failed");
+            for r in results {
+                if let Some((t, s)) = r? {
+                    table.merge(&t)?;
+                    stats.merge(&s);
+                }
+            }
+        }
+
+        Ok(RasterJoinResult {
+            table,
+            epsilon: plan.epsilon,
+            canvas_width: plan.width,
+            canvas_height: plan.height,
+            tiles: plan.tiles.len(),
+            stats,
+        })
+    }
+}
+
+/// The id-buffer scatter strategy (ablation): rasterize region ids, then
+/// push points through the id texture. Single point pass; correct only for
+/// non-overlapping region sets.
+fn id_buffer_tile(
+    viewport: &Viewport,
+    points: &PointTable,
+    regions: &RegionSet,
+    query: &SpatialAggQuery,
+    path: PolygonPath,
+) -> Result<(AggTable, RenderStats)> {
+    let mut pipe = Pipeline::new(*viewport);
+    let (w, h) = (viewport.width, viewport.height);
+    let mut ids = Buffer2D::new(w, h, gpu_raster::NO_REGION);
+
+    for (id, _, geom) in regions.iter() {
+        if !viewport.world.intersects(&geom.bbox()) {
+            continue;
+        }
+        for poly in geom.polygons() {
+            match path {
+                PolygonPath::Scanline => {
+                    pipe.draw_polygon_scan(&mut ids, poly, id + 1, BlendOp::Replace);
+                }
+                PolygonPath::Triangulated => {
+                    let tris = urbane_geom::triangulate::triangulate(poly)?;
+                    pipe.draw_triangles(&mut ids, &tris, id + 1, BlendOp::Replace);
+                }
+            }
+        }
+    }
+
+    let agg = query.agg_kind();
+    let col = agg.resolve(points)?;
+    let filter = query.filters.compile(points)?;
+    let mut table = AggTable::new(agg, regions.len());
+    for i in 0..points.len() {
+        if !filter.matches(i) {
+            continue;
+        }
+        if let Some((x, y)) = viewport.world_to_pixel(points.loc(i)) {
+            let id = ids.get(x, y);
+            if id != gpu_raster::NO_REGION {
+                let v = col.map_or(0.0, |c| points.attr(i, c) as f64);
+                table.states[(id - 1) as usize].accumulate(v);
+            }
+        }
+    }
+    Ok((table, *pipe.stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use spatial_index::naive_join;
+    use urban_data::gen::regions::{grid_regions, voronoi_neighborhoods};
+    use urban_data::query::AggKind;
+    use urban_data::schema::{AttrType, Schema};
+    use urbane_geom::{BoundingBox, Point};
+
+    fn random_points(n: usize, seed: u64, extent: &BoundingBox) -> PointTable {
+        let schema = Schema::new([("v", AttrType::Numeric)]).unwrap();
+        let mut t = PointTable::new(schema);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..n {
+            t.push(
+                Point::new(
+                    extent.min.x + rng.gen::<f64>() * extent.width(),
+                    extent.min.y + rng.gen::<f64>() * extent.height(),
+                ),
+                i as i64,
+                &[rng.gen::<f32>() * 10.0],
+            )
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn accurate_mode_matches_naive_end_to_end() {
+        let extent = BoundingBox::from_coords(0.0, 0.0, 100.0, 100.0);
+        let regions = voronoi_neighborhoods(&extent, 12, 2, 2);
+        let points = random_points(3_000, 1, &extent);
+        let rj = RasterJoin::new(RasterJoinConfig::accurate(64));
+        let q = SpatialAggQuery::count();
+        let res = rj.execute(&points, &regions, &q).unwrap();
+        let truth = naive_join(&points, &regions, &q).unwrap();
+        assert_eq!(res.table.values(), truth.values());
+    }
+
+    #[test]
+    fn bounded_error_respects_epsilon() {
+        let extent = BoundingBox::from_coords(0.0, 0.0, 100.0, 100.0);
+        let regions = voronoi_neighborhoods(&extent, 10, 8, 2);
+        let points = random_points(5_000, 2, &extent);
+        let q = SpatialAggQuery::count();
+        let truth = naive_join(&points, &regions, &q).unwrap();
+
+        // Coarse canvas → some error, but only from points within ε of a
+        // boundary. Verify every misassigned point is within ε.
+        let rj = RasterJoin::new(RasterJoinConfig::with_epsilon(2.0));
+        let res = rj.execute(&points, &regions, &q).unwrap();
+        assert!(res.epsilon <= 2.0 + 1e-9);
+        let mut misassigned = 0u64;
+        for r in 0..regions.len() {
+            let a = res.table.states[r].count as i64;
+            let b = truth.states[r].count as i64;
+            misassigned += (a - b).unsigned_abs();
+        }
+        // Bound check: all misassigned points must be within ε of a boundary.
+        let near_boundary = (0..points.len())
+            .filter(|&i| {
+                let p = points.loc(i);
+                regions.iter().any(|(_, _, g)| {
+                    g.polygons()
+                        .iter()
+                        .flat_map(|poly| poly.edges())
+                        .any(|e| e.distance_to_point(p) <= res.epsilon)
+                })
+            })
+            .count() as u64;
+        assert!(
+            misassigned <= 2 * near_boundary,
+            "misassigned {misassigned} vs near-boundary {near_boundary}"
+        );
+        // Points can only be dropped entirely when they sit within ε of the
+        // region set's *outer* edge (their pixel's center may fall outside
+        // every region); everything else lands somewhere.
+        let near_outer_edge = (0..points.len())
+            .filter(|&i| {
+                let p = points.loc(i);
+                let b = regions.bbox();
+                (p.x - b.min.x).min(b.max.x - p.x).min(p.y - b.min.y).min(b.max.y - p.y)
+                    <= res.epsilon
+            })
+            .count() as u64;
+        let lost = truth.total_count().saturating_sub(res.table.total_count());
+        assert!(
+            lost <= near_outer_edge,
+            "lost {lost} points but only {near_outer_edge} are within ε of the outer edge"
+        );
+    }
+
+    #[test]
+    fn finer_resolution_reduces_error() {
+        let extent = BoundingBox::from_coords(0.0, 0.0, 100.0, 100.0);
+        let regions = voronoi_neighborhoods(&extent, 15, 5, 2);
+        let points = random_points(4_000, 3, &extent);
+        let q = SpatialAggQuery::count();
+        let truth = naive_join(&points, &regions, &q).unwrap();
+        let mut errors = Vec::new();
+        for resolution in [32, 128, 512] {
+            let rj = RasterJoin::new(RasterJoinConfig::with_resolution(resolution));
+            let res = rj.execute(&points, &regions, &q).unwrap();
+            errors.push(res.table.max_abs_diff(&truth));
+        }
+        assert!(errors[0] >= errors[1] && errors[1] >= errors[2], "errors {errors:?}");
+        assert!(errors[2] <= errors[0]);
+    }
+
+    #[test]
+    fn tiled_execution_matches_single_canvas() {
+        let extent = BoundingBox::from_coords(0.0, 0.0, 100.0, 100.0);
+        let regions = voronoi_neighborhoods(&extent, 10, 6, 2);
+        let points = random_points(3_000, 4, &extent);
+        let q = SpatialAggQuery::new(AggKind::Sum("v".into()));
+
+        let single = RasterJoin::new(RasterJoinConfig {
+            spec: CanvasSpec::Resolution(256),
+            max_tile: 4096,
+            ..Default::default()
+        });
+        let tiled = RasterJoin::new(RasterJoinConfig {
+            spec: CanvasSpec::Resolution(256),
+            max_tile: 100, // forces a 3x3 tile grid
+            ..Default::default()
+        });
+        let a = single.execute(&points, &regions, &q).unwrap();
+        let b = tiled.execute(&points, &regions, &q).unwrap();
+        assert!(b.tiles > 1);
+        assert_eq!(a.table.values(), b.table.values());
+    }
+
+    #[test]
+    fn threaded_tiles_match_serial() {
+        let extent = BoundingBox::from_coords(0.0, 0.0, 100.0, 100.0);
+        let regions = voronoi_neighborhoods(&extent, 8, 10, 2);
+        let points = random_points(2_000, 5, &extent);
+        let q = SpatialAggQuery::count();
+        let mk = |threads| {
+            RasterJoin::new(RasterJoinConfig {
+                spec: CanvasSpec::Resolution(300),
+                max_tile: 128,
+                threads,
+                ..Default::default()
+            })
+        };
+        let serial = mk(1).execute(&points, &regions, &q).unwrap();
+        let par = mk(4).execute(&points, &regions, &q).unwrap();
+        assert_eq!(serial.table.values(), par.table.values());
+        assert_eq!(serial.stats.points_in, par.stats.points_in);
+    }
+
+    #[test]
+    fn id_buffer_matches_points_first_on_partition() {
+        let extent = BoundingBox::from_coords(0.0, 0.0, 80.0, 80.0);
+        let regions = grid_regions(&extent, 4, 4);
+        let points = random_points(2_000, 6, &extent);
+        let q = SpatialAggQuery::new(AggKind::Avg("v".into()));
+        let pf = RasterJoin::new(RasterJoinConfig {
+            spec: CanvasSpec::Resolution(256),
+            ..Default::default()
+        });
+        let idb = RasterJoin::new(RasterJoinConfig {
+            spec: CanvasSpec::Resolution(256),
+            strategy: PointStrategy::IdBuffer,
+            ..Default::default()
+        });
+        let a = pf.execute(&points, &regions, &q).unwrap();
+        let b = idb.execute(&points, &regions, &q).unwrap();
+        // Grid boundaries may assign boundary pixels differently; compare
+        // totals and near-equality per region.
+        assert_eq!(a.table.total_count(), b.table.total_count());
+        for r in 0..regions.len() {
+            let (x, y) = (a.table.value(r).unwrap(), b.table.value(r).unwrap());
+            assert!((x - y).abs() < 1.0, "region {r}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn id_buffer_accurate_rejected() {
+        let extent = BoundingBox::from_coords(0.0, 0.0, 10.0, 10.0);
+        let regions = grid_regions(&extent, 2, 2);
+        let points = random_points(10, 7, &extent);
+        let rj = RasterJoin::new(RasterJoinConfig {
+            mode: ExecutionMode::Accurate,
+            strategy: PointStrategy::IdBuffer,
+            ..Default::default()
+        });
+        assert!(rj.execute(&points, &regions, &SpatialAggQuery::count()).is_err());
+    }
+
+    #[test]
+    fn empty_region_set_rejected() {
+        let points = random_points(10, 8, &BoundingBox::from_coords(0.0, 0.0, 1.0, 1.0));
+        let rj = RasterJoin::with_defaults();
+        let empty = RegionSet::new("none", vec![]);
+        assert!(rj.execute(&points, &empty, &SpatialAggQuery::count()).is_err());
+    }
+
+    #[test]
+    fn result_metadata_populated() {
+        let extent = BoundingBox::from_coords(0.0, 0.0, 100.0, 50.0);
+        let regions = grid_regions(&extent, 2, 2);
+        let points = random_points(100, 9, &extent);
+        let res = RasterJoin::new(RasterJoinConfig::with_resolution(200))
+            .execute(&points, &regions, &SpatialAggQuery::count())
+            .unwrap();
+        assert_eq!(res.canvas_width, 200);
+        assert!(res.canvas_height >= 99 && res.canvas_height <= 101);
+        assert_eq!(res.tiles, 1);
+        assert!(res.epsilon > 0.0);
+        assert_eq!(res.stats.points_in, 100);
+    }
+}

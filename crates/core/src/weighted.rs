@@ -1,0 +1,189 @@
+//! Coverage-weighted Raster Join — better accuracy at the same resolution,
+//! still without touching individual points.
+//!
+//! Bounded Raster Join assigns each boundary pixel's points entirely to
+//! whichever regions cover the pixel *center*. The weighted variant instead
+//! folds every boundary pixel fractionally: the pixel's accumulated
+//! `(count, Σvalue)` contributes with weight equal to the **exact area
+//! fraction** of the pixel the region covers (computed by clipping the
+//! region to the pixel's world rectangle — `urbane-geom::clip`). Under the
+//! paper's own error model (points uniform within a pixel at the chosen
+//! resolution) this makes the *expected* count per region exact, cutting the
+//! realized error well below the bounded variant's at equal canvas size —
+//! without the accurate variant's per-point PIP work.
+//!
+//! COUNT/SUM/AVG answers become real-valued expectations; MIN/MAX fold
+//! unweighted (a partially covered pixel may still hold the extremum, so
+//! weighted MIN/MAX equals bounded MIN/MAX with boundary pixels included).
+
+use crate::bounded::{gather_region, point_pass};
+use crate::executor::PolygonPath;
+use crate::Result;
+use gpu_raster::line::traverse_segment;
+use gpu_raster::Pipeline;
+use std::collections::HashSet;
+use urban_data::query::{AggTable, SpatialAggQuery};
+use urban_data::{PointTable, RegionSet};
+use urbane_geom::clip::clip_polygon_to_box;
+use urbane_geom::projection::Viewport;
+
+/// Execute weighted Raster Join for one tile.
+pub(crate) fn weighted_tile(
+    viewport: &Viewport,
+    points: &PointTable,
+    regions: &RegionSet,
+    query: &SpatialAggQuery,
+    path: PolygonPath,
+) -> Result<(AggTable, gpu_raster::RenderStats)> {
+    let mut pipe = Pipeline::new(*viewport);
+    let (w, h) = (viewport.width, viewport.height);
+    let bufs = point_pass(&mut pipe, points, query)?;
+    let pixel_area = viewport.units_per_pixel_x() * viewport.units_per_pixel_y();
+
+    let mut table = AggTable::new(query.agg_kind(), regions.len());
+    let mut boundary = HashSet::new();
+    for (id, _, geom) in regions.iter() {
+        if !viewport.world.intersects(&geom.bbox()) {
+            continue;
+        }
+        // This region's boundary pixels.
+        boundary.clear();
+        for poly in geom.polygons() {
+            for e in poly.edges() {
+                let a = viewport.world_to_screen(e.a);
+                let b = viewport.world_to_screen(e.b);
+                traverse_segment(a, b, w, h, |x, y| {
+                    boundary.insert(y * w + x);
+                });
+            }
+        }
+        // Interior pixels: full weight, via the ordinary gather.
+        let state = &mut table.states[id as usize];
+        gather_region(&mut pipe, &bufs, geom, path, state, |x, y| {
+            boundary.contains(&(y * w + x))
+        })?;
+        // Boundary pixels: exact area-fraction weight.
+        for &pix in &boundary {
+            let (x, y) = (pix % w, pix / w);
+            let [count, sum] = bufs.count_sum.get(x, y);
+            if count <= 0.0 {
+                continue;
+            }
+            let cell = viewport.pixel_to_world_box(x, y);
+            let mut covered = 0.0;
+            for poly in geom.polygons() {
+                if let Ok(Some(clipped)) = clip_polygon_to_box(poly, &cell) {
+                    covered += clipped.area();
+                }
+            }
+            let weight = (covered / pixel_area).clamp(0.0, 1.0);
+            if weight <= 0.0 {
+                continue;
+            }
+            let min = bufs.min.as_ref().map_or(f64::INFINITY, |b| b.get(x, y) as f64);
+            let max = bufs.max.as_ref().map_or(f64::NEG_INFINITY, |b| b.get(x, y) as f64);
+            state.accumulate_weighted(count as u64, sum as f64, min, max, weight);
+        }
+    }
+    Ok((table, *pipe.stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use spatial_index::naive_join;
+    use urban_data::gen::regions::voronoi_neighborhoods;
+    use urban_data::schema::{AttrType, Schema};
+    use urbane_geom::{BoundingBox, Point};
+
+    fn random_points(n: usize, seed: u64, extent: &BoundingBox) -> PointTable {
+        let schema = Schema::new([("v", AttrType::Numeric)]).unwrap();
+        let mut t = PointTable::new(schema);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..n {
+            t.push(
+                Point::new(
+                    extent.min.x + rng.gen::<f64>() * extent.width(),
+                    extent.min.y + rng.gen::<f64>() * extent.height(),
+                ),
+                i as i64,
+                &[rng.gen::<f32>() * 10.0],
+            )
+            .unwrap();
+        }
+        t
+    }
+
+    /// With pixel-aligned rectangular regions there are boundary pixels but
+    /// every one is fully covered or fully empty per region → weighted must
+    /// equal the exact join.
+    #[test]
+    fn exact_on_pixel_aligned_regions() {
+        let extent = BoundingBox::from_coords(0.0, 0.0, 32.0, 32.0);
+        let regions = urban_data::gen::regions::grid_regions(&extent, 4, 4);
+        let points = random_points(2_000, 1, &extent);
+        let vp = Viewport::new(BoundingBox::from_coords(0.0, 0.0, 32.0, 32.0), 32, 32);
+        let q = SpatialAggQuery::count();
+        let truth = naive_join(&points, &regions, &q).unwrap();
+        let (got, _) = weighted_tile(&vp, &points, &regions, &q, PolygonPath::Scanline).unwrap();
+        for r in 0..regions.len() {
+            let (a, b) = (got.value(r).unwrap_or(0.0), truth.value(r).unwrap_or(0.0));
+            assert!((a - b).abs() < 1e-6, "region {r}: {a} vs {b}");
+        }
+    }
+
+    /// On irregular regions at a coarse canvas, the weighted variant's total
+    /// absolute error must beat the bounded variant's (the whole point of
+    /// fractional folding).
+    #[test]
+    fn beats_bounded_at_equal_resolution() {
+        let extent = BoundingBox::from_coords(0.0, 0.0, 100.0, 100.0);
+        let regions = voronoi_neighborhoods(&extent, 20, 3, 2);
+        let points = random_points(8_000, 2, &extent);
+        let q = SpatialAggQuery::count();
+        let truth = naive_join(&points, &regions, &q).unwrap();
+        let vp = Viewport::new(extent.inflate(1e-7), 28, 28); // very coarse
+
+        let (weighted, _) =
+            weighted_tile(&vp, &points, &regions, &q, PolygonPath::Scanline).unwrap();
+        let (bounded, _) = crate::bounded::bounded_tile(&vp, &points, &regions, &q, PolygonPath::Scanline)
+            .unwrap();
+
+        let total_err = |t: &AggTable| -> f64 {
+            (0..regions.len())
+                .map(|r| {
+                    (t.value(r).unwrap_or(0.0) - truth.value(r).unwrap_or(0.0)).abs()
+                })
+                .sum()
+        };
+        let (we, be) = (total_err(&weighted), total_err(&bounded));
+        assert!(
+            we < be * 0.6,
+            "weighted total error {we:.1} should be well below bounded {be:.1}"
+        );
+        // And the global count is nearly conserved (weights sum to the
+        // coverage of the partition).
+        let wt: f64 = weighted.values().iter().flatten().sum();
+        assert!((wt - truth.total_count() as f64).abs() / (truth.total_count() as f64) < 0.02);
+    }
+
+    /// AVG through the weighted path stays close to the exact average.
+    #[test]
+    fn weighted_avg_tracks_truth() {
+        use urban_data::query::AggKind;
+        let extent = BoundingBox::from_coords(0.0, 0.0, 100.0, 100.0);
+        let regions = voronoi_neighborhoods(&extent, 10, 7, 2);
+        let points = random_points(5_000, 3, &extent);
+        let q = SpatialAggQuery::new(AggKind::Avg("v".into()));
+        let truth = naive_join(&points, &regions, &q).unwrap();
+        let vp = Viewport::new(extent.inflate(1e-7), 40, 40);
+        let (got, _) = weighted_tile(&vp, &points, &regions, &q, PolygonPath::Scanline).unwrap();
+        for r in 0..regions.len() {
+            if let (Some(a), Some(b)) = (got.value(r), truth.value(r)) {
+                assert!((a - b).abs() < 0.5, "region {r}: avg {a} vs {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Compact binary serialization for point tables.
+//!
+//! Columnar little-endian layout behind a magic/version header. Large urban
+//! data sets (tens of millions of rows) round-trip through this far faster
+//! than CSV, and the format doubles as the on-disk cache Urbane's session
+//! layer uses between runs.
+//!
+//! Layout:
+//! ```text
+//! magic "UPT1" | u32 n_cols | per col: u8 type, u16 name_len, name bytes
+//! u64 n_rows | xs f64[n] | ys f64[n] | ts i64[n] | per col: f32[n]
+//! ```
+
+use crate::schema::{AttrType, Schema};
+use crate::table::PointTable;
+use crate::{DataError, Result};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use urbane_geom::Point;
+
+const MAGIC: &[u8; 4] = b"UPT1";
+
+/// Serialize a table to bytes.
+pub fn encode(table: &PointTable) -> Bytes {
+    let n = table.len();
+    let mut buf = BytesMut::with_capacity(32 + n * (8 + 8 + 8 + 4 * table.schema().len()));
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(table.schema().len() as u32);
+    for (name, ty) in table.schema().iter() {
+        buf.put_u8(match ty {
+            AttrType::Numeric => 0,
+            AttrType::Categorical => 1,
+        });
+        buf.put_u16_le(name.len() as u16);
+        buf.put_slice(name.as_bytes());
+    }
+    buf.put_u64_le(n as u64);
+    for &x in table.xs() {
+        buf.put_f64_le(x);
+    }
+    for &y in table.ys() {
+        buf.put_f64_le(y);
+    }
+    for &t in table.timestamps() {
+        buf.put_i64_le(t);
+    }
+    for c in 0..table.schema().len() {
+        for &v in table.column(c) {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserialize a table from bytes produced by [`encode`].
+pub fn decode(mut buf: &[u8]) -> Result<PointTable> {
+    let err = |m: &str| DataError::Decode(m.to_string());
+    let need = |buf: &&[u8], n: usize, what: &str| -> Result<()> {
+        if buf.remaining() < n {
+            Err(DataError::Decode(format!("truncated reading {what}")))
+        } else {
+            Ok(())
+        }
+    };
+
+    need(&buf, 4, "magic")?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(err("bad magic (not a UPT1 table)"));
+    }
+    need(&buf, 4, "column count")?;
+    let n_cols = buf.get_u32_le() as usize;
+    if n_cols > 4096 {
+        return Err(err("implausible column count"));
+    }
+    let mut cols = Vec::with_capacity(n_cols);
+    for _ in 0..n_cols {
+        need(&buf, 3, "column header")?;
+        let ty = match buf.get_u8() {
+            0 => AttrType::Numeric,
+            1 => AttrType::Categorical,
+            other => return Err(DataError::Decode(format!("unknown column type {other}"))),
+        };
+        let name_len = buf.get_u16_le() as usize;
+        need(&buf, name_len, "column name")?;
+        let mut name = vec![0u8; name_len];
+        buf.copy_to_slice(&mut name);
+        let name = String::from_utf8(name).map_err(|_| err("column name not UTF-8"))?;
+        cols.push((name, ty));
+    }
+    let schema = Schema::new(cols)?;
+
+    need(&buf, 8, "row count")?;
+    let n = buf.get_u64_le() as usize;
+    let payload = n
+        .checked_mul(8 + 8 + 8 + 4 * schema.len())
+        .ok_or_else(|| err("row count overflow"))?;
+    if buf.remaining() < payload {
+        return Err(err("truncated column data"));
+    }
+
+    let mut xs = Vec::with_capacity(n);
+    for _ in 0..n {
+        xs.push(buf.get_f64_le());
+    }
+    let mut ys = Vec::with_capacity(n);
+    for _ in 0..n {
+        ys.push(buf.get_f64_le());
+    }
+    let mut ts = Vec::with_capacity(n);
+    for _ in 0..n {
+        ts.push(buf.get_i64_le());
+    }
+    let mut attr_cols: Vec<Vec<f32>> = Vec::with_capacity(schema.len());
+    for _ in 0..schema.len() {
+        let mut col = Vec::with_capacity(n);
+        for _ in 0..n {
+            col.push(buf.get_f32_le());
+        }
+        attr_cols.push(col);
+    }
+
+    // Rebuild through the public API to recompute the bbox invariant.
+    let mut table = PointTable::with_capacity(schema.clone(), n);
+    let mut row = vec![0.0f32; schema.len()];
+    for i in 0..n {
+        for (r, col) in row.iter_mut().zip(&attr_cols) {
+            *r = col[i];
+        }
+        table.push(Point::new(xs[i], ys[i]), ts[i], &row)?;
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PointTable {
+        let schema = Schema::new([
+            ("fare", AttrType::Numeric),
+            ("kind", AttrType::Categorical),
+        ])
+        .unwrap();
+        let mut t = PointTable::new(schema);
+        for i in 0..100 {
+            t.push(
+                Point::new(i as f64 * 0.5, -(i as f64)),
+                1_000_000 + i,
+                &[i as f32 * 1.5, (i % 4) as f32],
+            )
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample();
+        let bytes = encode(&t);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.bbox(), t.bbox());
+    }
+
+    #[test]
+    fn empty_table_roundtrip() {
+        let t = PointTable::new(Schema::empty());
+        let back = decode(&encode(&t)).unwrap();
+        assert_eq!(back.len(), 0);
+        assert!(back.schema().is_empty());
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let t = sample();
+        let bytes = encode(&t);
+        assert!(decode(&bytes[..3]).is_err()); // truncated magic
+        assert!(decode(&bytes[..20]).is_err()); // truncated header
+        assert!(decode(&bytes[..bytes.len() - 8]).is_err()); // truncated data
+        let mut bad = bytes.to_vec();
+        bad[0] = b'X';
+        assert!(decode(&bad).is_err()); // bad magic
+    }
+
+    #[test]
+    fn size_is_compact() {
+        let t = sample();
+        let bytes = encode(&t);
+        // 100 rows * (8+8+8+4+4) = 3200 + small header.
+        assert!(bytes.len() < 3_400, "len {}", bytes.len());
+        assert!(bytes.len() >= 3_200);
+    }
+}

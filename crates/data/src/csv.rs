@@ -1,0 +1,185 @@
+//! CSV import/export for point tables.
+//!
+//! Real deployments would ingest the NYC open-data CSV dumps; this reader
+//! accepts the same shape: a header row `x,y,t,<attr...>` followed by one
+//! row per point. Quoting is supported for header names; data cells are
+//! plain numbers.
+
+use crate::schema::{AttrType, Schema};
+use crate::table::PointTable;
+use crate::{DataError, Result};
+use std::io::{BufRead, BufReader, Read, Write};
+use urbane_geom::Point;
+
+/// Write a table as CSV with an `x,y,t,<attrs>` header.
+pub fn write_csv<W: Write>(w: &mut W, table: &PointTable) -> std::io::Result<()> {
+    let mut header = String::from("x,y,t");
+    for (name, _) in table.schema().iter() {
+        header.push(',');
+        header.push_str(&quote_if_needed(name));
+    }
+    writeln!(w, "{header}")?;
+    for i in 0..table.len() {
+        let p = table.loc(i);
+        write!(w, "{},{},{}", p.x, p.y, table.time(i))?;
+        for c in 0..table.schema().len() {
+            write!(w, ",{}", table.attr(i, c))?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+fn quote_if_needed(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Split one CSV line respecting double-quoted cells.
+fn split_line(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes && chars.peek() == Some(&'"') => {
+                cur.push('"');
+                chars.next();
+            }
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => out.push(std::mem::take(&mut cur)),
+            c => cur.push(c),
+        }
+    }
+    out.push(cur);
+    out
+}
+
+/// Read a CSV written by [`write_csv`] (or hand-made with the same header
+/// convention). Attribute types default to `Numeric` unless the column name
+/// ends in `_type`, `_code`, or equals `passengers`/`kind`/`offense`
+/// (heuristic mirroring the generators' categorical columns).
+pub fn read_csv<R: Read>(r: R) -> Result<PointTable> {
+    let mut lines = BufReader::new(r).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| DataError::Decode("empty CSV".into()))?
+        .map_err(|e| DataError::Decode(e.to_string()))?;
+    let cols = split_line(header.trim_end());
+    if cols.len() < 3 || cols[0] != "x" || cols[1] != "y" || cols[2] != "t" {
+        return Err(DataError::Decode("header must start with x,y,t".into()));
+    }
+    let attr_cols: Vec<(String, AttrType)> = cols[3..]
+        .iter()
+        .map(|name| {
+            let ty = if name.ends_with("_type")
+                || name.ends_with("_code")
+                || matches!(name.as_str(), "passengers" | "kind" | "offense")
+            {
+                AttrType::Categorical
+            } else {
+                AttrType::Numeric
+            };
+            (name.clone(), ty)
+        })
+        .collect();
+    let n_attrs = attr_cols.len();
+    let schema = Schema::new(attr_cols)?;
+    let mut table = PointTable::new(schema);
+    let mut attrs = vec![0.0f32; n_attrs];
+
+    for (lineno, line) in lines.enumerate() {
+        let line = line.map_err(|e| DataError::Decode(e.to_string()))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells = split_line(line.trim_end());
+        if cells.len() != 3 + n_attrs {
+            return Err(DataError::Decode(format!(
+                "line {}: expected {} cells, got {}",
+                lineno + 2,
+                3 + n_attrs,
+                cells.len()
+            )));
+        }
+        let parse_f64 = |s: &str| {
+            s.parse::<f64>()
+                .map_err(|_| DataError::Decode(format!("line {}: bad number {s:?}", lineno + 2)))
+        };
+        let x = parse_f64(&cells[0])?;
+        let y = parse_f64(&cells[1])?;
+        let t = cells[2]
+            .parse::<i64>()
+            .map_err(|_| DataError::Decode(format!("line {}: bad timestamp", lineno + 2)))?;
+        for (a, cell) in attrs.iter_mut().zip(&cells[3..]) {
+            *a = parse_f64(cell)? as f32;
+        }
+        table.push(Point::new(x, y), t, &attrs)?;
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PointTable {
+        let schema = Schema::new([
+            ("fare", AttrType::Numeric),
+            ("passengers", AttrType::Categorical),
+        ])
+        .unwrap();
+        let mut t = PointTable::new(schema);
+        t.push(Point::new(1.5, -2.25), 1000, &[12.5, 2.0]).unwrap();
+        t.push(Point::new(0.0, 7.0), 2000, &[3.0, 1.0]).unwrap();
+        t
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &t).unwrap();
+        let back = read_csv(&buf[..]).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.loc(0), Point::new(1.5, -2.25));
+        assert_eq!(back.time(1), 2000);
+        assert_eq!(back.column_by_name("fare").unwrap(), t.column_by_name("fare").unwrap());
+        assert_eq!(back.schema().attr_type(1), AttrType::Categorical);
+    }
+
+    #[test]
+    fn header_text() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &sample()).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("x,y,t,fare,passengers\n"));
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(read_csv(&b""[..]).is_err());
+        assert!(read_csv(&b"a,b,c\n"[..]).is_err()); // wrong header
+        assert!(read_csv(&b"x,y,t\n1,2\n"[..]).is_err()); // short row
+        assert!(read_csv(&b"x,y,t\n1,2,zzz\n"[..]).is_err()); // bad timestamp
+        assert!(read_csv(&b"x,y,t,f\n1,2,3,abc\n"[..]).is_err()); // bad attr
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let t = read_csv(&b"x,y,t\n1,2,3\n\n4,5,6\n"[..]).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn quoted_header_cells() {
+        let t = read_csv(&b"x,y,t,\"odd,name\"\n1,2,3,4\n"[..]).unwrap();
+        assert_eq!(t.schema().name(0), "odd,name");
+        assert_eq!(t.attr(0, 0), 4.0);
+    }
+}

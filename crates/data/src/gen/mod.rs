@@ -1,0 +1,80 @@
+//! Synthetic urban data generators.
+//!
+//! The demo drives Urbane with NYC open data (taxi trips, 311 complaints,
+//! crime) over NYC's administrative polygons. Those exact records are not
+//! redistributable here, so these generators produce statistically faithful
+//! stand-ins (DESIGN.md §2): spatial Gaussian-mixture hotspots over an
+//! NYC-sized extent, diurnal/weekly temporal rhythm, realistic attribute
+//! marginals, and region sets at the demo's resolutions (boroughs /
+//! neighborhoods / tract-grid). Everything is seeded and deterministic.
+
+pub mod city;
+pub mod events;
+pub mod regions;
+pub mod taxi;
+
+use rand::Rng;
+
+/// Standard-normal sample via Box–Muller (keeps `rand_distr` out of the
+/// dependency set).
+pub fn normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+/// Sample an index from a discrete weight vector (weights need not sum to 1).
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    debug_assert!(total > 0.0, "weights must be positive");
+    let mut x = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let w = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[weighted_index(&mut rng, &w)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn weighted_index_single() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(weighted_index(&mut rng, &[5.0]), 0);
+    }
+}

@@ -1,0 +1,286 @@
+//! Region-polygon generators: the synthetic stand-ins for NYC's
+//! administrative geographies at the demo's resolutions.
+//!
+//! * [`grid_regions`] — regular grids (the "census tract"/fine-grid levels);
+//! * [`voronoi_neighborhoods`] — irregular convex partitions with
+//!   Lloyd-relaxed, hotspot-biased sites: statistically similar to real
+//!   neighborhood polygons (varied size, shared boundaries, full coverage);
+//! * [`boroughs`] — a coarse 5-region partition;
+//! * [`star_regions`] — non-convex many-vertex stress polygons for the
+//!   polygon-complexity experiment (E3);
+//! * [`resolution_pyramid`] — the borough → neighborhood → tract bundle the
+//!   Urbane resolution switcher flips through.
+//!
+//! Voronoi cells are computed exactly by half-plane clipping (each cell is
+//! the extent rectangle clipped against the perpendicular bisectors to every
+//! other site) — `O(n²)` construction, fine for the ≤10k regions used here.
+
+use crate::region::RegionSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use urbane_geom::{BoundingBox, Point, Polygon, Ring};
+
+/// Clip a convex polygon against the half-plane `{p : (p - m) · d ≤ 0}`
+/// (Sutherland–Hodgman, single plane). Returns `None` when fully clipped.
+fn clip_halfplane(pts: &[Point], m: Point, d: Point) -> Option<Vec<Point>> {
+    let side = |p: Point| (p - m).dot(d);
+    let n = pts.len();
+    let mut out = Vec::with_capacity(n + 2);
+    for i in 0..n {
+        let a = pts[i];
+        let b = pts[(i + 1) % n];
+        let (sa, sb) = (side(a), side(b));
+        if sa <= 0.0 {
+            out.push(a);
+        }
+        if (sa < 0.0 && sb > 0.0) || (sa > 0.0 && sb < 0.0) {
+            let t = sa / (sa - sb);
+            out.push(a.lerp(b, t));
+        }
+    }
+    (out.len() >= 3).then_some(out)
+}
+
+/// Exact Voronoi cell of `site` within `bbox` against the other `sites`.
+fn voronoi_cell(bbox: &BoundingBox, site: Point, sites: &[Point]) -> Option<Polygon> {
+    let mut cell: Vec<Point> = bbox.corners().to_vec();
+    for &other in sites {
+        if other.approx_eq(site, 0.0) {
+            continue;
+        }
+        let mid = site.lerp(other, 0.5);
+        let dir = other - site; // keep the side closer to `site`
+        cell = clip_halfplane(&cell, mid, dir)?;
+    }
+    Ring::new(cell).ok().map(Polygon::new)
+}
+
+/// A regular `nx × ny` grid partition of `bbox`.
+pub fn grid_regions(bbox: &BoundingBox, nx: u32, ny: u32) -> RegionSet {
+    assert!(nx > 0 && ny > 0, "grid needs cells");
+    let w = bbox.width() / nx as f64;
+    let h = bbox.height() / ny as f64;
+    let mut regions = Vec::with_capacity((nx * ny) as usize);
+    for gy in 0..ny {
+        for gx in 0..nx {
+            let x0 = bbox.min.x + gx as f64 * w;
+            let y0 = bbox.min.y + gy as f64 * h;
+            let poly = Polygon::from_coords(&[
+                (x0, y0),
+                (x0 + w, y0),
+                (x0 + w, y0 + h),
+                (x0, y0 + h),
+            ])
+            .expect("grid cells are valid rings");
+            regions.push((format!("cell_{gx}_{gy}"), poly.into()));
+        }
+    }
+    RegionSet::new(format!("grid_{nx}x{ny}"), regions)
+}
+
+/// `n` Voronoi "neighborhoods" over `bbox`, with `lloyd` relaxation rounds
+/// to even out cell sizes (real neighborhoods are neither uniform nor wildly
+/// degenerate). Deterministic in `seed`.
+pub fn voronoi_neighborhoods(bbox: &BoundingBox, n: usize, seed: u64, lloyd: u32) -> RegionSet {
+    assert!(n >= 1, "need at least one neighborhood");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sites: Vec<Point> = (0..n)
+        .map(|_| {
+            Point::new(
+                bbox.min.x + rng.gen::<f64>() * bbox.width(),
+                bbox.min.y + rng.gen::<f64>() * bbox.height(),
+            )
+        })
+        .collect();
+
+    for _ in 0..lloyd {
+        let moved: Vec<Point> = sites
+            .iter()
+            .map(|&s| {
+                voronoi_cell(bbox, s, &sites).map_or(s, |c| c.centroid())
+            })
+            .collect();
+        sites = moved;
+    }
+
+    let regions: Vec<(String, urbane_geom::MultiPolygon)> = sites
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &s)| {
+            voronoi_cell(bbox, s, &sites).map(|c| (format!("nbhd_{i}"), c.into()))
+        })
+        .collect();
+    RegionSet::new(format!("neighborhoods_{n}"), regions)
+}
+
+/// A coarse 5-region "borough" partition: Voronoi over five fixed anchor
+/// sites placed like NYC's borough centroids (relative to the extent).
+pub fn boroughs(bbox: &BoundingBox) -> RegionSet {
+    let rel = [
+        ("Manhattan", 0.42, 0.62),
+        ("Brooklyn", 0.48, 0.30),
+        ("Queens", 0.70, 0.48),
+        ("Bronx", 0.55, 0.88),
+        ("Staten Island", 0.12, 0.12),
+    ];
+    let sites: Vec<Point> = rel
+        .iter()
+        .map(|&(_, fx, fy)| {
+            Point::new(bbox.min.x + fx * bbox.width(), bbox.min.y + fy * bbox.height())
+        })
+        .collect();
+    let regions = rel
+        .iter()
+        .zip(&sites)
+        .map(|(&(name, _, _), &s)| {
+            let cell = voronoi_cell(bbox, s, &sites).expect("borough cells are non-empty");
+            (name.to_string(), cell.into())
+        })
+        .collect();
+    RegionSet::new("boroughs", regions)
+}
+
+/// `n` non-convex star polygons with `vertices` vertices each, randomly
+/// placed — the polygon-complexity stressor. Stars may overlap and do not
+/// cover the extent (unlike the partitions above), exercising the
+/// overlapping-regions path.
+pub fn star_regions(bbox: &BoundingBox, n: usize, vertices: usize, seed: u64) -> RegionSet {
+    assert!(vertices >= 4 && vertices % 2 == 0, "stars need an even vertex count >= 4");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let r_max = bbox.width().min(bbox.height()) / (n as f64).sqrt() / 2.0;
+    let polys: Vec<Polygon> = (0..n)
+        .map(|_| {
+            let c = Point::new(
+                bbox.min.x + rng.gen::<f64>() * bbox.width(),
+                bbox.min.y + rng.gen::<f64>() * bbox.height(),
+            );
+            let r_out = r_max * (0.5 + rng.gen::<f64>() * 0.5);
+            let r_in = r_out * (0.35 + rng.gen::<f64>() * 0.3);
+            let phase = rng.gen::<f64>() * std::f64::consts::TAU;
+            let pts: Vec<Point> = (0..vertices)
+                .map(|i| {
+                    let t = phase + i as f64 / vertices as f64 * std::f64::consts::TAU;
+                    let r = if i % 2 == 0 { r_out } else { r_in };
+                    c + Point::new(t.cos(), t.sin()) * r
+                })
+                .collect();
+            Polygon::new(Ring::new(pts).expect("star rings are valid"))
+        })
+        .collect();
+    RegionSet::from_polygons(format!("stars_{n}x{vertices}"), "star_", polys)
+}
+
+/// The demo's resolution pyramid: boroughs (5) → neighborhoods (`n_nbhd`) →
+/// a tract-like grid (`tracts × tracts`).
+pub fn resolution_pyramid(bbox: &BoundingBox, n_nbhd: usize, tracts: u32, seed: u64) -> Vec<RegionSet> {
+    vec![
+        boroughs(bbox),
+        voronoi_neighborhoods(bbox, n_nbhd, seed, 2),
+        grid_regions(bbox, tracts, tracts),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_box() -> BoundingBox {
+        BoundingBox::from_coords(0.0, 0.0, 100.0, 100.0)
+    }
+
+    #[test]
+    fn grid_partitions_exactly() {
+        let g = grid_regions(&unit_box(), 4, 5);
+        assert_eq!(g.len(), 20);
+        let total: f64 = g.iter().map(|(_, _, m)| m.area()).sum();
+        assert!((total - 10_000.0).abs() < 1e-6);
+        assert_eq!(g.bbox(), unit_box());
+        // Interior point belongs to exactly one cell.
+        assert_eq!(g.regions_containing(Point::new(10.0, 30.0)).len(), 1);
+    }
+
+    #[test]
+    fn voronoi_covers_extent() {
+        let v = voronoi_neighborhoods(&unit_box(), 24, 7, 2);
+        assert_eq!(v.len(), 24);
+        let total: f64 = v.iter().map(|(_, _, m)| m.area()).sum();
+        assert!((total - 10_000.0).abs() < 1e-6, "cells must tile the box, got {total}");
+        // Random interior points: exactly one containing cell (up to shared
+        // boundaries, which report 1+).
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let p = Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0);
+            let owners = v.regions_containing(p);
+            assert!(!owners.is_empty(), "{p} uncovered");
+            assert!(owners.len() <= 2, "{p} in {} cells", owners.len());
+        }
+    }
+
+    #[test]
+    fn voronoi_deterministic() {
+        let a = voronoi_neighborhoods(&unit_box(), 10, 3, 1);
+        let b = voronoi_neighborhoods(&unit_box(), 10, 3, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lloyd_relaxation_evens_sizes() {
+        let raw = voronoi_neighborhoods(&unit_box(), 40, 5, 0);
+        let relaxed = voronoi_neighborhoods(&unit_box(), 40, 5, 4);
+        let spread = |rs: &RegionSet| {
+            let areas: Vec<f64> = rs.iter().map(|(_, _, m)| m.area()).collect();
+            let mean = areas.iter().sum::<f64>() / areas.len() as f64;
+            areas.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / areas.len() as f64
+        };
+        assert!(spread(&relaxed) < spread(&raw), "Lloyd should reduce area variance");
+    }
+
+    #[test]
+    fn boroughs_partition_and_name() {
+        let b = boroughs(&unit_box());
+        assert_eq!(b.len(), 5);
+        assert!(b.id_of("Manhattan").is_some());
+        let total: f64 = b.iter().map(|(_, _, m)| m.area()).sum();
+        assert!((total - 10_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stars_are_valid_and_complex() {
+        let s = star_regions(&unit_box(), 10, 32, 9);
+        assert_eq!(s.len(), 10);
+        for (_, _, m) in s.iter() {
+            assert_eq!(m.vertex_count(), 32);
+            assert!(m.area() > 0.0);
+            for p in m.polygons() {
+                assert!(p.is_valid(), "star must be simple");
+            }
+        }
+    }
+
+    #[test]
+    fn pyramid_has_three_levels() {
+        let p = resolution_pyramid(&unit_box(), 16, 8, 2);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[0].len(), 5);
+        assert_eq!(p[1].len(), 16);
+        assert_eq!(p[2].len(), 64);
+        // Increasing region counts = increasing resolution.
+        assert!(p[0].len() < p[1].len() && p[1].len() < p[2].len());
+    }
+
+    #[test]
+    fn halfplane_clip_basics() {
+        let sq = vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ];
+        // Keep x <= 1.
+        let c = clip_halfplane(&sq, Point::new(1.0, 0.0), Point::new(1.0, 0.0)).unwrap();
+        let ring = Ring::new(c).unwrap();
+        assert!((ring.area() - 2.0).abs() < 1e-12);
+        // Clip away everything.
+        assert!(clip_halfplane(&sq, Point::new(-1.0, 0.0), Point::new(1.0, 0.0)).is_none());
+    }
+}

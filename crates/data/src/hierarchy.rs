@@ -1,0 +1,240 @@
+//! Region hierarchies — linking resolution levels for drill-down.
+//!
+//! Urbane's resolution switcher implies a containment hierarchy: every
+//! neighborhood belongs to a borough, every tract to a neighborhood. The
+//! mapping is derived geometrically (a child is assigned to the parent
+//! containing its centroid, falling back to the parent overlapping it most
+//! by sampled area), enabling drill-down/roll-up between levels: a parent's
+//! aggregate is the sum of its children's for COUNT/SUM.
+
+use crate::region::{RegionId, RegionSet};
+use urbane_geom::Point;
+
+/// A child → parent mapping between two region sets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hierarchy {
+    /// `parent_of[child_id] = Some(parent_id)`, `None` when the child falls
+    /// outside every parent.
+    parent_of: Vec<Option<RegionId>>,
+    n_parents: usize,
+}
+
+impl Hierarchy {
+    /// Derive the mapping from geometry.
+    ///
+    /// Assignment rule: the parent containing the child's centroid; when no
+    /// parent contains it (concave children, edge slivers), the parent
+    /// containing the most of a `k × k` sample grid over the child's bbox
+    /// (restricted to points inside the child).
+    pub fn build(children: &RegionSet, parents: &RegionSet) -> Self {
+        let k = 8;
+        let parent_of = children
+            .iter()
+            .map(|(_, _, child)| {
+                // Fast path: centroid containment.
+                if let Some(c) = child.centroid() {
+                    let owners = parents.regions_containing(c);
+                    if let Some(&first) = owners.first() {
+                        return Some(first);
+                    }
+                }
+                // Fallback: sampled-area vote.
+                let bbox = child.bbox();
+                if bbox.is_empty() {
+                    return None;
+                }
+                let mut votes = vec![0u32; parents.len()];
+                let mut any = false;
+                for i in 0..k {
+                    for j in 0..k {
+                        let p = Point::new(
+                            bbox.min.x + (i as f64 + 0.5) / k as f64 * bbox.width(),
+                            bbox.min.y + (j as f64 + 0.5) / k as f64 * bbox.height(),
+                        );
+                        if !child.contains(p) {
+                            continue;
+                        }
+                        for owner in parents.regions_containing(p) {
+                            votes[owner as usize] += 1;
+                            any = true;
+                        }
+                    }
+                }
+                if !any {
+                    return None;
+                }
+                votes
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &v)| v)
+                    .map(|(i, _)| i as RegionId)
+            })
+            .collect();
+        Hierarchy { parent_of, n_parents: parents.len() }
+    }
+
+    /// Parent of a child (`None` = orphan).
+    pub fn parent(&self, child: RegionId) -> Option<RegionId> {
+        self.parent_of[child as usize]
+    }
+
+    /// Number of children.
+    pub fn len(&self) -> usize {
+        self.parent_of.len()
+    }
+
+    /// True when there are no children.
+    pub fn is_empty(&self) -> bool {
+        self.parent_of.is_empty()
+    }
+
+    /// Children of a parent.
+    pub fn children(&self, parent: RegionId) -> Vec<RegionId> {
+        self.parent_of
+            .iter()
+            .enumerate()
+            .filter_map(|(c, &p)| (p == Some(parent)).then_some(c as RegionId))
+            .collect()
+    }
+
+    /// Children with no parent (outside every parent region).
+    pub fn orphans(&self) -> Vec<RegionId> {
+        self.parent_of
+            .iter()
+            .enumerate()
+            .filter_map(|(c, &p)| p.is_none().then_some(c as RegionId))
+            .collect()
+    }
+
+    /// Roll child values up to parents by summation (`None`s skipped) —
+    /// exact for COUNT/SUM when children partition the parents.
+    pub fn roll_up(&self, child_values: &[Option<f64>]) -> Vec<Option<f64>> {
+        assert_eq!(child_values.len(), self.parent_of.len(), "value arity mismatch");
+        let mut out: Vec<Option<f64>> = vec![None; self.n_parents];
+        for (c, &p) in self.parent_of.iter().enumerate() {
+            if let (Some(p), Some(v)) = (p, child_values[c]) {
+                let slot = &mut out[p as usize];
+                *slot = Some(slot.unwrap_or(0.0) + v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::regions::{grid_regions, voronoi_neighborhoods};
+    use urbane_geom::BoundingBox;
+
+    fn extent() -> BoundingBox {
+        BoundingBox::from_coords(0.0, 0.0, 80.0, 80.0)
+    }
+
+    #[test]
+    fn nested_grids_map_exactly() {
+        let parents = grid_regions(&extent(), 2, 2);
+        let children = grid_regions(&extent(), 8, 8);
+        let h = Hierarchy::build(&children, &parents);
+        assert_eq!(h.len(), 64);
+        assert!(h.orphans().is_empty());
+        // Every parent receives exactly 16 children.
+        for p in 0..4 {
+            assert_eq!(h.children(p).len(), 16, "parent {p}");
+        }
+        // Spot check: child cell (0,0) belongs to parent cell (0,0).
+        assert_eq!(h.parent(0), Some(0));
+        // Child cell (7,7) (last) belongs to parent (1,1) (last).
+        assert_eq!(h.parent(63), Some(3));
+    }
+
+    #[test]
+    fn voronoi_children_all_assigned() {
+        let parents = grid_regions(&extent(), 2, 2);
+        let children = voronoi_neighborhoods(&extent(), 40, 5, 2);
+        let h = Hierarchy::build(&children, &parents);
+        assert!(h.orphans().is_empty(), "every cell centroid lies in some quadrant");
+        let total: usize = (0..4).map(|p| h.children(p).len()).sum();
+        assert_eq!(total, 40);
+    }
+
+    #[test]
+    fn roll_up_sums_children() {
+        let parents = grid_regions(&extent(), 2, 2);
+        let children = grid_regions(&extent(), 4, 4);
+        let h = Hierarchy::build(&children, &parents);
+        // Each child's value = its own id; parents get the sum of theirs.
+        let child_values: Vec<Option<f64>> = (0..16).map(|i| Some(i as f64)).collect();
+        let up = h.roll_up(&child_values);
+        let total_up: f64 = up.iter().flatten().sum();
+        assert_eq!(total_up, (0..16).sum::<usize>() as f64);
+        // All four parents populated.
+        assert!(up.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn roll_up_skips_nulls_and_orphans() {
+        let parents = grid_regions(&BoundingBox::from_coords(0.0, 0.0, 40.0, 80.0), 1, 2);
+        // Children spanning beyond the parents' extent → orphans exist.
+        let children = grid_regions(&extent(), 4, 4);
+        let h = Hierarchy::build(&children, &parents);
+        assert!(!h.orphans().is_empty());
+        let values: Vec<Option<f64>> = (0..16)
+            .map(|i| if i % 3 == 0 { None } else { Some(1.0) })
+            .collect();
+        let up = h.roll_up(&values);
+        let assigned: f64 = up.iter().flatten().sum();
+        // Only non-null values of non-orphan children are counted.
+        let expected: f64 = (0..16)
+            .filter(|&i| i % 3 != 0 && h.parent(i as RegionId).is_some())
+            .count() as f64;
+        assert_eq!(assigned, expected);
+    }
+
+    #[test]
+    fn drill_down_roll_up_consistency_with_real_joins() {
+        use crate::query::SpatialAggQuery;
+        use crate::schema::Schema;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        // Points joined at child resolution, rolled up, must match the
+        // parent-resolution join (grid partitions nest exactly).
+        let parents = grid_regions(&extent(), 2, 2);
+        let children = grid_regions(&extent(), 8, 8);
+        let h = Hierarchy::build(&children, &parents);
+
+        let mut t = crate::PointTable::new(Schema::empty());
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in 0..2_000 {
+            t.push(
+                Point::new(rng.gen::<f64>() * 80.0, rng.gen::<f64>() * 80.0),
+                i,
+                &[],
+            )
+            .unwrap();
+        }
+        let q = SpatialAggQuery::count();
+        // Brute-force joins at both levels.
+        let child_vals: Vec<Option<f64>> = children
+            .iter()
+            .map(|(_, _, g)| {
+                let n = t.locations().filter(|&p| g.contains(p)).count();
+                (n > 0).then(|| n as f64)
+            })
+            .collect();
+        let parent_vals: Vec<Option<f64>> = parents
+            .iter()
+            .map(|(_, _, g)| {
+                let n = t.locations().filter(|&p| g.contains(p)).count();
+                (n > 0).then(|| n as f64)
+            })
+            .collect();
+        let rolled = h.roll_up(&child_vals);
+        for p in 0..parents.len() {
+            let (a, b) = (rolled[p].unwrap_or(0.0), parent_vals[p].unwrap_or(0.0));
+            assert!((a - b).abs() < 1e-9, "parent {p}: rolled {a} vs direct {b}");
+        }
+        let _ = q;
+    }
+}

@@ -1,0 +1,65 @@
+//! # urban-data — spatio-temporal point tables and synthetic urban data
+//!
+//! The data-management substrate of the Urbane reproduction:
+//!
+//! * columnar (structure-of-arrays) point tables with typed attribute
+//!   columns ([`table`]),
+//! * ad-hoc filter conditions over attributes and time — the query feature
+//!   that defeats pre-aggregation and motivates Raster Join ([`filter`]),
+//! * timestamps, ranges, and calendar bucketing ([`time`]),
+//! * named region sets (neighborhoods, zips, boroughs…) ([`region`]),
+//! * synthetic generators that stand in for the NYC open data sets the demo
+//!   uses — taxi trips, 311 complaints, crime events — plus region-polygon
+//!   generators (Voronoi neighborhoods, grids, borough outlines) ([`gen`]),
+//! * CSV and binary I/O ([`csv`], [`binfmt`]).
+//!
+//! The generators reproduce the statistical properties the experiments
+//! depend on (spatial hotspot skew, daily/weekly temporal rhythm, attribute
+//! marginals, cardinalities) — see DESIGN.md §2 for the substitution
+//! rationale.
+
+pub mod binfmt;
+pub mod csv;
+pub mod filter;
+pub mod gen;
+pub mod hierarchy;
+pub mod query;
+pub mod region;
+pub mod sampling;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod time;
+
+pub use filter::{Filter, FilterSet};
+pub use query::{AggKind, AggState, AggTable, SpatialAggQuery};
+pub use region::{RegionId, RegionSet};
+pub use schema::{AttrType, Schema};
+pub use table::PointTable;
+pub use time::{TimeBucket, TimeRange, Timestamp};
+
+/// Errors from data-layer operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// Referenced a column that does not exist.
+    UnknownColumn(String),
+    /// Row/column arity or type mismatch.
+    Schema(String),
+    /// CSV / binary decode failure.
+    Decode(String),
+}
+
+impl std::fmt::Display for DataError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            DataError::Schema(m) => write!(f, "schema error: {m}"),
+            DataError::Decode(m) => write!(f, "decode error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+/// Convenience alias for data results.
+pub type Result<T> = std::result::Result<T, DataError>;

@@ -1,0 +1,148 @@
+//! Column summary statistics.
+//!
+//! The exploration view's tooltips and axis scales need per-column
+//! summaries (count, mean, standard deviation, min/max, quantiles), and the
+//! generators' tests use them to validate marginals. One streaming pass
+//! computes the moments (Welford); quantiles sort a copy.
+
+use crate::table::PointTable;
+use crate::Result;
+
+/// Summary of one numeric column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSummary {
+    /// Non-NaN values observed.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; 0 for n < 2).
+    pub std_dev: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Quantiles at the requested cut points.
+    pub quantiles: Vec<(f64, f64)>,
+}
+
+/// Summarize a slice of values at the given quantile cut points
+/// (linear-interpolated, type-7 like R/NumPy default). NaNs are skipped.
+pub fn summarize(values: &[f32], quantile_cuts: &[f64]) -> Option<ColumnSummary> {
+    let mut clean: Vec<f64> = values
+        .iter()
+        .filter(|v| !v.is_nan())
+        .map(|&v| v as f64)
+        .collect();
+    if clean.is_empty() {
+        return None;
+    }
+
+    // Welford's online moments.
+    let mut mean = 0.0;
+    let mut m2 = 0.0;
+    for (i, &v) in clean.iter().enumerate() {
+        let delta = v - mean;
+        mean += delta / (i + 1) as f64;
+        m2 += delta * (v - mean);
+    }
+    let n = clean.len();
+    let std_dev = if n > 1 { (m2 / (n - 1) as f64).sqrt() } else { 0.0 };
+
+    clean.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let quantiles = quantile_cuts
+        .iter()
+        .map(|&q| {
+            let q = q.clamp(0.0, 1.0);
+            let pos = q * (n - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            (q, clean[lo] + (clean[hi] - clean[lo]) * frac)
+        })
+        .collect();
+
+    Some(ColumnSummary {
+        count: n,
+        mean,
+        std_dev,
+        min: clean[0],
+        max: clean[n - 1],
+        quantiles,
+    })
+}
+
+/// Summarize a table column by name (median/quartiles by default).
+pub fn summarize_column(table: &PointTable, column: &str) -> Result<Option<ColumnSummary>> {
+    let values = table.column_by_name(column)?;
+    Ok(summarize(values, &[0.25, 0.5, 0.75]))
+}
+
+impl ColumnSummary {
+    /// Lookup a computed quantile (must be one of the requested cuts).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.quantiles
+            .iter()
+            .find(|(cut, _)| (cut - q).abs() < 1e-12)
+            .map(|(_, v)| *v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrType, Schema};
+    use urbane_geom::Point;
+
+    #[test]
+    fn known_values() {
+        let s = summarize(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0], &[0.5]).unwrap();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.mean, 5.0);
+        // Sample std dev of this classic data set is ~2.138.
+        assert!((s.std_dev - 2.138).abs() < 0.01);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.quantile(0.5), Some(4.5));
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let s = summarize(&[0.0, 10.0], &[0.0, 0.25, 0.5, 1.0]).unwrap();
+        assert_eq!(s.quantile(0.0), Some(0.0));
+        assert_eq!(s.quantile(0.25), Some(2.5));
+        assert_eq!(s.quantile(0.5), Some(5.0));
+        assert_eq!(s.quantile(1.0), Some(10.0));
+        assert_eq!(s.quantile(0.33), None); // not requested
+    }
+
+    #[test]
+    fn nan_skipped_and_empty() {
+        let s = summarize(&[1.0, f32::NAN, 3.0], &[0.5]).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.quantile(0.5), Some(2.0));
+        assert!(summarize(&[], &[0.5]).is_none());
+        assert!(summarize(&[f32::NAN], &[0.5]).is_none());
+    }
+
+    #[test]
+    fn single_value() {
+        let s = summarize(&[7.5], &[0.25, 0.75]).unwrap();
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.mean, 7.5);
+        assert_eq!(s.quantile(0.25), Some(7.5));
+    }
+
+    #[test]
+    fn table_column_summary() {
+        let schema = Schema::new([("fare", AttrType::Numeric)]).unwrap();
+        let mut t = PointTable::new(schema);
+        for i in 1..=100 {
+            t.push(Point::new(0.0, 0.0), 0, &[i as f32]).unwrap();
+        }
+        let s = summarize_column(&t, "fare").unwrap().unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.mean, 50.5);
+        assert_eq!(s.quantile(0.5), Some(50.5));
+        assert!(summarize_column(&t, "ghost").is_err());
+    }
+}

@@ -1,0 +1,248 @@
+//! Timestamps, time ranges, and calendar bucketing.
+//!
+//! Urbane's temporal dimension: the time slider issues ad-hoc time-range
+//! filters, and the data-exploration view buckets measurements per hour /
+//! day / week / month. Timestamps are Unix epoch seconds (UTC); the
+//! civil-calendar math is implemented here (days-from-epoch algorithm) so no
+//! external time crate is needed.
+
+use serde::{Deserialize, Serialize};
+
+/// Unix epoch seconds (UTC).
+pub type Timestamp = i64;
+
+/// Seconds per minute/hour/day/week.
+pub const MINUTE: i64 = 60;
+pub const HOUR: i64 = 3_600;
+pub const DAY: i64 = 86_400;
+pub const WEEK: i64 = 7 * DAY;
+
+/// A half-open time interval `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeRange {
+    pub start: Timestamp,
+    pub end: Timestamp,
+}
+
+impl TimeRange {
+    /// Build `[start, end)`; normalizes a reversed pair.
+    pub fn new(start: Timestamp, end: Timestamp) -> Self {
+        if start <= end {
+            TimeRange { start, end }
+        } else {
+            TimeRange { start: end, end: start }
+        }
+    }
+
+    /// Duration in seconds.
+    #[inline]
+    pub fn duration(&self) -> i64 {
+        self.end - self.start
+    }
+
+    /// Membership under half-open semantics.
+    #[inline]
+    pub fn contains(&self, t: Timestamp) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// Overlap of two ranges, or `None` when disjoint.
+    pub fn intersection(&self, other: &TimeRange) -> Option<TimeRange> {
+        let s = self.start.max(other.start);
+        let e = self.end.min(other.end);
+        (s < e).then(|| TimeRange { start: s, end: e })
+    }
+
+    /// Split into consecutive buckets of `width` seconds (last may be short).
+    pub fn buckets(&self, width: i64) -> Vec<TimeRange> {
+        assert!(width > 0, "bucket width must be positive");
+        let mut out = Vec::new();
+        let mut s = self.start;
+        while s < self.end {
+            let e = (s + width).min(self.end);
+            out.push(TimeRange { start: s, end: e });
+            s = e;
+        }
+        out
+    }
+}
+
+/// Calendar bucketing granularities used by the exploration view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TimeBucket {
+    Hour,
+    Day,
+    Week,
+    Month,
+}
+
+impl TimeBucket {
+    /// Truncate `t` down to the start of its bucket.
+    ///
+    /// Hour/Day/Week truncate arithmetically (weeks anchored to Thursday
+    /// 1970-01-01 being day 0 — consistent, though not ISO); Month uses the
+    /// civil calendar.
+    pub fn truncate(&self, t: Timestamp) -> Timestamp {
+        match self {
+            TimeBucket::Hour => t.div_euclid(HOUR) * HOUR,
+            TimeBucket::Day => t.div_euclid(DAY) * DAY,
+            TimeBucket::Week => t.div_euclid(WEEK) * WEEK,
+            TimeBucket::Month => {
+                let (y, m, _) = civil_from_days(t.div_euclid(DAY));
+                days_from_civil(y, m, 1) * DAY
+            }
+        }
+    }
+
+    /// The bucket containing `t`, as a range.
+    pub fn range_of(&self, t: Timestamp) -> TimeRange {
+        let start = self.truncate(t);
+        let end = match self {
+            TimeBucket::Hour => start + HOUR,
+            TimeBucket::Day => start + DAY,
+            TimeBucket::Week => start + WEEK,
+            TimeBucket::Month => {
+                let (y, m, _) = civil_from_days(start.div_euclid(DAY));
+                let (ny, nm) = if m == 12 { (y + 1, 1) } else { (y, m + 1) };
+                days_from_civil(ny, nm, 1) * DAY
+            }
+        };
+        TimeRange { start, end }
+    }
+}
+
+/// Hour of day (0–23, UTC) — drives the generators' diurnal rhythm.
+pub fn hour_of_day(t: Timestamp) -> u32 {
+    (t.rem_euclid(DAY) / HOUR) as u32
+}
+
+/// Day of week, 0 = Monday … 6 = Sunday (1970-01-01 was a Thursday).
+pub fn day_of_week(t: Timestamp) -> u32 {
+    ((t.div_euclid(DAY) + 3).rem_euclid(7)) as u32
+}
+
+/// Howard Hinnant's `days_from_civil`: days since 1970-01-01 for a civil
+/// date. Valid across the full proleptic Gregorian calendar.
+pub fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m as i64 + 9) % 12; // Mar=0 … Feb=11
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Inverse of [`days_from_civil`]: `(year, month, day)` from days-since-epoch.
+pub fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Epoch timestamp for a UTC civil date-time.
+pub fn timestamp(y: i64, m: u32, d: u32, hh: u32, mm: u32, ss: u32) -> Timestamp {
+    days_from_civil(y, m, d) * DAY + (hh as i64) * HOUR + (mm as i64) * MINUTE + ss as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_roundtrip_known_dates() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(days_from_civil(2009, 1, 1), 14_245);
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(14_245), (2009, 1, 1));
+        // Leap-year boundary.
+        assert_eq!(
+            days_from_civil(2008, 3, 1) - days_from_civil(2008, 2, 28),
+            2
+        );
+        assert_eq!(
+            days_from_civil(2009, 3, 1) - days_from_civil(2009, 2, 28),
+            1
+        );
+    }
+
+    #[test]
+    fn civil_roundtrip_sweep() {
+        for z in (-200_000..200_000).step_by(373) {
+            let (y, m, d) = civil_from_days(z);
+            assert_eq!(days_from_civil(y, m, d), z, "roundtrip failed for day {z}");
+        }
+    }
+
+    #[test]
+    fn timestamp_composition() {
+        assert_eq!(timestamp(1970, 1, 1, 0, 0, 0), 0);
+        assert_eq!(timestamp(1970, 1, 2, 1, 2, 3), DAY + HOUR + 2 * MINUTE + 3);
+        // 2009-01-01 00:00:00 UTC = 1230768000 (known value).
+        assert_eq!(timestamp(2009, 1, 1, 0, 0, 0), 1_230_768_000);
+    }
+
+    #[test]
+    fn dow_and_hour() {
+        // 1970-01-01 was a Thursday → dow 3 (0 = Monday).
+        assert_eq!(day_of_week(0), 3);
+        assert_eq!(day_of_week(4 * DAY), 0); // Monday 1970-01-05
+        assert_eq!(hour_of_day(timestamp(2009, 1, 15, 17, 30, 0)), 17);
+        // Negative timestamps too.
+        assert_eq!(day_of_week(-DAY), 2); // Wednesday 1969-12-31
+    }
+
+    #[test]
+    fn range_semantics() {
+        let r = TimeRange::new(100, 200);
+        assert!(r.contains(100));
+        assert!(r.contains(199));
+        assert!(!r.contains(200));
+        assert_eq!(r.duration(), 100);
+        assert_eq!(TimeRange::new(200, 100), r); // normalized
+    }
+
+    #[test]
+    fn range_intersection() {
+        let a = TimeRange::new(0, 100);
+        let b = TimeRange::new(50, 150);
+        assert_eq!(a.intersection(&b), Some(TimeRange::new(50, 100)));
+        assert_eq!(a.intersection(&TimeRange::new(100, 200)), None); // touching = disjoint
+    }
+
+    #[test]
+    fn fixed_width_buckets() {
+        let r = TimeRange::new(0, 250);
+        let b = r.buckets(100);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b[2], TimeRange::new(200, 250)); // short tail
+        assert_eq!(b.iter().map(|x| x.duration()).sum::<i64>(), 250);
+    }
+
+    #[test]
+    fn month_truncation() {
+        let t = timestamp(2009, 3, 17, 12, 0, 0);
+        let start = TimeBucket::Month.truncate(t);
+        assert_eq!(start, timestamp(2009, 3, 1, 0, 0, 0));
+        let r = TimeBucket::Month.range_of(t);
+        assert_eq!(r.end, timestamp(2009, 4, 1, 0, 0, 0));
+        // December rolls into the next year.
+        let dec = TimeBucket::Month.range_of(timestamp(2009, 12, 31, 23, 0, 0));
+        assert_eq!(dec.end, timestamp(2010, 1, 1, 0, 0, 0));
+    }
+
+    #[test]
+    fn hour_day_truncation() {
+        let t = timestamp(2009, 6, 5, 14, 45, 12);
+        assert_eq!(TimeBucket::Hour.truncate(t), timestamp(2009, 6, 5, 14, 0, 0));
+        assert_eq!(TimeBucket::Day.truncate(t), timestamp(2009, 6, 5, 0, 0, 0));
+        assert_eq!(TimeBucket::Day.range_of(t).duration(), DAY);
+    }
+}

@@ -1,0 +1,239 @@
+//! Polygon clipping against axis-aligned boxes (Sutherland–Hodgman).
+//!
+//! Urbane's map view pans and zooms: only the visible part of each region
+//! needs rasterizing. Sutherland–Hodgman against the viewport box is exact
+//! for this use because the clip window is convex; concave *subjects* are
+//! fine (the algorithm may emit degenerate zero-width bridges for subjects
+//! that leave and re-enter the window, but those rasterize to nothing under
+//! pixel-center sampling, which is all the map view needs).
+
+use crate::bbox::BoundingBox;
+use crate::point::Point;
+use crate::polygon::{Polygon, Ring};
+use crate::Result;
+
+/// Which side of a clip edge.
+#[derive(Clone, Copy)]
+enum Edge {
+    Left(f64),
+    Right(f64),
+    Bottom(f64),
+    Top(f64),
+}
+
+impl Edge {
+    #[inline]
+    fn inside(&self, p: Point) -> bool {
+        match *self {
+            Edge::Left(x) => p.x >= x,
+            Edge::Right(x) => p.x <= x,
+            Edge::Bottom(y) => p.y >= y,
+            Edge::Top(y) => p.y <= y,
+        }
+    }
+
+    #[inline]
+    fn intersect(&self, a: Point, b: Point) -> Point {
+        match *self {
+            Edge::Left(x) | Edge::Right(x) => {
+                let t = (x - a.x) / (b.x - a.x);
+                Point::new(x, a.y + t * (b.y - a.y))
+            }
+            Edge::Bottom(y) | Edge::Top(y) => {
+                let t = (y - a.y) / (b.y - a.y);
+                Point::new(a.x + t * (b.x - a.x), y)
+            }
+        }
+    }
+}
+
+/// Clip a closed vertex loop against a box. Returns the clipped loop
+/// (possibly empty; possibly containing degenerate bridge edges for
+/// re-entrant concave subjects).
+pub fn clip_ring_to_box(vertices: &[Point], bbox: &BoundingBox) -> Vec<Point> {
+    if bbox.is_empty() {
+        return Vec::new();
+    }
+    let edges = [
+        Edge::Left(bbox.min.x),
+        Edge::Right(bbox.max.x),
+        Edge::Bottom(bbox.min.y),
+        Edge::Top(bbox.max.y),
+    ];
+    let mut current: Vec<Point> = vertices.to_vec();
+    for edge in edges {
+        if current.is_empty() {
+            return current;
+        }
+        let mut next = Vec::with_capacity(current.len() + 4);
+        let n = current.len();
+        for i in 0..n {
+            let a = current[i];
+            let b = current[(i + 1) % n];
+            let (ia, ib) = (edge.inside(a), edge.inside(b));
+            match (ia, ib) {
+                (true, true) => next.push(b),
+                (true, false) => next.push(edge.intersect(a, b)),
+                (false, true) => {
+                    next.push(edge.intersect(a, b));
+                    next.push(b);
+                }
+                (false, false) => {}
+            }
+        }
+        current = next;
+    }
+    current
+}
+
+/// Clip a polygon (with holes) to a box.
+///
+/// Returns `None` when nothing remains visible. Holes are clipped
+/// independently; a hole that vanishes is dropped, and a polygon whose
+/// exterior degenerates below 3 vertices is gone.
+pub fn clip_polygon_to_box(poly: &Polygon, bbox: &BoundingBox) -> Result<Option<Polygon>> {
+    if !poly.bbox().intersects(bbox) {
+        return Ok(None);
+    }
+    if bbox.contains_box(&poly.bbox()) {
+        return Ok(Some(poly.clone())); // fully visible — no work
+    }
+    let ext = clip_ring_to_box(poly.exterior().vertices(), bbox);
+    let ext = match Ring::new(ext) {
+        Ok(r) if r.area() > 0.0 => r,
+        _ => return Ok(None),
+    };
+    let mut holes = Vec::new();
+    for h in poly.holes() {
+        let clipped = clip_ring_to_box(h.vertices(), bbox);
+        if let Ok(r) = Ring::new(clipped) {
+            if r.area() > 0.0 {
+                holes.push(r);
+            }
+        }
+    }
+    Ok(Some(Polygon::with_holes(ext, holes)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(x0: f64, y0: f64, s: f64) -> Polygon {
+        Polygon::from_coords(&[(x0, y0), (x0 + s, y0), (x0 + s, y0 + s), (x0, y0 + s)]).unwrap()
+    }
+
+    #[test]
+    fn fully_inside_is_unchanged() {
+        let p = square(2.0, 2.0, 2.0);
+        let b = BoundingBox::from_coords(0.0, 0.0, 10.0, 10.0);
+        let c = clip_polygon_to_box(&p, &b).unwrap().unwrap();
+        assert_eq!(c, p);
+    }
+
+    #[test]
+    fn fully_outside_is_gone() {
+        let p = square(20.0, 20.0, 2.0);
+        let b = BoundingBox::from_coords(0.0, 0.0, 10.0, 10.0);
+        assert!(clip_polygon_to_box(&p, &b).unwrap().is_none());
+    }
+
+    #[test]
+    fn corner_overlap_clips_to_quarter() {
+        let p = square(-1.0, -1.0, 2.0); // [-1,1]²
+        let b = BoundingBox::from_coords(0.0, 0.0, 10.0, 10.0);
+        let c = clip_polygon_to_box(&p, &b).unwrap().unwrap();
+        assert!((c.area() - 1.0).abs() < 1e-12); // the [0,1]² quarter
+        assert_eq!(c.bbox(), BoundingBox::from_coords(0.0, 0.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn strip_clip() {
+        // A wide rectangle clipped to a vertical strip.
+        let p = square(0.0, 0.0, 10.0);
+        let b = BoundingBox::from_coords(3.0, -5.0, 5.0, 15.0);
+        let c = clip_polygon_to_box(&p, &b).unwrap().unwrap();
+        assert!((c.area() - 20.0).abs() < 1e-12); // 2 wide × 10 tall
+    }
+
+    #[test]
+    fn concave_subject() {
+        // L-shape clipped so only its vertical prong remains.
+        let l = Polygon::from_coords(&[
+            (0.0, 0.0),
+            (6.0, 0.0),
+            (6.0, 2.0),
+            (2.0, 2.0),
+            (2.0, 6.0),
+            (0.0, 6.0),
+        ])
+        .unwrap();
+        let b = BoundingBox::from_coords(0.0, 3.0, 10.0, 10.0);
+        let c = clip_polygon_to_box(&l, &b).unwrap().unwrap();
+        assert!((c.area() - 6.0).abs() < 1e-12); // 2 wide × 3 tall
+    }
+
+    #[test]
+    fn holes_are_clipped_or_dropped() {
+        let outer = Ring::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+            Point::new(0.0, 10.0),
+        ])
+        .unwrap();
+        let visible_hole = Ring::new(vec![
+            Point::new(1.0, 1.0),
+            Point::new(3.0, 1.0),
+            Point::new(3.0, 3.0),
+            Point::new(1.0, 3.0),
+        ])
+        .unwrap();
+        let hidden_hole = Ring::new(vec![
+            Point::new(7.0, 7.0),
+            Point::new(9.0, 7.0),
+            Point::new(9.0, 9.0),
+            Point::new(7.0, 9.0),
+        ])
+        .unwrap();
+        let p = Polygon::with_holes(outer, vec![visible_hole, hidden_hole]).unwrap();
+        let b = BoundingBox::from_coords(0.0, 0.0, 5.0, 5.0);
+        let c = clip_polygon_to_box(&p, &b).unwrap().unwrap();
+        assert_eq!(c.holes().len(), 1);
+        assert!((c.area() - (25.0 - 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clip_preserves_containment_semantics() {
+        // For points inside the clip box, membership in the clipped polygon
+        // equals membership in the original.
+        let l = Polygon::from_coords(&[
+            (0.0, 0.0),
+            (8.0, 0.0),
+            (8.0, 3.0),
+            (3.0, 3.0),
+            (3.0, 8.0),
+            (0.0, 8.0),
+        ])
+        .unwrap();
+        let b = BoundingBox::from_coords(1.0, 1.0, 6.0, 6.0);
+        let c = clip_polygon_to_box(&l, &b).unwrap().unwrap();
+        for i in 0..20 {
+            for j in 0..20 {
+                let p = Point::new(1.1 + i as f64 * 0.24, 1.1 + j as f64 * 0.24);
+                // Skip boundary-grazing points where tolerance may differ.
+                let near_edge = l.edges().any(|e| e.distance_to_point(p) < 1e-9);
+                if !near_edge {
+                    assert_eq!(l.contains(p), c.contains(p), "at {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_box_clips_everything() {
+        let p = square(0.0, 0.0, 2.0);
+        assert!(clip_polygon_to_box(&p, &BoundingBox::empty()).unwrap().is_none());
+        assert!(clip_ring_to_box(p.exterior().vertices(), &BoundingBox::empty()).is_empty());
+    }
+}

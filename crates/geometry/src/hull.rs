@@ -1,0 +1,125 @@
+//! Convex hulls (Andrew's monotone chain). Used by the synthetic region
+//! generators (convex neighborhood seeds) and by R-tree node diagnostics.
+
+use crate::point::Point;
+use crate::polygon::{Polygon, Ring};
+use crate::Result;
+
+/// Convex hull of a point set, counter-clockwise, starting from the
+/// lexicographically smallest point. Collinear points on the hull boundary
+/// are dropped. Returns fewer than 3 points for degenerate inputs.
+pub fn convex_hull(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.iter().copied().filter(|p| p.is_finite()).collect();
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.y.partial_cmp(&b.y).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    pts.dedup_by(|a, b| a.approx_eq(*b, 0.0));
+    let n = pts.len();
+    if n < 3 {
+        return pts;
+    }
+
+    let cross = |o: Point, a: Point, b: Point| (a - o).cross(b - o);
+    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2 && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0 {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // last point repeats the first
+    hull
+}
+
+/// Convex hull as a polygon; fails when the input is degenerate (collinear).
+pub fn convex_hull_polygon(points: &[Point]) -> Result<Polygon> {
+    let hull = convex_hull(points);
+    Ok(Polygon::new(Ring::new(hull)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_with_interior_points() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+            Point::new(1.0, 1.0), // interior
+            Point::new(0.5, 1.0), // interior
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 4);
+        // CCW check via shoelace.
+        let area2: f64 = (0..h.len()).map(|i| h[i].cross(h[(i + 1) % h.len()])).sum();
+        assert!(area2 > 0.0);
+    }
+
+    #[test]
+    fn collinear_input() {
+        let pts: Vec<Point> = (0..5).map(|i| Point::new(i as f64, i as f64)).collect();
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 2); // degenerate hull: just the extremes
+        assert!(convex_hull_polygon(&pts).is_err());
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        ];
+        assert_eq!(convex_hull(&pts).len(), 3);
+    }
+
+    #[test]
+    fn hull_contains_all_points() {
+        // Deterministic pseudo-random scatter.
+        let pts: Vec<Point> = (0..200u64)
+            .map(|i| {
+                let x = ((i.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)
+                    >> 33) as f64)
+                    / (1u64 << 31) as f64;
+                let y = ((i.wrapping_mul(2862933555777941757).wrapping_add(3037000493)
+                    >> 33) as f64)
+                    / (1u64 << 31) as f64;
+                Point::new(x, y)
+            })
+            .collect();
+        let poly = convex_hull_polygon(&pts).unwrap();
+        for p in &pts {
+            assert!(poly.contains(*p), "hull must contain {p}");
+        }
+    }
+
+    #[test]
+    fn collinear_boundary_points_dropped() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0), // on the bottom edge
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ];
+        assert_eq!(convex_hull(&pts).len(), 4);
+    }
+}

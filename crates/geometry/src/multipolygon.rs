@@ -1,0 +1,146 @@
+//! Multipolygons — disjoint unions of polygons. Real administrative regions
+//! (e.g. a NYC borough with islands) are multipolygons, so the region side of
+//! every join in this repo is expressed in terms of this type.
+
+use crate::bbox::BoundingBox;
+use crate::point::Point;
+use crate::polygon::Polygon;
+use serde::{Deserialize, Serialize};
+
+/// A collection of polygons treated as a single region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiPolygon {
+    polygons: Vec<Polygon>,
+    bbox: BoundingBox,
+}
+
+impl MultiPolygon {
+    /// Build from parts (may be empty — an empty region contains nothing).
+    pub fn new(polygons: Vec<Polygon>) -> Self {
+        let bbox = polygons
+            .iter()
+            .fold(BoundingBox::empty(), |b, p| b.union(&p.bbox()));
+        MultiPolygon { polygons, bbox }
+    }
+
+    /// A multipolygon with a single part.
+    pub fn from_polygon(p: Polygon) -> Self {
+        Self::new(vec![p])
+    }
+
+    /// The parts.
+    #[inline]
+    pub fn polygons(&self) -> &[Polygon] {
+        &self.polygons
+    }
+
+    /// Number of parts.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.polygons.len()
+    }
+
+    /// True when there are no parts.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.polygons.is_empty()
+    }
+
+    /// Cached bounding box over all parts.
+    #[inline]
+    pub fn bbox(&self) -> BoundingBox {
+        self.bbox
+    }
+
+    /// Total area over all parts.
+    pub fn area(&self) -> f64 {
+        self.polygons.iter().map(|p| p.area()).sum()
+    }
+
+    /// Total perimeter over all parts.
+    pub fn perimeter(&self) -> f64 {
+        self.polygons.iter().map(|p| p.perimeter()).sum()
+    }
+
+    /// Area-weighted centroid across parts.
+    pub fn centroid(&self) -> Option<Point> {
+        if self.polygons.is_empty() {
+            return None;
+        }
+        let mut acc = Point::ORIGIN;
+        let mut area = 0.0;
+        for p in &self.polygons {
+            let a = p.area();
+            acc = acc + p.centroid() * a;
+            area += a;
+        }
+        if area <= f64::EPSILON {
+            Some(self.polygons[0].centroid())
+        } else {
+            Some(acc / area)
+        }
+    }
+
+    /// Total vertex count across parts.
+    pub fn vertex_count(&self) -> usize {
+        self.polygons.iter().map(|p| p.vertex_count()).sum()
+    }
+
+    /// Point-in-region test: inside any part.
+    pub fn contains(&self, p: Point) -> bool {
+        self.bbox.contains(p) && self.polygons.iter().any(|poly| poly.contains(p))
+    }
+}
+
+impl From<Polygon> for MultiPolygon {
+    fn from(p: Polygon) -> Self {
+        MultiPolygon::from_polygon(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_squares() -> MultiPolygon {
+        MultiPolygon::new(vec![
+            Polygon::from_coords(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]).unwrap(),
+            Polygon::from_coords(&[(2.0, 0.0), (4.0, 0.0), (4.0, 2.0), (2.0, 2.0)]).unwrap(),
+        ])
+    }
+
+    #[test]
+    fn aggregate_measures() {
+        let m = two_squares();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.area(), 1.0 + 4.0);
+        assert_eq!(m.perimeter(), 4.0 + 8.0);
+        assert_eq!(m.vertex_count(), 8);
+        assert_eq!(m.bbox(), BoundingBox::from_coords(0.0, 0.0, 4.0, 2.0));
+    }
+
+    #[test]
+    fn containment_across_parts() {
+        let m = two_squares();
+        assert!(m.contains(Point::new(0.5, 0.5)));
+        assert!(m.contains(Point::new(3.0, 1.0)));
+        assert!(!m.contains(Point::new(1.5, 0.5))); // the gap between parts
+    }
+
+    #[test]
+    fn centroid_is_area_weighted() {
+        let m = two_squares();
+        // centroid = (1*(0.5,0.5) + 4*(3,1)) / 5 = (2.5, 0.9)
+        let c = m.centroid().unwrap();
+        assert!(c.approx_eq(Point::new(2.5, 0.9), 1e-12));
+    }
+
+    #[test]
+    fn empty_region() {
+        let m = MultiPolygon::new(vec![]);
+        assert!(m.is_empty());
+        assert!(m.centroid().is_none());
+        assert!(!m.contains(Point::ORIGIN));
+        assert!(m.bbox().is_empty());
+    }
+}

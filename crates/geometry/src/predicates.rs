@@ -1,0 +1,107 @@
+//! Geometric predicates: orientation, collinearity, and point-on-segment
+//! tests. These are the only places where floating-point tolerance decisions
+//! are made; everything upstream funnels through here so the tolerance policy
+//! lives in one module.
+
+use crate::point::Point;
+use crate::EPSILON;
+
+/// Result of the orientation (turn-direction) predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orientation {
+    /// Counter-clockwise turn (left).
+    Ccw,
+    /// Clockwise turn (right).
+    Cw,
+    /// The three points are (numerically) collinear.
+    Collinear,
+}
+
+/// Twice the signed area of triangle `(a, b, c)`; positive for CCW.
+#[inline]
+pub fn signed_area2(a: Point, b: Point, c: Point) -> f64 {
+    (b - a).cross(c - a)
+}
+
+/// Classify the turn `a → b → c` with an area-scaled tolerance.
+///
+/// The collinearity band scales with the magnitude of the coordinates so the
+/// predicate remains meaningful both for geographic degrees (~1e2) and for
+/// projected meters (~1e7).
+pub fn orientation(a: Point, b: Point, c: Point) -> Orientation {
+    let v = signed_area2(a, b, c);
+    // Scale tolerance by the extent of the triangle to stay unit-agnostic.
+    let scale = (b - a).norm() * (c - a).norm();
+    let tol = EPSILON * scale.max(1.0);
+    if v > tol {
+        Orientation::Ccw
+    } else if v < -tol {
+        Orientation::Cw
+    } else {
+        Orientation::Collinear
+    }
+}
+
+/// True when `p` lies on the closed segment `a—b` (within tolerance).
+pub fn point_on_segment(p: Point, a: Point, b: Point) -> bool {
+    if orientation(a, b, p) != Orientation::Collinear {
+        return false;
+    }
+    let len = a.distance(b);
+    if len <= EPSILON {
+        return p.approx_eq(a, EPSILON);
+    }
+    // Project onto the segment and check the parameter range.
+    let t = (p - a).dot(b - a) / (len * len);
+    (-EPSILON..=1.0 + EPSILON).contains(&t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orientation_basic() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        assert_eq!(orientation(a, b, Point::new(0.5, 1.0)), Orientation::Ccw);
+        assert_eq!(orientation(a, b, Point::new(0.5, -1.0)), Orientation::Cw);
+        assert_eq!(orientation(a, b, Point::new(2.0, 0.0)), Orientation::Collinear);
+    }
+
+    #[test]
+    fn orientation_scales_with_units() {
+        // Same shape in "meters" (large coordinates): still a clean CCW.
+        let s = 1e7;
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(s, 0.0);
+        let c = Point::new(0.5 * s, s);
+        assert_eq!(orientation(a, b, c), Orientation::Ccw);
+    }
+
+    #[test]
+    fn signed_area2_antisymmetry() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 1.0);
+        let c = Point::new(1.0, 4.0);
+        assert_eq!(signed_area2(a, b, c), -signed_area2(a, c, b));
+    }
+
+    #[test]
+    fn on_segment_endpoints_and_interior() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(4.0, 4.0);
+        assert!(point_on_segment(a, a, b));
+        assert!(point_on_segment(b, a, b));
+        assert!(point_on_segment(Point::new(2.0, 2.0), a, b));
+        assert!(!point_on_segment(Point::new(5.0, 5.0), a, b)); // collinear, outside
+        assert!(!point_on_segment(Point::new(2.0, 2.5), a, b)); // off the line
+    }
+
+    #[test]
+    fn on_degenerate_segment() {
+        let a = Point::new(1.0, 1.0);
+        assert!(point_on_segment(a, a, a));
+        assert!(!point_on_segment(Point::new(1.1, 1.0), a, a));
+    }
+}

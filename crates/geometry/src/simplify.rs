@@ -1,0 +1,190 @@
+//! Douglas–Peucker polyline/ring simplification.
+//!
+//! Urbane renders region outlines at several zoom levels; coarser levels use
+//! simplified geometry. The raster join itself never needs simplification
+//! (its cost is resolution-bound, not vertex-bound) — which is precisely one
+//! of the paper's selling points — but the baselines and the map view do.
+
+use crate::point::Point;
+use crate::polygon::{Polygon, Ring};
+use crate::segment::Segment;
+use crate::Result;
+
+/// Simplify an open polyline, keeping points whose deviation exceeds
+/// `tolerance`. Endpoints are always kept.
+pub fn simplify_polyline(points: &[Point], tolerance: f64) -> Vec<Point> {
+    if points.len() <= 2 {
+        return points.to_vec();
+    }
+    let mut keep = vec![false; points.len()];
+    keep[0] = true;
+    *keep.last_mut().expect("non-empty") = true;
+    dp_recurse(points, 0, points.len() - 1, tolerance, &mut keep);
+    points
+        .iter()
+        .zip(&keep)
+        .filter_map(|(&p, &k)| k.then_some(p))
+        .collect()
+}
+
+fn dp_recurse(points: &[Point], lo: usize, hi: usize, tol: f64, keep: &mut [bool]) {
+    if hi <= lo + 1 {
+        return;
+    }
+    let seg = Segment::new(points[lo], points[hi]);
+    let mut max_d = -1.0;
+    let mut max_i = lo;
+    for i in (lo + 1)..hi {
+        let d = seg.distance_to_point(points[i]);
+        if d > max_d {
+            max_d = d;
+            max_i = i;
+        }
+    }
+    if max_d > tol {
+        keep[max_i] = true;
+        dp_recurse(points, lo, max_i, tol, keep);
+        dp_recurse(points, max_i, hi, tol, keep);
+    }
+}
+
+/// Simplify a closed ring. The ring is split at its two mutually farthest
+/// vertices (so the closing edge is handled symmetrically), each half is
+/// simplified, and the result re-assembled. Falls back to the original ring
+/// when simplification would degenerate it below 3 vertices.
+pub fn simplify_ring(ring: &Ring, tolerance: f64) -> Ring {
+    let v = ring.vertices();
+    let n = v.len();
+    if n <= 4 {
+        return ring.clone();
+    }
+    // Anchor 0 and the vertex farthest from vertex 0.
+    let far = (1..n)
+        .max_by(|&i, &j| {
+            v[0].distance_sq(v[i])
+                .partial_cmp(&v[0].distance_sq(v[j]))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .expect("ring has >= 3 vertices");
+
+    let mut half1: Vec<Point> = v[0..=far].to_vec();
+    let mut half2: Vec<Point> = v[far..].to_vec();
+    half2.push(v[0]);
+
+    half1 = simplify_polyline(&half1, tolerance);
+    half2 = simplify_polyline(&half2, tolerance);
+
+    let mut out = half1;
+    out.extend_from_slice(&half2[1..half2.len() - 1]);
+    Ring::new(out).unwrap_or_else(|_| ring.clone())
+}
+
+/// Simplify every ring of a polygon. Holes that collapse below the tolerance
+/// (i.e. would become degenerate) are dropped entirely — matching the visual
+/// intent of map simplification.
+pub fn simplify_polygon(poly: &Polygon, tolerance: f64) -> Result<Polygon> {
+    let ext = simplify_ring(poly.exterior(), tolerance);
+    let holes: Vec<Ring> = poly
+        .holes()
+        .iter()
+        .filter_map(|h| {
+            let s = simplify_ring(h, tolerance);
+            (s.area() > tolerance * tolerance).then_some(s)
+        })
+        .collect();
+    Polygon::with_holes(ext, holes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_polylines_unchanged() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)];
+        assert_eq!(simplify_polyline(&pts, 0.5), pts);
+    }
+
+    #[test]
+    fn collinear_points_removed() {
+        let pts: Vec<Point> = (0..10).map(|i| Point::new(i as f64, 0.0)).collect();
+        let s = simplify_polyline(&pts, 1e-9);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], pts[0]);
+        assert_eq!(s[1], pts[9]);
+    }
+
+    #[test]
+    fn significant_deviation_kept() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 2.0), // deviates by 2
+            Point::new(2.0, 0.0),
+        ];
+        let s = simplify_polyline(&pts, 0.5);
+        assert_eq!(s.len(), 3);
+        let s = simplify_polyline(&pts, 3.0);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn endpoints_always_survive() {
+        let pts: Vec<Point> =
+            (0..50).map(|i| Point::new(i as f64, (i as f64 * 0.7).sin())).collect();
+        let s = simplify_polyline(&pts, 10.0);
+        assert_eq!(s.first(), pts.first());
+        assert_eq!(s.last(), pts.last());
+    }
+
+    #[test]
+    fn ring_simplification_preserves_shape_roughly() {
+        // Dense circle, simplify with a small tolerance: area stays close.
+        let n = 360;
+        let pts: Vec<Point> = (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64 * std::f64::consts::TAU;
+                Point::new(10.0 * t.cos(), 10.0 * t.sin())
+            })
+            .collect();
+        let ring = Ring::new(pts).unwrap();
+        let orig_area = ring.area();
+        let s = simplify_ring(&ring, 0.05);
+        assert!(s.len() < ring.len() / 2, "should drop many vertices");
+        assert!((s.area() - orig_area).abs() / orig_area < 0.02);
+    }
+
+    #[test]
+    fn tiny_ring_returned_as_is() {
+        let ring = Ring::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        ])
+        .unwrap();
+        let s = simplify_ring(&ring, 100.0);
+        assert_eq!(s, ring);
+    }
+
+    #[test]
+    fn polygon_simplification_drops_tiny_holes() {
+        let outer = Ring::new(
+            (0..100)
+                .map(|i| {
+                    let t = i as f64 / 100.0 * std::f64::consts::TAU;
+                    Point::new(50.0 + 40.0 * t.cos(), 50.0 + 40.0 * t.sin())
+                })
+                .collect(),
+        )
+        .unwrap();
+        let tiny_hole = Ring::new(vec![
+            Point::new(50.0, 50.0),
+            Point::new(50.2, 50.0),
+            Point::new(50.1, 50.2),
+        ])
+        .unwrap();
+        let poly = Polygon::with_holes(outer, vec![tiny_hole]).unwrap();
+        let s = simplify_polygon(&poly, 1.0).unwrap();
+        assert!(s.holes().is_empty());
+        assert!(s.exterior().len() < 100);
+    }
+}

@@ -1,0 +1,409 @@
+//! Ear-clipping triangulation.
+//!
+//! The GPU rendering pipeline only draws triangles, so Raster Join's polygon
+//! pass first triangulates every region polygon — exactly as the paper's
+//! OpenGL implementation does. Holes are handled by cutting a bridge edge
+//! from each hole to the outer ring (the classic "hole bridging" reduction),
+//! producing one simple ring that is then ear-clipped.
+
+use crate::point::Point;
+use crate::polygon::{Polygon, Ring};
+use crate::predicates::{orientation, signed_area2, Orientation};
+use crate::segment::Segment;
+use crate::{GeomError, Result};
+
+/// A triangle produced by triangulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangle {
+    pub a: Point,
+    pub b: Point,
+    pub c: Point,
+}
+
+impl Triangle {
+    /// Create a triangle.
+    pub const fn new(a: Point, b: Point, c: Point) -> Self {
+        Triangle { a, b, c }
+    }
+
+    /// Signed area (positive = CCW).
+    #[inline]
+    pub fn signed_area(&self) -> f64 {
+        signed_area2(self.a, self.b, self.c) * 0.5
+    }
+
+    /// Absolute area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Closed containment (boundary counts as inside).
+    pub fn contains(&self, p: Point) -> bool {
+        let d1 = signed_area2(self.a, self.b, p);
+        let d2 = signed_area2(self.b, self.c, p);
+        let d3 = signed_area2(self.c, self.a, p);
+        let has_neg = d1 < 0.0 || d2 < 0.0 || d3 < 0.0;
+        let has_pos = d1 > 0.0 || d2 > 0.0 || d3 > 0.0;
+        !(has_neg && has_pos)
+    }
+}
+
+/// Triangulate a polygon (with holes) into a triangle fan-free list.
+///
+/// Returns triangles whose total area equals the polygon area (a property
+/// test asserts this). Fails on self-intersecting rings where ear clipping
+/// cannot make progress.
+pub fn triangulate(poly: &Polygon) -> Result<Vec<Triangle>> {
+    let merged = merge_holes(poly)?;
+    ear_clip(&merged)
+}
+
+/// Strictly-inside test for ear clipping (boundary does NOT count), excluding
+/// the triangle's own corners.
+fn strictly_inside(t: &Triangle, p: Point) -> bool {
+    let d1 = signed_area2(t.a, t.b, p);
+    let d2 = signed_area2(t.b, t.c, p);
+    let d3 = signed_area2(t.c, t.a, p);
+    (d1 > 0.0 && d2 > 0.0 && d3 > 0.0) || (d1 < 0.0 && d2 < 0.0 && d3 < 0.0)
+}
+
+/// Reduce a polygon-with-holes to one simple vertex loop by adding bridge
+/// edges. Holes are processed right-to-left (by their rightmost vertex),
+/// each bridged to the visible vertex on the current outer loop — the
+/// standard construction from ear-clipping literature.
+fn merge_holes(poly: &Polygon) -> Result<Vec<Point>> {
+    let mut outer: Vec<Point> = poly.exterior().vertices().to_vec();
+    // Exterior must be CCW for the bridging/visibility logic below.
+    if Ring::new(outer.clone())?.is_ccw() == false {
+        outer.reverse();
+    }
+    if poly.holes().is_empty() {
+        return Ok(outer);
+    }
+
+    // Holes sorted by decreasing max-x so each bridge can't cross a
+    // not-yet-merged hole situated further right.
+    let mut holes: Vec<Vec<Point>> = poly
+        .holes()
+        .iter()
+        .map(|h| {
+            let mut v = h.vertices().to_vec();
+            // Holes must be CW when walking, so the merged loop keeps CCW area.
+            if Ring::new(v.clone()).map(|r| r.is_ccw()).unwrap_or(false) {
+                v.reverse();
+            }
+            v
+        })
+        .collect();
+    holes.sort_by(|a, b| {
+        let ax = a.iter().map(|p| p.x).fold(f64::NEG_INFINITY, f64::max);
+        let bx = b.iter().map(|p| p.x).fold(f64::NEG_INFINITY, f64::max);
+        bx.partial_cmp(&ax).unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    for hole in holes {
+        // Rightmost hole vertex M.
+        let (mi, &m) = hole
+            .iter()
+            .enumerate()
+            .max_by(|(_, p), (_, q)| p.x.partial_cmp(&q.x).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("holes are non-empty rings");
+
+        // Find the outer vertex visible from M: cast a ray +x from M, find the
+        // closest intersected outer edge, then take that edge's endpoint with
+        // the larger x (or scan reflex vertices inside the triangle).
+        let n = outer.len();
+        let mut best: Option<(f64, usize)> = None; // (x of intersection, edge index)
+        for i in 0..n {
+            let a = outer[i];
+            let b = outer[(i + 1) % n];
+            // Edge crosses the horizontal line through m.y?
+            if (a.y > m.y) == (b.y > m.y) {
+                continue;
+            }
+            let x = a.x + (m.y - a.y) / (b.y - a.y) * (b.x - a.x);
+            if x >= m.x - 1e-12 && best.map_or(true, |(bx, _)| x < bx) {
+                best = Some((x, i));
+            }
+        }
+        let (ix, edge) = best.ok_or_else(|| {
+            GeomError::InvalidPolygon("hole is not horizontally visible from the exterior".into())
+        })?;
+        let i_pt = Point::new(ix, m.y);
+        let a = outer[edge];
+        let b = outer[(edge + 1) % n];
+        // Candidate bridge vertex: the endpoint of the intersected edge with
+        // the larger x coordinate.
+        let mut bridge_idx = if a.x > b.x { edge } else { (edge + 1) % n };
+
+        // If any reflex outer vertex lies inside triangle (M, I, P), connect
+        // to the one minimizing the angle to the +x axis (classic fix to
+        // guarantee the bridge is unobstructed).
+        let p = outer[bridge_idx];
+        let tri = Triangle::new(m, i_pt, p);
+        let mut best_metric = f64::INFINITY;
+        for (j, &v) in outer.iter().enumerate() {
+            if j == bridge_idx {
+                continue;
+            }
+            if strictly_inside(&tri, v) {
+                // Prefer the smallest angle between (v - m) and +x, break
+                // ties by distance.
+                let d = v - m;
+                let metric = (d.y.abs() / d.x.max(1e-12)).atan() + d.norm() * 1e-9;
+                if d.x > 0.0 && metric < best_metric {
+                    best_metric = metric;
+                    bridge_idx = j;
+                }
+            }
+        }
+
+        // Splice: outer[0..=bridge], M..hole..M, bridge, outer[bridge+1..].
+        let mut merged = Vec::with_capacity(outer.len() + hole.len() + 2);
+        merged.extend_from_slice(&outer[..=bridge_idx]);
+        for k in 0..hole.len() {
+            merged.push(hole[(mi + k) % hole.len()]);
+        }
+        merged.push(m); // close the hole loop
+        merged.push(outer[bridge_idx]); // return to the bridge vertex
+        merged.extend_from_slice(&outer[bridge_idx + 1..]);
+        outer = merged;
+    }
+    Ok(outer)
+}
+
+/// Ear-clip a simple (possibly bridged) CCW vertex loop.
+fn ear_clip(loop_pts: &[Point]) -> Result<Vec<Triangle>> {
+    let n = loop_pts.len();
+    if n < 3 {
+        return Err(GeomError::Triangulation("fewer than 3 vertices".into()));
+    }
+    // Work on index lists so bridged duplicate vertices stay distinct.
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut tris = Vec::with_capacity(n - 2);
+
+    // Ensure CCW overall.
+    let mut area2 = 0.0;
+    for i in 0..n {
+        area2 += loop_pts[i].cross(loop_pts[(i + 1) % n]);
+    }
+    if area2 < 0.0 {
+        idx.reverse();
+    }
+
+    let mut guard = 0usize;
+    let guard_max = 2 * n * n + 16;
+    while idx.len() > 3 {
+        let m = idx.len();
+        let mut clipped = false;
+        for i in 0..m {
+            let ia = idx[(i + m - 1) % m];
+            let ib = idx[i];
+            let ic = idx[(i + 1) % m];
+            let (a, b, c) = (loop_pts[ia], loop_pts[ib], loop_pts[ic]);
+            // Convex corner?
+            match orientation(a, b, c) {
+                Orientation::Ccw => {}
+                Orientation::Collinear => {
+                    // Degenerate ear: drop the middle vertex, no triangle.
+                    idx.remove(i);
+                    clipped = true;
+                    break;
+                }
+                Orientation::Cw => continue,
+            }
+            let tri = Triangle::new(a, b, c);
+            // No other loop vertex strictly inside the candidate ear.
+            let blocked = idx
+                .iter()
+                .filter(|&&j| j != ia && j != ib && j != ic)
+                .any(|&j| strictly_inside(&tri, loop_pts[j]));
+            if blocked {
+                continue;
+            }
+            tris.push(tri);
+            idx.remove(i);
+            clipped = true;
+            break;
+        }
+        if !clipped {
+            return Err(GeomError::Triangulation(
+                "no ear found (self-intersecting or degenerate input)".into(),
+            ));
+        }
+        guard += 1;
+        if guard > guard_max {
+            return Err(GeomError::Triangulation("ear clipping did not terminate".into()));
+        }
+    }
+    let (a, b, c) = (loop_pts[idx[0]], loop_pts[idx[1]], loop_pts[idx[2]]);
+    if orientation(a, b, c) != Orientation::Collinear {
+        tris.push(Triangle::new(a, b, c));
+    }
+    Ok(tris)
+}
+
+/// Triangulate and verify the area invariant; helper used by tests and the
+/// raster pipeline's debug assertions.
+pub fn triangulate_checked(poly: &Polygon) -> Result<Vec<Triangle>> {
+    let tris = triangulate(poly)?;
+    let tri_area: f64 = tris.iter().map(|t| t.area()).sum();
+    let poly_area = poly.area();
+    let tol = 1e-6 * poly_area.max(1.0);
+    if (tri_area - poly_area).abs() > tol {
+        return Err(GeomError::Triangulation(format!(
+            "area mismatch: triangles {tri_area} vs polygon {poly_area}"
+        )));
+    }
+    Ok(tris)
+}
+
+/// A segment iterator over a triangle's edges (used in tests).
+pub fn triangle_edges(t: &Triangle) -> [Segment; 3] {
+    [
+        Segment::new(t.a, t.b),
+        Segment::new(t.b, t.c),
+        Segment::new(t.c, t.a),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polygon::Ring;
+
+    fn poly(coords: &[(f64, f64)]) -> Polygon {
+        Polygon::from_coords(coords).unwrap()
+    }
+
+    #[test]
+    fn triangle_needs_no_clipping() {
+        let p = poly(&[(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)]);
+        let t = triangulate_checked(&p).unwrap();
+        assert_eq!(t.len(), 1);
+        assert!((t[0].area() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn square_two_triangles() {
+        let p = poly(&[(0.0, 0.0), (2.0, 0.0), (2.0, 2.0), (0.0, 2.0)]);
+        let t = triangulate_checked(&p).unwrap();
+        assert_eq!(t.len(), 2);
+        assert!((t.iter().map(|t| t.area()).sum::<f64>() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concave_l_shape() {
+        let p = poly(&[
+            (0.0, 0.0),
+            (3.0, 0.0),
+            (3.0, 1.0),
+            (1.0, 1.0),
+            (1.0, 3.0),
+            (0.0, 3.0),
+        ]);
+        let t = triangulate_checked(&p).unwrap();
+        assert_eq!(t.len(), 4); // n - 2 for a simple polygon
+        let area: f64 = t.iter().map(|t| t.area()).sum();
+        assert!((area - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clockwise_input_still_works() {
+        let p = Polygon::new(
+            Ring::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.0, 2.0),
+                Point::new(2.0, 2.0),
+                Point::new(2.0, 0.0),
+            ])
+            .unwrap(),
+        );
+        let t = triangulate_checked(&p).unwrap();
+        assert!((t.iter().map(|t| t.area()).sum::<f64>() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn donut_with_hole() {
+        let outer = Ring::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(6.0, 0.0),
+            Point::new(6.0, 6.0),
+            Point::new(0.0, 6.0),
+        ])
+        .unwrap();
+        let hole = Ring::new(vec![
+            Point::new(2.0, 2.0),
+            Point::new(4.0, 2.0),
+            Point::new(4.0, 4.0),
+            Point::new(2.0, 4.0),
+        ])
+        .unwrap();
+        let p = Polygon::with_holes(outer, vec![hole]).unwrap();
+        let t = triangulate_checked(&p).unwrap();
+        let area: f64 = t.iter().map(|t| t.area()).sum();
+        assert!((area - 32.0).abs() < 1e-9, "area {area}");
+    }
+
+    #[test]
+    fn two_holes() {
+        let outer = Ring::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 4.0),
+            Point::new(0.0, 4.0),
+        ])
+        .unwrap();
+        let h1 = Ring::new(vec![
+            Point::new(1.0, 1.0),
+            Point::new(3.0, 1.0),
+            Point::new(3.0, 3.0),
+            Point::new(1.0, 3.0),
+        ])
+        .unwrap();
+        let h2 = Ring::new(vec![
+            Point::new(6.0, 1.0),
+            Point::new(8.0, 1.0),
+            Point::new(8.0, 3.0),
+            Point::new(6.0, 3.0),
+        ])
+        .unwrap();
+        let p = Polygon::with_holes(outer, vec![h1, h2]).unwrap();
+        let t = triangulate_checked(&p).unwrap();
+        let area: f64 = t.iter().map(|t| t.area()).sum();
+        assert!((area - 32.0).abs() < 1e-9, "area {area}");
+    }
+
+    #[test]
+    fn star_polygon() {
+        // A 5-pointed star (concave at every other vertex).
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            let r = if i % 2 == 0 { 2.0 } else { 0.8 };
+            let t = i as f64 / 10.0 * std::f64::consts::TAU;
+            pts.push((r * t.cos(), r * t.sin()));
+        }
+        let p = poly(&pts);
+        let t = triangulate_checked(&p).unwrap();
+        assert_eq!(t.len(), 8);
+    }
+
+    #[test]
+    fn triangle_containment() {
+        let t = Triangle::new(Point::new(0.0, 0.0), Point::new(2.0, 0.0), Point::new(0.0, 2.0));
+        assert!(t.contains(Point::new(0.5, 0.5)));
+        assert!(t.contains(Point::new(0.0, 0.0))); // corner
+        assert!(t.contains(Point::new(1.0, 0.0))); // edge
+        assert!(!t.contains(Point::new(1.5, 1.5)));
+    }
+
+    #[test]
+    fn collinear_vertices_are_tolerated() {
+        // Square with a redundant midpoint on one edge.
+        let p = poly(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (2.0, 2.0), (0.0, 2.0)]);
+        let t = triangulate_checked(&p).unwrap();
+        let area: f64 = t.iter().map(|t| t.area()).sum();
+        assert!((area - 4.0).abs() < 1e-9);
+    }
+}

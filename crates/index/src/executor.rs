@@ -1,0 +1,226 @@
+//! The index-join aggregation executor — "the traditional approach".
+//!
+//! For every point that survives the filters: probe the region index,
+//! verify candidates with exact point-in-polygon, and fold the point into
+//! each containing region's aggregate state. A multithreaded variant
+//! partitions the point table across workers and merges partial
+//! [`AggTable`]s — the strongest CPU configuration the paper's comparison
+//! charts include.
+
+use crate::{Probe, RegionIndex};
+use urban_data::query::{AggTable, SpatialAggQuery};
+use urban_data::{PointTable, RegionSet, Result};
+
+/// Evaluate `query` with a point-probed index join (single-threaded).
+pub fn index_join<I: RegionIndex>(
+    points: &PointTable,
+    regions: &RegionSet,
+    index: &I,
+    query: &SpatialAggQuery,
+) -> Result<AggTable> {
+    let agg = query.agg_kind();
+    let col = agg.resolve(points)?;
+    let filter = query.filters.compile(points)?;
+    let mut out = AggTable::new(agg, regions.len());
+    let mut scratch = Vec::with_capacity(8);
+
+    for i in 0..points.len() {
+        if !filter.matches(i) {
+            continue;
+        }
+        let p = points.loc(i);
+        let v = col.map_or(0.0, |c| points.attr(i, c) as f64);
+        match index.probe_into(p, &mut scratch) {
+            Probe::Empty => {}
+            Probe::Resolved(id) => out.states[id as usize].accumulate(v),
+            Probe::Candidates => {
+                for &id in &scratch {
+                    if regions.geometry(id).contains(p) {
+                        out.states[id as usize].accumulate(v);
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Parallel index join: the point table is split into `n_threads` contiguous
+/// chunks, each worker computes a partial aggregate table, and the partials
+/// are merged. Exact — aggregation states merge losslessly.
+pub fn index_join_parallel<I: RegionIndex>(
+    points: &PointTable,
+    regions: &RegionSet,
+    index: &I,
+    query: &SpatialAggQuery,
+    n_threads: usize,
+) -> Result<AggTable> {
+    let n_threads = n_threads.max(1);
+    let agg = query.agg_kind();
+    let col = agg.resolve(points)?;
+    // Compile once to surface filter errors before spawning.
+    query.filters.compile(points)?;
+
+    let n = points.len();
+    let chunk = n.div_ceil(n_threads).max(1);
+    let mut partials: Vec<Result<AggTable>> = Vec::new();
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..n_threads {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(n);
+            if lo >= hi {
+                break;
+            }
+            let agg = agg.clone();
+            handles.push(scope.spawn(move |_| -> Result<AggTable> {
+                let filter = query.filters.compile(points)?;
+                let mut part = AggTable::new(agg, regions.len());
+                let mut scratch = Vec::with_capacity(8);
+                for i in lo..hi {
+                    if !filter.matches(i) {
+                        continue;
+                    }
+                    let p = points.loc(i);
+                    let v = col.map_or(0.0, |c| points.attr(i, c) as f64);
+                    match index.probe_into(p, &mut scratch) {
+                        Probe::Empty => {}
+                        Probe::Resolved(id) => part.states[id as usize].accumulate(v),
+                        Probe::Candidates => {
+                            for &id in &scratch {
+                                if regions.geometry(id).contains(p) {
+                                    part.states[id as usize].accumulate(v);
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(part)
+            }));
+        }
+        partials = handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+    })
+    .expect("thread scope failed");
+
+    let mut out = AggTable::new(agg, regions.len());
+    for p in partials {
+        out.merge(&p?)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridIndex;
+    use crate::naive::naive_join;
+    use crate::quadtree::QuadTreeIndex;
+    use crate::rtree::RTreeIndex;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use urban_data::filter::Filter;
+    use urban_data::gen::regions::voronoi_neighborhoods;
+    use urban_data::query::AggKind;
+    use urban_data::schema::{AttrType, Schema};
+    use urban_data::time::TimeRange;
+    use urbane_geom::{BoundingBox, Point};
+
+    fn random_points(n: usize, seed: u64) -> PointTable {
+        let schema = Schema::new([("v", AttrType::Numeric)]).unwrap();
+        let mut t = PointTable::new(schema);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..n {
+            let p = Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0);
+            t.push(p, i as i64, &[rng.gen::<f32>() * 50.0]).unwrap();
+        }
+        t
+    }
+
+    fn regions() -> RegionSet {
+        let bbox = BoundingBox::from_coords(0.0, 0.0, 100.0, 100.0);
+        voronoi_neighborhoods(&bbox, 25, 9, 2)
+    }
+
+    #[test]
+    fn all_indexes_match_naive_count() {
+        let pts = random_points(3_000, 1);
+        let rs = regions();
+        let q = SpatialAggQuery::count();
+        let truth = naive_join(&pts, &rs, &q).unwrap();
+
+        let rtree = RTreeIndex::build(&rs);
+        assert_eq!(index_join(&pts, &rs, &rtree, &q).unwrap(), truth);
+        let grid = GridIndex::build_auto(&rs);
+        assert_eq!(index_join(&pts, &rs, &grid, &q).unwrap(), truth);
+        let qt = QuadTreeIndex::build(&rs, 8);
+        assert_eq!(index_join(&pts, &rs, &qt, &q).unwrap(), truth);
+    }
+
+    #[test]
+    fn all_aggregates_match_naive() {
+        let pts = random_points(2_000, 2);
+        let rs = regions();
+        let grid = GridIndex::build_auto(&rs);
+        for agg in [
+            AggKind::Count,
+            AggKind::Sum("v".into()),
+            AggKind::Avg("v".into()),
+            AggKind::Min("v".into()),
+            AggKind::Max("v".into()),
+        ] {
+            let q = SpatialAggQuery::new(agg.clone());
+            let truth = naive_join(&pts, &rs, &q).unwrap();
+            let got = index_join(&pts, &rs, &grid, &q).unwrap();
+            assert_eq!(got, truth, "aggregate {agg:?} diverged");
+        }
+    }
+
+    #[test]
+    fn filters_respected() {
+        let pts = random_points(2_000, 3);
+        let rs = regions();
+        let grid = GridIndex::build_auto(&rs);
+        let q = SpatialAggQuery::count()
+            .filter(Filter::Time(TimeRange::new(0, 500)))
+            .filter(Filter::AttrRange { column: "v".into(), min: 10.0, max: 30.0 });
+        let truth = naive_join(&pts, &rs, &q).unwrap();
+        assert_eq!(index_join(&pts, &rs, &grid, &q).unwrap(), truth);
+        assert!(truth.total_count() < 500);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let pts = random_points(5_000, 4);
+        let rs = regions();
+        let rtree = RTreeIndex::build(&rs);
+        let q = SpatialAggQuery::new(AggKind::Avg("v".into()));
+        let serial = index_join(&pts, &rs, &rtree, &q).unwrap();
+        for threads in [1, 2, 4, 7] {
+            let par = index_join_parallel(&pts, &rs, &rtree, &q, threads).unwrap();
+            assert_eq!(par, serial, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn empty_points_table() {
+        let pts = PointTable::new(Schema::empty());
+        let rs = regions();
+        let grid = GridIndex::build_auto(&rs);
+        let res = index_join(&pts, &rs, &grid, &SpatialAggQuery::count()).unwrap();
+        assert_eq!(res.total_count(), 0);
+        assert!(res.values().iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn parallel_surfaces_filter_errors() {
+        let pts = random_points(10, 5);
+        let rs = regions();
+        let grid = GridIndex::build_auto(&rs);
+        let q = SpatialAggQuery::count().filter(Filter::AttrEquals {
+            column: "ghost".into(),
+            value: 0.0,
+        });
+        assert!(index_join_parallel(&pts, &rs, &grid, &q, 4).is_err());
+    }
+}

@@ -1,0 +1,260 @@
+//! Uniform grid index with the *full-cover* shortcut.
+//!
+//! The extent is cut into `nx × ny` cells; each cell stores the regions
+//! whose geometry can intersect it. Two classic refinements are included:
+//!
+//! * **full cover** — when a cell lies entirely inside exactly one region
+//!   (no boundary edge passes through it), points in that cell resolve
+//!   without any point-in-polygon test;
+//! * **empty cells** — cells no region touches reject points immediately.
+//!
+//! This is the strongest practical CPU baseline for point-in-polygon joins
+//! and the one Raster Join's evaluation compares against most directly.
+
+use crate::{Probe, RegionIndex};
+use urban_data::{RegionId, RegionSet};
+use urbane_geom::{BoundingBox, Point};
+
+#[derive(Debug, Clone, Default)]
+struct Cell {
+    /// Regions whose boundary may pass through this cell → PIP needed.
+    candidates: Vec<RegionId>,
+    /// Regions that fully cover this cell (more than one when regions
+    /// overlap — certain hits, no PIP needed).
+    covers: Vec<RegionId>,
+}
+
+/// A uniform grid over a region set's extent.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    bbox: BoundingBox,
+    nx: u32,
+    ny: u32,
+    cells: Vec<Cell>,
+}
+
+impl GridIndex {
+    /// Build with the given grid dimensions.
+    pub fn build(regions: &RegionSet, nx: u32, ny: u32) -> Self {
+        assert!(nx > 0 && ny > 0, "grid needs cells");
+        // Inflate a hair so boundary points at the extent max still fall in
+        // the last cell under half-open arithmetic.
+        let bbox = regions.bbox().inflate(regions.bbox().width().max(1.0) * 1e-12 + 1e-12);
+        let mut cells = vec![Cell::default(); (nx * ny) as usize];
+        let cw = bbox.width() / nx as f64;
+        let ch = bbox.height() / ny as f64;
+
+        for (id, _, geom) in regions.iter() {
+            for poly in geom.polygons() {
+                let pb = poly.bbox();
+                let gx0 = (((pb.min.x - bbox.min.x) / cw).floor().max(0.0)) as u32;
+                let gy0 = (((pb.min.y - bbox.min.y) / ch).floor().max(0.0)) as u32;
+                let gx1 = (((pb.max.x - bbox.min.x) / cw).floor() as u32).min(nx - 1);
+                let gy1 = (((pb.max.y - bbox.min.y) / ch).floor() as u32).min(ny - 1);
+                for gy in gy0..=gy1 {
+                    for gx in gx0..=gx1 {
+                        let cell_box = BoundingBox::from_coords(
+                            bbox.min.x + gx as f64 * cw,
+                            bbox.min.y + gy as f64 * ch,
+                            bbox.min.x + (gx + 1) as f64 * cw,
+                            bbox.min.y + (gy + 1) as f64 * ch,
+                        );
+                        // Does any edge of the polygon cross this cell?
+                        let boundary_touches = poly
+                            .edges()
+                            .any(|e| e.bbox().intersects(&cell_box) && e.clip_to_box(&cell_box).is_some());
+                        let cell = &mut cells[(gy * nx + gx) as usize];
+                        if boundary_touches {
+                            cell.candidates.push(id);
+                        } else if poly.contains(cell_box.center()) {
+                            // No boundary inside the cell and the center is
+                            // inside → the whole cell is inside this polygon.
+                            // (A multipolygon region may reach here once per
+                            // part; dedup keeps the list minimal.)
+                            if cell.covers.last() != Some(&id) {
+                                cell.covers.push(id);
+                            }
+                        }
+                        // Otherwise the cell is fully outside this polygon.
+                    }
+                }
+            }
+        }
+        // A region can reach the same cell as a boundary candidate through
+        // one part and as full cover through another; keep each id in one
+        // list only (otherwise the executor would double-count it).
+        for cell in &mut cells {
+            let cands = std::mem::take(&mut cell.candidates);
+            cell.covers.retain(|id| !cands.contains(id));
+            cell.candidates = cands;
+        }
+        GridIndex { bbox, nx, ny, cells }
+    }
+
+    /// Build with a heuristic resolution (~4 cells per region, clamped).
+    pub fn build_auto(regions: &RegionSet) -> Self {
+        let n = (regions.len().max(1) as f64 * 4.0).sqrt().ceil() as u32;
+        let n = n.clamp(8, 512);
+        Self::build(regions, n, n)
+    }
+
+    /// Grid dimensions.
+    pub fn dims(&self) -> (u32, u32) {
+        (self.nx, self.ny)
+    }
+
+    /// Fraction of cells resolved by the full-cover shortcut (diagnostic).
+    pub fn full_cover_fraction(&self) -> f64 {
+        let covered = self.cells.iter().filter(|c| !c.covers.is_empty()).count();
+        covered as f64 / self.cells.len() as f64
+    }
+
+    fn cell_of(&self, p: Point) -> Option<&Cell> {
+        if !self.bbox.contains(p) {
+            return None;
+        }
+        let gx = (((p.x - self.bbox.min.x) / self.bbox.width()) * self.nx as f64) as u32;
+        let gy = (((p.y - self.bbox.min.y) / self.bbox.height()) * self.ny as f64) as u32;
+        let gx = gx.min(self.nx - 1);
+        let gy = gy.min(self.ny - 1);
+        Some(&self.cells[(gy * self.nx + gx) as usize])
+    }
+}
+
+impl RegionIndex for GridIndex {
+    fn probe_into(&self, p: Point, out: &mut Vec<RegionId>) -> Probe {
+        out.clear();
+        let cell = match self.cell_of(p) {
+            Some(c) => c,
+            None => return Probe::Empty,
+        };
+        if cell.candidates.is_empty() {
+            return match cell.covers.as_slice() {
+                [] => Probe::Empty,
+                [only] => Probe::Resolved(*only),
+                // Several regions fully cover the cell (overlap): all are
+                // certain hits, but Probe::Resolved carries one id, so fall
+                // back to the candidate path — the PIP checks trivially pass.
+                many => {
+                    out.extend_from_slice(many);
+                    Probe::Candidates
+                }
+            };
+        }
+        out.extend_from_slice(&cell.candidates);
+        // Full-cover regions never have boundary in this cell: certain hits,
+        // reported as candidates so the executor handles them uniformly.
+        out.extend_from_slice(&cell.covers);
+        Probe::Candidates
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .cells
+                .iter()
+                .map(|c| {
+                    std::mem::size_of::<Cell>()
+                        + c.candidates.capacity() * std::mem::size_of::<RegionId>()
+                })
+                .sum::<usize>()
+    }
+
+    fn name(&self) -> &'static str {
+        "grid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use urban_data::gen::regions::{grid_regions, voronoi_neighborhoods};
+
+    fn brute_force(rs: &RegionSet, p: Point) -> Vec<RegionId> {
+        rs.regions_containing(p)
+    }
+
+    #[test]
+    fn probe_is_sound_over_voronoi() {
+        let bbox = BoundingBox::from_coords(0.0, 0.0, 100.0, 100.0);
+        let rs = voronoi_neighborhoods(&bbox, 40, 11, 2);
+        let idx = GridIndex::build(&rs, 32, 32);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut scratch = Vec::new();
+        for _ in 0..1_000 {
+            let p = Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0);
+            let truth = brute_force(&rs, p);
+            match idx.probe_into(p, &mut scratch) {
+                Probe::Resolved(id) => {
+                    assert!(truth.contains(&id), "resolved {id} not in truth {truth:?} at {p}");
+                }
+                Probe::Candidates => {
+                    for t in &truth {
+                        assert!(
+                            scratch.contains(t),
+                            "true region {t} missing from candidates {scratch:?} at {p}"
+                        );
+                    }
+                }
+                Probe::Empty => {
+                    assert!(truth.is_empty(), "probe said empty but truth {truth:?} at {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_cover_shortcut_triggers() {
+        let bbox = BoundingBox::from_coords(0.0, 0.0, 100.0, 100.0);
+        // 2x2 big regions, 64x64 grid → the vast majority of cells interior.
+        let rs = grid_regions(&bbox, 2, 2);
+        let idx = GridIndex::build(&rs, 64, 64);
+        assert!(
+            idx.full_cover_fraction() > 0.8,
+            "cover fraction {}",
+            idx.full_cover_fraction()
+        );
+        let mut scratch = Vec::new();
+        assert_eq!(
+            idx.probe_into(Point::new(10.0, 10.0), &mut scratch),
+            Probe::Resolved(0)
+        );
+    }
+
+    #[test]
+    fn outside_extent_is_empty() {
+        let bbox = BoundingBox::from_coords(0.0, 0.0, 10.0, 10.0);
+        let rs = grid_regions(&bbox, 2, 2);
+        let idx = GridIndex::build_auto(&rs);
+        let mut scratch = Vec::new();
+        assert_eq!(idx.probe_into(Point::new(-5.0, 5.0), &mut scratch), Probe::Empty);
+        assert_eq!(idx.probe_into(Point::new(500.0, 5.0), &mut scratch), Probe::Empty);
+    }
+
+    #[test]
+    fn auto_resolution_scales() {
+        let bbox = BoundingBox::from_coords(0.0, 0.0, 10.0, 10.0);
+        let small = GridIndex::build_auto(&grid_regions(&bbox, 2, 2));
+        let large = GridIndex::build_auto(&grid_regions(&bbox, 20, 20));
+        assert!(large.dims().0 > small.dims().0);
+        assert!(small.memory_bytes() > 0);
+        assert_eq!(small.name(), "grid");
+    }
+
+    #[test]
+    fn extent_max_point_still_resolves() {
+        let bbox = BoundingBox::from_coords(0.0, 0.0, 10.0, 10.0);
+        let rs = grid_regions(&bbox, 2, 2);
+        let idx = GridIndex::build(&rs, 8, 8);
+        let mut scratch = Vec::new();
+        // The exact max corner belongs to region 3 (top-right cell).
+        let probe = idx.probe_into(Point::new(10.0, 10.0), &mut scratch);
+        match probe {
+            Probe::Resolved(id) => assert_eq!(id, 3),
+            Probe::Candidates => assert!(scratch.contains(&3)),
+            Probe::Empty => panic!("max corner must not be lost"),
+        }
+    }
+}

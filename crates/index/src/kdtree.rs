@@ -1,0 +1,334 @@
+//! A kd-tree over point locations — the *other* indexing direction.
+//!
+//! The executors in [`crate::executor`] index the polygons and probe with
+//! points; when the region set is small relative to the point set one can
+//! instead index the points and probe with polygons (range query on the
+//! region's bbox, then exact PIP per candidate). [`crate::polygon_probe`]
+//! builds that baseline on this tree.
+//!
+//! The tree is built by median splitting on the wider axis (bulk, no
+//! inserts), stores point *indices* into the source table so attribute
+//! columns stay addressable, and supports box range queries.
+
+use urban_data::PointTable;
+use urbane_geom::{BoundingBox, Point};
+
+/// Leaf size below which nodes stop splitting.
+const LEAF_SIZE: usize = 32;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// Leaf: a range `[start, end)` into the permuted index array.
+    Leaf { start: u32, end: u32 },
+    /// Internal node: split value on an axis, children node ids.
+    Split { axis: u8, value: f64, left: u32, right: u32, bbox: BoundingBox },
+}
+
+/// An immutable kd-tree over a point table's locations.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    nodes: Vec<Node>,
+    /// Permutation: leaf ranges index into this, values are row indices.
+    order: Vec<u32>,
+    /// Locations, permuted to match `order` (cache-friendly leaf scans).
+    locs: Vec<Point>,
+    root: u32,
+    bbox: BoundingBox,
+}
+
+impl KdTree {
+    /// Bulk-build from a table's locations.
+    pub fn build(points: &PointTable) -> Self {
+        let n = points.len();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let mut locs: Vec<Point> = points.locations().collect();
+        let bbox = points.bbox();
+        let mut nodes = Vec::new();
+        let root = if n == 0 {
+            nodes.push(Node::Leaf { start: 0, end: 0 });
+            0
+        } else {
+            build_recurse(&mut nodes, &mut order, &mut locs, 0, n, bbox)
+        };
+        // `locs` was permuted in place alongside `order`.
+        KdTree { nodes, order, locs, root, bbox }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Rough memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node>()
+            + self.order.len() * (std::mem::size_of::<u32>() + std::mem::size_of::<Point>())
+    }
+
+    /// Visit every point inside `query` (closed box): `visit(row_index, loc)`.
+    pub fn range_query<F: FnMut(u32, Point)>(&self, query: &BoundingBox, mut visit: F) {
+        if self.order.is_empty() || !query.intersects(&self.bbox) {
+            return;
+        }
+        self.recurse(self.root, &self.bbox, query, &mut visit);
+    }
+
+    fn recurse<F: FnMut(u32, Point)>(
+        &self,
+        node: u32,
+        node_box: &BoundingBox,
+        query: &BoundingBox,
+        visit: &mut F,
+    ) {
+        match &self.nodes[node as usize] {
+            Node::Leaf { start, end } => {
+                for i in *start as usize..*end as usize {
+                    let p = self.locs[i];
+                    if query.contains(p) {
+                        visit(self.order[i], p);
+                    }
+                }
+            }
+            Node::Split { axis, value, left, right, bbox } => {
+                if !query.intersects(bbox) {
+                    return;
+                }
+                let (mut lbox, mut rbox) = (*bbox, *bbox);
+                if *axis == 0 {
+                    lbox.max.x = *value;
+                    rbox.min.x = *value;
+                } else {
+                    lbox.max.y = *value;
+                    rbox.min.y = *value;
+                }
+                if query.min_coord(*axis) <= *value {
+                    self.recurse(*left, &lbox, query, visit);
+                }
+                if query.max_coord(*axis) >= *value {
+                    self.recurse(*right, &rbox, query, visit);
+                }
+                let _ = node_box;
+            }
+        }
+    }
+
+    /// Count points inside `query` without materializing them.
+    pub fn count_in(&self, query: &BoundingBox) -> usize {
+        let mut n = 0;
+        self.range_query(query, |_, _| n += 1);
+        n
+    }
+}
+
+/// Axis accessors for [`BoundingBox`] used by the traversal.
+trait AxisBox {
+    fn min_coord(&self, axis: u8) -> f64;
+    fn max_coord(&self, axis: u8) -> f64;
+}
+
+impl AxisBox for BoundingBox {
+    #[inline]
+    fn min_coord(&self, axis: u8) -> f64 {
+        if axis == 0 {
+            self.min.x
+        } else {
+            self.min.y
+        }
+    }
+    #[inline]
+    fn max_coord(&self, axis: u8) -> f64 {
+        if axis == 0 {
+            self.max.x
+        } else {
+            self.max.y
+        }
+    }
+}
+
+fn build_recurse(
+    nodes: &mut Vec<Node>,
+    order: &mut [u32],
+    locs: &mut [Point],
+    start: usize,
+    end: usize,
+    bbox: BoundingBox,
+) -> u32 {
+    let n = end - start;
+    if n <= LEAF_SIZE {
+        nodes.push(Node::Leaf { start: start as u32, end: end as u32 });
+        return (nodes.len() - 1) as u32;
+    }
+    // Split the wider axis at the median.
+    let axis: u8 = if bbox.width() >= bbox.height() { 0 } else { 1 };
+    let mid = start + n / 2;
+    let coord = |p: &Point| if axis == 0 { p.x } else { p.y };
+    // Median partition over the working slices (co-permuting order & locs).
+    co_select(order, locs, start, end, mid, &coord);
+    let value = coord(&locs[mid]);
+
+    let (mut lbox, mut rbox) = (bbox, bbox);
+    if axis == 0 {
+        lbox.max.x = value;
+        rbox.min.x = value;
+    } else {
+        lbox.max.y = value;
+        rbox.min.y = value;
+    }
+    // Reserve this node's slot before children exist.
+    nodes.push(Node::Leaf { start: 0, end: 0 });
+    let me = (nodes.len() - 1) as u32;
+    let left = build_recurse(nodes, order, locs, start, mid, lbox);
+    let right = build_recurse(nodes, order, locs, mid, end, rbox);
+    nodes[me as usize] = Node::Split { axis, value, left, right, bbox };
+    me
+}
+
+/// Quickselect that keeps `order` and `locs` permuted in lockstep.
+fn co_select<F: Fn(&Point) -> f64>(
+    order: &mut [u32],
+    locs: &mut [Point],
+    mut lo: usize,
+    mut hi: usize,
+    k: usize,
+    coord: &F,
+) {
+    while hi - lo > 1 {
+        // Median-of-three pivot for resilience on sorted inputs.
+        let mid = lo + (hi - lo) / 2;
+        let (a, b, c) = (coord(&locs[lo]), coord(&locs[mid]), coord(&locs[hi - 1]));
+        let pivot = if (a <= b) == (b <= c) {
+            b
+        } else if (b <= a) == (a <= c) {
+            a
+        } else {
+            c
+        };
+        let mut i = lo;
+        let mut j = hi - 1;
+        loop {
+            while coord(&locs[i]) < pivot {
+                i += 1;
+            }
+            while coord(&locs[j]) > pivot {
+                j -= 1;
+            }
+            if i >= j {
+                break;
+            }
+            order.swap(i, j);
+            locs.swap(i, j);
+            i += 1;
+            if j > 0 {
+                j -= 1;
+            }
+        }
+        let split = j + 1;
+        // Guard against degenerate partitions (all-equal keys).
+        if split <= lo || split >= hi {
+            // Fall back to a full sort of the range.
+            let mut idx: Vec<usize> = (lo..hi).collect();
+            idx.sort_by(|&x, &y| {
+                coord(&locs[x]).partial_cmp(&coord(&locs[y])).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let ord_copy: Vec<u32> = idx.iter().map(|&i| order[i]).collect();
+            let loc_copy: Vec<Point> = idx.iter().map(|&i| locs[i]).collect();
+            order[lo..hi].copy_from_slice(&ord_copy);
+            locs[lo..hi].copy_from_slice(&loc_copy);
+            return;
+        }
+        if k < split {
+            hi = split;
+        } else {
+            lo = split;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use urban_data::schema::Schema;
+
+    fn table(n: usize, seed: u64) -> PointTable {
+        let mut t = PointTable::new(Schema::empty());
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..n {
+            t.push(
+                Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0),
+                i as i64,
+                &[],
+            )
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn range_query_matches_brute_force() {
+        let t = table(2_000, 1);
+        let tree = KdTree::build(&t);
+        assert_eq!(tree.len(), 2_000);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let a = Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0);
+            let b = Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0);
+            let q = BoundingBox::new(a, b);
+            let mut got: Vec<u32> = Vec::new();
+            tree.range_query(&q, |i, _| got.push(i));
+            got.sort_unstable();
+            let expect: Vec<u32> = (0..t.len() as u32)
+                .filter(|&i| q.contains(t.loc(i as usize)))
+                .collect();
+            assert_eq!(got, expect);
+            assert_eq!(tree.count_in(&q), expect.len());
+        }
+    }
+
+    #[test]
+    fn visited_locations_are_correct() {
+        let t = table(500, 3);
+        let tree = KdTree::build(&t);
+        let q = BoundingBox::from_coords(20.0, 20.0, 70.0, 60.0);
+        tree.range_query(&q, |i, p| {
+            assert_eq!(p, t.loc(i as usize), "permutation must track row indices");
+            assert!(q.contains(p));
+        });
+    }
+
+    #[test]
+    fn empty_and_tiny_tables() {
+        let t = table(0, 4);
+        let tree = KdTree::build(&t);
+        assert!(tree.is_empty());
+        assert_eq!(tree.count_in(&BoundingBox::from_coords(0.0, 0.0, 1.0, 1.0)), 0);
+
+        let t = table(3, 5);
+        let tree = KdTree::build(&t);
+        assert_eq!(tree.count_in(&t.bbox()), 3);
+    }
+
+    #[test]
+    fn duplicate_coordinates_survive() {
+        let mut t = PointTable::new(Schema::empty());
+        for i in 0..200 {
+            t.push(Point::new(5.0, 5.0), i, &[]).unwrap(); // all identical
+        }
+        let tree = KdTree::build(&t);
+        let q = BoundingBox::from_coords(4.0, 4.0, 6.0, 6.0);
+        assert_eq!(tree.count_in(&q), 200);
+        assert_eq!(tree.count_in(&BoundingBox::from_coords(6.5, 6.5, 7.0, 7.0)), 0);
+    }
+
+    #[test]
+    fn memory_is_reported() {
+        let tree = KdTree::build(&table(1_000, 6));
+        assert!(tree.memory_bytes() > 1_000 * 20);
+    }
+}

@@ -1,0 +1,79 @@
+//! # spatial-index — the baselines Raster Join is compared against
+//!
+//! The paper positions Raster Join against the "traditional" way of
+//! evaluating spatial aggregation: build a spatial index over the region
+//! polygons, then probe it once per point, finishing each candidate with an
+//! exact point-in-polygon (PIP) test. This crate implements that family:
+//!
+//! * [`naive`] — indexless nested-loop join (the correctness ground truth),
+//! * [`rtree`] — an STR bulk-loaded R-tree over region bounding boxes,
+//! * [`grid`] — a uniform grid with the classic *full-cover* shortcut
+//!   (cells entirely inside one region skip the PIP test),
+//! * [`quadtree`] — an adaptive quadtree alternative,
+//! * [`executor`] — the index-join aggregation executor, generic over any
+//!   [`RegionIndex`], with a multithreaded variant,
+//! * [`preagg`] — the pre-aggregation (data-cube) approach the paper calls
+//!   out as *unsuitable*: instant for cube-aligned queries, but structurally
+//!   unable to answer ad-hoc polygons or ad-hoc filter predicates.
+//!
+//! Every executor answers the same [`urban_data::SpatialAggQuery`] and
+//! returns the same [`urban_data::AggTable`], so results are directly
+//! comparable with `raster-join`'s.
+
+pub mod executor;
+pub mod grid;
+pub mod kdtree;
+pub mod naive;
+pub mod polygon_probe;
+pub mod preagg;
+pub mod quadtree;
+pub mod rtree;
+pub mod st_index;
+
+pub use executor::{index_join, index_join_parallel};
+pub use grid::GridIndex;
+pub use kdtree::KdTree;
+pub use naive::naive_join;
+pub use polygon_probe::polygon_probe_join;
+pub use preagg::{CubeQueryError, PreAggCube};
+pub use quadtree::QuadTreeIndex;
+pub use rtree::RTreeIndex;
+pub use st_index::{st_index_join, TimePartitionedPoints};
+
+use urban_data::RegionId;
+use urbane_geom::Point;
+
+/// A spatial index over a region set, probed point-at-a-time.
+///
+/// Probes write candidate ids into a caller-provided scratch vector (cleared
+/// by the probe) so the per-point hot loop allocates nothing and the index
+/// stays `Sync` for the parallel executor.
+pub trait RegionIndex: Sync {
+    /// Probe the index with a point.
+    ///
+    /// The returned candidate list (when [`Probe::Candidates`]) must be a
+    /// **superset** of the regions truly containing `p` — the executor
+    /// always verifies candidates with an exact point-in-polygon test.
+    /// [`Probe::Resolved`] may be returned when the index can already prove
+    /// the point lies inside exactly one region (the grid full-cover
+    /// shortcut), skipping the PIP test.
+    fn probe_into(&self, p: Point, out: &mut Vec<RegionId>) -> Probe;
+
+    /// Diagnostic: rough memory footprint in bytes (reported by benches).
+    fn memory_bytes(&self) -> usize;
+
+    /// Diagnostic: index name for bench tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Result of probing an index with one point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// The point is provably inside exactly this region — no PIP needed.
+    Resolved(RegionId),
+    /// Candidate regions were written to the scratch vector; each still
+    /// needs an exact PIP test.
+    Candidates,
+    /// Provably in no region.
+    Empty,
+}

@@ -1,0 +1,132 @@
+//! Nested-loop spatial aggregation — no index, no approximation.
+//!
+//! `O(|P| · |R|)` point-in-polygon tests (bbox-pruned). Far too slow for
+//! interactive use, which is the point: it is the ground truth every other
+//! executor (index joins, bounded/accurate Raster Join) is validated
+//! against in tests and benchmarked against in E2.
+
+use urban_data::query::{AggTable, SpatialAggQuery};
+use urban_data::{PointTable, RegionSet, Result};
+
+/// Evaluate the query by testing every (filtered) point against every
+/// region. Regions may overlap — a point contributes to each region that
+/// contains it, matching the SQL join semantics.
+pub fn naive_join(
+    points: &PointTable,
+    regions: &RegionSet,
+    query: &SpatialAggQuery,
+) -> Result<AggTable> {
+    let agg = query.agg_kind();
+    let col = agg.resolve(points)?;
+    let filter = query.filters.compile(points)?;
+    let mut out = AggTable::new(agg, regions.len());
+
+    for i in 0..points.len() {
+        if !filter.matches(i) {
+            continue;
+        }
+        let p = points.loc(i);
+        let v = col.map_or(0.0, |c| points.attr(i, c) as f64);
+        for (id, _, geom) in regions.iter() {
+            if geom.bbox().contains(p) && geom.contains(p) {
+                out.states[id as usize].accumulate(v);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urban_data::filter::Filter;
+    use urban_data::query::AggKind;
+    use urban_data::schema::{AttrType, Schema};
+    use urban_data::time::TimeRange;
+    use urbane_geom::{Point, Polygon};
+
+    fn setup() -> (PointTable, RegionSet) {
+        let schema = Schema::new([("v", AttrType::Numeric)]).unwrap();
+        let mut t = PointTable::new(schema);
+        // Two regions: left square [0,4]² and right square [6,10]x[0,4].
+        t.push(Point::new(1.0, 1.0), 10, &[5.0]).unwrap(); // left
+        t.push(Point::new(2.0, 3.0), 20, &[7.0]).unwrap(); // left
+        t.push(Point::new(7.0, 1.0), 30, &[100.0]).unwrap(); // right
+        t.push(Point::new(5.0, 1.0), 40, &[9.0]).unwrap(); // neither
+        let regions = RegionSet::from_polygons(
+            "two",
+            "r",
+            vec![
+                Polygon::from_coords(&[(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)]).unwrap(),
+                Polygon::from_coords(&[(6.0, 0.0), (10.0, 0.0), (10.0, 4.0), (6.0, 4.0)]).unwrap(),
+            ],
+        );
+        (t, regions)
+    }
+
+    #[test]
+    fn count_per_region() {
+        let (t, r) = setup();
+        let res = naive_join(&t, &r, &SpatialAggQuery::count()).unwrap();
+        assert_eq!(res.value(0), Some(2.0));
+        assert_eq!(res.value(1), Some(1.0));
+        assert_eq!(res.total_count(), 3);
+    }
+
+    #[test]
+    fn sum_avg_min_max() {
+        let (t, r) = setup();
+        let sum = naive_join(&t, &r, &SpatialAggQuery::new(AggKind::Sum("v".into()))).unwrap();
+        assert_eq!(sum.value(0), Some(12.0));
+        let avg = naive_join(&t, &r, &SpatialAggQuery::new(AggKind::Avg("v".into()))).unwrap();
+        assert_eq!(avg.value(0), Some(6.0));
+        let min = naive_join(&t, &r, &SpatialAggQuery::new(AggKind::Min("v".into()))).unwrap();
+        assert_eq!(min.value(0), Some(5.0));
+        let max = naive_join(&t, &r, &SpatialAggQuery::new(AggKind::Max("v".into()))).unwrap();
+        assert_eq!(max.value(1), Some(100.0));
+    }
+
+    #[test]
+    fn filters_applied_before_join() {
+        let (t, r) = setup();
+        let q = SpatialAggQuery::count().filter(Filter::Time(TimeRange::new(15, 35)));
+        let res = naive_join(&t, &r, &q).unwrap();
+        assert_eq!(res.value(0), Some(1.0)); // only t=20
+        assert_eq!(res.value(1), Some(1.0)); // t=30
+    }
+
+    #[test]
+    fn empty_region_is_null() {
+        let (t, r) = setup();
+        let q = SpatialAggQuery::count().filter(Filter::Time(TimeRange::new(1000, 2000)));
+        let res = naive_join(&t, &r, &q).unwrap();
+        assert_eq!(res.value(0), None);
+        assert_eq!(res.value(1), None);
+    }
+
+    #[test]
+    fn overlapping_regions_double_count() {
+        let t = {
+            let mut t = PointTable::new(Schema::empty());
+            t.push(Point::new(2.0, 2.0), 0, &[]).unwrap();
+            t
+        };
+        let r = RegionSet::from_polygons(
+            "overlap",
+            "r",
+            vec![
+                Polygon::from_coords(&[(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)]).unwrap(),
+                Polygon::from_coords(&[(1.0, 1.0), (5.0, 1.0), (5.0, 5.0), (1.0, 5.0)]).unwrap(),
+            ],
+        );
+        let res = naive_join(&t, &r, &SpatialAggQuery::count()).unwrap();
+        assert_eq!(res.value(0), Some(1.0));
+        assert_eq!(res.value(1), Some(1.0));
+    }
+
+    #[test]
+    fn unknown_aggregate_column_errors() {
+        let (t, r) = setup();
+        assert!(naive_join(&t, &r, &SpatialAggQuery::new(AggKind::Sum("ghost".into()))).is_err());
+    }
+}

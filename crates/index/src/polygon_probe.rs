@@ -1,0 +1,118 @@
+//! Polygon-probe join: index the points, probe with regions.
+//!
+//! The mirror image of [`crate::executor`]'s joins: a kd-tree over the point
+//! set answers each region's bbox range query, and candidates are finished
+//! with exact point-in-polygon tests. Competitive when `|R| ≪ |P|` and
+//! regions are compact; degrades when region bboxes overlap heavily (stars)
+//! or when |R| grows — one of the trade-offs E3 exposes.
+
+use crate::kdtree::KdTree;
+use urban_data::query::{AggTable, SpatialAggQuery};
+use urban_data::{PointTable, RegionSet, Result};
+
+/// Evaluate `query` by probing `tree` (built over `points`) with every
+/// region.
+pub fn polygon_probe_join(
+    points: &PointTable,
+    tree: &KdTree,
+    regions: &RegionSet,
+    query: &SpatialAggQuery,
+) -> Result<AggTable> {
+    let agg = query.agg_kind();
+    let col = agg.resolve(points)?;
+    let filter = query.filters.compile(points)?;
+    let mut out = AggTable::new(agg, regions.len());
+
+    for (id, _, geom) in regions.iter() {
+        let state = &mut out.states[id as usize];
+        for poly in geom.polygons() {
+            tree.range_query(&poly.bbox(), |row, p| {
+                let row = row as usize;
+                if filter.matches(row) && poly.contains(p) {
+                    let v = col.map_or(0.0, |c| points.attr(row, c) as f64);
+                    state.accumulate(v);
+                }
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_join;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use urban_data::filter::Filter;
+    use urban_data::gen::regions::{star_regions, voronoi_neighborhoods};
+    use urban_data::query::AggKind;
+    use urban_data::schema::{AttrType, Schema};
+    use urban_data::time::TimeRange;
+    use urbane_geom::{BoundingBox, Point};
+
+    fn points(n: usize, seed: u64) -> PointTable {
+        let schema = Schema::new([("v", AttrType::Numeric)]).unwrap();
+        let mut t = PointTable::new(schema);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..n {
+            t.push(
+                Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0),
+                i as i64,
+                &[rng.gen::<f32>() * 10.0],
+            )
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn matches_naive_on_partition() {
+        let pts = points(2_000, 1);
+        let tree = KdTree::build(&pts);
+        let extent = BoundingBox::from_coords(0.0, 0.0, 100.0, 100.0);
+        let regions = voronoi_neighborhoods(&extent, 20, 3, 2);
+        for agg in [AggKind::Count, AggKind::Avg("v".into())] {
+            let q = SpatialAggQuery::new(agg);
+            let truth = naive_join(&pts, &regions, &q).unwrap();
+            let got = polygon_probe_join(&pts, &tree, &regions, &q).unwrap();
+            assert_eq!(got.values(), truth.values());
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_overlapping_stars() {
+        let pts = points(1_000, 2);
+        let tree = KdTree::build(&pts);
+        let extent = BoundingBox::from_coords(0.0, 0.0, 100.0, 100.0);
+        let regions = star_regions(&extent, 15, 16, 5);
+        let q = SpatialAggQuery::count();
+        let truth = naive_join(&pts, &regions, &q).unwrap();
+        let got = polygon_probe_join(&pts, &tree, &regions, &q).unwrap();
+        assert_eq!(got.values(), truth.values());
+    }
+
+    #[test]
+    fn filters_respected() {
+        let pts = points(1_500, 3);
+        let tree = KdTree::build(&pts);
+        let extent = BoundingBox::from_coords(0.0, 0.0, 100.0, 100.0);
+        let regions = voronoi_neighborhoods(&extent, 10, 7, 1);
+        let q = SpatialAggQuery::count()
+            .filter(Filter::Time(TimeRange::new(100, 900)))
+            .filter(Filter::AttrRange { column: "v".into(), min: 2.0, max: 8.0 });
+        let truth = naive_join(&pts, &regions, &q).unwrap();
+        let got = polygon_probe_join(&pts, &tree, &regions, &q).unwrap();
+        assert_eq!(got.values(), truth.values());
+    }
+
+    #[test]
+    fn empty_tree() {
+        let pts = PointTable::new(Schema::empty());
+        let tree = KdTree::build(&pts);
+        let extent = BoundingBox::from_coords(0.0, 0.0, 10.0, 10.0);
+        let regions = voronoi_neighborhoods(&extent, 4, 1, 1);
+        let got = polygon_probe_join(&pts, &tree, &regions, &SpatialAggQuery::count()).unwrap();
+        assert_eq!(got.total_count(), 0);
+    }
+}

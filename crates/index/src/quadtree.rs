@@ -1,0 +1,255 @@
+//! Adaptive quadtree index over region polygons.
+//!
+//! Where the uniform grid wastes cells on empty areas and under-resolves
+//! dense ones, the quadtree subdivides only where region boundaries
+//! concentrate: a node splits while it holds more than `MAX_PER_NODE`
+//! boundary regions and depth remains. Leaves carry the same full-cover
+//! shortcut as the grid.
+
+use crate::{Probe, RegionIndex};
+use urban_data::{RegionId, RegionSet};
+use urbane_geom::{BoundingBox, Point};
+
+const MAX_PER_NODE: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// Leaf: boundary candidates + regions fully covering the leaf (more
+    /// than one when regions overlap).
+    Leaf { candidates: Vec<RegionId>, covers: Vec<RegionId> },
+    /// Internal: children indices in NW, NE, SW, SE order.
+    Internal { children: [usize; 4] },
+}
+
+/// An adaptive quadtree over a region set.
+#[derive(Debug, Clone)]
+pub struct QuadTreeIndex {
+    bbox: BoundingBox,
+    nodes: Vec<Node>,
+    max_depth: u32,
+}
+
+impl QuadTreeIndex {
+    /// Build with the given maximum depth.
+    pub fn build(regions: &RegionSet, max_depth: u32) -> Self {
+        let bbox = regions.bbox().inflate(regions.bbox().width().max(1.0) * 1e-12 + 1e-12);
+        let mut qt = QuadTreeIndex { bbox, nodes: Vec::new(), max_depth };
+        // Root starts with every region as a boundary candidate.
+        let all: Vec<RegionId> = regions.iter().map(|(id, _, _)| id).collect();
+        qt.nodes.push(Node::Leaf { candidates: Vec::new(), covers: Vec::new() });
+        qt.subdivide(0, bbox, all, regions, 0);
+        qt
+    }
+
+    /// Classify `cands` against `node_box` and either store or split.
+    fn subdivide(
+        &mut self,
+        node: usize,
+        node_box: BoundingBox,
+        cands: Vec<RegionId>,
+        regions: &RegionSet,
+        depth: u32,
+    ) {
+        // Partition candidates into: boundary-in-box, full-cover, outside.
+        let mut boundary = Vec::new();
+        let mut cover: Vec<RegionId> = Vec::new();
+        for id in cands {
+            let geom = regions.geometry(id);
+            if !geom.bbox().intersects(&node_box) {
+                continue;
+            }
+            let mut touches_boundary = false;
+            let mut covers = false;
+            for poly in geom.polygons() {
+                if !poly.bbox().intersects(&node_box) {
+                    continue;
+                }
+                let edge_in_box = poly
+                    .edges()
+                    .any(|e| e.bbox().intersects(&node_box) && e.clip_to_box(&node_box).is_some());
+                if edge_in_box {
+                    touches_boundary = true;
+                    break;
+                }
+                if poly.contains(node_box.center()) {
+                    covers = true;
+                }
+            }
+            if touches_boundary {
+                boundary.push(id);
+            } else if covers && !cover.contains(&id) {
+                cover.push(id);
+            }
+        }
+
+        if boundary.len() <= MAX_PER_NODE || depth >= self.max_depth {
+            self.nodes[node] = Node::Leaf { candidates: boundary, covers: cover };
+            return;
+        }
+
+        // Split into quadrants.
+        let c = node_box.center();
+        let quads = [
+            BoundingBox::from_coords(node_box.min.x, c.y, c.x, node_box.max.y), // NW
+            BoundingBox::from_coords(c.x, c.y, node_box.max.x, node_box.max.y), // NE
+            BoundingBox::from_coords(node_box.min.x, node_box.min.y, c.x, c.y), // SW
+            BoundingBox::from_coords(c.x, node_box.min.y, node_box.max.x, c.y), // SE
+        ];
+        let mut children = [0usize; 4];
+        for (slot, _) in quads.iter().enumerate() {
+            self.nodes.push(Node::Leaf { candidates: Vec::new(), covers: Vec::new() });
+            children[slot] = self.nodes.len() - 1;
+        }
+        // Full-cover regions also cover every child.
+        let mut child_cands = boundary;
+        child_cands.extend(cover);
+        self.nodes[node] = Node::Internal { children };
+        for (slot, quad) in quads.iter().enumerate() {
+            self.subdivide(children[slot], *quad, child_cands.clone(), regions, depth + 1);
+        }
+    }
+
+    /// Number of nodes (diagnostic).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn leaf_for(&self, p: Point) -> Option<&Node> {
+        if !self.bbox.contains(p) {
+            return None;
+        }
+        let mut node = 0usize;
+        let mut node_box = self.bbox;
+        loop {
+            match &self.nodes[node] {
+                leaf @ Node::Leaf { .. } => return Some(leaf),
+                Node::Internal { children } => {
+                    let c = node_box.center();
+                    let east = p.x >= c.x;
+                    let north = p.y >= c.y;
+                    let slot = match (north, east) {
+                        (true, false) => 0,
+                        (true, true) => 1,
+                        (false, false) => 2,
+                        (false, true) => 3,
+                    };
+                    node = children[slot];
+                    node_box = match slot {
+                        0 => BoundingBox::from_coords(node_box.min.x, c.y, c.x, node_box.max.y),
+                        1 => BoundingBox::from_coords(c.x, c.y, node_box.max.x, node_box.max.y),
+                        2 => BoundingBox::from_coords(node_box.min.x, node_box.min.y, c.x, c.y),
+                        _ => BoundingBox::from_coords(c.x, node_box.min.y, node_box.max.x, c.y),
+                    };
+                }
+            }
+        }
+    }
+}
+
+impl RegionIndex for QuadTreeIndex {
+    fn probe_into(&self, p: Point, out: &mut Vec<RegionId>) -> Probe {
+        out.clear();
+        match self.leaf_for(p) {
+            None => Probe::Empty,
+            Some(Node::Leaf { candidates, covers }) => {
+                if candidates.is_empty() {
+                    return match covers.as_slice() {
+                        [] => Probe::Empty,
+                        [only] => Probe::Resolved(*only),
+                        many => {
+                            out.extend_from_slice(many);
+                            Probe::Candidates
+                        }
+                    };
+                }
+                out.extend_from_slice(candidates);
+                // Covers are certain hits; candidates never contain them
+                // (a region is boundary or cover per leaf, never both).
+                out.extend(covers.iter().filter(|id| !candidates.contains(id)));
+                Probe::Candidates
+            }
+            Some(Node::Internal { .. }) => unreachable!("leaf_for returns leaves"),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| {
+                std::mem::size_of::<Node>()
+                    + match n {
+                        Node::Leaf { candidates, .. } => {
+                            candidates.capacity() * std::mem::size_of::<RegionId>()
+                        }
+                        Node::Internal { .. } => 0,
+                    }
+            })
+            .sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "quadtree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use urban_data::gen::regions::{grid_regions, voronoi_neighborhoods};
+
+    #[test]
+    fn probe_is_sound() {
+        let bbox = BoundingBox::from_coords(0.0, 0.0, 100.0, 100.0);
+        let rs = voronoi_neighborhoods(&bbox, 30, 5, 2);
+        let qt = QuadTreeIndex::build(&rs, 8);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut scratch = Vec::new();
+        for _ in 0..1_000 {
+            let p = Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0);
+            let truth = rs.regions_containing(p);
+            match qt.probe_into(p, &mut scratch) {
+                Probe::Resolved(id) => assert!(truth.contains(&id), "{p}: {id} vs {truth:?}"),
+                Probe::Candidates => {
+                    for t in &truth {
+                        assert!(scratch.contains(t), "{p}: missing {t} in {scratch:?}");
+                    }
+                }
+                Probe::Empty => assert!(truth.is_empty(), "{p}: empty but {truth:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn adapts_to_boundary_density() {
+        let bbox = BoundingBox::from_coords(0.0, 0.0, 100.0, 100.0);
+        let coarse = QuadTreeIndex::build(&grid_regions(&bbox, 2, 2), 10);
+        let fine = QuadTreeIndex::build(&grid_regions(&bbox, 16, 16), 10);
+        assert!(
+            fine.node_count() > coarse.node_count(),
+            "more boundaries → more subdivision ({} vs {})",
+            fine.node_count(),
+            coarse.node_count()
+        );
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let bbox = BoundingBox::from_coords(0.0, 0.0, 100.0, 100.0);
+        let rs = grid_regions(&bbox, 32, 32);
+        let qt = QuadTreeIndex::build(&rs, 2);
+        // Depth 2 → at most 1 + 4 + 16 = 21 nodes.
+        assert!(qt.node_count() <= 21, "node count {}", qt.node_count());
+    }
+
+    #[test]
+    fn outside_is_empty() {
+        let bbox = BoundingBox::from_coords(0.0, 0.0, 10.0, 10.0);
+        let qt = QuadTreeIndex::build(&grid_regions(&bbox, 2, 2), 6);
+        let mut scratch = Vec::new();
+        assert_eq!(qt.probe_into(Point::new(-1.0, 5.0), &mut scratch), Probe::Empty);
+        assert_eq!(qt.name(), "quadtree");
+        assert!(qt.memory_bytes() > 0);
+    }
+}

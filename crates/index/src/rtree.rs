@@ -1,0 +1,273 @@
+//! STR (Sort-Tile-Recursive) bulk-loaded R-tree over region bounding boxes.
+//!
+//! The classic choice for polygon indexing: leaves hold region ids with
+//! their bboxes; internal nodes hold child bboxes. Point probes descend
+//! every child whose bbox contains the point and report the touched leaf
+//! entries as PIP candidates.
+
+use crate::{Probe, RegionIndex};
+use urban_data::{RegionId, RegionSet};
+use urbane_geom::{BoundingBox, Point};
+
+/// Maximum entries per node (fanout).
+const NODE_CAPACITY: usize = 16;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf { entries: Vec<(BoundingBox, RegionId)> },
+    Internal { children: Vec<(BoundingBox, usize)> },
+}
+
+/// An immutable STR-packed R-tree.
+#[derive(Debug, Clone)]
+pub struct RTreeIndex {
+    nodes: Vec<Node>,
+    root: usize,
+    // Probe scratch is returned as owned Vec through a cell-free API:
+    // probe() collects into a reusable buffer guarded by interior mutability
+    // would break Sync; instead candidates are collected per call.
+    height: usize,
+}
+
+impl RTreeIndex {
+    /// Bulk-load from a region set.
+    pub fn build(regions: &RegionSet) -> Self {
+        let entries: Vec<(BoundingBox, RegionId)> =
+            regions.iter().map(|(id, _, g)| (g.bbox(), id)).collect();
+        Self::build_from_entries(entries)
+    }
+
+    fn build_from_entries(mut entries: Vec<(BoundingBox, RegionId)>) -> Self {
+        let mut nodes = Vec::new();
+        if entries.is_empty() {
+            nodes.push(Node::Leaf { entries: Vec::new() });
+            return RTreeIndex { nodes, root: 0, height: 1 };
+        }
+
+        // STR packing of the leaf level.
+        let n = entries.len();
+        let leaf_count = n.div_ceil(NODE_CAPACITY);
+        let slices = (leaf_count as f64).sqrt().ceil() as usize;
+        entries.sort_by(|a, b| {
+            a.0.center()
+                .x
+                .partial_cmp(&b.0.center().x)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let per_slice = n.div_ceil(slices);
+        let mut level: Vec<(BoundingBox, usize)> = Vec::new();
+        for slice in entries.chunks(per_slice.max(1)) {
+            let mut slice = slice.to_vec();
+            slice.sort_by(|a, b| {
+                a.0.center()
+                    .y
+                    .partial_cmp(&b.0.center().y)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for group in slice.chunks(NODE_CAPACITY) {
+                let bbox = group
+                    .iter()
+                    .fold(BoundingBox::empty(), |b, (gb, _)| b.union(gb));
+                nodes.push(Node::Leaf { entries: group.to_vec() });
+                level.push((bbox, nodes.len() - 1));
+            }
+        }
+
+        // Pack internal levels bottom-up.
+        let mut height = 1;
+        while level.len() > 1 {
+            height += 1;
+            let count = level.len().div_ceil(NODE_CAPACITY);
+            let slices = (count as f64).sqrt().ceil() as usize;
+            level.sort_by(|a, b| {
+                a.0.center()
+                    .x
+                    .partial_cmp(&b.0.center().x)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let per_slice = level.len().div_ceil(slices);
+            let mut next: Vec<(BoundingBox, usize)> = Vec::new();
+            for slice in level.chunks(per_slice.max(1)) {
+                let mut slice = slice.to_vec();
+                slice.sort_by(|a, b| {
+                    a.0.center()
+                        .y
+                        .partial_cmp(&b.0.center().y)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                for group in slice.chunks(NODE_CAPACITY) {
+                    let bbox = group
+                        .iter()
+                        .fold(BoundingBox::empty(), |b, (gb, _)| b.union(gb));
+                    nodes.push(Node::Internal { children: group.to_vec() });
+                    next.push((bbox, nodes.len() - 1));
+                }
+            }
+            level = next;
+        }
+        let root = level[0].1;
+        RTreeIndex { nodes, root, height }
+    }
+
+    /// Tree height (1 = a single leaf).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Collect candidate region ids whose bbox contains `p`.
+    pub fn query_point(&self, p: Point, out: &mut Vec<RegionId>) {
+        out.clear();
+        self.descend(self.root, p, out);
+    }
+
+    fn descend(&self, node: usize, p: Point, out: &mut Vec<RegionId>) {
+        match &self.nodes[node] {
+            Node::Leaf { entries } => {
+                for (b, id) in entries {
+                    if b.contains(p) {
+                        out.push(*id);
+                    }
+                }
+            }
+            Node::Internal { children } => {
+                for (b, child) in children {
+                    if b.contains(p) {
+                        self.descend(*child, p, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collect region ids whose bbox intersects `query` (window queries).
+    pub fn query_box(&self, query: &BoundingBox, out: &mut Vec<RegionId>) {
+        out.clear();
+        self.descend_box(self.root, query, out);
+    }
+
+    fn descend_box(&self, node: usize, q: &BoundingBox, out: &mut Vec<RegionId>) {
+        match &self.nodes[node] {
+            Node::Leaf { entries } => {
+                for (b, id) in entries {
+                    if b.intersects(q) {
+                        out.push(*id);
+                    }
+                }
+            }
+            Node::Internal { children } => {
+                for (b, child) in children {
+                    if b.intersects(q) {
+                        self.descend_box(*child, q, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl RegionIndex for RTreeIndex {
+    fn probe_into(&self, p: Point, out: &mut Vec<RegionId>) -> Probe {
+        self.query_point(p, out);
+        if out.is_empty() {
+            Probe::Empty
+        } else {
+            Probe::Candidates
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                Node::Leaf { entries } => {
+                    std::mem::size_of::<Node>() + entries.capacity() * std::mem::size_of::<(BoundingBox, RegionId)>()
+                }
+                Node::Internal { children } => {
+                    std::mem::size_of::<Node>() + children.capacity() * std::mem::size_of::<(BoundingBox, usize)>()
+                }
+            })
+            .sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "rtree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use urban_data::gen::regions::{grid_regions, voronoi_neighborhoods};
+
+    #[test]
+    fn empty_tree() {
+        let rs = RegionSet::new("empty", vec![]);
+        let t = RTreeIndex::build(&rs);
+        let mut out = Vec::new();
+        t.query_point(Point::new(0.0, 0.0), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    fn point_probe_matches_brute_force() {
+        let bbox = BoundingBox::from_coords(0.0, 0.0, 100.0, 100.0);
+        let rs = voronoi_neighborhoods(&bbox, 60, 3, 1);
+        let tree = RTreeIndex::build(&rs);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut out = Vec::new();
+        for _ in 0..500 {
+            let p = Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0);
+            tree.query_point(p, &mut out);
+            let mut got = out.clone();
+            got.sort_unstable();
+            let mut expect: Vec<RegionId> = rs
+                .iter()
+                .filter_map(|(id, _, g)| g.bbox().contains(p).then_some(id))
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(got, expect, "bbox candidates must match brute force at {p}");
+        }
+    }
+
+    #[test]
+    fn window_query_matches_brute_force() {
+        let bbox = BoundingBox::from_coords(0.0, 0.0, 100.0, 100.0);
+        let rs = grid_regions(&bbox, 10, 10);
+        let tree = RTreeIndex::build(&rs);
+        let q = BoundingBox::from_coords(15.0, 15.0, 38.0, 22.0);
+        let mut out = Vec::new();
+        tree.query_box(&q, &mut out);
+        out.sort_unstable();
+        let mut expect: Vec<RegionId> = rs
+            .iter()
+            .filter_map(|(id, _, g)| g.bbox().intersects(&q).then_some(id))
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn tree_has_multiple_levels_for_many_regions() {
+        let bbox = BoundingBox::from_coords(0.0, 0.0, 100.0, 100.0);
+        let rs = grid_regions(&bbox, 30, 30); // 900 regions
+        let tree = RTreeIndex::build(&rs);
+        assert!(tree.height() >= 2, "900 entries need internal nodes");
+        assert!(tree.memory_bytes() > 0);
+        assert_eq!(tree.name(), "rtree");
+    }
+
+    #[test]
+    fn probe_trait_contract() {
+        let bbox = BoundingBox::from_coords(0.0, 0.0, 10.0, 10.0);
+        let rs = grid_regions(&bbox, 2, 2);
+        let tree = RTreeIndex::build(&rs);
+        let mut scratch = Vec::new();
+        assert_eq!(tree.probe_into(Point::new(1.0, 1.0), &mut scratch), Probe::Candidates);
+        assert_eq!(scratch.len(), 1);
+        assert_eq!(tree.probe_into(Point::new(50.0, 50.0), &mut scratch), Probe::Empty);
+        assert!(scratch.is_empty());
+    }
+}

@@ -1,0 +1,258 @@
+//! Spatio-temporal point index: time-partitioned storage for selective
+//! time windows.
+//!
+//! Every executor so far scans all of `P` and filters per row. When the
+//! time window is narrow (a day out of a month), a time-partitioned layout
+//! skips the non-matching partitions wholesale. This is the standard
+//! "temporal sharding" baseline: points are bucketed by a fixed time width;
+//! a query touches only overlapping buckets, probing a region index for
+//! each surviving point exactly like [`crate::executor::index_join`].
+//!
+//! Filters other than the time window still apply per row. The speedup is
+//! proportional to time selectivity — and disappears for unfiltered
+//! queries, which is why Raster Join's index-free design remains attractive
+//! (E5 shows both regimes).
+
+use crate::{Probe, RegionIndex};
+use urban_data::filter::Filter;
+use urban_data::query::{AggTable, SpatialAggQuery};
+use urban_data::time::{TimeRange, Timestamp};
+use urban_data::{PointTable, RegionSet, Result};
+
+/// A point table re-organized into fixed-width time partitions.
+#[derive(Debug, Clone)]
+pub struct TimePartitionedPoints {
+    /// Partition width in seconds.
+    width: i64,
+    /// Start of partition 0.
+    t0: Timestamp,
+    /// Row indices grouped by partition: `rows[offsets[b]..offsets[b+1]]`.
+    offsets: Vec<u32>,
+    rows: Vec<u32>,
+}
+
+impl TimePartitionedPoints {
+    /// Partition `points` into buckets of `width` seconds.
+    ///
+    /// # Panics
+    /// Panics on a non-positive width — a configuration bug.
+    pub fn build(points: &PointTable, width: i64) -> Self {
+        assert!(width > 0, "partition width must be positive");
+        let extent = points.time_extent();
+        let (t0, n_buckets) = match extent {
+            Some(e) => {
+                let t0 = e.start.div_euclid(width) * width;
+                let n = ((e.end - t0) as f64 / width as f64).ceil().max(1.0) as usize;
+                (t0, n)
+            }
+            None => (0, 1),
+        };
+        // Counting sort by bucket.
+        let mut counts = vec![0u32; n_buckets];
+        let bucket_of = |t: Timestamp| -> usize {
+            (((t - t0).div_euclid(width)) as usize).min(n_buckets - 1)
+        };
+        for &t in points.timestamps() {
+            counts[bucket_of(t)] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n_buckets + 1);
+        offsets.push(0u32);
+        for c in &counts {
+            offsets.push(offsets.last().unwrap() + c);
+        }
+        let mut cursor = offsets.clone();
+        let mut rows = vec![0u32; points.len()];
+        for (i, &t) in points.timestamps().iter().enumerate() {
+            let b = bucket_of(t);
+            rows[cursor[b] as usize] = i as u32;
+            cursor[b] += 1;
+        }
+        TimePartitionedPoints { width, t0, offsets, rows }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Row indices of one partition.
+    pub fn partition(&self, b: usize) -> &[u32] {
+        &self.rows[self.offsets[b] as usize..self.offsets[b + 1] as usize]
+    }
+
+    /// Partitions overlapping a time range (all partitions when `None`).
+    pub fn overlapping(&self, range: Option<TimeRange>) -> std::ops::Range<usize> {
+        match range {
+            None => 0..self.partitions(),
+            Some(r) => {
+                let lo = ((r.start - self.t0).div_euclid(self.width)).max(0) as usize;
+                let hi = (((r.end - 1 - self.t0).div_euclid(self.width)) + 1).max(0) as usize;
+                lo.min(self.partitions())..hi.min(self.partitions())
+            }
+        }
+    }
+
+    /// Fraction of rows a query's time window lets the index skip.
+    pub fn skip_fraction(&self, range: Option<TimeRange>) -> f64 {
+        let touched: u32 = self
+            .overlapping(range)
+            .map(|b| self.offsets[b + 1] - self.offsets[b])
+            .sum();
+        1.0 - touched as f64 / self.rows.len().max(1) as f64
+    }
+}
+
+/// Index join over time partitions: scan only buckets overlapping the
+/// query's time window, probing `index` per surviving point.
+pub fn st_index_join<I: RegionIndex>(
+    points: &PointTable,
+    partitions: &TimePartitionedPoints,
+    regions: &RegionSet,
+    index: &I,
+    query: &SpatialAggQuery,
+) -> Result<AggTable> {
+    let agg = query.agg_kind();
+    let col = agg.resolve(points)?;
+    let filter = query.filters.compile(points)?;
+    // The tightest time window in the query (intersection when several).
+    let mut window: Option<TimeRange> = None;
+    for f in query.filters.filters() {
+        if let Filter::Time(r) = f {
+            window = Some(match window {
+                None => *r,
+                Some(w) => w.intersection(r).unwrap_or(TimeRange::new(0, 0)),
+            });
+        }
+    }
+
+    let mut out = AggTable::new(agg, regions.len());
+    let mut scratch = Vec::with_capacity(8);
+    for b in partitions.overlapping(window) {
+        for &row in partitions.partition(b) {
+            let i = row as usize;
+            if !filter.matches(i) {
+                continue;
+            }
+            let p = points.loc(i);
+            let v = col.map_or(0.0, |c| points.attr(i, c) as f64);
+            match index.probe_into(p, &mut scratch) {
+                Probe::Empty => {}
+                Probe::Resolved(id) => out.states[id as usize].accumulate(v),
+                Probe::Candidates => {
+                    for &id in &scratch {
+                        if regions.geometry(id).contains(p) {
+                            out.states[id as usize].accumulate(v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridIndex;
+    use crate::naive::naive_join;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use urban_data::gen::regions::voronoi_neighborhoods;
+    use urban_data::schema::{AttrType, Schema};
+    use urban_data::time::{DAY, HOUR};
+    use urbane_geom::{BoundingBox, Point};
+
+    fn points(n: usize, days: i64, seed: u64) -> PointTable {
+        let schema = Schema::new([("v", AttrType::Numeric)]).unwrap();
+        let mut t = PointTable::new(schema);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..n {
+            t.push(
+                Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0),
+                rng.gen_range(0..days * DAY),
+                &[rng.gen::<f32>() * 10.0],
+            )
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn partitions_cover_all_rows_once() {
+        let pts = points(5_000, 30, 1);
+        let part = TimePartitionedPoints::build(&pts, DAY);
+        assert_eq!(part.partitions(), 30);
+        let mut seen = vec![false; pts.len()];
+        for b in 0..part.partitions() {
+            for &r in part.partition(b) {
+                assert!(!seen[r as usize], "row {r} in two partitions");
+                seen[r as usize] = true;
+                // Row's timestamp belongs to this bucket.
+                let t = pts.time(r as usize);
+                assert!(t >= b as i64 * DAY && t < (b as i64 + 1) * DAY);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn overlap_ranges() {
+        let pts = points(1_000, 10, 2);
+        let part = TimePartitionedPoints::build(&pts, DAY);
+        assert_eq!(part.overlapping(None), 0..10);
+        assert_eq!(part.overlapping(Some(TimeRange::new(0, DAY))), 0..1);
+        assert_eq!(part.overlapping(Some(TimeRange::new(DAY, 3 * DAY))), 1..3);
+        // Unaligned window touches partial buckets on both ends.
+        assert_eq!(
+            part.overlapping(Some(TimeRange::new(DAY + HOUR, 3 * DAY + HOUR))),
+            1..4
+        );
+        // Skip fraction reflects selectivity.
+        assert!(part.skip_fraction(Some(TimeRange::new(0, DAY))) > 0.8);
+        assert_eq!(part.skip_fraction(None), 0.0);
+    }
+
+    #[test]
+    fn join_matches_naive_with_and_without_window() {
+        let pts = points(3_000, 20, 3);
+        let part = TimePartitionedPoints::build(&pts, DAY);
+        let extent = BoundingBox::from_coords(0.0, 0.0, 100.0, 100.0);
+        let regions = voronoi_neighborhoods(&extent, 15, 4, 2);
+        let grid = GridIndex::build_auto(&regions);
+
+        for q in [
+            SpatialAggQuery::count(),
+            SpatialAggQuery::count().filter(Filter::Time(TimeRange::new(2 * DAY, 5 * DAY))),
+            SpatialAggQuery::count()
+                .filter(Filter::Time(TimeRange::new(DAY + HOUR, 3 * DAY)))
+                .filter(Filter::AttrRange { column: "v".into(), min: 2.0, max: 8.0 }),
+        ] {
+            let truth = naive_join(&pts, &regions, &q).unwrap();
+            let got = st_index_join(&pts, &part, &regions, &grid, &q).unwrap();
+            assert_eq!(got.values(), truth.values());
+        }
+    }
+
+    #[test]
+    fn conflicting_windows_yield_empty() {
+        let pts = points(500, 10, 4);
+        let part = TimePartitionedPoints::build(&pts, DAY);
+        let extent = BoundingBox::from_coords(0.0, 0.0, 100.0, 100.0);
+        let regions = voronoi_neighborhoods(&extent, 5, 9, 1);
+        let grid = GridIndex::build_auto(&regions);
+        let q = SpatialAggQuery::count()
+            .filter(Filter::Time(TimeRange::new(0, DAY)))
+            .filter(Filter::Time(TimeRange::new(5 * DAY, 6 * DAY)));
+        let got = st_index_join(&pts, &part, &regions, &grid, &q).unwrap();
+        assert_eq!(got.total_count(), 0);
+    }
+
+    #[test]
+    fn empty_table() {
+        let pts = PointTable::new(Schema::empty());
+        let part = TimePartitionedPoints::build(&pts, DAY);
+        assert_eq!(part.partitions(), 1);
+        assert!(part.partition(0).is_empty());
+    }
+}

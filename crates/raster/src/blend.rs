@@ -1,0 +1,131 @@
+//! Blend operations — the GPU stage Raster Join leans on hardest.
+//!
+//! The paper's insight: with blending set to `GL_FUNC_ADD`, rendering one
+//! fragment per data point turns the framebuffer into a per-pixel aggregate
+//! table *without any synchronization*. `GL_MIN` / `GL_MAX` extend this to
+//! MIN/MAX aggregates. We reproduce exactly those blend equations.
+
+/// A blend equation applied per fragment: `dst = op(dst, src)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlendOp {
+    /// `dst = src` (GL: blending disabled).
+    Replace,
+    /// `dst = dst + src` (GL: `GL_FUNC_ADD`, factors 1/1).
+    Add,
+    /// `dst = min(dst, src)` (GL: `GL_MIN`).
+    Min,
+    /// `dst = max(dst, src)` (GL: `GL_MAX`).
+    Max,
+}
+
+/// Texel types that support the blend equations.
+pub trait Blendable: Copy {
+    /// Apply `op` in place: `*dst = op(*dst, src)`.
+    fn blend(dst: &mut Self, src: Self, op: BlendOp);
+}
+
+impl Blendable for f32 {
+    #[inline]
+    fn blend(dst: &mut Self, src: Self, op: BlendOp) {
+        match op {
+            BlendOp::Replace => *dst = src,
+            BlendOp::Add => *dst += src,
+            BlendOp::Min => *dst = dst.min(src),
+            BlendOp::Max => *dst = dst.max(src),
+        }
+    }
+}
+
+impl Blendable for f64 {
+    #[inline]
+    fn blend(dst: &mut Self, src: Self, op: BlendOp) {
+        match op {
+            BlendOp::Replace => *dst = src,
+            BlendOp::Add => *dst += src,
+            BlendOp::Min => *dst = dst.min(src),
+            BlendOp::Max => *dst = dst.max(src),
+        }
+    }
+}
+
+impl Blendable for u32 {
+    #[inline]
+    fn blend(dst: &mut Self, src: Self, op: BlendOp) {
+        match op {
+            BlendOp::Replace => *dst = src,
+            BlendOp::Add => *dst = dst.wrapping_add(src),
+            BlendOp::Min => *dst = (*dst).min(src),
+            BlendOp::Max => *dst = (*dst).max(src),
+        }
+    }
+}
+
+impl<const N: usize> Blendable for [f32; N] {
+    #[inline]
+    fn blend(dst: &mut Self, src: Self, op: BlendOp) {
+        for (d, s) in dst.iter_mut().zip(src) {
+            f32::blend(d, s, op);
+        }
+    }
+}
+
+impl<const N: usize> Blendable for [f64; N] {
+    #[inline]
+    fn blend(dst: &mut Self, src: Self, op: BlendOp) {
+        for (d, s) in dst.iter_mut().zip(src) {
+            f64::blend(d, s, op);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_f32() {
+        let mut d = 1.0f32;
+        f32::blend(&mut d, 2.0, BlendOp::Add);
+        assert_eq!(d, 3.0);
+        f32::blend(&mut d, 1.5, BlendOp::Min);
+        assert_eq!(d, 1.5);
+        f32::blend(&mut d, 9.0, BlendOp::Max);
+        assert_eq!(d, 9.0);
+        f32::blend(&mut d, -1.0, BlendOp::Replace);
+        assert_eq!(d, -1.0);
+    }
+
+    #[test]
+    fn scalar_u32_wraps_like_gl_integer_targets() {
+        let mut d = u32::MAX;
+        u32::blend(&mut d, 2, BlendOp::Add);
+        assert_eq!(d, 1); // wrapping, as GL integer blending would
+        u32::blend(&mut d, 0, BlendOp::Min);
+        assert_eq!(d, 0);
+    }
+
+    #[test]
+    fn vector_channels_independent() {
+        let mut d = [1.0f32, 10.0];
+        <[f32; 2]>::blend(&mut d, [2.0, -5.0], BlendOp::Add);
+        assert_eq!(d, [3.0, 5.0]);
+        <[f32; 2]>::blend(&mut d, [0.0, 100.0], BlendOp::Max);
+        assert_eq!(d, [3.0, 100.0]);
+    }
+
+    #[test]
+    fn add_is_order_independent() {
+        // The property that makes blending-based aggregation correct:
+        // addition commutes, so fragment order doesn't matter.
+        let vals = [1.5f32, -2.0, 3.25, 10.0, 0.125];
+        let mut fwd = 0.0f32;
+        let mut rev = 0.0f32;
+        for &v in &vals {
+            f32::blend(&mut fwd, v, BlendOp::Add);
+        }
+        for &v in vals.iter().rev() {
+            f32::blend(&mut rev, v, BlendOp::Add);
+        }
+        assert_eq!(fwd, rev);
+    }
+}

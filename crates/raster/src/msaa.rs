@@ -1,0 +1,159 @@
+//! Supersampled anti-aliasing for presentation rendering.
+//!
+//! The *analytical* rasterizers in this crate must stay point-sampled —
+//! Raster Join's correctness argument depends on each point landing in
+//! exactly one pixel. Presentation output (choropleths, heatmaps) has no
+//! such constraint: rendering at `k×` resolution and box-downsampling gives
+//! smooth region boundaries. This module provides the downsampling half;
+//! callers simply render into a `k·w × k·h` buffer first.
+
+use crate::buffer::Buffer2D;
+
+/// Average `factor × factor` blocks of an RGB supersample into the output.
+///
+/// # Panics
+/// Panics when the source dimensions are not exact multiples of `factor`.
+pub fn downsample_rgb(src: &Buffer2D<[u8; 3]>, factor: u32) -> Buffer2D<[u8; 3]> {
+    assert!(factor >= 1, "factor must be at least 1");
+    assert_eq!(src.width() % factor, 0, "width must be a multiple of the factor");
+    assert_eq!(src.height() % factor, 0, "height must be a multiple of the factor");
+    if factor == 1 {
+        return src.clone();
+    }
+    let (w, h) = (src.width() / factor, src.height() / factor);
+    let samples = (factor * factor) as u32;
+    let mut out = Buffer2D::new(w, h, [0u8; 3]);
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = [0u32; 3];
+            for sy in 0..factor {
+                for sx in 0..factor {
+                    let px = src.get(x * factor + sx, y * factor + sy);
+                    for c in 0..3 {
+                        acc[c] += px[c] as u32;
+                    }
+                }
+            }
+            out.set(
+                x,
+                y,
+                [
+                    ((acc[0] + samples / 2) / samples) as u8,
+                    ((acc[1] + samples / 2) / samples) as u8,
+                    ((acc[2] + samples / 2) / samples) as u8,
+                ],
+            );
+        }
+    }
+    out
+}
+
+/// Average-downsample a scalar field (e.g. a density buffer); the output
+/// texel is the mean of its source block, so total mass scales by
+/// `1 / factor²` — callers compensating for mass should multiply back.
+pub fn downsample_f32(src: &Buffer2D<f32>, factor: u32) -> Buffer2D<f32> {
+    assert!(factor >= 1, "factor must be at least 1");
+    assert_eq!(src.width() % factor, 0, "width must be a multiple of the factor");
+    assert_eq!(src.height() % factor, 0, "height must be a multiple of the factor");
+    if factor == 1 {
+        return src.clone();
+    }
+    let (w, h) = (src.width() / factor, src.height() / factor);
+    let inv = 1.0 / (factor * factor) as f32;
+    let mut out = Buffer2D::new(w, h, 0.0f32);
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = 0.0f32;
+            for sy in 0..factor {
+                for sx in 0..factor {
+                    acc += src.get(x * factor + sx, y * factor + sy);
+                }
+            }
+            out.set(x, y, acc * inv);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_at_factor_one() {
+        let mut src = Buffer2D::new(4, 4, [1u8, 2, 3]);
+        src.set(2, 2, [9, 9, 9]);
+        assert_eq!(downsample_rgb(&src, 1), src);
+    }
+
+    #[test]
+    fn uniform_blocks_average_exactly() {
+        let mut src = Buffer2D::new(4, 2, [0u8; 3]);
+        // Left 2x2 block all white, right all black.
+        for y in 0..2 {
+            for x in 0..2 {
+                src.set(x, y, [255, 255, 255]);
+            }
+        }
+        let out = downsample_rgb(&src, 2);
+        assert_eq!(out.width(), 2);
+        assert_eq!(out.get(0, 0), [255, 255, 255]);
+        assert_eq!(out.get(1, 0), [0, 0, 0]);
+    }
+
+    #[test]
+    fn mixed_block_blends() {
+        let mut src = Buffer2D::new(2, 2, [0u8; 3]);
+        src.set(0, 0, [255, 0, 0]);
+        src.set(1, 0, [255, 0, 0]);
+        // Two red + two black → half red, rounded.
+        let out = downsample_rgb(&src, 2);
+        assert_eq!(out.get(0, 0), [128, 0, 0]);
+    }
+
+    #[test]
+    fn scalar_mass_scaling() {
+        let mut src = Buffer2D::new(4, 4, 0.0f32);
+        src.set(1, 1, 16.0);
+        let out = downsample_f32(&src, 4);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.get(0, 0), 1.0); // mean of 16 texels, one holding 16
+        // Mass × factor² restores the original total.
+        assert_eq!(out.sum() * 16.0, src.sum());
+    }
+
+    #[test]
+    fn supersampled_edge_is_smoother() {
+        // Render a half-plane boundary at 1x and at 4x-downsampled; the AA
+        // version must contain intermediate gray levels along the diagonal.
+        let render = |size: u32| {
+            let mut img = Buffer2D::new(size, size, [0u8; 3]);
+            crate::triangle::rasterize_triangle(
+                urbane_geom::Point::new(0.0, 0.0),
+                urbane_geom::Point::new(size as f64, 0.0),
+                urbane_geom::Point::new(0.0, size as f64),
+                size,
+                size,
+                |x, y| img.set(x, y, [255, 255, 255]),
+            );
+            img
+        };
+        let hard = render(16);
+        let aa = downsample_rgb(&render(64), 4);
+        let grays = |img: &Buffer2D<[u8; 3]>| {
+            img.as_slice()
+                .iter()
+                .filter(|c| c[0] > 10 && c[0] < 245)
+                .count()
+        };
+        assert_eq!(grays(&hard), 0, "point sampling has no intermediate values");
+        assert!(grays(&aa) > 8, "AA edge must produce gray fringe");
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn non_multiple_panics() {
+        let src = Buffer2D::new(5, 4, [0u8; 3]);
+        downsample_rgb(&src, 2);
+    }
+}

@@ -1,0 +1,112 @@
+//! PPM image output — the minimal dependency-free way to get framebuffers
+//! onto disk so the Urbane map view can be inspected visually.
+
+use crate::buffer::Buffer2D;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Write an RGB buffer as a binary PPM (P6) file.
+pub fn write_ppm<P: AsRef<Path>>(path: P, rgb: &Buffer2D<[u8; 3]>) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    let mut w = io::BufWriter::new(f);
+    write_ppm_to(&mut w, rgb)
+}
+
+/// Write an RGB buffer as binary PPM to any writer.
+pub fn write_ppm_to<W: Write>(w: &mut W, rgb: &Buffer2D<[u8; 3]>) -> io::Result<()> {
+    write!(w, "P6\n{} {}\n255\n", rgb.width(), rgb.height())?;
+    for px in rgb.as_slice() {
+        w.write_all(px)?;
+    }
+    Ok(())
+}
+
+/// Parse a binary PPM (P6) back into a buffer — used by round-trip tests and
+/// by tools that post-process rendered maps.
+pub fn read_ppm(bytes: &[u8]) -> io::Result<Buffer2D<[u8; 3]>> {
+    let err = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+    let mut pos = 0usize;
+    let mut token = || -> io::Result<String> {
+        // Skip whitespace and comments.
+        loop {
+            while pos < bytes.len() && bytes[pos].is_ascii_whitespace() {
+                pos += 1;
+            }
+            if pos < bytes.len() && bytes[pos] == b'#' {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        let start = pos;
+        while pos < bytes.len() && !bytes[pos].is_ascii_whitespace() {
+            pos += 1;
+        }
+        if start == pos {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated PPM"));
+        }
+        Ok(String::from_utf8_lossy(&bytes[start..pos]).into_owned())
+    };
+
+    if token()? != "P6" {
+        return Err(err("not a P6 PPM"));
+    }
+    let width: u32 = token()?.parse().map_err(|_| err("bad width"))?;
+    let height: u32 = token()?.parse().map_err(|_| err("bad height"))?;
+    let maxval: u32 = token()?.parse().map_err(|_| err("bad maxval"))?;
+    if maxval != 255 {
+        return Err(err("only maxval 255 supported"));
+    }
+    pos += 1; // single whitespace after maxval
+    let need = width as usize * height as usize * 3;
+    if bytes.len() < pos + need {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated pixel data"));
+    }
+    let mut buf = Buffer2D::new(width, height, [0u8; 3]);
+    for (i, px) in buf.as_mut_slice().iter_mut().enumerate() {
+        let o = pos + i * 3;
+        *px = [bytes[o], bytes[o + 1], bytes[o + 2]];
+    }
+    Ok(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut img = Buffer2D::new(3, 2, [0u8; 3]);
+        img.set(0, 0, [255, 0, 0]);
+        img.set(2, 1, [0, 128, 255]);
+        let mut bytes = Vec::new();
+        write_ppm_to(&mut bytes, &img).unwrap();
+        let back = read_ppm(&bytes).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn header_format() {
+        let img = Buffer2D::new(2, 2, [9u8; 3]);
+        let mut bytes = Vec::new();
+        write_ppm_to(&mut bytes, &img).unwrap();
+        assert!(bytes.starts_with(b"P6\n2 2\n255\n"));
+        assert_eq!(bytes.len(), b"P6\n2 2\n255\n".len() + 12);
+    }
+
+    #[test]
+    fn reject_bad_input() {
+        assert!(read_ppm(b"P3\n1 1\n255\n000").is_err());
+        assert!(read_ppm(b"P6\n2 2\n255\nxx").is_err()); // truncated
+        assert!(read_ppm(b"P6\n2 2\n65535\n").is_err());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let data = b"P6\n# a comment\n1 1\n255\n\xff\x00\x7f";
+        let img = read_ppm(data).unwrap();
+        assert_eq!(img.get(0, 0), [255, 0, 127]);
+    }
+}

@@ -1,0 +1,292 @@
+//! Triangle rasterization with edge functions and the top-left fill rule.
+//!
+//! This is the GPU's polygon path: Raster Join triangulates every region
+//! polygon and draws the triangles. The **top-left rule** matters for
+//! correctness, not just aesthetics: two triangles sharing an edge must
+//! never both claim a pixel on that edge, otherwise the region aggregate
+//! would double-count every point falling on internal triangulation edges.
+//!
+//! Screen space follows framebuffer conventions: `x` right, `y` down, pixel
+//! `(x, y)` sampled at its center `(x + 0.5, y + 0.5)`.
+
+use urbane_geom::Point;
+
+/// Signed "edge function": `cross(b - a, p - a)` in y-down screen space.
+/// Positive when `p` lies on the interior side for a triangle wound so its
+/// area (as computed by this function) is positive.
+#[inline]
+pub fn edge_function(a: Point, b: Point, p: Point) -> f64 {
+    (b.x - a.x) * (p.y - a.y) - (b.y - a.y) * (p.x - a.x)
+}
+
+/// Is `a → b` a *top* or *left* edge of a positively-wound screen triangle?
+///
+/// Derivation (y-down, interior on the positive side of each edge):
+/// a horizontal edge pointing right (`e.y == 0, e.x > 0`) has the interior
+/// below it → top edge; an edge pointing up (`e.y < 0`) has the interior to
+/// its right → left edge.
+#[inline]
+fn is_top_left(a: Point, b: Point) -> bool {
+    let ey = b.y - a.y;
+    let ex = b.x - a.x;
+    ey < 0.0 || (ey == 0.0 && ex > 0.0)
+}
+
+/// Rasterize a screen-space triangle, invoking `emit(x, y)` for every pixel
+/// whose center is covered under the top-left rule. The triangle may use
+/// either winding; degenerate (zero-area) triangles emit nothing. Pixels are
+/// clipped to `width × height`.
+///
+/// Returns the number of fragments emitted.
+pub fn rasterize_triangle<F: FnMut(u32, u32)>(
+    mut a: Point,
+    mut b: Point,
+    c: Point,
+    width: u32,
+    height: u32,
+    mut emit: F,
+) -> u64 {
+    // Normalize to positive area in y-down space.
+    let area = edge_function(a, b, c);
+    if area == 0.0 {
+        return 0;
+    }
+    if area < 0.0 {
+        std::mem::swap(&mut a, &mut b);
+    }
+
+    // Clipped integer bounding box of candidate pixels.
+    let min_x = a.x.min(b.x).min(c.x).floor().max(0.0) as i64;
+    let max_x = (a.x.max(b.x).max(c.x).ceil() as i64).min(width as i64 - 1);
+    let min_y = a.y.min(b.y).min(c.y).floor().max(0.0) as i64;
+    let max_y = (a.y.max(b.y).max(c.y).ceil() as i64).min(height as i64 - 1);
+    if min_x > max_x || min_y > max_y {
+        return 0;
+    }
+
+    // Edge setup: w_i at the first pixel center, plus per-step deltas.
+    let p0 = Point::new(min_x as f64 + 0.5, min_y as f64 + 0.5);
+    let edges = [(b, c), (c, a), (a, b)];
+    let mut w_row = [0.0f64; 3];
+    let mut dx = [0.0f64; 3];
+    let mut dy = [0.0f64; 3];
+    let mut top_left = [false; 3];
+    for (i, &(ea, eb)) in edges.iter().enumerate() {
+        w_row[i] = edge_function(ea, eb, p0);
+        dx[i] = -(eb.y - ea.y); // d(edge)/d(px)
+        dy[i] = eb.x - ea.x; // d(edge)/d(py)
+        top_left[i] = is_top_left(ea, eb);
+    }
+
+    let mut fragments = 0u64;
+    for y in min_y..=max_y {
+        let mut w = w_row;
+        for x in min_x..=max_x {
+            let inside = (0..3).all(|i| w[i] > 0.0 || (w[i] == 0.0 && top_left[i]));
+            if inside {
+                emit(x as u32, y as u32);
+                fragments += 1;
+            }
+            for i in 0..3 {
+                w[i] += dx[i];
+            }
+        }
+        for i in 0..3 {
+            w_row[i] += dy[i];
+        }
+    }
+    fragments
+}
+
+/// Collect covered pixels into a vector (test/debug helper).
+pub fn triangle_pixels(a: Point, b: Point, c: Point, width: u32, height: u32) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    rasterize_triangle(a, b, c, width, height, |x, y| out.push((x, y)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn axis_aligned_right_triangle() {
+        // Covers the lower-left half of a 4x4 square [0,4)x[0,4).
+        let pix = triangle_pixels(
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 4.0),
+            Point::new(4.0, 4.0),
+            8,
+            8,
+        );
+        // Pixel centers (x+0.5, y+0.5) strictly below the diagonal y = x.
+        let expect: HashSet<(u32, u32)> =
+            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)].into_iter().collect();
+        // Diagonal pixels (0,0),(1,1)… have centers exactly on the hypotenuse?
+        // Centers are at (.5,.5) etc., which satisfy y == x → on the diagonal
+        // edge; top-left rule decides. Check interior subset is present:
+        let got: HashSet<(u32, u32)> = pix.iter().copied().collect();
+        for e in &expect {
+            assert!(got.contains(e), "missing interior pixel {e:?}");
+        }
+        // And nothing above the diagonal.
+        for &(x, y) in &got {
+            assert!(y as f64 + 0.5 >= x as f64 + 0.5 - 1e-9, "pixel above hypotenuse: {x},{y}");
+        }
+    }
+
+    #[test]
+    fn winding_does_not_matter() {
+        let a = Point::new(1.0, 1.0);
+        let b = Point::new(6.5, 2.0);
+        let c = Point::new(3.0, 7.0);
+        let ccw = triangle_pixels(a, b, c, 10, 10);
+        let cw = triangle_pixels(a, c, b, 10, 10);
+        assert_eq!(
+            ccw.iter().collect::<HashSet<_>>(),
+            cw.iter().collect::<HashSet<_>>()
+        );
+        assert!(!ccw.is_empty());
+    }
+
+    #[test]
+    fn degenerate_triangle_emits_nothing() {
+        let pix = triangle_pixels(
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 5.0),
+            Point::new(10.0, 10.0),
+            16,
+            16,
+        );
+        assert!(pix.is_empty());
+    }
+
+    #[test]
+    fn shared_edge_no_overlap_no_gap() {
+        // A quad split into two triangles along a diagonal: every covered
+        // pixel of the quad must be claimed by exactly one triangle.
+        let q = [
+            Point::new(1.2, 1.7),
+            Point::new(9.8, 2.3),
+            Point::new(8.9, 8.6),
+            Point::new(2.1, 9.4),
+        ];
+        let t1 = triangle_pixels(q[0], q[1], q[2], 16, 16);
+        let t2 = triangle_pixels(q[0], q[2], q[3], 16, 16);
+        let s1: HashSet<(u32, u32)> = t1.iter().copied().collect();
+        let s2: HashSet<(u32, u32)> = t2.iter().copied().collect();
+        assert!(
+            s1.is_disjoint(&s2),
+            "shared-edge pixels claimed twice: {:?}",
+            s1.intersection(&s2).collect::<Vec<_>>()
+        );
+        // Union must equal the quad's own coverage computed by even-odd
+        // point-in-polygon sampling at pixel centers.
+        let poly = urbane_geom::Polygon::from_coords(&[
+            (q[0].x, q[0].y),
+            (q[1].x, q[1].y),
+            (q[2].x, q[2].y),
+            (q[3].x, q[3].y),
+        ])
+        .unwrap();
+        let mut expect = HashSet::new();
+        for y in 0..16u32 {
+            for x in 0..16u32 {
+                let center = Point::new(x as f64 + 0.5, y as f64 + 0.5);
+                // Strict interior only (boundary ties are rule-dependent).
+                if poly.contains(center)
+                    && !poly.edges().any(|e| e.distance_to_point(center) < 1e-9)
+                {
+                    expect.insert((x, y));
+                }
+            }
+        }
+        let union: HashSet<(u32, u32)> = s1.union(&s2).copied().collect();
+        for e in &expect {
+            assert!(union.contains(e), "gap at {e:?}");
+        }
+    }
+
+    #[test]
+    fn clipping_to_buffer() {
+        // Triangle extending far outside the 4x4 buffer.
+        let pix = triangle_pixels(
+            Point::new(-100.0, -100.0),
+            Point::new(100.0, -100.0),
+            Point::new(0.0, 100.0),
+            4,
+            4,
+        );
+        assert_eq!(pix.len(), 16, "triangle covering the whole buffer fills it");
+        let n = rasterize_triangle(
+            Point::new(-10.0, -10.0),
+            Point::new(-5.0, -10.0),
+            Point::new(-7.0, -5.0),
+            4,
+            4,
+            |_, _| {},
+        );
+        assert_eq!(n, 0, "fully off-screen triangle emits nothing");
+    }
+
+    #[test]
+    fn fragment_count_matches_emitted() {
+        let mut count = 0u64;
+        let n = rasterize_triangle(
+            Point::new(0.0, 0.0),
+            Point::new(8.0, 0.0),
+            Point::new(0.0, 8.0),
+            8,
+            8,
+            |_, _| count += 1,
+        );
+        assert_eq!(n, count);
+        assert!(n > 0);
+    }
+
+    #[test]
+    fn tiny_subpixel_triangle() {
+        // A triangle smaller than a pixel that does not cover any center.
+        let pix = triangle_pixels(
+            Point::new(3.1, 3.1),
+            Point::new(3.3, 3.1),
+            Point::new(3.2, 3.3),
+            8,
+            8,
+        );
+        assert!(pix.is_empty());
+        // One that straddles a pixel center (3.5, 3.5).
+        let pix = triangle_pixels(
+            Point::new(3.4, 3.4),
+            Point::new(3.7, 3.4),
+            Point::new(3.5, 3.7),
+            8,
+            8,
+        );
+        assert_eq!(pix, vec![(3, 3)]);
+    }
+
+    #[test]
+    fn fan_triangulation_covers_convex_polygon_once() {
+        // Regular hexagon fan-triangulated from vertex 0: pixels covered
+        // exactly once across the fan.
+        let center = Point::new(8.0, 8.0);
+        let verts: Vec<Point> = (0..6)
+            .map(|i| {
+                let t = i as f64 / 6.0 * std::f64::consts::TAU + 0.3;
+                center + Point::new(t.cos(), t.sin()) * 6.3
+            })
+            .collect();
+        let mut counts = std::collections::HashMap::new();
+        for i in 1..5 {
+            rasterize_triangle(verts[0], verts[i], verts[i + 1], 16, 16, |x, y| {
+                *counts.entry((x, y)).or_insert(0u32) += 1;
+            });
+        }
+        for (px, c) in &counts {
+            assert_eq!(*c, 1, "pixel {px:?} covered {c} times");
+        }
+        assert!(counts.len() > 50, "hexagon should cover many pixels");
+    }
+}

@@ -1,0 +1,353 @@
+//! `urbane-cli` — command-line access to the whole stack.
+//!
+//! ```text
+//! urbane-cli generate --rows 1000000 --seed 42 --out taxi.upt [--csv taxi.csv]
+//! urbane-cli info     --data taxi.upt
+//! urbane-cli query    --data taxi.upt --regions nbhd:260 --agg count
+//!                     [--mode bounded|accurate] [--resolution 1024]
+//!                     [--time-start S --time-end S] [--range col:lo:hi] [--top 10]
+//! urbane-cli map      --data taxi.upt --regions nbhd:260 --out map.ppm [--size 800]
+//! urbane-cli heatmap  --data taxi.upt --out heat.ppm [--size 800] [--blur 2]
+//! ```
+//!
+//! Region specs: `boroughs`, `nbhd:<count>`, `grid:<n>` (n×n cells).
+//! Data files use the `urban-data` binary format (`.upt`); `generate` also
+//! understands `--kind taxi|311|crime`.
+
+use std::process::exit;
+use urban_data::gen::city::CityModel;
+use urban_data::gen::events::{generate_complaints, generate_crime, EventConfig};
+use urban_data::gen::regions::{boroughs, grid_regions, voronoi_neighborhoods};
+use urban_data::gen::taxi::{generate_taxi, TaxiConfig};
+use urban_data::query::{AggKind, SpatialAggQuery};
+use urban_data::time::{timestamp, TimeRange};
+use urban_data::{binfmt, csv, Filter, PointTable, RegionSet};
+use urbane::view::heatmap::{render_heatmap, HeatmapConfig};
+use urbane::view::MapView;
+use urbane_geom::projection::Viewport;
+
+/// Tiny flag parser: `--key value` pairs after the subcommand.
+struct Args {
+    pairs: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let key = argv[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {:?}", argv[i]))?;
+            let val = argv
+                .get(i + 1)
+                .ok_or_else(|| format!("--{key} needs a value"))?;
+            pairs.push((key.to_string(), val.clone()));
+            i += 2;
+        }
+        Ok(Args { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: bad value {v:?}")),
+        }
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required --{key}"))
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "urbane-cli <generate|info|query|map|heatmap|explore> [--flags]\n\
+         see the module docs in crates/urbane/src/bin/urbane-cli.rs"
+    );
+    exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    exit(1);
+}
+
+fn load_data(args: &Args) -> Result<PointTable, String> {
+    let path = args.require("data")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    binfmt::decode(&bytes).map_err(|e| format!("decoding {path}: {e}"))
+}
+
+fn parse_regions(spec: &str, data_bbox: urbane_geom::BoundingBox) -> Result<RegionSet, String> {
+    let city = CityModel::nyc_like();
+    // Use the city extent when the data clearly lives there, otherwise the
+    // data's own bbox.
+    let extent = if city.bbox().intersects(&data_bbox) { city.bbox() } else { data_bbox };
+    if spec == "boroughs" {
+        return Ok(boroughs(&extent));
+    }
+    if let Some(n) = spec.strip_prefix("nbhd:") {
+        let n: usize = n.parse().map_err(|_| format!("bad region spec {spec:?}"))?;
+        return Ok(voronoi_neighborhoods(&extent, n, 42, 2));
+    }
+    if let Some(n) = spec.strip_prefix("grid:") {
+        let n: u32 = n.parse().map_err(|_| format!("bad region spec {spec:?}"))?;
+        return Ok(grid_regions(&extent, n, n));
+    }
+    Err(format!("unknown region spec {spec:?} (use boroughs | nbhd:<n> | grid:<n>)"))
+}
+
+fn build_query(args: &Args) -> Result<SpatialAggQuery, String> {
+    let agg = match args.get_or("agg", "count") {
+        "count" => AggKind::Count,
+        other => {
+            let (op, col) = other
+                .split_once(':')
+                .ok_or_else(|| format!("--agg {other:?}: use count or sum:<col>/avg:<col>/min:<col>/max:<col>"))?;
+            match op {
+                "sum" => AggKind::Sum(col.into()),
+                "avg" => AggKind::Avg(col.into()),
+                "min" => AggKind::Min(col.into()),
+                "max" => AggKind::Max(col.into()),
+                _ => return Err(format!("unknown aggregate {op:?}")),
+            }
+        }
+    };
+    let mut q = SpatialAggQuery::new(agg);
+    if let (Some(s), Some(e)) = (args.get("time-start"), args.get("time-end")) {
+        let s: i64 = s.parse().map_err(|_| "--time-start: bad integer".to_string())?;
+        let e: i64 = e.parse().map_err(|_| "--time-end: bad integer".to_string())?;
+        q = q.filter(Filter::Time(TimeRange::new(s, e)));
+    }
+    if let Some(spec) = args.get("range") {
+        let parts: Vec<&str> = spec.split(':').collect();
+        if parts.len() != 3 {
+            return Err(format!("--range {spec:?}: use col:lo:hi"));
+        }
+        let lo: f32 = parts[1].parse().map_err(|_| "--range: bad lo".to_string())?;
+        let hi: f32 = parts[2].parse().map_err(|_| "--range: bad hi".to_string())?;
+        q = q.filter(Filter::AttrRange { column: parts[0].into(), min: lo, max: hi });
+    }
+    Ok(q)
+}
+
+fn join_config(args: &Args) -> Result<raster_join::RasterJoinConfig, String> {
+    let resolution: u32 = args.parse_num("resolution", 1024)?;
+    Ok(match args.get_or("mode", "bounded") {
+        "bounded" => raster_join::RasterJoinConfig::with_resolution(resolution),
+        "weighted" => raster_join::RasterJoinConfig::weighted(resolution),
+        "accurate" => raster_join::RasterJoinConfig::accurate(resolution),
+        other => return Err(format!("--mode {other:?}: use bounded, weighted, or accurate")),
+    })
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let rows: usize = args.parse_num("rows", 1_000_000)?;
+    let seed: u64 = args.parse_num("seed", 42)?;
+    let days: u32 = args.parse_num("days", 30)?;
+    let out = args.require("out")?;
+    let start = timestamp(2009, 1, 1, 0, 0, 0);
+
+    let city = CityModel::nyc_like();
+    let table = match args.get_or("kind", "taxi") {
+        "taxi" => generate_taxi(&city, &TaxiConfig { rows, seed, start, days }),
+        "311" => generate_complaints(
+            &city,
+            &EventConfig { rows, seed, start, days, n_types: 12 },
+        ),
+        "crime" => {
+            generate_crime(&city, &EventConfig { rows, seed, start, days, n_types: 10 })
+        }
+        other => return Err(format!("--kind {other:?}: use taxi | 311 | crime")),
+    };
+    std::fs::write(out, binfmt::encode(&table)).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!("wrote {} rows to {out}", table.len());
+    if let Some(csv_path) = args.get("csv") {
+        let f = std::fs::File::create(csv_path).map_err(|e| e.to_string())?;
+        let mut w = std::io::BufWriter::new(f);
+        csv::write_csv(&mut w, &table).map_err(|e| e.to_string())?;
+        eprintln!("also wrote CSV to {csv_path}");
+    }
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let t = load_data(args)?;
+    println!("rows: {}", t.len());
+    let b = t.bbox();
+    println!("bbox: ({:.1}, {:.1}) .. ({:.1}, {:.1})", b.min.x, b.min.y, b.max.x, b.max.y);
+    if let Some(ext) = t.time_extent() {
+        println!("time: [{}, {})  ({} days)", ext.start, ext.end, ext.duration() / 86_400);
+    }
+    println!("columns:");
+    for (name, ty) in t.schema().iter() {
+        match urban_data::stats::summarize_column(&t, name).map_err(|e| e.to_string())? {
+            Some(s) => println!(
+                "  {name:<14} {ty:?}  mean {:.2}  std {:.2}  min {:.2}  p50 {:.2}  max {:.2}",
+                s.mean,
+                s.std_dev,
+                s.min,
+                s.quantile(0.5).unwrap_or(f64::NAN),
+                s.max
+            ),
+            None => println!("  {name:<14} {ty:?}  (empty)"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_query(args: &Args) -> Result<(), String> {
+    let t = load_data(args)?;
+    let regions = parse_regions(args.get_or("regions", "nbhd:260"), t.bbox())?;
+    let q = build_query(args)?;
+    let join = raster_join::RasterJoin::new(join_config(args)?);
+
+    let start = std::time::Instant::now();
+    let res = join.execute(&t, &regions, &q).map_err(|e| e.to_string())?;
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "{} rows x {} regions in {ms:.1} ms (ε = {:.1}, canvas {}x{}, {} tiles)",
+        t.len(),
+        regions.len(),
+        res.epsilon,
+        res.canvas_width,
+        res.canvas_height,
+        res.tiles
+    );
+
+    if let Some(path) = args.get("geojson") {
+        let text = urbane::export::choropleth_to_geojson(&regions, &res.table);
+        std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("GeoJSON written to {path}");
+    }
+
+    let top: usize = args.parse_num("top", 10)?;
+    let mut rows: Vec<(u32, f64)> = res
+        .table
+        .values()
+        .into_iter()
+        .enumerate()
+        .filter_map(|(r, v)| v.map(|v| (r as u32, v)))
+        .collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    for (r, v) in rows.iter().take(top) {
+        println!("{}\t{v:.3}", regions.region_name(*r));
+    }
+    Ok(())
+}
+
+fn cmd_map(args: &Args) -> Result<(), String> {
+    let t = load_data(args)?;
+    let regions = parse_regions(args.get_or("regions", "nbhd:260"), t.bbox())?;
+    let q = build_query(args)?;
+    let size: u32 = args.parse_num("size", 800)?;
+    let out = args.require("out")?;
+
+    let view = MapView::new(join_config(args)?, urbane::colormap::ColorMap::viridis());
+    let img = view.render(&t, &regions, &q, size, size).map_err(|e| e.to_string())?;
+    gpu_raster::ppm::write_ppm(out, &img.image).map_err(|e| e.to_string())?;
+    eprintln!(
+        "choropleth written to {out} (legend {:.1} .. {:.1}, ε = {:.1})",
+        img.legend.lo, img.legend.hi, img.epsilon
+    );
+    Ok(())
+}
+
+fn cmd_heatmap(args: &Args) -> Result<(), String> {
+    let t = load_data(args)?;
+    let size: u32 = args.parse_num("size", 800)?;
+    let blur: u32 = args.parse_num("blur", 2)?;
+    let out = args.require("out")?;
+    let q = build_query(args)?;
+
+    let vp = Viewport::fitted(t.bbox().inflate(t.bbox().width() * 0.02), size, size);
+    let hm = render_heatmap(
+        &t,
+        &q.filters,
+        &vp,
+        &HeatmapConfig { blur_radius: blur, ..Default::default() },
+    )
+    .map_err(|e| e.to_string())?;
+    gpu_raster::ppm::write_ppm(out, &hm.image).map_err(|e| e.to_string())?;
+    eprintln!("heatmap written to {out} ({} points, peak {:.1})", hm.points_drawn, hm.max_density);
+    Ok(())
+}
+
+fn cmd_explore(args: &Args) -> Result<(), String> {
+    use urban_data::time::{TimeBucket, TimeRange};
+    use urbane::view::ExplorationView;
+
+    let t = load_data(args)?;
+    let regions = parse_regions(args.get_or("regions", "nbhd:260"), t.bbox())?;
+    let q = build_query(args)?;
+    let view = ExplorationView::new(join_config(args)?);
+
+    let top: usize = args.parse_num("top", 5)?;
+    let ranked = view.rank_regions(&t, &regions, &q).map_err(|e| e.to_string())?;
+    println!("top {top} regions:");
+    for (i, (r, v)) in ranked.iter().take(top).enumerate() {
+        println!("  {}. {}\t{:.2}", i + 1, regions.region_name(*r), v.unwrap_or(0.0));
+    }
+
+    let Some(extent) = t.time_extent() else {
+        return Ok(());
+    };
+    let bucket = match args.get_or("bucket", "week") {
+        "hour" => TimeBucket::Hour,
+        "day" => TimeBucket::Day,
+        "week" => TimeBucket::Week,
+        "month" => TimeBucket::Month,
+        other => return Err(format!("--bucket {other:?}: use hour|day|week|month")),
+    };
+    let series = view
+        .time_series("data", &t, &regions, &q, TimeRange::new(extent.start, extent.end), bucket)
+        .map_err(|e| e.to_string())?;
+    println!("\n{} series for the top region:", args.get_or("bucket", "week"));
+    let reference = ranked[0].0;
+    let max = series
+        .region(reference)
+        .iter()
+        .flatten()
+        .fold(1.0f64, |m, &v| m.max(v));
+    for (i, v) in series.region(reference).iter().enumerate() {
+        let v = v.unwrap_or(0.0);
+        let bar = "#".repeat((v / max * 50.0).round() as usize);
+        println!("  {:>3}: {:>10.0} {bar}", i + 1, v);
+    }
+    if let Some(path) = args.get("csv") {
+        std::fs::write(path, urbane::export::series_to_csv(&regions, &series))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("series CSV written to {path}");
+    }
+    Ok(())
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else { usage() };
+    let args = match Args::parse(&argv[1..]) {
+        Ok(a) => a,
+        Err(e) => fail(&e),
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&args),
+        "info" => cmd_info(&args),
+        "query" => cmd_query(&args),
+        "map" => cmd_map(&args),
+        "heatmap" => cmd_heatmap(&args),
+        "explore" => cmd_explore(&args),
+        _ => usage(),
+    };
+    if let Err(e) = result {
+        fail(&e);
+    }
+}

@@ -1,0 +1,202 @@
+//! Spatial brushes — ad-hoc, user-drawn query regions.
+//!
+//! The abstract's key constraint: pre-aggregation "do[es] not support ad-hoc
+//! query constraints or *polygons of arbitrary shapes*". In Urbane the user
+//! draws those polygons interactively: a lasso around a candidate
+//! development site, a circle of influence, a corridor along an avenue.
+//! A [`Brush`] converts such gestures into a one-region [`RegionSet`] that
+//! any executor (Raster Join included) answers like any other region set —
+//! no precomputation possible, which is exactly the demo's point.
+
+use crate::{Result, UrbaneError};
+use urban_data::RegionSet;
+use urbane_geom::{BoundingBox, MultiPolygon, Point, Polygon, Ring};
+
+/// A user-drawn spatial selection.
+#[derive(Debug, Clone)]
+pub enum Brush {
+    /// Freehand lasso: the vertex chain is closed automatically.
+    Lasso(Vec<Point>),
+    /// Circle tool (approximated by a 64-gon).
+    Circle { center: Point, radius: f64 },
+    /// Rectangle tool.
+    Rect(BoundingBox),
+    /// Corridor tool: a polyline buffered by half `width` (square caps) —
+    /// e.g. "activity along this avenue".
+    Corridor { path: Vec<Point>, width: f64 },
+}
+
+impl Brush {
+    /// Materialize the brush as polygon geometry.
+    pub fn to_geometry(&self) -> Result<MultiPolygon> {
+        match self {
+            Brush::Lasso(pts) => {
+                let ring = Ring::new(pts.clone())
+                    .map_err(|e| UrbaneError::Data(format!("lasso: {e}")))?;
+                if !ring.is_simple() {
+                    return Err(UrbaneError::Data("lasso self-intersects".into()));
+                }
+                Ok(Polygon::new(ring).into())
+            }
+            Brush::Circle { center, radius } => {
+                if !(*radius > 0.0) {
+                    return Err(UrbaneError::Data("circle radius must be positive".into()));
+                }
+                Polygon::regular(*center, *radius, 64)
+                    .map(Into::into)
+                    .map_err(|e| UrbaneError::Data(e.to_string()))
+            }
+            Brush::Rect(b) => {
+                if b.is_empty() {
+                    return Err(UrbaneError::Data("empty rectangle".into()));
+                }
+                Ok(Polygon::rect(b).into())
+            }
+            Brush::Corridor { path, width } => {
+                if path.len() < 2 {
+                    return Err(UrbaneError::Data("corridor needs at least 2 vertices".into()));
+                }
+                if !(*width > 0.0) {
+                    return Err(UrbaneError::Data("corridor width must be positive".into()));
+                }
+                // One quad per segment (square caps, mitre-free); segments
+                // are separate parts so sharp turns cannot self-intersect.
+                let half = width / 2.0;
+                let mut parts = Vec::with_capacity(path.len() - 1);
+                for seg in path.windows(2) {
+                    let dir = match (seg[1] - seg[0]).normalized() {
+                        Some(d) => d,
+                        None => continue, // zero-length segment
+                    };
+                    let n = dir.perp() * half;
+                    let ring = Ring::new(vec![
+                        seg[0] - n,
+                        seg[1] - n,
+                        seg[1] + n,
+                        seg[0] + n,
+                    ])
+                    .map_err(|e| UrbaneError::Data(format!("corridor: {e}")))?;
+                    parts.push(Polygon::new(ring));
+                }
+                if parts.is_empty() {
+                    return Err(UrbaneError::Data("corridor degenerated to a point".into()));
+                }
+                Ok(MultiPolygon::new(parts))
+            }
+        }
+    }
+
+    /// Wrap the brush as a single-region set, ready for any executor.
+    ///
+    /// Note: corridor parts may overlap near turns, so corridor COUNTs use
+    /// the point-in-any-part semantics of [`MultiPolygon::contains`] when
+    /// evaluated exactly; the raster executors share that semantics per
+    /// pixel.
+    pub fn to_region_set(&self, name: &str) -> Result<RegionSet> {
+        Ok(RegionSet::new("brush", vec![(name.to_string(), self.to_geometry()?)]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lasso_roundtrip() {
+        let b = Brush::Lasso(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 3.0),
+            Point::new(1.0, 4.0),
+        ]);
+        let rs = b.to_region_set("my lasso").unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.region_name(0), "my lasso");
+        assert!(rs.geometry(0).contains(Point::new(2.0, 1.0)));
+        assert!(!rs.geometry(0).contains(Point::new(5.0, 5.0)));
+    }
+
+    #[test]
+    fn self_intersecting_lasso_rejected() {
+        let b = Brush::Lasso(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(2.0, 0.0),
+            Point::new(0.0, 2.0),
+        ]);
+        assert!(b.to_geometry().is_err());
+    }
+
+    #[test]
+    fn circle_area_and_containment() {
+        let b = Brush::Circle { center: Point::new(5.0, 5.0), radius: 2.0 };
+        let g = b.to_geometry().unwrap();
+        let circle_area = std::f64::consts::PI * 4.0;
+        assert!((g.area() - circle_area).abs() / circle_area < 0.01);
+        assert!(g.contains(Point::new(5.0, 6.9)));
+        assert!(!g.contains(Point::new(5.0, 7.1)));
+        assert!(Brush::Circle { center: Point::ORIGIN, radius: 0.0 }.to_geometry().is_err());
+    }
+
+    #[test]
+    fn rect_tool() {
+        let b = Brush::Rect(BoundingBox::from_coords(1.0, 2.0, 3.0, 5.0));
+        let g = b.to_geometry().unwrap();
+        assert_eq!(g.area(), 6.0);
+        assert!(Brush::Rect(BoundingBox::empty()).to_geometry().is_err());
+    }
+
+    #[test]
+    fn corridor_covers_the_path() {
+        let b = Brush::Corridor {
+            path: vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(10.0, 10.0)],
+            width: 2.0,
+        };
+        let g = b.to_geometry().unwrap();
+        assert_eq!(g.len(), 2); // one quad per segment
+        assert!(g.contains(Point::new(5.0, 0.5)));
+        assert!(g.contains(Point::new(10.0, 5.0)));
+        assert!(!g.contains(Point::new(5.0, 5.0)));
+        // Area ≈ total length × width (corner overlap is small).
+        assert!((g.area() - 40.0).abs() < 4.0);
+    }
+
+    #[test]
+    fn corridor_validation() {
+        assert!(Brush::Corridor { path: vec![Point::ORIGIN], width: 1.0 }.to_geometry().is_err());
+        assert!(Brush::Corridor {
+            path: vec![Point::ORIGIN, Point::new(1.0, 0.0)],
+            width: 0.0
+        }
+        .to_geometry()
+        .is_err());
+        // All-duplicate path degenerates.
+        assert!(Brush::Corridor {
+            path: vec![Point::ORIGIN, Point::ORIGIN],
+            width: 1.0
+        }
+        .to_geometry()
+        .is_err());
+    }
+
+    #[test]
+    fn brush_feeds_raster_join() {
+        use raster_join::{RasterJoin, RasterJoinConfig};
+        use urban_data::query::SpatialAggQuery;
+        use urban_data::schema::Schema;
+
+        let mut t = urban_data::PointTable::new(Schema::empty());
+        for i in 0..50 {
+            t.push(Point::new(5.0 + (i % 5) as f64 * 0.1, 5.0), i, &[]).unwrap();
+        }
+        t.push(Point::new(50.0, 50.0), 0, &[]).unwrap();
+
+        let rs = Brush::Circle { center: Point::new(5.2, 5.0), radius: 3.0 }
+            .to_region_set("probe")
+            .unwrap();
+        let res = RasterJoin::new(RasterJoinConfig::accurate(256))
+            .execute(&t, &rs, &SpatialAggQuery::count())
+            .unwrap();
+        assert_eq!(res.table.value(0), Some(50.0));
+    }
+}

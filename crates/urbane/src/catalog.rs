@@ -1,0 +1,104 @@
+//! The data-set registry: Urbane sessions explore several point data sets
+//! side by side (taxi, 311, crime, …), switching and comparing them freely.
+
+use crate::{Result, UrbaneError};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use urban_data::PointTable;
+use urbane_geom::BoundingBox;
+
+/// A named collection of point data sets.
+#[derive(Debug, Clone, Default)]
+pub struct DataCatalog {
+    datasets: BTreeMap<String, Arc<PointTable>>,
+}
+
+impl DataCatalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a data set under `name`.
+    pub fn register<S: Into<String>>(&mut self, name: S, table: PointTable) {
+        self.datasets.insert(name.into(), Arc::new(table));
+    }
+
+    /// Fetch a data set.
+    pub fn get(&self, name: &str) -> Result<Arc<PointTable>> {
+        self.datasets
+            .get(name)
+            .cloned()
+            .ok_or_else(|| UrbaneError::UnknownDataset(name.to_string()))
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.datasets.keys().map(String::as_str).collect()
+    }
+
+    /// Number of data sets.
+    pub fn len(&self) -> usize {
+        self.datasets.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.datasets.is_empty()
+    }
+
+    /// Union of all data sets' bounding boxes (the city extent in practice).
+    pub fn combined_bbox(&self) -> BoundingBox {
+        self.datasets
+            .values()
+            .fold(BoundingBox::empty(), |b, t| b.union(&t.bbox()))
+    }
+
+    /// Total rows across data sets.
+    pub fn total_rows(&self) -> usize {
+        self.datasets.values().map(|t| t.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urban_data::schema::Schema;
+    use urbane_geom::Point;
+
+    fn table(at: (f64, f64)) -> PointTable {
+        let mut t = PointTable::new(Schema::empty());
+        t.push(Point::new(at.0, at.1), 0, &[]).unwrap();
+        t
+    }
+
+    #[test]
+    fn register_and_get() {
+        let mut c = DataCatalog::new();
+        c.register("taxi", table((1.0, 1.0)));
+        c.register("crime", table((5.0, 5.0)));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.names(), vec!["crime", "taxi"]);
+        assert_eq!(c.get("taxi").unwrap().len(), 1);
+        assert!(matches!(c.get("nope"), Err(UrbaneError::UnknownDataset(_))));
+    }
+
+    #[test]
+    fn replace_keeps_len() {
+        let mut c = DataCatalog::new();
+        c.register("a", table((0.0, 0.0)));
+        c.register("a", table((2.0, 2.0)));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get("a").unwrap().loc(0), Point::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn combined_bbox_and_rows() {
+        let mut c = DataCatalog::new();
+        assert!(c.combined_bbox().is_empty());
+        c.register("a", table((0.0, 0.0)));
+        c.register("b", table((10.0, 4.0)));
+        assert_eq!(c.combined_bbox(), BoundingBox::from_coords(0.0, 0.0, 10.0, 4.0));
+        assert_eq!(c.total_rows(), 2);
+    }
+}

@@ -1,0 +1,170 @@
+//! Color scales for choropleth rendering.
+//!
+//! A small set of perceptually-ordered scales (piecewise-linear
+//! interpolation over hand-picked stops): a viridis-like sequential scale, a
+//! yellow-orange-red sequential scale, and a blue-white-red diverging scale.
+
+/// A color scale: maps a normalized value in `[0, 1]` to RGB.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColorMap {
+    stops: Vec<[u8; 3]>,
+}
+
+impl ColorMap {
+    /// Viridis-like sequential scale (dark purple → teal → yellow).
+    pub fn viridis() -> Self {
+        ColorMap {
+            stops: vec![
+                [68, 1, 84],
+                [59, 82, 139],
+                [33, 145, 140],
+                [94, 201, 98],
+                [253, 231, 37],
+            ],
+        }
+    }
+
+    /// Yellow → orange → red sequential scale (classic heat choropleth).
+    pub fn ylorrd() -> Self {
+        ColorMap {
+            stops: vec![
+                [255, 255, 204],
+                [254, 217, 118],
+                [253, 141, 60],
+                [227, 26, 28],
+                [128, 0, 38],
+            ],
+        }
+    }
+
+    /// Blue → white → red diverging scale (for signed comparisons).
+    pub fn diverging() -> Self {
+        ColorMap {
+            stops: vec![[33, 102, 172], [146, 197, 222], [247, 247, 247], [244, 165, 130], [178, 24, 43]],
+        }
+    }
+
+    /// Sample the scale at `t ∈ [0, 1]` (clamped).
+    pub fn sample(&self, t: f64) -> [u8; 3] {
+        let t = if t.is_nan() { 0.0 } else { t.clamp(0.0, 1.0) };
+        let n = self.stops.len();
+        if n == 1 {
+            return self.stops[0];
+        }
+        let x = t * (n - 1) as f64;
+        let i = (x.floor() as usize).min(n - 2);
+        let f = x - i as f64;
+        let a = self.stops[i];
+        let b = self.stops[i + 1];
+        [
+            (a[0] as f64 + (b[0] as f64 - a[0] as f64) * f).round() as u8,
+            (a[1] as f64 + (b[1] as f64 - a[1] as f64) * f).round() as u8,
+            (a[2] as f64 + (b[2] as f64 - a[2] as f64) * f).round() as u8,
+        ]
+    }
+
+    /// Map a raw value into the scale given a `[lo, hi]` domain.
+    /// Degenerate domains map to the scale midpoint.
+    pub fn map_value(&self, v: f64, lo: f64, hi: f64) -> [u8; 3] {
+        if !(hi > lo) {
+            return self.sample(0.5);
+        }
+        self.sample((v - lo) / (hi - lo))
+    }
+}
+
+/// A normalization of region values to `[lo, hi]` plus missing-value color —
+/// what the map view feeds the colormap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Legend {
+    /// Domain minimum.
+    pub lo: f64,
+    /// Domain maximum.
+    pub hi: f64,
+}
+
+impl Legend {
+    /// Legend from the finite values present (ignores `None`s).
+    /// Returns a degenerate `[0, 0]` legend when no region has data.
+    pub fn from_values(values: &[Option<f64>]) -> Self {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for v in values.iter().flatten() {
+            lo = lo.min(*v);
+            hi = hi.max(*v);
+        }
+        if lo > hi {
+            Legend { lo: 0.0, hi: 0.0 }
+        } else {
+            Legend { lo, hi }
+        }
+    }
+
+    /// Tick positions for `n` legend labels.
+    pub fn ticks(&self, n: usize) -> Vec<f64> {
+        if n <= 1 {
+            return vec![self.lo];
+        }
+        (0..n)
+            .map(|i| self.lo + (self.hi - self.lo) * i as f64 / (n - 1) as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_hit_stops() {
+        let cm = ColorMap::viridis();
+        assert_eq!(cm.sample(0.0), [68, 1, 84]);
+        assert_eq!(cm.sample(1.0), [253, 231, 37]);
+    }
+
+    #[test]
+    fn clamping_and_nan() {
+        let cm = ColorMap::ylorrd();
+        assert_eq!(cm.sample(-5.0), cm.sample(0.0));
+        assert_eq!(cm.sample(7.0), cm.sample(1.0));
+        assert_eq!(cm.sample(f64::NAN), cm.sample(0.0));
+    }
+
+    #[test]
+    fn interpolation_is_monotone_in_red_for_ylorrd_tail() {
+        let cm = ColorMap::ylorrd();
+        // Green channel decreases monotonically over the scale.
+        let g: Vec<u8> = (0..=10).map(|i| cm.sample(i as f64 / 10.0)[1]).collect();
+        assert!(g.windows(2).all(|w| w[1] <= w[0]), "{g:?}");
+    }
+
+    #[test]
+    fn map_value_domains() {
+        let cm = ColorMap::viridis();
+        assert_eq!(cm.map_value(5.0, 0.0, 10.0), cm.sample(0.5));
+        assert_eq!(cm.map_value(3.0, 3.0, 3.0), cm.sample(0.5)); // degenerate
+        assert_eq!(cm.map_value(-1.0, 0.0, 1.0), cm.sample(0.0));
+    }
+
+    #[test]
+    fn legend_from_values() {
+        let l = Legend::from_values(&[Some(2.0), None, Some(8.0), Some(5.0)]);
+        assert_eq!(l.lo, 2.0);
+        assert_eq!(l.hi, 8.0);
+        let empty = Legend::from_values(&[None, None]);
+        assert_eq!((empty.lo, empty.hi), (0.0, 0.0));
+    }
+
+    #[test]
+    fn legend_ticks() {
+        let l = Legend { lo: 0.0, hi: 10.0 };
+        assert_eq!(l.ticks(3), vec![0.0, 5.0, 10.0]);
+        assert_eq!(l.ticks(1), vec![0.0]);
+    }
+
+    #[test]
+    fn diverging_midpoint_is_neutral() {
+        let mid = ColorMap::diverging().sample(0.5);
+        assert_eq!(mid, [247, 247, 247]);
+    }
+}

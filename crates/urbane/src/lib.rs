@@ -1,0 +1,84 @@
+//! # urbane — the visual-analytics framework (headless reproduction)
+//!
+//! Urbane is the 3D visual-analytics system the demo integrates Raster Join
+//! into. This crate reproduces its *data products* without a GUI toolkit:
+//! every interaction a demo visitor performs maps to a query against this
+//! API, and the latency of those queries is exactly what the demo showcases.
+//!
+//! * [`catalog`] — the data-set registry (taxi / 311 / crime / custom).
+//! * [`resolution`] — the resolution pyramid (boroughs → neighborhoods →
+//!   tracts) behind Urbane's resolution switcher.
+//! * [`colormap`] — sequential / diverging color scales for choropleths.
+//! * [`view::map`] — the map view: spatial aggregation at the active
+//!   resolution, rendered to a choropleth image (Figure 1 of the paper).
+//! * [`view::explore`] — the data-exploration view: per-region time series,
+//!   cross-data-set comparison, neighborhood ranking and similarity (the
+//!   architect workflow from the paper's introduction).
+//! * [`session`] — the interactive session: current filters, time range,
+//!   resolution and viewport, with a result cache; drives Raster Join for
+//!   every view update.
+
+pub mod brush;
+pub mod catalog;
+pub mod colormap;
+pub mod export;
+pub mod planner;
+pub mod resolution;
+pub mod session;
+pub mod view;
+
+pub use brush::Brush;
+pub use catalog::DataCatalog;
+pub use planner::{PlanChoice, PlannerConfig, QueryPlanner};
+pub use resolution::ResolutionPyramid;
+pub use session::{SessionConfig, UrbaneSession};
+
+/// Errors from the framework layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UrbaneError {
+    /// Referenced an unregistered data set.
+    UnknownDataset(String),
+    /// Referenced an unknown resolution level.
+    UnknownResolution(String),
+    /// Underlying raster-join failure.
+    Join(String),
+    /// Underlying data-layer failure.
+    Data(String),
+    /// I/O failure when exporting images.
+    Io(String),
+}
+
+impl std::fmt::Display for UrbaneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UrbaneError::UnknownDataset(d) => write!(f, "unknown dataset: {d}"),
+            UrbaneError::UnknownResolution(r) => write!(f, "unknown resolution: {r}"),
+            UrbaneError::Join(m) => write!(f, "raster join error: {m}"),
+            UrbaneError::Data(m) => write!(f, "data error: {m}"),
+            UrbaneError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for UrbaneError {}
+
+impl From<raster_join::RasterJoinError> for UrbaneError {
+    fn from(e: raster_join::RasterJoinError) -> Self {
+        UrbaneError::Join(e.to_string())
+    }
+}
+
+impl From<urban_data::DataError> for UrbaneError {
+    fn from(e: urban_data::DataError) -> Self {
+        UrbaneError::Data(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for UrbaneError {
+    fn from(e: std::io::Error) -> Self {
+        UrbaneError::Io(e.to_string())
+    }
+}
+
+/// Convenience alias for framework results.
+pub type Result<T> = std::result::Result<T, UrbaneError>;

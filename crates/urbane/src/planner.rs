@@ -1,0 +1,260 @@
+//! Adaptive query planning — picking the right executor per query.
+//!
+//! E2/E5 show each executor has a regime: the pre-aggregation cube is
+//! unbeatable *when it applies*; a time-partitioned index join wins on
+//! highly selective windows (few surviving rows); Raster Join wins whenever
+//! a substantial fraction of `P` must be touched. An interactive system
+//! shouldn't make the user choose — [`QueryPlanner`] builds all three
+//! artifacts once per (data set, region set) pair and routes each query by
+//! a simple cost model:
+//!
+//! 1. cube-answerable → **cube**;
+//! 2. expected surviving rows (time-partition pruning × sampled filter
+//!    selectivity) below a threshold → **spatio-temporal index join**;
+//! 3. otherwise → **(prepared) Raster Join**.
+
+use crate::Result;
+use raster_join::{CanvasSpec, ExecutionMode, PreparedRasterJoin};
+use spatial_index::{st_index_join, GridIndex, PreAggCube, TimePartitionedPoints};
+use std::sync::Arc;
+use urban_data::query::{AggTable, SpatialAggQuery};
+use urban_data::sampling::{reservoir_sample, take_rows};
+use urban_data::time::{TimeBucket, DAY};
+use urban_data::{PointTable, RegionSet};
+
+/// Which executor the planner chose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanChoice {
+    /// Answered from the pre-aggregation cube.
+    Cube,
+    /// Time-partitioned index join (selective queries).
+    StIndexJoin,
+    /// Prepared Raster Join (the default heavy-lifter).
+    RasterJoin,
+}
+
+/// Planner configuration.
+#[derive(Debug, Clone)]
+pub struct PlannerConfig {
+    /// Canvas resolution for the raster path.
+    pub resolution: u32,
+    /// Exact (accurate) or ε-bounded raster execution.
+    pub accurate: bool,
+    /// Route to the index join when the expected surviving rows fall below
+    /// this count.
+    pub index_threshold_rows: f64,
+    /// Materialize a COUNT cube over daily buckets at build time.
+    pub build_cube: bool,
+    /// Sample size for filter-selectivity estimation.
+    pub sample_rows: usize,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            resolution: 1024,
+            accurate: false,
+            index_threshold_rows: 60_000.0,
+            build_cube: true,
+            sample_rows: 2_000,
+        }
+    }
+}
+
+/// A planner bound to one (points, regions) pair.
+pub struct QueryPlanner {
+    points: Arc<PointTable>,
+    regions: Arc<RegionSet>,
+    grid: GridIndex,
+    partitions: TimePartitionedPoints,
+    cube: Option<PreAggCube>,
+    prepared: PreparedRasterJoin,
+    sample: PointTable,
+    config: PlannerConfig,
+}
+
+impl QueryPlanner {
+    /// Build every executor artifact once.
+    pub fn build(
+        points: Arc<PointTable>,
+        regions: Arc<RegionSet>,
+        config: PlannerConfig,
+    ) -> Result<Self> {
+        let grid = GridIndex::build_auto(&regions);
+        let partitions = TimePartitionedPoints::build(&points, DAY);
+        let cube = if config.build_cube {
+            PreAggCube::build(&points, &regions, TimeBucket::Day, None, None).ok()
+        } else {
+            None
+        };
+        let mode = if config.accurate { ExecutionMode::Accurate } else { ExecutionMode::Bounded };
+        let prepared = PreparedRasterJoin::prepare(
+            &regions,
+            CanvasSpec::Resolution(config.resolution),
+            2048,
+            mode,
+        )?;
+        let rows = reservoir_sample(&points, config.sample_rows, 0xBEEF);
+        let sample = take_rows(&points, &rows);
+        Ok(QueryPlanner { points, regions, grid, partitions, cube, prepared, sample, config })
+    }
+
+    /// Expected number of rows surviving the query's filters: the fraction
+    /// of time partitions touched times the sampled selectivity of the
+    /// remaining predicates.
+    pub fn estimate_surviving_rows(&self, query: &SpatialAggQuery) -> f64 {
+        // Time-window pruning handled by the partitions.
+        let mut window: Option<urban_data::time::TimeRange> = None;
+        for f in query.filters.filters() {
+            if let urban_data::filter::Filter::Time(r) = f {
+                window = Some(match window {
+                    None => *r,
+                    Some(w) => w
+                        .intersection(r)
+                        .unwrap_or(urban_data::time::TimeRange::new(0, 0)),
+                });
+            }
+        }
+        let kept_by_time = 1.0 - self.partitions.skip_fraction(window);
+        // Full-filter selectivity on the sample (includes the time filter;
+        // combining with partition pruning double-counts time slightly, so
+        // take the smaller — it only has to be a routing estimate).
+        let sampled = query.filters.selectivity(&self.sample).unwrap_or(1.0);
+        self.points.len() as f64 * sampled.min(kept_by_time)
+    }
+
+    /// Choose the executor for a query.
+    pub fn choose(&self, query: &SpatialAggQuery) -> PlanChoice {
+        if let Some(cube) = &self.cube {
+            if cube.query(query).is_ok() {
+                return PlanChoice::Cube;
+            }
+        }
+        if self.estimate_surviving_rows(query) < self.config.index_threshold_rows {
+            return PlanChoice::StIndexJoin;
+        }
+        PlanChoice::RasterJoin
+    }
+
+    /// Execute the query through the chosen path.
+    pub fn execute(&self, query: &SpatialAggQuery) -> Result<(AggTable, PlanChoice)> {
+        let choice = self.choose(query);
+        let table = match choice {
+            PlanChoice::Cube => self
+                .cube
+                .as_ref()
+                .expect("choose() returned Cube only when one exists")
+                .query(query)
+                .map_err(|e| crate::UrbaneError::Data(e.to_string()))?,
+            PlanChoice::StIndexJoin => {
+                st_index_join(&self.points, &self.partitions, &self.regions, &self.grid, query)
+                    .map_err(crate::UrbaneError::from)?
+            }
+            PlanChoice::RasterJoin => self.prepared.execute(&self.points, query)?.table,
+        };
+        Ok((table, choice))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urban_data::filter::Filter;
+    use urban_data::gen::city::CityModel;
+    use urban_data::gen::regions::voronoi_neighborhoods;
+    use urban_data::gen::taxi::{generate_taxi, TaxiConfig};
+    use urban_data::time::TimeRange;
+
+    fn planner(accurate: bool) -> QueryPlanner {
+        let city = CityModel::nyc_like();
+        let taxi =
+            generate_taxi(&city, &TaxiConfig { rows: 50_000, seed: 5, start: 0, days: 30 });
+        let regions = voronoi_neighborhoods(&city.bbox(), 40, 7, 2);
+        QueryPlanner::build(
+            Arc::new(taxi),
+            Arc::new(regions),
+            PlannerConfig {
+                resolution: 512,
+                accurate,
+                index_threshold_rows: 10_000.0,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cube_chosen_for_aligned_queries() {
+        let p = planner(false);
+        assert_eq!(p.choose(&SpatialAggQuery::count()), PlanChoice::Cube);
+        let q = SpatialAggQuery::count().filter(Filter::Time(TimeRange::new(0, 7 * DAY)));
+        assert_eq!(p.choose(&q), PlanChoice::Cube);
+    }
+
+    #[test]
+    fn index_chosen_for_selective_windows() {
+        let p = planner(false);
+        // One hour out of a month, unaligned → cube can't, few rows survive.
+        let q = SpatialAggQuery::count()
+            .filter(Filter::Time(TimeRange::new(5 * DAY + 30, 5 * DAY + 3_630)));
+        assert_eq!(p.choose(&q), PlanChoice::StIndexJoin);
+    }
+
+    #[test]
+    fn raster_chosen_for_broad_adhoc_queries() {
+        let p = planner(false);
+        // Unaligned but broad: most rows survive.
+        let q = SpatialAggQuery::count()
+            .filter(Filter::Time(TimeRange::new(60, 29 * DAY)))
+            .filter(Filter::AttrRange { column: "fare".into(), min: 0.0, max: 1e9 });
+        assert_eq!(p.choose(&q), PlanChoice::RasterJoin);
+    }
+
+    #[test]
+    fn all_paths_agree_when_accurate() {
+        let p = planner(true);
+        let queries = vec![
+            SpatialAggQuery::count(),
+            SpatialAggQuery::count().filter(Filter::Time(TimeRange::new(0, 7 * DAY))),
+            SpatialAggQuery::count()
+                .filter(Filter::Time(TimeRange::new(5 * DAY + 30, 5 * DAY + 3_630))),
+            SpatialAggQuery::count()
+                .filter(Filter::Time(TimeRange::new(60, 29 * DAY))),
+        ];
+        let mut choices_seen = std::collections::HashSet::new();
+        for q in queries {
+            let (table, choice) = p.execute(&q).unwrap();
+            choices_seen.insert(choice);
+            // Compare against the exact baseline.
+            let truth = spatial_index::naive_join(&p.points, &p.regions, &q).unwrap();
+            assert_eq!(table.values(), truth.values(), "{choice:?} diverged on {q:?}");
+        }
+        assert!(choices_seen.len() >= 2, "the test should exercise several paths");
+    }
+
+    #[test]
+    fn estimates_track_selectivity() {
+        let p = planner(false);
+        let narrow = SpatialAggQuery::count()
+            .filter(Filter::Time(TimeRange::new(0, DAY)));
+        let broad = SpatialAggQuery::count();
+        assert!(p.estimate_surviving_rows(&narrow) < p.estimate_surviving_rows(&broad));
+        assert!(p.estimate_surviving_rows(&broad) <= 50_000.0 * 1.01);
+    }
+
+    #[test]
+    fn planner_without_cube_still_works() {
+        let city = CityModel::nyc_like();
+        let taxi = generate_taxi(&city, &TaxiConfig { rows: 5_000, seed: 6, start: 0, days: 5 });
+        let regions = voronoi_neighborhoods(&city.bbox(), 10, 1, 1);
+        let p = QueryPlanner::build(
+            Arc::new(taxi),
+            Arc::new(regions),
+            PlannerConfig { build_cube: false, resolution: 256, ..Default::default() },
+        )
+        .unwrap();
+        let (table, choice) = p.execute(&SpatialAggQuery::count()).unwrap();
+        assert_ne!(choice, PlanChoice::Cube);
+        assert!(table.total_count() > 0);
+    }
+}

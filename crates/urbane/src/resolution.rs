@@ -1,0 +1,120 @@
+//! The resolution pyramid behind Urbane's resolution switcher.
+//!
+//! "Urbane allows users to visualize a data set of interest at different
+//! resolutions over varying time periods" — the spatial side of that is a
+//! stack of region sets ordered from coarse (boroughs) to fine (tract
+//! grids), all covering the same extent.
+
+use crate::{Result, UrbaneError};
+use std::sync::Arc;
+use urban_data::RegionSet;
+use urbane_geom::BoundingBox;
+
+/// An ordered stack of region sets, coarse to fine.
+#[derive(Debug, Clone)]
+pub struct ResolutionPyramid {
+    levels: Vec<Arc<RegionSet>>,
+}
+
+impl ResolutionPyramid {
+    /// Build from levels ordered coarse → fine.
+    ///
+    /// # Panics
+    /// Panics on an empty level list — a pyramid needs at least one level.
+    pub fn new(levels: Vec<RegionSet>) -> Self {
+        assert!(!levels.is_empty(), "pyramid needs at least one level");
+        ResolutionPyramid { levels: levels.into_iter().map(Arc::new).collect() }
+    }
+
+    /// The standard demo pyramid over `extent`: 5 boroughs, `n_nbhd`
+    /// neighborhoods, and a `tracts × tracts` grid.
+    pub fn standard(extent: &BoundingBox, n_nbhd: usize, tracts: u32, seed: u64) -> Self {
+        Self::new(urban_data::gen::regions::resolution_pyramid(extent, n_nbhd, tracts, seed))
+    }
+
+    /// Number of levels.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Pyramids are never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Level by index (0 = coarsest).
+    pub fn level(&self, idx: usize) -> Result<Arc<RegionSet>> {
+        self.levels
+            .get(idx)
+            .cloned()
+            .ok_or_else(|| UrbaneError::UnknownResolution(format!("level {idx}")))
+    }
+
+    /// Level by region-set name.
+    pub fn by_name(&self, name: &str) -> Result<Arc<RegionSet>> {
+        self.levels
+            .iter()
+            .find(|l| l.name() == name)
+            .cloned()
+            .ok_or_else(|| UrbaneError::UnknownResolution(name.to_string()))
+    }
+
+    /// Level names, coarse → fine.
+    pub fn names(&self) -> Vec<&str> {
+        self.levels.iter().map(|l| l.name()).collect()
+    }
+
+    /// Pick the coarsest level with at least `min_regions` regions — the
+    /// zoom-driven auto-selection rule (zoom in → finer polygons).
+    pub fn auto_select(&self, min_regions: usize) -> Arc<RegionSet> {
+        self.levels
+            .iter()
+            .find(|l| l.len() >= min_regions)
+            .cloned()
+            .unwrap_or_else(|| self.levels.last().expect("non-empty").clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pyramid() -> ResolutionPyramid {
+        let extent = BoundingBox::from_coords(0.0, 0.0, 100.0, 100.0);
+        ResolutionPyramid::standard(&extent, 20, 8, 3)
+    }
+
+    #[test]
+    fn standard_levels() {
+        let p = pyramid();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.level(0).unwrap().len(), 5);
+        assert_eq!(p.level(1).unwrap().len(), 20);
+        assert_eq!(p.level(2).unwrap().len(), 64);
+        assert!(p.level(9).is_err());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let p = pyramid();
+        assert!(p.by_name("boroughs").is_ok());
+        assert!(p.by_name("atlantis").is_err());
+        assert_eq!(p.names()[0], "boroughs");
+    }
+
+    #[test]
+    fn auto_select_prefers_coarse() {
+        let p = pyramid();
+        assert_eq!(p.auto_select(1).len(), 5);
+        assert_eq!(p.auto_select(10).len(), 20);
+        assert_eq!(p.auto_select(50).len(), 64);
+        // More than any level offers → finest.
+        assert_eq!(p.auto_select(10_000).len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn empty_pyramid_panics() {
+        ResolutionPyramid::new(vec![]);
+    }
+}

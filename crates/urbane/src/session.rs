@@ -1,0 +1,491 @@
+//! The interactive session — what a demo visitor actually drives.
+//!
+//! A session holds the catalog, the resolution pyramid, and the current
+//! interaction state (active data set, resolution, time window, attribute
+//! filters). Every state change invalidates the current view; re-rendering
+//! issues a fresh spatial-aggregation query through Raster Join — *that* is
+//! the latency the demo showcases, and E6 measures it per interaction kind.
+//! Identical queries hit an LRU-ish result cache (repeated slider positions,
+//! back-and-forth panning).
+
+use crate::catalog::DataCatalog;
+use crate::colormap::ColorMap;
+use crate::resolution::ResolutionPyramid;
+use crate::view::map::{ChoroplethImage, MapView};
+use crate::Result;
+use parking_lot::Mutex;
+use raster_join::RasterJoinConfig;
+use std::collections::HashMap;
+use std::sync::Arc;
+use urban_data::filter::Filter;
+use urban_data::query::{AggKind, AggTable, SpatialAggQuery};
+use urban_data::time::TimeRange;
+
+/// Static session configuration.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Raster-join configuration used by all views.
+    pub join: RasterJoinConfig,
+    /// Maximum cached query results.
+    pub cache_capacity: usize,
+    /// Choropleth canvas size.
+    pub map_width: u32,
+    /// Choropleth canvas height.
+    pub map_height: u32,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            join: RasterJoinConfig::default(),
+            cache_capacity: 64,
+            map_width: 512,
+            map_height: 512,
+        }
+    }
+}
+
+/// Cache statistics (diagnostic for E6).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from cache.
+    pub hits: u64,
+    /// Queries executed.
+    pub misses: u64,
+}
+
+/// An interactive Urbane session.
+pub struct UrbaneSession {
+    config: SessionConfig,
+    catalog: DataCatalog,
+    pyramid: ResolutionPyramid,
+    // Interaction state.
+    active_dataset: String,
+    active_level: usize,
+    time_window: Option<TimeRange>,
+    attr_filters: Vec<Filter>,
+    agg: AggKind,
+    /// Visible world window (None = fit the whole region set).
+    view_window: Option<urbane_geom::BoundingBox>,
+    // Result cache: query fingerprint → per-region aggregates.
+    cache: Mutex<HashMap<String, Arc<AggTable>>>,
+    cache_stats: Mutex<CacheStats>,
+    // Preview samples: (dataset, sample size) → (sample table, scale-up).
+    samples: Mutex<HashMap<(String, usize), Arc<(urban_data::PointTable, f64)>>>,
+}
+
+impl UrbaneSession {
+    /// Open a session. The first catalog data set (alphabetically) is active.
+    ///
+    /// # Panics
+    /// Panics on an empty catalog — a session needs data to explore.
+    pub fn new(config: SessionConfig, catalog: DataCatalog, pyramid: ResolutionPyramid) -> Self {
+        let active_dataset = catalog
+            .names()
+            .first()
+            .expect("session needs at least one dataset")
+            .to_string();
+        UrbaneSession {
+            config,
+            catalog,
+            pyramid,
+            active_dataset,
+            active_level: 0,
+            time_window: None,
+            attr_filters: Vec::new(),
+            agg: AggKind::Count,
+            view_window: None,
+            cache: Mutex::new(HashMap::new()),
+            cache_stats: Mutex::new(CacheStats::default()),
+            samples: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &DataCatalog {
+        &self.catalog
+    }
+
+    /// The resolution pyramid.
+    pub fn pyramid(&self) -> &ResolutionPyramid {
+        &self.pyramid
+    }
+
+    /// Switch the active data set.
+    pub fn select_dataset(&mut self, name: &str) -> Result<()> {
+        self.catalog.get(name)?; // validate
+        self.active_dataset = name.to_string();
+        Ok(())
+    }
+
+    /// Switch the active resolution level.
+    pub fn select_resolution(&mut self, level: usize) -> Result<()> {
+        self.pyramid.level(level)?; // validate
+        self.active_level = level;
+        Ok(())
+    }
+
+    /// Set (or clear) the time-slider window.
+    pub fn set_time_window(&mut self, window: Option<TimeRange>) {
+        self.time_window = window;
+    }
+
+    /// Replace the ad-hoc attribute filters.
+    pub fn set_filters(&mut self, filters: Vec<Filter>) {
+        self.attr_filters = filters;
+    }
+
+    /// Set the aggregate.
+    pub fn set_aggregate(&mut self, agg: AggKind) {
+        self.agg = agg;
+    }
+
+    /// The current visible world window (the full extent when unset).
+    pub fn view_window(&self) -> urbane_geom::BoundingBox {
+        self.view_window.unwrap_or_else(|| {
+            let b = self
+                .pyramid
+                .level(self.active_level)
+                .map(|l| l.bbox())
+                .unwrap_or_default();
+            b.inflate(b.width() * 0.05)
+        })
+    }
+
+    /// Pan the view by a fraction of the current window (`dx, dy ∈ [-1, 1]`
+    /// typically; positive = east/north).
+    pub fn pan(&mut self, dx: f64, dy: f64) {
+        let w = self.view_window();
+        let shift = urbane_geom::Point::new(dx * w.width(), dy * w.height());
+        self.view_window =
+            Some(urbane_geom::BoundingBox::new(w.min + shift, w.max + shift));
+    }
+
+    /// Zoom about the window center: `factor < 1` zooms in, `> 1` out.
+    ///
+    /// # Panics
+    /// Panics on non-positive factors — a caller bug, not a data condition.
+    pub fn zoom(&mut self, factor: f64) {
+        assert!(factor > 0.0, "zoom factor must be positive");
+        let w = self.view_window();
+        let c = w.center();
+        let half = urbane_geom::Point::new(w.width(), w.height()) * (0.5 * factor);
+        self.view_window = Some(urbane_geom::BoundingBox::new(c - half, c + half));
+    }
+
+    /// Reset the view to fit the active resolution.
+    pub fn reset_view(&mut self) {
+        self.view_window = None;
+    }
+
+    /// The active data-set name.
+    pub fn active_dataset(&self) -> &str {
+        &self.active_dataset
+    }
+
+    /// The active resolution level index.
+    pub fn active_resolution(&self) -> usize {
+        self.active_level
+    }
+
+    /// Cache statistics so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        *self.cache_stats.lock()
+    }
+
+    /// Assemble the current query from interaction state.
+    pub fn current_query(&self) -> SpatialAggQuery {
+        let mut q = SpatialAggQuery::new(self.agg.clone());
+        if let Some(w) = self.time_window {
+            q = q.filter(Filter::Time(w));
+        }
+        for f in &self.attr_filters {
+            q = q.filter(f.clone());
+        }
+        q
+    }
+
+    /// A stable fingerprint of (dataset, resolution, query) for the cache.
+    fn fingerprint(&self) -> String {
+        format!(
+            "{}|{}|{:?}|{:?}|{:?}",
+            self.active_dataset, self.active_level, self.agg, self.time_window, self.attr_filters
+        )
+    }
+
+    /// Evaluate the current view's aggregates (cached).
+    pub fn evaluate(&self) -> Result<Arc<AggTable>> {
+        let key = self.fingerprint();
+        if let Some(hit) = self.cache.lock().get(&key).cloned() {
+            self.cache_stats.lock().hits += 1;
+            return Ok(hit);
+        }
+        self.cache_stats.lock().misses += 1;
+
+        let points = self.catalog.get(&self.active_dataset)?;
+        let regions = self.pyramid.level(self.active_level)?;
+        let join = raster_join::RasterJoin::new(self.config.join.clone());
+        let res = join.execute(&points, &regions, &self.current_query())?;
+        let table = Arc::new(res.table);
+
+        if self.config.cache_capacity > 0 {
+            let mut cache = self.cache.lock();
+            if cache.len() >= self.config.cache_capacity {
+                // Simple eviction: drop an arbitrary entry (bounded memory
+                // is what matters here, not optimal reuse).
+                if let Some(k) = cache.keys().next().cloned() {
+                    cache.remove(&k);
+                }
+            }
+            cache.insert(key, table.clone());
+        }
+        Ok(table)
+    }
+
+    /// Fast approximate evaluation for in-flight interactions (slider
+    /// drags): runs the current query on a uniform reservoir sample and
+    /// scales COUNT/SUM estimates back up (a uniform sample keeps the
+    /// global scale factor unbiased per region; the *stratified* sampler in
+    /// `urban_data::sampling` is for coverage-preserving previews like
+    /// heatmaps, not for scaled aggregates). AVG/MIN/MAX are reported from
+    /// the sample unscaled. Results are *not* cached — previews are
+    /// transient by design.
+    pub fn evaluate_preview(&self, sample_rows: usize) -> Result<AggTable> {
+        let regions = self.pyramid.level(self.active_level)?;
+
+        // The sample is drawn once per (dataset, size) and reused for the
+        // whole interaction burst — resampling per frame would cost a full
+        // pass over the data and defeat the preview.
+        let key = (self.active_dataset.clone(), sample_rows);
+        let cached = self.samples.lock().get(&key).cloned();
+        let sample_and_scale = match cached {
+            Some(s) => s,
+            None => {
+                let points = self.catalog.get(&self.active_dataset)?;
+                let rows =
+                    urban_data::sampling::reservoir_sample(&points, sample_rows, 0xF00D);
+                let sample = urban_data::sampling::take_rows(&points, &rows);
+                let scale = urban_data::sampling::scale_up_factor(points.len(), sample.len())
+                    .unwrap_or(1.0);
+                let entry = Arc::new((sample, scale));
+                self.samples.lock().insert(key, entry.clone());
+                entry
+            }
+        };
+        let (sample, scale) = (&sample_and_scale.0, sample_and_scale.1);
+
+        let join = raster_join::RasterJoin::new(self.config.join.clone());
+        let mut res = join.execute(sample, &regions, &self.current_query())?;
+        for state in &mut res.table.states {
+            state.count = (state.count as f64 * scale).round() as u64;
+            state.weight *= scale;
+            state.sum *= scale;
+        }
+        Ok(res.table)
+    }
+
+    /// Render the current map view through the session's pan/zoom window.
+    ///
+    /// Aggregates come from the (cached) [`Self::evaluate`] result, so the
+    /// returned image's `join_stats`/`epsilon` metadata are zeroed — use
+    /// [`MapView::render`] directly when per-query stats matter.
+    pub fn render_map(&self) -> Result<ChoroplethImage> {
+        let regions = self.pyramid.level(self.active_level)?;
+        let view = MapView::new(self.config.join.clone(), ColorMap::viridis());
+        let table = self.evaluate()?;
+        let values = table.values();
+        let legend = crate::colormap::Legend::from_values(&values);
+        let vp = urbane_geom::projection::Viewport::fitted(
+            self.view_window(),
+            self.config.map_width,
+            self.config.map_height,
+        );
+        let image = view.render_values_viewport(&regions, &values, &legend, &vp);
+        Ok(ChoroplethImage {
+            image,
+            values,
+            legend,
+            join_stats: gpu_raster::RenderStats::new(),
+            epsilon: 0.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urban_data::gen::city::CityModel;
+    use urban_data::gen::taxi::{generate_taxi, TaxiConfig};
+    use urban_data::time::DAY;
+
+    fn session() -> UrbaneSession {
+        let city = CityModel::nyc_like();
+        let taxi = generate_taxi(&city, &TaxiConfig { rows: 5_000, seed: 1, start: 0, days: 10 });
+        let crime = urban_data::gen::events::generate_crime(
+            &city,
+            &urban_data::gen::events::EventConfig::month(2_000, 2, 0),
+        );
+        let mut catalog = DataCatalog::new();
+        catalog.register("taxi", taxi);
+        catalog.register("crime", crime);
+        let pyramid = ResolutionPyramid::standard(&city.bbox(), 16, 8, 5);
+        UrbaneSession::new(
+            SessionConfig {
+                join: RasterJoinConfig::with_resolution(256),
+                ..Default::default()
+            },
+            catalog,
+            pyramid,
+        )
+    }
+
+    #[test]
+    fn initial_state() {
+        let s = session();
+        assert_eq!(s.active_dataset(), "crime"); // alphabetical first
+        assert_eq!(s.active_resolution(), 0);
+        assert!(s.current_query().filters.is_empty());
+    }
+
+    #[test]
+    fn state_changes_validate() {
+        let mut s = session();
+        assert!(s.select_dataset("taxi").is_ok());
+        assert!(s.select_dataset("ghost").is_err());
+        assert_eq!(s.active_dataset(), "taxi");
+        assert!(s.select_resolution(2).is_ok());
+        assert!(s.select_resolution(9).is_err());
+        assert_eq!(s.active_resolution(), 2);
+    }
+
+    #[test]
+    fn evaluate_caches_identical_queries() {
+        let mut s = session();
+        s.select_dataset("taxi").unwrap();
+        let a = s.evaluate().unwrap();
+        let b = s.evaluate().unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second evaluation must hit the cache");
+        let st = s.cache_stats();
+        assert_eq!((st.hits, st.misses), (1, 1));
+    }
+
+    #[test]
+    fn interaction_changes_invalidate() {
+        let mut s = session();
+        s.select_dataset("taxi").unwrap();
+        let a = s.evaluate().unwrap();
+        s.set_time_window(Some(TimeRange::new(0, 3 * DAY)));
+        let b = s.evaluate().unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(b.total_count() < a.total_count(), "time filter must drop points");
+        // Reverting the window returns the cached original.
+        s.set_time_window(None);
+        let c = s.evaluate().unwrap();
+        assert!(Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn resolution_switch_changes_arity() {
+        let mut s = session();
+        s.select_dataset("taxi").unwrap();
+        s.select_resolution(0).unwrap();
+        let coarse = s.evaluate().unwrap();
+        s.select_resolution(2).unwrap();
+        let fine = s.evaluate().unwrap();
+        assert_eq!(coarse.len(), 5);
+        assert_eq!(fine.len(), 64);
+        // Totals are close (the bounded join loses only ε-edge points).
+        let (a, b) = (coarse.total_count() as f64, fine.total_count() as f64);
+        assert!((a - b).abs() / a < 0.02, "{a} vs {b}");
+    }
+
+    #[test]
+    fn render_map_works_end_to_end() {
+        let mut s = session();
+        s.select_dataset("taxi").unwrap();
+        s.select_resolution(1).unwrap();
+        let img = s.render_map().unwrap();
+        assert_eq!(img.image.width(), 512);
+        assert_eq!(img.values.len(), 16);
+        assert!(img.values.iter().any(Option::is_some));
+    }
+
+    #[test]
+    fn preview_approximates_exact_counts() {
+        let mut s = session();
+        s.select_dataset("taxi").unwrap();
+        s.select_resolution(0).unwrap(); // boroughs: large groups
+        let exact = s.evaluate().unwrap();
+        let preview = s.evaluate_preview(2_000).unwrap();
+        assert_eq!(preview.len(), exact.len());
+        for r in 0..exact.len() {
+            let (e, p) = (
+                exact.value(r).unwrap_or(0.0),
+                preview.value(r).unwrap_or(0.0),
+            );
+            if e > 100.0 {
+                let rel = (p - e).abs() / e;
+                assert!(rel < 0.5, "region {r}: preview {p} vs exact {e} (rel {rel:.2})");
+            }
+        }
+        // Total estimate lands in the right ballpark.
+        let (te, tp) = (exact.total_count() as f64, preview.total_count() as f64);
+        assert!((tp - te).abs() / te < 0.25, "totals {tp} vs {te}");
+    }
+
+    #[test]
+    fn pan_and_zoom_move_the_window() {
+        let mut s = session();
+        let initial = s.view_window();
+        s.zoom(0.5);
+        let zoomed = s.view_window();
+        assert!((zoomed.width() - initial.width() * 0.5).abs() < 1e-6);
+        assert!(zoomed.center().approx_eq(initial.center(), 1e-6));
+        s.pan(0.5, 0.0);
+        let panned = s.view_window();
+        assert!(panned.center().x > zoomed.center().x);
+        assert_eq!(panned.width(), zoomed.width());
+        s.reset_view();
+        assert_eq!(s.view_window(), initial);
+        // The zoomed map still renders.
+        s.zoom(0.25);
+        s.select_dataset("taxi").unwrap();
+        let img = s.render_map().unwrap();
+        assert_eq!(img.image.width(), 512);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let city = CityModel::nyc_like();
+        let taxi = generate_taxi(&city, &TaxiConfig { rows: 500, seed: 1, start: 0, days: 2 });
+        let mut catalog = DataCatalog::new();
+        catalog.register("taxi", taxi);
+        let pyramid = ResolutionPyramid::standard(&city.bbox(), 8, 4, 5);
+        let s = UrbaneSession::new(
+            SessionConfig {
+                join: RasterJoinConfig::with_resolution(64),
+                cache_capacity: 0,
+                ..Default::default()
+            },
+            catalog,
+            pyramid,
+        );
+        let a = s.evaluate().unwrap();
+        let b = s.evaluate().unwrap();
+        assert!(!Arc::ptr_eq(&a, &b), "capacity 0 must bypass the cache");
+        assert_eq!(s.cache_stats().hits, 0);
+        assert_eq!(s.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn cache_capacity_bounds_memory() {
+        let mut s = session();
+        s.select_dataset("taxi").unwrap();
+        // More distinct queries than capacity.
+        for day in 0..70 {
+            s.set_time_window(Some(TimeRange::new(day * DAY, (day + 1) * DAY)));
+            let _ = s.evaluate().unwrap();
+        }
+        assert!(s.cache.lock().len() <= s.config.cache_capacity);
+    }
+}

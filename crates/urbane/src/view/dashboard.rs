@@ -1,0 +1,231 @@
+//! Dashboard composition — Urbane's screen as one image.
+//!
+//! The demo's screen shows several coordinated views at once: the map view,
+//! a heatmap layer, the exploration view's time series, and a legend. This
+//! module composes pre-rendered panels into a single RGB canvas (PPM-able),
+//! drawing the series as a bar chart and the legend as a color ramp —
+//! everything needed to eyeball a session's state from one file.
+
+use crate::colormap::{ColorMap, Legend};
+use gpu_raster::Buffer2D;
+
+/// Layout constants (pixels).
+const GUTTER: u32 = 8;
+const LEGEND_H: u32 = 14;
+const CHART_MIN_H: u32 = 60;
+
+/// Blit `src` into `dst` at `(ox, oy)`, clipping to the destination.
+pub fn blit(dst: &mut Buffer2D<[u8; 3]>, src: &Buffer2D<[u8; 3]>, ox: u32, oy: u32) {
+    let w = src.width().min(dst.width().saturating_sub(ox));
+    let h = src.height().min(dst.height().saturating_sub(oy));
+    for y in 0..h {
+        for x in 0..w {
+            dst.set(ox + x, oy + y, src.get(x, y));
+        }
+    }
+}
+
+/// Fill an axis-aligned rectangle (clipped).
+pub fn fill_rect(dst: &mut Buffer2D<[u8; 3]>, x0: u32, y0: u32, w: u32, h: u32, color: [u8; 3]) {
+    let x1 = (x0 + w).min(dst.width());
+    let y1 = (y0 + h).min(dst.height());
+    for y in y0.min(dst.height())..y1 {
+        for x in x0.min(dst.width())..x1 {
+            dst.set(x, y, color);
+        }
+    }
+}
+
+/// Draw a horizontal color-ramp legend for `legend`'s domain.
+pub fn draw_legend_ramp(
+    dst: &mut Buffer2D<[u8; 3]>,
+    colormap: &ColorMap,
+    x0: u32,
+    y0: u32,
+    w: u32,
+    h: u32,
+) {
+    for i in 0..w {
+        let t = i as f64 / (w.max(2) - 1) as f64;
+        let c = colormap.sample(t);
+        for y in 0..h {
+            if x0 + i < dst.width() && y0 + y < dst.height() {
+                dst.set(x0 + i, y0 + y, c);
+            }
+        }
+    }
+}
+
+/// Draw a bar chart of `values` (None = missing, drawn as a thin stub).
+pub fn draw_bar_chart(
+    dst: &mut Buffer2D<[u8; 3]>,
+    values: &[Option<f64>],
+    x0: u32,
+    y0: u32,
+    w: u32,
+    h: u32,
+    bar_color: [u8; 3],
+    bg: [u8; 3],
+) {
+    fill_rect(dst, x0, y0, w, h, bg);
+    if values.is_empty() || w == 0 || h == 0 {
+        return;
+    }
+    let max = values.iter().flatten().fold(0.0f64, |m, &v| m.max(v)).max(f64::MIN_POSITIVE);
+    let slot = (w / values.len() as u32).max(1);
+    let bar_w = (slot * 4 / 5).max(1);
+    for (i, v) in values.iter().enumerate() {
+        let frac = v.map_or(0.0, |v| (v / max).clamp(0.0, 1.0));
+        let bar_h = ((h as f64 - 2.0) * frac).round().max(1.0) as u32;
+        let bx = x0 + i as u32 * slot + (slot - bar_w) / 2;
+        let by = y0 + h - bar_h - 1;
+        fill_rect(dst, bx, by, bar_w, bar_h, bar_color);
+    }
+}
+
+/// The composed dashboard inputs.
+pub struct DashboardSpec<'a> {
+    /// The choropleth panel (left, dominant).
+    pub map: &'a Buffer2D<[u8; 3]>,
+    /// The heatmap panel (right column, top).
+    pub heatmap: Option<&'a Buffer2D<[u8; 3]>>,
+    /// Time-series values for the bar chart (right column, bottom).
+    pub series: &'a [Option<f64>],
+    /// Colormap + legend domain for the ramp under the map.
+    pub colormap: &'a ColorMap,
+    /// Value domain the ramp represents.
+    pub legend: Legend,
+}
+
+/// Compose the dashboard. The output width is `map.width + right column`;
+/// the right column is as wide as the heatmap (or map/2 when absent).
+pub fn compose(spec: &DashboardSpec<'_>) -> Buffer2D<[u8; 3]> {
+    let background = [16, 16, 20];
+    let right_w = spec.heatmap.map_or(spec.map.width() / 2, |h| h.width());
+    let width = spec.map.width() + right_w + 3 * GUTTER;
+    let left_h = spec.map.height() + LEGEND_H + 3 * GUTTER;
+    let right_h = spec.heatmap.map_or(0, |h| h.height() + GUTTER) + CHART_MIN_H + 2 * GUTTER;
+    let height = left_h.max(right_h);
+
+    let mut canvas = Buffer2D::new(width, height, background);
+
+    // Left: map + legend ramp.
+    blit(&mut canvas, spec.map, GUTTER, GUTTER);
+    draw_legend_ramp(
+        &mut canvas,
+        spec.colormap,
+        GUTTER,
+        spec.map.height() + 2 * GUTTER,
+        spec.map.width(),
+        LEGEND_H,
+    );
+    let _ = spec.legend; // domain implied by the ramp ends
+
+    // Right column.
+    let rx = spec.map.width() + 2 * GUTTER;
+    let mut ry = GUTTER;
+    if let Some(hm) = spec.heatmap {
+        blit(&mut canvas, hm, rx, ry);
+        ry += hm.height() + GUTTER;
+    }
+    let chart_h = height.saturating_sub(ry + GUTTER).max(CHART_MIN_H);
+    draw_bar_chart(
+        &mut canvas,
+        spec.series,
+        rx,
+        ry,
+        right_w,
+        chart_h,
+        [94, 201, 98],
+        [28, 28, 34],
+    );
+    canvas
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solid(w: u32, h: u32, c: [u8; 3]) -> Buffer2D<[u8; 3]> {
+        Buffer2D::new(w, h, c)
+    }
+
+    #[test]
+    fn blit_and_clip() {
+        let mut dst = solid(10, 10, [0; 3]);
+        let src = solid(4, 4, [255; 3]);
+        blit(&mut dst, &src, 8, 8); // clipped to 2x2
+        assert_eq!(dst.get(8, 8), [255; 3]);
+        assert_eq!(dst.get(9, 9), [255; 3]);
+        assert_eq!(dst.get(7, 7), [0; 3]);
+    }
+
+    #[test]
+    fn ramp_is_monotone_in_colormap() {
+        let mut dst = solid(64, 10, [0; 3]);
+        let cm = ColorMap::viridis();
+        draw_legend_ramp(&mut dst, &cm, 0, 0, 64, 10);
+        assert_eq!(dst.get(0, 5), cm.sample(0.0));
+        assert_eq!(dst.get(63, 5), cm.sample(1.0));
+    }
+
+    #[test]
+    fn bars_scale_with_values() {
+        let mut dst = solid(100, 50, [0; 3]);
+        let values = vec![Some(1.0), Some(10.0), None, Some(5.0)];
+        draw_bar_chart(&mut dst, &values, 0, 0, 100, 50, [0, 255, 0], [10, 10, 10]);
+        // Count green pixels per quarter-column: the 10.0 bar is tallest.
+        let green_in = |x0: u32, x1: u32| {
+            let mut n = 0;
+            for y in 0..50 {
+                for x in x0..x1 {
+                    if dst.get(x, y) == [0, 255, 0] {
+                        n += 1;
+                    }
+                }
+            }
+            n
+        };
+        let b0 = green_in(0, 25);
+        let b1 = green_in(25, 50);
+        let b2 = green_in(50, 75);
+        let b3 = green_in(75, 100);
+        assert!(b1 > b3 && b3 > b0, "{b0} {b1} {b2} {b3}");
+        assert!(b2 >= 1, "missing value drawn as stub");
+        assert!(b1 > 8 * b0, "10x value towers over 1x");
+    }
+
+    #[test]
+    fn compose_layout() {
+        let map = solid(120, 100, [1, 2, 3]);
+        let hm = solid(60, 50, [9, 9, 9]);
+        let series = vec![Some(1.0), Some(2.0)];
+        let cm = ColorMap::viridis();
+        let out = compose(&DashboardSpec {
+            map: &map,
+            heatmap: Some(&hm),
+            series: &series,
+            colormap: &cm,
+            legend: Legend { lo: 0.0, hi: 2.0 },
+        });
+        assert_eq!(out.width(), 120 + 60 + 3 * GUTTER);
+        assert!(out.height() >= 100 + LEGEND_H + 3 * GUTTER);
+        // Map pixel present at its offset; heatmap at the right column.
+        assert_eq!(out.get(GUTTER + 1, GUTTER + 1), [1, 2, 3]);
+        assert_eq!(out.get(120 + 2 * GUTTER + 1, GUTTER + 1), [9, 9, 9]);
+    }
+
+    #[test]
+    fn compose_without_heatmap() {
+        let map = solid(80, 60, [5, 5, 5]);
+        let cm = ColorMap::ylorrd();
+        let out = compose(&DashboardSpec {
+            map: &map,
+            heatmap: None,
+            series: &[Some(3.0)],
+            colormap: &cm,
+            legend: Legend { lo: 0.0, hi: 3.0 },
+        });
+        assert_eq!(out.width(), 80 + 40 + 3 * GUTTER);
+    }
+}

@@ -1,0 +1,236 @@
+//! The heatmap view — Urbane's point-density layer.
+//!
+//! Alongside region choropleths, Urbane renders raw point density as a
+//! smooth heat layer. This is the point pass of Raster Join used directly
+//! as a visualization: points are splatted into an accumulation buffer,
+//! optionally box-blurred (the cheap separable stand-in for the Gaussian
+//! kernel a shader would apply), normalized, and colored.
+
+use crate::colormap::ColorMap;
+use crate::Result;
+use gpu_raster::blend::BlendOp;
+use gpu_raster::{Buffer2D, Pipeline};
+use urban_data::filter::FilterSet;
+use urban_data::PointTable;
+use urbane_geom::projection::Viewport;
+
+/// Heatmap rendering configuration.
+#[derive(Debug, Clone)]
+pub struct HeatmapConfig {
+    /// Splat size in pixels (1 = single fragment per point).
+    pub point_size: u32,
+    /// Box-blur radius in pixels (0 = no smoothing).
+    pub blur_radius: u32,
+    /// Gamma applied to normalized density before coloring (< 1 lifts dim
+    /// areas — urban densities are heavily skewed).
+    pub gamma: f64,
+    /// Color scale.
+    pub colormap: ColorMap,
+}
+
+impl Default for HeatmapConfig {
+    fn default() -> Self {
+        HeatmapConfig {
+            point_size: 1,
+            blur_radius: 2,
+            gamma: 0.35,
+            colormap: ColorMap::ylorrd(),
+        }
+    }
+}
+
+/// A rendered heatmap: the density field plus its RGB visualization.
+#[derive(Debug, Clone)]
+pub struct Heatmap {
+    /// Raw (blurred) per-pixel density.
+    pub density: Buffer2D<f32>,
+    /// Colored image.
+    pub image: Buffer2D<[u8; 3]>,
+    /// Density value mapped to the top of the color scale.
+    pub max_density: f32,
+    /// Points rendered (after filtering/culling).
+    pub points_drawn: u64,
+}
+
+/// Render a heatmap of `points` (after `filters`) through `viewport`.
+pub fn render_heatmap(
+    points: &PointTable,
+    filters: &FilterSet,
+    viewport: &Viewport,
+    config: &HeatmapConfig,
+) -> Result<Heatmap> {
+    let (w, h) = (viewport.width, viewport.height);
+    let mut pipe = Pipeline::new(*viewport);
+    let mut density = Buffer2D::new(w, h, 0.0f32);
+
+    let compiled = filters.compile(points)?;
+    let idxs = (0..points.len()).filter(|&i| compiled.matches(i));
+    if config.point_size <= 1 {
+        pipe.draw_points(&mut density, idxs.map(|i| points.loc(i)), |_| 1.0, BlendOp::Add);
+    } else {
+        pipe.draw_points_splat(
+            &mut density,
+            idxs.map(|i| points.loc(i)),
+            |_| 1.0,
+            config.point_size,
+            BlendOp::Add,
+        );
+    }
+    let points_drawn = pipe.stats().points_in - pipe.stats().points_culled;
+
+    if config.blur_radius > 0 {
+        density = box_blur(&density, config.blur_radius);
+    }
+
+    let max_density = density.max_value().max(f32::MIN_POSITIVE);
+    let image = density.map(|v| {
+        let t = (v / max_density) as f64;
+        config.colormap.sample(t.powf(config.gamma))
+    });
+
+    Ok(Heatmap { density, image, max_density, points_drawn })
+}
+
+/// Separable box blur with edge clamping; preserves total mass up to the
+/// clamped borders.
+fn box_blur(src: &Buffer2D<f32>, radius: u32) -> Buffer2D<f32> {
+    let (w, h) = (src.width(), src.height());
+    let r = radius as i64;
+    let norm = 1.0 / (2 * r + 1) as f32;
+
+    // Horizontal pass (sliding window per row).
+    let mut horiz = Buffer2D::new(w, h, 0.0f32);
+    for y in 0..h {
+        let row = src.row(y);
+        let mut acc: f32 = 0.0;
+        for x in -r..=r {
+            acc += row[x.clamp(0, w as i64 - 1) as usize];
+        }
+        for x in 0..w as i64 {
+            horiz.set(x as u32, y, acc * norm);
+            let leaving = (x - r).clamp(0, w as i64 - 1) as usize;
+            let entering = (x + r + 1).clamp(0, w as i64 - 1) as usize;
+            acc += row[entering] - row[leaving];
+        }
+    }
+    // Vertical pass.
+    let mut out = Buffer2D::new(w, h, 0.0f32);
+    for x in 0..w {
+        let mut acc: f32 = 0.0;
+        for y in -r..=r {
+            acc += horiz.get(x, y.clamp(0, h as i64 - 1) as u32);
+        }
+        for y in 0..h as i64 {
+            out.set(x, y as u32, acc * norm);
+            let leaving = (y - r).clamp(0, h as i64 - 1) as u32;
+            let entering = (y + r + 1).clamp(0, h as i64 - 1) as u32;
+            acc += horiz.get(x, entering) - horiz.get(x, leaving);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urban_data::filter::Filter;
+    use urban_data::schema::Schema;
+    use urban_data::time::TimeRange;
+    use urbane_geom::{BoundingBox, Point};
+
+    fn cluster_table() -> PointTable {
+        let mut t = PointTable::new(Schema::empty());
+        for i in 0..100 {
+            // Tight cluster near (10, 10).
+            t.push(Point::new(10.0 + (i % 3) as f64 * 0.1, 10.0 + (i % 5) as f64 * 0.1), i, &[])
+                .unwrap();
+        }
+        t.push(Point::new(50.0, 50.0), 0, &[]).unwrap(); // lone point
+        t
+    }
+
+    fn vp() -> Viewport {
+        Viewport::new(BoundingBox::from_coords(0.0, 0.0, 64.0, 64.0), 64, 64)
+    }
+
+    #[test]
+    fn density_peaks_at_cluster() {
+        let t = cluster_table();
+        let hm = render_heatmap(
+            &t,
+            &FilterSet::none(),
+            &vp(),
+            &HeatmapConfig { blur_radius: 0, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(hm.points_drawn, 101);
+        // Peak at the cluster pixel (world 10,10 → pixel (10, 53)).
+        assert!(hm.max_density >= 20.0);
+        let (px, py) = vp().world_to_pixel(Point::new(10.0, 10.0)).unwrap();
+        assert!(hm.density.get(px, py) > 0.0);
+        assert_eq!(hm.density.sum() as u64, 101, "no blur → mass = points");
+    }
+
+    #[test]
+    fn blur_spreads_but_preserves_interior_mass() {
+        let t = cluster_table();
+        let sharp = render_heatmap(
+            &t,
+            &FilterSet::none(),
+            &vp(),
+            &HeatmapConfig { blur_radius: 0, ..Default::default() },
+        )
+        .unwrap();
+        let smooth = render_heatmap(
+            &t,
+            &FilterSet::none(),
+            &vp(),
+            &HeatmapConfig { blur_radius: 3, ..Default::default() },
+        )
+        .unwrap();
+        assert!(smooth.max_density < sharp.max_density);
+        // Away from the borders the blur conserves mass approximately.
+        assert!((smooth.density.sum() - sharp.density.sum()).abs() / sharp.density.sum() < 0.05);
+        // More pixels are non-zero after blurring.
+        let nz = |b: &Buffer2D<f32>| b.as_slice().iter().filter(|&&v| v > 0.0).count();
+        assert!(nz(&smooth.density) > nz(&sharp.density));
+    }
+
+    #[test]
+    fn filters_reduce_drawn_points() {
+        let t = cluster_table();
+        let f = FilterSet::none().and(Filter::Time(TimeRange::new(0, 10)));
+        let hm = render_heatmap(&t, &f, &vp(), &HeatmapConfig::default()).unwrap();
+        assert!(hm.points_drawn < 101);
+    }
+
+    #[test]
+    fn hot_pixels_are_hot_colored() {
+        let t = cluster_table();
+        let cfg = HeatmapConfig { blur_radius: 0, gamma: 1.0, ..Default::default() };
+        let hm = render_heatmap(&t, &FilterSet::none(), &vp(), &cfg).unwrap();
+        // The peak pixel gets the top color of the scale.
+        let mut peak = (0u32, 0u32);
+        let mut best = -1.0f32;
+        for (x, y, v) in hm.density.iter_texels() {
+            if v > best {
+                best = v;
+                peak = (x, y);
+            }
+        }
+        assert_eq!(hm.image.get(peak.0, peak.1), cfg.colormap.sample(1.0));
+        // A zero-density pixel gets the bottom color.
+        assert_eq!(hm.image.get(0, 0), cfg.colormap.sample(0.0));
+    }
+
+    #[test]
+    fn splats_increase_coverage() {
+        let t = cluster_table();
+        let cfg1 = HeatmapConfig { point_size: 1, blur_radius: 0, ..Default::default() };
+        let cfg3 = HeatmapConfig { point_size: 3, blur_radius: 0, ..Default::default() };
+        let a = render_heatmap(&t, &FilterSet::none(), &vp(), &cfg1).unwrap();
+        let b = render_heatmap(&t, &FilterSet::none(), &vp(), &cfg3).unwrap();
+        let nz = |h: &Heatmap| h.density.as_slice().iter().filter(|&&v| v > 0.0).count();
+        assert!(nz(&b) > nz(&a));
+    }
+}

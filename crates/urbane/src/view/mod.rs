@@ -1,0 +1,11 @@
+//! Urbane's views as headless data products.
+
+pub mod dashboard;
+pub mod explore;
+pub mod heatmap;
+pub mod map;
+
+pub use dashboard::{compose, DashboardSpec};
+pub use explore::{DatasetSeries, ExplorationView, RegionProfile};
+pub use heatmap::{render_heatmap, Heatmap, HeatmapConfig};
+pub use map::{ChoroplethImage, MapView};

@@ -1,0 +1,103 @@
+//! Streaming ingestion — keeping the map live as data arrives.
+//!
+//! Urban feeds arrive continuously (TLC publishes trips in batches). Raster
+//! Join composes cleanly under appends: aggregate states merge losslessly,
+//! so each new batch costs one point pass over *the batch only* against the
+//! prepared (cached) polygon raster — no recomputation over history.
+//!
+//! The example ingests a month day by day, maintaining per-neighborhood
+//! counts incrementally, verifies the running result equals a full
+//! recomputation, and compares the costs of the two strategies.
+//!
+//! ```text
+//! cargo run --release --example streaming_updates
+//! ```
+
+use raster_join::{CanvasSpec, ExecutionMode, PreparedRasterJoin, RasterJoin, RasterJoinConfig};
+use urban_data::gen::city::CityModel;
+use urban_data::gen::regions::voronoi_neighborhoods;
+use urban_data::gen::taxi::{generate_taxi, TaxiConfig};
+use urban_data::query::{AggTable, SpatialAggQuery};
+use urban_data::PointTable;
+
+fn main() {
+    let city = CityModel::nyc_like();
+    let regions = voronoi_neighborhoods(&city.bbox(), 260, 42, 2);
+    let query = SpatialAggQuery::count();
+    let days = 30;
+
+    // One generated batch per "day" (different seed per day → fresh data).
+    println!("generating {days} daily batches…");
+    let batches: Vec<PointTable> = (0..days)
+        .map(|d| {
+            generate_taxi(
+                &city,
+                &TaxiConfig { rows: 40_000, seed: 100 + d as u64, start: d * 86_400, days: 1 },
+            )
+        })
+        .collect();
+
+    // Prepared join: polygon raster built once for the whole stream.
+    let t0 = std::time::Instant::now();
+    let prepared = PreparedRasterJoin::prepare(
+        &regions,
+        CanvasSpec::Resolution(1024),
+        2048,
+        ExecutionMode::Bounded,
+    )
+    .expect("prepare");
+    println!("polygon raster prepared in {:.0} ms\n", t0.elapsed().as_secs_f64() * 1e3);
+
+    // Incremental ingestion: merge each day's delta into the running table.
+    let mut running = AggTable::new(query.agg_kind(), regions.len());
+    let mut incr_total_ms = 0.0;
+    let mut history = PointTable::new(batches[0].schema().clone());
+    let mut recompute_ms_last = 0.0;
+
+    println!("{:>4}  {:>12}  {:>14}  {:>16}", "day", "rows so far", "ingest ms", "recompute ms");
+    for (d, batch) in batches.iter().enumerate() {
+        let t0 = std::time::Instant::now();
+        let delta = prepared.execute(batch, &query).expect("delta join");
+        running.merge(&delta.table).expect("same arity");
+        let ingest_ms = t0.elapsed().as_secs_f64() * 1e3;
+        incr_total_ms += ingest_ms;
+
+        history.append(batch).expect("same schema");
+        // Full recomputation cost for comparison (every 10th day).
+        if (d + 1) % 10 == 0 {
+            let join = RasterJoin::new(RasterJoinConfig::with_resolution(1024));
+            let t0 = std::time::Instant::now();
+            let full = join.execute(&history, &regions, &query).expect("full join");
+            recompute_ms_last = t0.elapsed().as_secs_f64() * 1e3;
+            // The running table must equal the recomputation.
+            assert_eq!(running.values(), full.table.values(), "incremental drift on day {d}");
+            println!(
+                "{:>4}  {:>12}  {:>14.1}  {:>16.1}   (verified equal)",
+                d + 1,
+                history.len(),
+                ingest_ms,
+                recompute_ms_last
+            );
+        } else {
+            println!("{:>4}  {:>12}  {:>14.1}  {:>16}", d + 1, history.len(), ingest_ms, "-");
+        }
+    }
+
+    println!(
+        "\nmonth ingested incrementally in {incr_total_ms:.0} ms total \
+         ({:.1} ms/day average); a final-day full recomputation alone costs {recompute_ms_last:.0} ms",
+        incr_total_ms / days as f64
+    );
+    let busiest = running
+        .values()
+        .into_iter()
+        .enumerate()
+        .filter_map(|(r, v)| v.map(|v| (r, v)))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .expect("data exists");
+    println!(
+        "busiest neighborhood after the month: {} with {:.0} pickups",
+        regions.region_name(busiest.0 as u32),
+        busiest.1
+    );
+}
