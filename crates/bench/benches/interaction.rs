@@ -22,7 +22,8 @@ fn fresh_session(w: &Workload) -> UrbaneSession {
         },
         catalog,
         pyramid,
-    );
+    )
+    .expect("bench catalog is non-empty");
     s.select_dataset("taxi").unwrap();
     s.select_resolution(1).unwrap();
     s

@@ -344,7 +344,8 @@ pub fn e6_interaction(points: usize) -> String {
         SessionConfig { join: RasterJoinConfig::with_resolution(1024), ..Default::default() },
         catalog,
         pyramid,
-    );
+    )
+    .expect("experiment catalog is non-empty");
     session.select_dataset("taxi").unwrap();
     session.select_resolution(1).unwrap();
     let start = demo_start();

@@ -16,7 +16,8 @@
 //! The result equals the exact join bit-for-bit on counts — property-tested
 //! against the nested-loop baseline.
 
-use crate::bounded::{gather_region, point_pass};
+use crate::bounded::{gather_region, point_pass, POINT_CHUNK};
+use crate::budget::QueryBudget;
 use crate::executor::PolygonPath;
 use crate::Result;
 use gpu_raster::line::traverse_segment;
@@ -26,22 +27,26 @@ use urban_data::query::{AggTable, SpatialAggQuery};
 use urban_data::{PointTable, RegionId, RegionSet};
 use urbane_geom::projection::Viewport;
 
-/// Execute accurate Raster Join for one tile.
+/// Execute accurate Raster Join for one tile. The budget is polled per
+/// region in the boundary/gather passes and per point chunk in the point
+/// pass and the exact fix-up.
 pub(crate) fn accurate_tile(
     viewport: &Viewport,
     points: &PointTable,
     regions: &RegionSet,
     query: &SpatialAggQuery,
     path: PolygonPath,
+    budget: &QueryBudget,
 ) -> Result<(AggTable, gpu_raster::RenderStats)> {
     let mut pipe = Pipeline::new(*viewport);
     let (w, h) = (viewport.width, viewport.height);
-    let bufs = point_pass(&mut pipe, points, query)?;
+    let bufs = point_pass(&mut pipe, points, query, budget)?;
 
     // Step 2: per-region boundary pixels + global (pixel, region) pairs.
     let mut boundary_pairs: Vec<(u32, RegionId)> = Vec::new();
     let mut region_boundary: Vec<HashSet<u32>> = Vec::with_capacity(regions.len());
     for (id, _, geom) in regions.iter() {
+        budget.check()?;
         let mut set = HashSet::new();
         if viewport.world.intersects(&geom.bbox()) {
             for poly in geom.polygons() {
@@ -64,6 +69,7 @@ pub(crate) fn accurate_tile(
     // Step 3: interior gather per region.
     let mut table = AggTable::new(query.agg_kind(), regions.len());
     for (id, _, geom) in regions.iter() {
+        budget.check()?;
         let skip_set = &region_boundary[id as usize];
         gather_region(
             &mut pipe,
@@ -80,6 +86,9 @@ pub(crate) fn accurate_tile(
     let col = agg.resolve(points)?;
     let filter = query.filters.compile(points)?;
     for i in 0..points.len() {
+        if i % POINT_CHUNK == 0 {
+            budget.check()?;
+        }
         if !filter.matches(i) {
             continue;
         }
@@ -136,6 +145,17 @@ mod tests {
     use urban_data::query::AggKind;
     use urban_data::schema::{AttrType, Schema};
     use urbane_geom::{BoundingBox, Point};
+
+    // Unbudgeted shim: these tests exercise exactness, not the guardrails.
+    fn accurate_tile(
+        viewport: &Viewport,
+        points: &PointTable,
+        regions: &RegionSet,
+        query: &SpatialAggQuery,
+        path: PolygonPath,
+    ) -> Result<(AggTable, gpu_raster::RenderStats)> {
+        super::accurate_tile(viewport, points, regions, query, path, &QueryBudget::unlimited())
+    }
 
     fn random_points(n: usize, seed: u64, extent: &BoundingBox) -> PointTable {
         let schema = Schema::new([("v", AttrType::Numeric)]).unwrap();

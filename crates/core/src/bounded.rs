@@ -7,6 +7,7 @@
 //! resolved at pixel granularity: its positional error is at most half the
 //! pixel diagonal — the plan's ε.
 
+use crate::budget::QueryBudget;
 use crate::executor::PolygonPath;
 use crate::Result;
 use gpu_raster::blend::BlendOp;
@@ -27,11 +28,19 @@ pub(crate) struct PointBuffers {
     pub max: Option<Buffer2D<f32>>,
 }
 
-/// Render the point pass for one tile: filter, project, blend.
+/// Points per budget poll in the point pass. Small enough that a raised
+/// cancel flag or an elapsed deadline lands within a few milliseconds, large
+/// enough that the check cost vanishes against the per-point work.
+pub(crate) const POINT_CHUNK: usize = 8192;
+
+/// Render the point pass for one tile: filter, project, blend. The stream is
+/// processed in [`POINT_CHUNK`]-sized chunks with a budget check between
+/// chunks, so cancellation interrupts the pass mid-stream.
 pub(crate) fn point_pass(
     pipe: &mut Pipeline,
     points: &PointTable,
     query: &SpatialAggQuery,
+    budget: &QueryBudget,
 ) -> Result<PointBuffers> {
     let agg = query.agg_kind();
     let col = agg.resolve(points)?;
@@ -47,28 +56,34 @@ pub(crate) fn point_pass(
     // The filtered fragment stream — this is the per-frame hot loop the
     // paper's performance argument rests on: one pass, one fragment each.
     let viewport = *pipe.viewport();
-    let idxs = (0..points.len()).filter(|&i| filter.matches(i));
-    pipe.draw_points(
-        &mut count_sum,
-        idxs.clone().map(|i| points.loc(i)),
-        {
-            let vals: Vec<f32> = match col {
-                Some(c) => idxs.clone().map(|i| points.attr(i, c)).collect(),
-                None => Vec::new(),
-            };
-            move |k| [1.0, if vals.is_empty() { 0.0 } else { vals[k] }]
-        },
-        BlendOp::Add,
-    );
-    if let (Some(buf), Some(c)) = (min_buf.as_mut(), col) {
-        for i in (0..points.len()).filter(|&i| filter.matches(i)) {
-            gpu_raster::point::draw_point(buf, &viewport, points.loc(i), points.attr(i, c), BlendOp::Min);
+    let mut start = 0usize;
+    while start < points.len() {
+        budget.check()?;
+        let end = (start + POINT_CHUNK).min(points.len());
+        let idxs = (start..end).filter(|&i| filter.matches(i));
+        pipe.draw_points(
+            &mut count_sum,
+            idxs.clone().map(|i| points.loc(i)),
+            {
+                let vals: Vec<f32> = match col {
+                    Some(c) => idxs.clone().map(|i| points.attr(i, c)).collect(),
+                    None => Vec::new(),
+                };
+                move |k| [1.0, if vals.is_empty() { 0.0 } else { vals[k] }]
+            },
+            BlendOp::Add,
+        );
+        if let (Some(buf), Some(c)) = (min_buf.as_mut(), col) {
+            for i in (start..end).filter(|&i| filter.matches(i)) {
+                gpu_raster::point::draw_point(buf, &viewport, points.loc(i), points.attr(i, c), BlendOp::Min);
+            }
         }
-    }
-    if let (Some(buf), Some(c)) = (max_buf.as_mut(), col) {
-        for i in (0..points.len()).filter(|&i| filter.matches(i)) {
-            gpu_raster::point::draw_point(buf, &viewport, points.loc(i), points.attr(i, c), BlendOp::Max);
+        if let (Some(buf), Some(c)) = (max_buf.as_mut(), col) {
+            for i in (start..end).filter(|&i| filter.matches(i)) {
+                gpu_raster::point::draw_point(buf, &viewport, points.loc(i), points.attr(i, c), BlendOp::Max);
+            }
         }
+        start = end;
     }
 
     Ok(PointBuffers { count_sum, min: min_buf, max: max_buf })
@@ -143,18 +158,21 @@ pub(crate) fn gather_region<F: FnMut(u32, u32) -> bool>(
     Ok(())
 }
 
-/// Execute bounded Raster Join for one tile.
+/// Execute bounded Raster Join for one tile. The budget is polled once per
+/// region in the polygon pass (and per point chunk inside the point pass).
 pub(crate) fn bounded_tile(
     viewport: &Viewport,
     points: &PointTable,
     regions: &RegionSet,
     query: &SpatialAggQuery,
     path: PolygonPath,
+    budget: &QueryBudget,
 ) -> Result<(AggTable, gpu_raster::RenderStats)> {
     let mut pipe = Pipeline::new(*viewport);
-    let bufs = point_pass(&mut pipe, points, query)?;
+    let bufs = point_pass(&mut pipe, points, query, budget)?;
     let mut table = AggTable::new(query.agg_kind(), regions.len());
     for (id, _, geom) in regions.iter() {
+        budget.check()?;
         gather_region(
             &mut pipe,
             &bufs,
@@ -173,6 +191,18 @@ mod tests {
     use urban_data::query::AggKind;
     use urban_data::schema::{AttrType, Schema};
     use urbane_geom::{BoundingBox, Point, Polygon};
+
+    // Shadow the crate fn with an unbudgeted shim: these tests exercise the
+    // join math, not the guardrails.
+    fn bounded_tile(
+        viewport: &Viewport,
+        points: &PointTable,
+        regions: &RegionSet,
+        query: &SpatialAggQuery,
+        path: PolygonPath,
+    ) -> Result<(AggTable, gpu_raster::RenderStats)> {
+        super::bounded_tile(viewport, points, regions, query, path, &QueryBudget::unlimited())
+    }
 
     fn viewport() -> Viewport {
         Viewport::new(BoundingBox::from_coords(0.0, 0.0, 16.0, 16.0), 16, 16)

@@ -62,7 +62,7 @@ impl CanvasPlan {
         let long_side = world_raw.width().max(world_raw.height());
         let pixel = match spec {
             CanvasSpec::Epsilon(eps) => {
-                if !(eps > 0.0) {
+                if eps <= 0.0 || eps.is_nan() {
                     return Err(RasterJoinError::Config("epsilon must be positive".into()));
                 }
                 // Square pixel: error = s·√2/2 ≤ eps  →  s = eps·√2.

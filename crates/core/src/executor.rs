@@ -3,8 +3,10 @@
 
 use crate::accurate::accurate_tile;
 use crate::bounded::bounded_tile;
+use crate::budget::QueryBudget;
 use crate::canvas::{CanvasPlan, CanvasSpec};
 use crate::{RasterJoinError, Result};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use gpu_raster::blend::BlendOp;
 use gpu_raster::{Buffer2D, Pipeline, RenderStats};
 use urban_data::query::{AggTable, SpatialAggQuery};
@@ -61,6 +63,10 @@ pub struct RasterJoinConfig {
     pub strategy: PointStrategy,
     /// Worker threads for multi-tile plans (1 = serial).
     pub threads: usize,
+    /// Injected faults for guardrail testing (feature-gated; `None` in
+    /// normal operation).
+    #[cfg(feature = "fault-injection")]
+    pub faults: Option<crate::fault::FaultPlan>,
 }
 
 impl Default for RasterJoinConfig {
@@ -72,6 +78,8 @@ impl Default for RasterJoinConfig {
             path: PolygonPath::Scanline,
             strategy: PointStrategy::PointsFirst,
             threads: 1,
+            #[cfg(feature = "fault-injection")]
+            faults: None,
         }
     }
 }
@@ -148,16 +156,34 @@ impl RasterJoin {
         &self.config
     }
 
-    /// Evaluate `query` joining `points` with `regions`.
+    /// Evaluate `query` joining `points` with `regions`, without deadline or
+    /// cancellation (an unlimited budget).
     pub fn execute(
         &self,
         points: &PointTable,
         regions: &RegionSet,
         query: &SpatialAggQuery,
     ) -> Result<RasterJoinResult> {
+        self.execute_with_budget(points, regions, query, &QueryBudget::unlimited())
+    }
+
+    /// Evaluate `query` under `budget`: the point/polygon/tile loops poll the
+    /// budget cooperatively, so a raised cancel flag or an elapsed deadline
+    /// aborts within milliseconds with [`RasterJoinError::Cancelled`] /
+    /// [`RasterJoinError::DeadlineExceeded`]. A panicking tile worker is
+    /// caught and surfaced as [`RasterJoinError::Internal`]; remaining tiles
+    /// are drained cleanly and the process survives.
+    pub fn execute_with_budget(
+        &self,
+        points: &PointTable,
+        regions: &RegionSet,
+        query: &SpatialAggQuery,
+        budget: &QueryBudget,
+    ) -> Result<RasterJoinResult> {
         if regions.is_empty() {
             return Err(RasterJoinError::Config("empty region set".into()));
         }
+        budget.check()?;
         let plan = CanvasPlan::plan(&regions.bbox(), self.config.spec, self.config.max_tile)?;
 
         if self.config.strategy == PointStrategy::IdBuffer
@@ -169,62 +195,117 @@ impl RasterJoin {
         }
 
         let agg = query.agg_kind();
-        let run_tile = |vp: &Viewport| -> Result<(AggTable, RenderStats)> {
-            match self.config.strategy {
-                PointStrategy::IdBuffer => id_buffer_tile(vp, points, regions, query, self.config.path),
-                PointStrategy::PointsFirst => match self.config.mode {
-                    ExecutionMode::Bounded => {
-                        bounded_tile(vp, points, regions, query, self.config.path)
+        // Per-tile body: budget poll, fault hook, then the actual kernel in a
+        // panic shield so one bad tile cannot take the process down.
+        let run_tile = |idx: usize, vp: &Viewport| -> Result<(AggTable, RenderStats)> {
+            budget.check()?;
+            #[cfg(not(feature = "fault-injection"))]
+            let _ = idx;
+            // The fault hook runs inside the shield: an injected panic must
+            // travel the same unwind path a real kernel panic would.
+            let caught = catch_unwind(AssertUnwindSafe(|| -> Result<(AggTable, RenderStats)> {
+                #[cfg(feature = "fault-injection")]
+                if let Some(faults) = &self.config.faults {
+                    faults.on_tile_start(idx, budget)?;
+                }
+                match self.config.strategy {
+                    PointStrategy::IdBuffer => {
+                        id_buffer_tile(vp, points, regions, query, self.config.path, budget)
                     }
-                    ExecutionMode::Weighted => {
-                        crate::weighted::weighted_tile(vp, points, regions, query, self.config.path)
-                    }
-                    ExecutionMode::Accurate => {
-                        accurate_tile(vp, points, regions, query, self.config.path)
-                    }
-                },
-            }
+                    PointStrategy::PointsFirst => match self.config.mode {
+                        ExecutionMode::Bounded => {
+                            bounded_tile(vp, points, regions, query, self.config.path, budget)
+                        }
+                        ExecutionMode::Weighted => crate::weighted::weighted_tile(
+                            vp,
+                            points,
+                            regions,
+                            query,
+                            self.config.path,
+                            budget,
+                        ),
+                        ExecutionMode::Accurate => {
+                            accurate_tile(vp, points, regions, query, self.config.path, budget)
+                        }
+                    },
+                }
+            }));
+            caught.unwrap_or_else(|payload| {
+                Err(RasterJoinError::Internal(format!(
+                    "tile worker panicked: {}",
+                    gpu_raster::tile::panic_message(payload.as_ref())
+                )))
+            })
         };
 
         let mut table = AggTable::new(agg, regions.len());
         let mut stats = RenderStats::new();
         let threads = self.config.threads.max(1);
         if threads == 1 || plan.tiles.len() == 1 {
-            for vp in &plan.tiles {
-                let (t, s) = run_tile(vp)?;
+            for (idx, vp) in plan.tiles.iter().enumerate() {
+                let (t, s) = run_tile(idx, vp)?;
                 table.merge(&t)?;
                 stats.merge(&s);
             }
         } else {
-            let results = crossbeam::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for chunk in plan.tiles.chunks(plan.tiles.len().div_ceil(threads)) {
-                    handles.push(scope.spawn(move |_| {
-                        let mut acc: Option<(AggTable, RenderStats)> = None;
-                        for vp in chunk {
-                            let (t, s) = run_tile(vp)?;
-                            match &mut acc {
-                                None => acc = Some((t, s)),
-                                Some((at, ast)) => {
-                                    at.merge(&t).map_err(RasterJoinError::from)?;
-                                    ast.merge(&s);
+            let chunk_size = plan.tiles.len().div_ceil(threads);
+            let results: Vec<Result<Option<(AggTable, RenderStats)>>> =
+                std::thread::scope(|scope| {
+                    let mut handles = Vec::new();
+                    for (ci, chunk) in plan.tiles.chunks(chunk_size).enumerate() {
+                        let run_tile = &run_tile;
+                        handles.push(scope.spawn(move || {
+                            let mut acc: Option<(AggTable, RenderStats)> = None;
+                            for (i, vp) in chunk.iter().enumerate() {
+                                let (t, s) = run_tile(ci * chunk_size + i, vp)?;
+                                match &mut acc {
+                                    None => acc = Some((t, s)),
+                                    Some((at, ast)) => {
+                                        at.merge(&t).map_err(RasterJoinError::from)?;
+                                        ast.merge(&s);
+                                    }
                                 }
                             }
-                        }
-                        Ok::<_, RasterJoinError>(acc)
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("tile worker panicked"))
-                    .collect::<Vec<_>>()
-            })
-            .expect("thread scope failed");
+                            Ok::<_, RasterJoinError>(acc)
+                        }));
+                    }
+                    handles
+                        .into_iter()
+                        .map(|h| {
+                            h.join().unwrap_or_else(|payload| {
+                                // Unreachable in practice (run_tile catches
+                                // kernel panics), but keep the worker fallible
+                                // rather than re-panicking the caller.
+                                Err(RasterJoinError::Internal(format!(
+                                    "tile worker panicked: {}",
+                                    gpu_raster::tile::panic_message(payload.as_ref())
+                                )))
+                            })
+                        })
+                        .collect()
+                });
+            // Prefer an Internal diagnosis over the cancellations it causes.
+            let mut first_err: Option<RasterJoinError> = None;
             for r in results {
-                if let Some((t, s)) = r? {
-                    table.merge(&t)?;
-                    stats.merge(&s);
+                match r {
+                    Ok(Some((t, s))) => {
+                        table.merge(&t)?;
+                        stats.merge(&s);
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        let internal = matches!(e, RasterJoinError::Internal(_));
+                        if first_err.is_none()
+                            || (internal
+                                && !matches!(first_err, Some(RasterJoinError::Internal(_))))
+                        {
+                            first_err = Some(e);
+                        }
+                    }
                 }
+            }
+            if let Some(e) = first_err {
+                return Err(e);
             }
         }
 
@@ -248,12 +329,14 @@ fn id_buffer_tile(
     regions: &RegionSet,
     query: &SpatialAggQuery,
     path: PolygonPath,
+    budget: &QueryBudget,
 ) -> Result<(AggTable, RenderStats)> {
     let mut pipe = Pipeline::new(*viewport);
     let (w, h) = (viewport.width, viewport.height);
     let mut ids = Buffer2D::new(w, h, gpu_raster::NO_REGION);
 
     for (id, _, geom) in regions.iter() {
+        budget.check()?;
         if !viewport.world.intersects(&geom.bbox()) {
             continue;
         }
@@ -275,6 +358,9 @@ fn id_buffer_tile(
     let filter = query.filters.compile(points)?;
     let mut table = AggTable::new(agg, regions.len());
     for i in 0..points.len() {
+        if i % crate::bounded::POINT_CHUNK == 0 {
+            budget.check()?;
+        }
         if !filter.matches(i) {
             continue;
         }

@@ -34,15 +34,21 @@
 
 pub mod accurate;
 pub mod bounded;
+pub mod budget;
 pub mod canvas;
 pub mod executor;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 pub mod prepared;
 pub mod weighted;
 
+pub use budget::{CancelHandle, QueryBudget};
 pub use canvas::{CanvasPlan, CanvasSpec};
 pub use executor::{
     ExecutionMode, PolygonPath, PointStrategy, RasterJoin, RasterJoinConfig, RasterJoinResult,
 };
+#[cfg(feature = "fault-injection")]
+pub use fault::FaultPlan;
 pub use prepared::PreparedRasterJoin;
 
 /// Errors from raster-join execution.
@@ -54,6 +60,13 @@ pub enum RasterJoinError {
     Geometry(String),
     /// Invalid configuration (zero resolution, empty extent…).
     Config(String),
+    /// The query's cancel flag was raised; partial work was discarded.
+    Cancelled,
+    /// The query's deadline passed before execution finished.
+    DeadlineExceeded,
+    /// A worker panicked or an internal invariant broke; the query failed
+    /// but the process and session survive.
+    Internal(String),
 }
 
 impl std::fmt::Display for RasterJoinError {
@@ -62,6 +75,9 @@ impl std::fmt::Display for RasterJoinError {
             RasterJoinError::Data(m) => write!(f, "data error: {m}"),
             RasterJoinError::Geometry(m) => write!(f, "geometry error: {m}"),
             RasterJoinError::Config(m) => write!(f, "config error: {m}"),
+            RasterJoinError::Cancelled => write!(f, "query cancelled"),
+            RasterJoinError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            RasterJoinError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }

@@ -12,7 +12,8 @@
 //! on the GPU across frames, and is ablated against the one-shot executor in
 //! experiment E9.
 
-use crate::bounded::{fold_pixel, point_pass};
+use crate::bounded::{fold_pixel, point_pass, POINT_CHUNK};
+use crate::budget::QueryBudget;
 use crate::canvas::{CanvasPlan, CanvasSpec};
 use crate::executor::{ExecutionMode, RasterJoinResult};
 use crate::{RasterJoinError, Result};
@@ -139,19 +140,32 @@ impl PreparedRasterJoin {
     }
 
     /// Answer one query: point pass + cached gather (+ exact boundary fix-up
-    /// in accurate mode).
+    /// in accurate mode), without deadline or cancellation.
     pub fn execute(&self, points: &PointTable, query: &SpatialAggQuery) -> Result<RasterJoinResult> {
+        self.execute_with_budget(points, query, &QueryBudget::unlimited())
+    }
+
+    /// Budgeted variant of [`execute`](Self::execute): polls `budget` per
+    /// tile, per region gather, and per point chunk in the fix-up.
+    pub fn execute_with_budget(
+        &self,
+        points: &PointTable,
+        query: &SpatialAggQuery,
+        budget: &QueryBudget,
+    ) -> Result<RasterJoinResult> {
         let agg = query.agg_kind();
         let mut table = AggTable::new(agg.clone(), self.n_regions);
         let mut stats = RenderStats::new();
 
         for tile in &self.tiles {
+            budget.check()?;
             let mut pipe = Pipeline::new(tile.viewport);
-            let bufs = point_pass(&mut pipe, points, query)?;
+            let bufs = point_pass(&mut pipe, points, query, budget)?;
             let w = tile.viewport.width;
 
             // Gather via cached pixel lists.
             for r in 0..self.n_regions {
+                budget.check()?;
                 let lo = tile.offsets[r] as usize;
                 let hi = tile.offsets[r + 1] as usize;
                 let state = &mut table.states[r];
@@ -165,6 +179,9 @@ impl PreparedRasterJoin {
                 let col = agg.resolve(points)?;
                 let filter = query.filters.compile(points)?;
                 for i in 0..points.len() {
+                    if i % POINT_CHUNK == 0 {
+                        budget.check()?;
+                    }
                     if !filter.matches(i) {
                         continue;
                     }

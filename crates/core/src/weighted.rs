@@ -17,6 +17,7 @@
 //! weighted MIN/MAX equals bounded MIN/MAX with boundary pixels included).
 
 use crate::bounded::{gather_region, point_pass};
+use crate::budget::QueryBudget;
 use crate::executor::PolygonPath;
 use crate::Result;
 use gpu_raster::line::traverse_segment;
@@ -27,22 +28,25 @@ use urban_data::{PointTable, RegionSet};
 use urbane_geom::clip::clip_polygon_to_box;
 use urbane_geom::projection::Viewport;
 
-/// Execute weighted Raster Join for one tile.
+/// Execute weighted Raster Join for one tile. The budget is polled once per
+/// region (and per point chunk inside the point pass).
 pub(crate) fn weighted_tile(
     viewport: &Viewport,
     points: &PointTable,
     regions: &RegionSet,
     query: &SpatialAggQuery,
     path: PolygonPath,
+    budget: &QueryBudget,
 ) -> Result<(AggTable, gpu_raster::RenderStats)> {
     let mut pipe = Pipeline::new(*viewport);
     let (w, h) = (viewport.width, viewport.height);
-    let bufs = point_pass(&mut pipe, points, query)?;
+    let bufs = point_pass(&mut pipe, points, query, budget)?;
     let pixel_area = viewport.units_per_pixel_x() * viewport.units_per_pixel_y();
 
     let mut table = AggTable::new(query.agg_kind(), regions.len());
     let mut boundary = HashSet::new();
     for (id, _, geom) in regions.iter() {
+        budget.check()?;
         if !viewport.world.intersects(&geom.bbox()) {
             continue;
         }
@@ -98,6 +102,17 @@ mod tests {
     use urban_data::schema::{AttrType, Schema};
     use urbane_geom::{BoundingBox, Point};
 
+    // Unbudgeted shim: these tests exercise accuracy, not the guardrails.
+    fn weighted_tile(
+        viewport: &Viewport,
+        points: &PointTable,
+        regions: &RegionSet,
+        query: &SpatialAggQuery,
+        path: PolygonPath,
+    ) -> Result<(AggTable, gpu_raster::RenderStats)> {
+        super::weighted_tile(viewport, points, regions, query, path, &QueryBudget::unlimited())
+    }
+
     fn random_points(n: usize, seed: u64, extent: &BoundingBox) -> PointTable {
         let schema = Schema::new([("v", AttrType::Numeric)]).unwrap();
         let mut t = PointTable::new(schema);
@@ -148,8 +163,15 @@ mod tests {
 
         let (weighted, _) =
             weighted_tile(&vp, &points, &regions, &q, PolygonPath::Scanline).unwrap();
-        let (bounded, _) = crate::bounded::bounded_tile(&vp, &points, &regions, &q, PolygonPath::Scanline)
-            .unwrap();
+        let (bounded, _) = crate::bounded::bounded_tile(
+            &vp,
+            &points,
+            &regions,
+            &q,
+            PolygonPath::Scanline,
+            &QueryBudget::unlimited(),
+        )
+        .unwrap();
 
         let total_err = |t: &AggTable| -> f64 {
             (0..regions.len())

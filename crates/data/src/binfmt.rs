@@ -10,112 +10,161 @@
 //! magic "UPT1" | u32 n_cols | per col: u8 type, u16 name_len, name bytes
 //! u64 n_rows | xs f64[n] | ys f64[n] | ts i64[n] | per col: f32[n]
 //! ```
+//!
+//! Decoding is fully bounds-checked: every read goes through a cursor that
+//! returns a typed `Decode` error on truncation, so corrupt or hostile input
+//! can never panic or slice out of bounds.
 
 use crate::schema::{AttrType, Schema};
 use crate::table::PointTable;
 use crate::{DataError, Result};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use urbane_geom::Point;
 
 const MAGIC: &[u8; 4] = b"UPT1";
 
 /// Serialize a table to bytes.
-pub fn encode(table: &PointTable) -> Bytes {
+pub fn encode(table: &PointTable) -> Vec<u8> {
     let n = table.len();
-    let mut buf = BytesMut::with_capacity(32 + n * (8 + 8 + 8 + 4 * table.schema().len()));
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(table.schema().len() as u32);
+    let mut buf = Vec::with_capacity(32 + n * (8 + 8 + 8 + 4 * table.schema().len()));
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&(table.schema().len() as u32).to_le_bytes());
     for (name, ty) in table.schema().iter() {
-        buf.put_u8(match ty {
+        buf.push(match ty {
             AttrType::Numeric => 0,
             AttrType::Categorical => 1,
         });
-        buf.put_u16_le(name.len() as u16);
-        buf.put_slice(name.as_bytes());
+        buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        buf.extend_from_slice(name.as_bytes());
     }
-    buf.put_u64_le(n as u64);
+    buf.extend_from_slice(&(n as u64).to_le_bytes());
     for &x in table.xs() {
-        buf.put_f64_le(x);
+        buf.extend_from_slice(&x.to_le_bytes());
     }
     for &y in table.ys() {
-        buf.put_f64_le(y);
+        buf.extend_from_slice(&y.to_le_bytes());
     }
     for &t in table.timestamps() {
-        buf.put_i64_le(t);
+        buf.extend_from_slice(&t.to_le_bytes());
     }
     for c in 0..table.schema().len() {
         for &v in table.column(c) {
-            buf.put_f32_le(v);
+            buf.extend_from_slice(&v.to_le_bytes());
         }
     }
-    buf.freeze()
+    buf
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(DataError::Decode(format!("truncated reading {what}")));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16_le(&mut self, what: &str) -> Result<u16> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32_le(&mut self, what: &str) -> Result<u32> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64_le(&mut self, what: &str) -> Result<u64> {
+        let b = self.take(8, what)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn f64_le(&mut self, what: &str) -> Result<f64> {
+        Ok(f64::from_bits(self.u64_le(what)?))
+    }
+
+    fn i64_le(&mut self, what: &str) -> Result<i64> {
+        Ok(self.u64_le(what)? as i64)
+    }
+
+    fn f32_le(&mut self, what: &str) -> Result<f32> {
+        Ok(f32::from_bits(self.u32_le(what)?))
+    }
 }
 
 /// Deserialize a table from bytes produced by [`encode`].
-pub fn decode(mut buf: &[u8]) -> Result<PointTable> {
+pub fn decode(buf: &[u8]) -> Result<PointTable> {
     let err = |m: &str| DataError::Decode(m.to_string());
-    let need = |buf: &&[u8], n: usize, what: &str| -> Result<()> {
-        if buf.remaining() < n {
-            Err(DataError::Decode(format!("truncated reading {what}")))
-        } else {
-            Ok(())
-        }
-    };
+    let mut cur = Cursor::new(buf);
 
-    need(&buf, 4, "magic")?;
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    let magic = cur.take(4, "magic")?;
+    if magic != MAGIC {
         return Err(err("bad magic (not a UPT1 table)"));
     }
-    need(&buf, 4, "column count")?;
-    let n_cols = buf.get_u32_le() as usize;
+    let n_cols = cur.u32_le("column count")? as usize;
     if n_cols > 4096 {
         return Err(err("implausible column count"));
     }
     let mut cols = Vec::with_capacity(n_cols);
     for _ in 0..n_cols {
-        need(&buf, 3, "column header")?;
-        let ty = match buf.get_u8() {
+        let ty = match cur.u8("column type")? {
             0 => AttrType::Numeric,
             1 => AttrType::Categorical,
             other => return Err(DataError::Decode(format!("unknown column type {other}"))),
         };
-        let name_len = buf.get_u16_le() as usize;
-        need(&buf, name_len, "column name")?;
-        let mut name = vec![0u8; name_len];
-        buf.copy_to_slice(&mut name);
-        let name = String::from_utf8(name).map_err(|_| err("column name not UTF-8"))?;
+        let name_len = cur.u16_le("column name length")? as usize;
+        let name = cur.take(name_len, "column name")?;
+        let name = String::from_utf8(name.to_vec()).map_err(|_| err("column name not UTF-8"))?;
         cols.push((name, ty));
     }
     let schema = Schema::new(cols)?;
 
-    need(&buf, 8, "row count")?;
-    let n = buf.get_u64_le() as usize;
+    let n = cur.u64_le("row count")?;
+    let n = usize::try_from(n).map_err(|_| err("row count overflow"))?;
     let payload = n
         .checked_mul(8 + 8 + 8 + 4 * schema.len())
         .ok_or_else(|| err("row count overflow"))?;
-    if buf.remaining() < payload {
+    if cur.remaining() < payload {
         return Err(err("truncated column data"));
     }
 
     let mut xs = Vec::with_capacity(n);
     for _ in 0..n {
-        xs.push(buf.get_f64_le());
+        xs.push(cur.f64_le("x column")?);
     }
     let mut ys = Vec::with_capacity(n);
     for _ in 0..n {
-        ys.push(buf.get_f64_le());
+        ys.push(cur.f64_le("y column")?);
     }
     let mut ts = Vec::with_capacity(n);
     for _ in 0..n {
-        ts.push(buf.get_i64_le());
+        ts.push(cur.i64_le("t column")?);
     }
     let mut attr_cols: Vec<Vec<f32>> = Vec::with_capacity(schema.len());
     for _ in 0..schema.len() {
         let mut col = Vec::with_capacity(n);
         for _ in 0..n {
-            col.push(buf.get_f32_le());
+            col.push(cur.f32_le("attribute column")?);
         }
         attr_cols.push(col);
     }
@@ -181,6 +230,16 @@ mod tests {
         let mut bad = bytes.to_vec();
         bad[0] = b'X';
         assert!(decode(&bad).is_err()); // bad magic
+    }
+
+    #[test]
+    fn every_prefix_errs_not_panics() {
+        let t = sample();
+        let bytes = encode(&t);
+        // Any truncation point must produce Err, never a panic or Ok.
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_err(), "prefix {cut} decoded");
+        }
     }
 
     #[test]

@@ -9,11 +9,10 @@
 use crate::table::PointTable;
 use crate::time::TimeRange;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 use urbane_geom::BoundingBox;
 
 /// One filter condition over a point table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Filter {
     /// Attribute in `[min, max]` (closed; NaN never matches).
     AttrRange { column: String, min: f32, max: f32 },

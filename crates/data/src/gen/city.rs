@@ -138,7 +138,7 @@ impl CityModel {
             // region-set boundaries never clip legitimate data; inside the
             // land mask when one is set.
             let inner = self.bbox.inflate(-1e-6 * self.bbox.width().max(1.0));
-            if inner.contains(p) && self.mask.as_ref().map_or(true, |m| m.contains(p)) {
+            if inner.contains(p) && self.mask.as_ref().is_none_or(|m| m.contains(p)) {
                 return p;
             }
         }

@@ -145,7 +145,7 @@ pub fn boroughs(bbox: &BoundingBox) -> RegionSet {
 /// cover the extent (unlike the partitions above), exercising the
 /// overlapping-regions path.
 pub fn star_regions(bbox: &BoundingBox, n: usize, vertices: usize, seed: u64) -> RegionSet {
-    assert!(vertices >= 4 && vertices % 2 == 0, "stars need an even vertex count >= 4");
+    assert!(vertices >= 4 && vertices.is_multiple_of(2), "stars need an even vertex count >= 4");
     let mut rng = StdRng::seed_from_u64(seed);
     let r_max = bbox.width().min(bbox.height()) / (n as f64).sqrt() / 2.0;
     let polys: Vec<Polygon> = (0..n)

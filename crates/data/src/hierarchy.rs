@@ -220,14 +220,14 @@ mod tests {
             .iter()
             .map(|(_, _, g)| {
                 let n = t.locations().filter(|&p| g.contains(p)).count();
-                (n > 0).then(|| n as f64)
+                (n > 0).then_some(n as f64)
             })
             .collect();
         let parent_vals: Vec<Option<f64>> = parents
             .iter()
             .map(|(_, _, g)| {
                 let n = t.locations().filter(|&p| g.contains(p)).count();
-                (n > 0).then(|| n as f64)
+                (n > 0).then_some(n as f64)
             })
             .collect();
         let rolled = h.roll_up(&child_vals);

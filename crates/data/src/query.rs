@@ -13,10 +13,9 @@
 use crate::filter::FilterSet;
 use crate::table::PointTable;
 use crate::{DataError, Result};
-use serde::{Deserialize, Serialize};
 
 /// The aggregate function over the joined points of each region.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AggKind {
     /// `COUNT(*)`.
     Count,
@@ -56,7 +55,7 @@ impl AggKind {
 /// *weighted* raster-join variant folds boundary pixels fractionally
 /// (`weight` = expected points by area coverage). COUNT/SUM/AVG answers are
 /// weight-based so both kinds of executor finish through the same code.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AggState {
     /// Number of points folded in (integral).
     pub count: u64,
@@ -162,7 +161,7 @@ impl SpatialAggQuery {
 }
 
 /// Per-region aggregation result: `result.values[region_id]`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AggTable {
     /// The aggregate the values answer.
     pub agg: AggKind,

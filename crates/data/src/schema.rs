@@ -5,10 +5,9 @@
 //! query template).
 
 use crate::{DataError, Result};
-use serde::{Deserialize, Serialize};
 
 /// Type of an attribute column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AttrType {
     /// Continuous numeric attribute (fare, trip distance, …), stored `f32`
     /// — matching what the paper's GPU implementation uploads.
@@ -19,7 +18,7 @@ pub enum AttrType {
 }
 
 /// Ordered attribute column declarations.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Schema {
     columns: Vec<(String, AttrType)>,
 }

@@ -6,7 +6,6 @@
 //! civil-calendar math is implemented here (days-from-epoch algorithm) so no
 //! external time crate is needed.
 
-use serde::{Deserialize, Serialize};
 
 /// Unix epoch seconds (UTC).
 pub type Timestamp = i64;
@@ -18,7 +17,7 @@ pub const DAY: i64 = 86_400;
 pub const WEEK: i64 = 7 * DAY;
 
 /// A half-open time interval `[start, end)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimeRange {
     pub start: Timestamp,
     pub end: Timestamp,
@@ -50,7 +49,7 @@ impl TimeRange {
     pub fn intersection(&self, other: &TimeRange) -> Option<TimeRange> {
         let s = self.start.max(other.start);
         let e = self.end.min(other.end);
-        (s < e).then(|| TimeRange { start: s, end: e })
+        (s < e).then_some(TimeRange { start: s, end: e })
     }
 
     /// Split into consecutive buckets of `width` seconds (last may be short).
@@ -68,7 +67,7 @@ impl TimeRange {
 }
 
 /// Calendar bucketing granularities used by the exploration view.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TimeBucket {
     Hour,
     Day,

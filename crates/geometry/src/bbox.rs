@@ -2,14 +2,13 @@
 //! viewport computation.
 
 use crate::point::Point;
-use serde::{Deserialize, Serialize};
 
 /// A closed axis-aligned rectangle `[min.x, max.x] × [min.y, max.y]`.
 ///
 /// An *empty* box is represented by `min > max` (the result of
 /// [`BoundingBox::empty`]); every query on an empty box behaves as expected
 /// (contains nothing, intersects nothing, union is identity).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BoundingBox {
     pub min: Point,
     pub max: Point,

@@ -58,9 +58,14 @@ impl Json {
     }
 }
 
+/// Maximum container nesting the parser accepts. Real GeoJSON nests five
+/// levels deep; the cap exists so adversarial input like `[[[[…` exhausts
+/// a counter instead of the thread's stack.
+const MAX_JSON_DEPTH: usize = 128;
+
 /// Parse a JSON document.
 pub fn parse_json(input: &str) -> Result<Json> {
-    let mut p = JsonParser { s: input.as_bytes(), pos: 0 };
+    let mut p = JsonParser { s: input.as_bytes(), pos: 0, depth: 0 };
     let v = p.value()?;
     p.skip_ws();
     if p.pos != p.s.len() {
@@ -72,6 +77,7 @@ pub fn parse_json(input: &str) -> Result<Json> {
 struct JsonParser<'a> {
     s: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> JsonParser<'a> {
@@ -199,12 +205,22 @@ impl<'a> JsonParser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_JSON_DEPTH {
+            return self.err("JSON nested too deeply");
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json> {
+        self.enter()?;
         self.pos += 1; // '['
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Array(items));
         }
         loop {
@@ -214,6 +230,7 @@ impl<'a> JsonParser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Array(items));
                 }
                 _ => return self.err("expected ',' or ']'"),
@@ -222,11 +239,13 @@ impl<'a> JsonParser<'a> {
     }
 
     fn object(&mut self) -> Result<Json> {
+        self.enter()?;
         self.pos += 1; // '{'
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Object(map));
         }
         loop {
@@ -244,6 +263,7 @@ impl<'a> JsonParser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Object(map));
                 }
                 _ => return self.err("expected ',' or '}'"),
@@ -471,6 +491,18 @@ mod tests {
         assert!(parse_json("tru").is_err());
         assert!(parse_json("1 2").is_err());
         assert!(parse_json(r#"{"a" 1}"#).is_err());
+    }
+
+    #[test]
+    fn pathological_nesting_errs_without_overflow() {
+        // A 1M-deep `[[[[…` must exhaust the depth counter, not the stack.
+        let bomb = "[".repeat(1_000_000);
+        assert!(parse_json(&bomb).is_err());
+        let obj_bomb = r#"{"a":"#.repeat(100_000) + "1";
+        assert!(parse_json(&obj_bomb).is_err());
+        // Deep-but-legal nesting (under the cap) still parses.
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(parse_json(&ok).is_ok());
     }
 
     const NEIGHBORHOOD: &str = r#"{

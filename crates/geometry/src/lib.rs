@@ -9,9 +9,14 @@
 //! `gpu-raster` quantizes to pixels on top of these primitives, mirroring how
 //! the paper's OpenGL implementation uploads `f32` coordinates to the GPU.
 //!
-//! The crate is dependency-free (modulo `serde` for (de)serialization) and
+//! The crate is dependency-free and
 //! deliberately implements its own WKT and GeoJSON readers so the whole
 //! reproduction stays self-contained.
+
+// Library paths must surface typed errors, not panic on malformed data;
+// tests are exempt — an unwrap there *is* the assertion.
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod bbox;
 pub mod clip;

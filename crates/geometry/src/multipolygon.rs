@@ -5,10 +5,9 @@
 use crate::bbox::BoundingBox;
 use crate::point::Point;
 use crate::polygon::Polygon;
-use serde::{Deserialize, Serialize};
 
 /// A collection of polygons treated as a single region.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiPolygon {
     polygons: Vec<Polygon>,
     bbox: BoundingBox,

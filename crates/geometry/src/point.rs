@@ -2,12 +2,11 @@
 //! stack needs. Points double as vectors; no separate vector type is kept to
 //! keep call sites terse (this mirrors common computational-geometry practice).
 
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, Div, Mul, Neg, Sub};
 
 /// A 2-D point (or vector) in whatever planar coordinate system the caller
 /// uses — geographic degrees before projection, meters/pixels after.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point {
     pub x: f64,
     pub y: f64,

@@ -12,10 +12,9 @@ use crate::point::Point;
 use crate::predicates::point_on_segment;
 use crate::segment::Segment;
 use crate::{GeomError, Result};
-use serde::{Deserialize, Serialize};
 
 /// A closed ring of vertices (first vertex not repeated at the end).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ring {
     vertices: Vec<Point>,
 }
@@ -200,7 +199,7 @@ impl Ring {
 }
 
 /// A polygon: one exterior ring plus zero or more holes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Polygon {
     exterior: Ring,
     holes: Vec<Ring>,

@@ -34,8 +34,8 @@ fn dp_recurse(points: &[Point], lo: usize, hi: usize, tol: f64, keep: &mut [bool
     let seg = Segment::new(points[lo], points[hi]);
     let mut max_d = -1.0;
     let mut max_i = lo;
-    for i in (lo + 1)..hi {
-        let d = seg.distance_to_point(points[i]);
+    for (i, &p) in points.iter().enumerate().take(hi).skip(lo + 1) {
+        let d = seg.distance_to_point(p);
         if d > max_d {
             max_d = d;
             max_i = i;

@@ -75,7 +75,7 @@ fn strictly_inside(t: &Triangle, p: Point) -> bool {
 fn merge_holes(poly: &Polygon) -> Result<Vec<Point>> {
     let mut outer: Vec<Point> = poly.exterior().vertices().to_vec();
     // Exterior must be CCW for the bridging/visibility logic below.
-    if Ring::new(outer.clone())?.is_ccw() == false {
+    if !Ring::new(outer.clone())?.is_ccw() {
         outer.reverse();
     }
     if poly.holes().is_empty() {
@@ -123,7 +123,7 @@ fn merge_holes(poly: &Polygon) -> Result<Vec<Point>> {
                 continue;
             }
             let x = a.x + (m.y - a.y) / (b.y - a.y) * (b.x - a.x);
-            if x >= m.x - 1e-12 && best.map_or(true, |(bx, _)| x < bx) {
+            if x >= m.x - 1e-12 && best.is_none_or(|(bx, _)| x < bx) {
                 best = Some((x, i));
             }
         }

@@ -71,6 +71,7 @@ pub fn parse_wkt(input: &str) -> Result<WktGeometry> {
         "MULTIPOLYGON" => {
             p.skip_ws();
             if p.peek_ident_is("EMPTY") {
+                p.end()?;
                 return Ok(WktGeometry::MultiPolygon(MultiPolygon::new(vec![])));
             }
             p.expect(b'(')?;
@@ -292,6 +293,7 @@ mod tests {
         assert!(parse_wkt("POINT (1 2) junk").is_err());
         assert!(parse_wkt("POINT (1)").is_err());
         assert!(parse_wkt("").is_err());
+        assert!(parse_wkt("MULTIPOLYGON EMPTY junk").is_err());
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub fn index_join_parallel<I: RegionIndex>(
     let chunk = n.div_ceil(n_threads).max(1);
     let mut partials: Vec<Result<AggTable>> = Vec::new();
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for w in 0..n_threads {
             let lo = w * chunk;
@@ -74,7 +74,7 @@ pub fn index_join_parallel<I: RegionIndex>(
                 break;
             }
             let agg = agg.clone();
-            handles.push(scope.spawn(move |_| -> Result<AggTable> {
+            handles.push(scope.spawn(move || -> Result<AggTable> {
                 let filter = query.filters.compile(points)?;
                 let mut part = AggTable::new(agg, regions.len());
                 let mut scratch = Vec::with_capacity(8);
@@ -100,8 +100,7 @@ pub fn index_join_parallel<I: RegionIndex>(
             }));
         }
         partials = handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
-    })
-    .expect("thread scope failed");
+    });
 
     let mut out = AggTable::new(agg, regions.len());
     for p in partials {

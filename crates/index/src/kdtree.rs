@@ -223,9 +223,7 @@ fn co_select<F: Fn(&Point) -> f64>(
             order.swap(i, j);
             locs.swap(i, j);
             i += 1;
-            if j > 0 {
-                j -= 1;
-            }
+            j = j.saturating_sub(1);
         }
         let split = j + 1;
         // Guard against degenerate partitions (all-equal keys).

@@ -147,7 +147,7 @@ mod tests {
                 );
                 // Shrink slightly to avoid counting pure corner grazes.
                 let core = cell.inflate(-1e-9);
-                if seg.clip_to_box(&core).map_or(false, |c| c.length() > 1e-9) {
+                if seg.clip_to_box(&core).is_some_and(|c| c.length() > 1e-9) {
                     assert!(cells.contains(&(x, y)), "missed cell ({x},{y})");
                 }
             }

@@ -21,7 +21,7 @@ pub fn downsample_rgb(src: &Buffer2D<[u8; 3]>, factor: u32) -> Buffer2D<[u8; 3]>
         return src.clone();
     }
     let (w, h) = (src.width() / factor, src.height() / factor);
-    let samples = (factor * factor) as u32;
+    let samples = factor * factor;
     let mut out = Buffer2D::new(w, h, [0u8; 3]);
     for y in 0..h {
         for x in 0..w {

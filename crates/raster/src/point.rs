@@ -50,7 +50,7 @@ pub fn draw_point_splat<T: Blendable>(
         return 1;
     }
     let half = (size / 2) as i64;
-    let lo = if size % 2 == 0 { 1 - half } else { -half };
+    let lo = if size.is_multiple_of(2) { 1 - half } else { -half };
     let mut frags = 0u64;
     for dy in lo..=half {
         for dx in lo..=half {

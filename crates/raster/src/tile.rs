@@ -8,8 +8,41 @@
 //! exploits, which is why the performance *shape* carries over.
 
 use crate::buffer::Buffer2D;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use urbane_geom::projection::Viewport;
 use urbane_geom::BoundingBox;
+
+/// Why a tiled render did not produce a buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TileError {
+    /// The cancel flag was raised before all strips finished.
+    Cancelled,
+    /// A strip worker panicked; the payload message is preserved.
+    Panicked(String),
+}
+
+impl std::fmt::Display for TileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TileError::Cancelled => write!(f, "tiled render cancelled"),
+            TileError::Panicked(msg) => write!(f, "strip worker panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TileError {}
+
+/// Extract a human-readable message from a panic payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// One horizontal strip of a larger canvas.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,37 +85,88 @@ pub fn split_rows(viewport: &Viewport, n: u32) -> Vec<Strip> {
 ///
 /// `render` receives each strip and a zeroed strip-sized buffer; it must
 /// draw through `strip.viewport` (which already offsets world coordinates).
-/// Strips run on `crossbeam` scoped threads, one per strip.
+/// Strips run on scoped worker threads, one per strip. A worker panic
+/// propagates as a panic here (see [`try_render_tiled`] for the isolating
+/// variant).
 pub fn render_tiled<T, F>(viewport: &Viewport, n_tiles: u32, fill: T, render: F) -> Buffer2D<T>
 where
     T: Copy + Send,
     F: Fn(&Strip, &mut Buffer2D<T>) + Sync,
 {
-    let strips = split_rows(viewport, n_tiles);
-    let mut parts: Vec<Option<Buffer2D<T>>> = (0..strips.len()).map(|_| None).collect();
+    match try_render_tiled(viewport, n_tiles, fill, None, render) {
+        Ok(buf) => buf,
+        Err(TileError::Panicked(msg)) => panic!("tile worker panicked: {msg}"),
+        Err(TileError::Cancelled) => unreachable!("no cancel flag was supplied"),
+    }
+}
 
-    crossbeam::thread::scope(|scope| {
+/// Cancellable, panic-isolating variant of [`render_tiled`].
+///
+/// Before rendering each strip, the worker checks `cancel`; once the flag is
+/// raised remaining strips are skipped and the call returns
+/// [`TileError::Cancelled`]. A panicking strip is caught (`catch_unwind`) and
+/// surfaces as [`TileError::Panicked`] after every other worker has been
+/// joined, so the caller's process and the thread pool stay intact.
+pub fn try_render_tiled<T, F>(
+    viewport: &Viewport,
+    n_tiles: u32,
+    fill: T,
+    cancel: Option<&AtomicBool>,
+    render: F,
+) -> Result<Buffer2D<T>, TileError>
+where
+    T: Copy + Send,
+    F: Fn(&Strip, &mut Buffer2D<T>) + Sync,
+{
+    let strips = split_rows(viewport, n_tiles);
+    let mut parts: Vec<Result<Option<Buffer2D<T>>, TileError>> =
+        (0..strips.len()).map(|_| Ok(None)).collect();
+
+    std::thread::scope(|scope| {
         for (slot, strip) in parts.iter_mut().zip(&strips) {
             let render = &render;
-            scope.spawn(move |_| {
-                let mut buf = Buffer2D::new(strip.viewport.width, strip.rows, fill);
-                render(strip, &mut buf);
-                *slot = Some(buf);
+            scope.spawn(move || {
+                if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+                    *slot = Err(TileError::Cancelled);
+                    return;
+                }
+                *slot = match catch_unwind(AssertUnwindSafe(|| {
+                    let mut buf = Buffer2D::new(strip.viewport.width, strip.rows, fill);
+                    render(strip, &mut buf);
+                    buf
+                })) {
+                    Ok(buf) => Ok(Some(buf)),
+                    Err(payload) => Err(TileError::Panicked(panic_message(payload.as_ref()))),
+                };
             });
         }
-    })
-    .expect("tile worker panicked");
+    });
+
+    // Surface panics ahead of cancellation: a cancelled strip is expected
+    // when another one failed, and the panic is the interesting diagnosis.
+    if let Some(msg) = parts.iter().find_map(|p| match p {
+        Err(TileError::Panicked(m)) => Some(m.clone()),
+        _ => None,
+    }) {
+        return Err(TileError::Panicked(msg));
+    }
+    if parts.iter().any(|p| matches!(p, Err(TileError::Cancelled))) {
+        return Err(TileError::Cancelled);
+    }
 
     // Stitch row-major strips top to bottom.
     let mut out = Buffer2D::new(viewport.width, viewport.height, fill);
     let width = viewport.width as usize;
     for (part, strip) in parts.into_iter().zip(&strips) {
-        let part = part.expect("every strip rendered");
+        let part = match part {
+            Ok(Some(buf)) => buf,
+            _ => unreachable!("failures were filtered above"),
+        };
         let dst_start = strip.y_start as usize * width;
         let len = strip.rows as usize * width;
         out.as_mut_slice()[dst_start..dst_start + len].copy_from_slice(part.as_slice());
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -149,5 +233,24 @@ mod tests {
         let v = vp(8, 8);
         let tiled = render_tiled(&v, 1, 7u32, |_, _| {});
         assert_eq!(tiled.count_eq(7), 64);
+    }
+
+    #[test]
+    fn panicking_strip_surfaces_as_error() {
+        let v = vp(8, 8);
+        let r = try_render_tiled(&v, 4, 0u32, None, |strip, _| {
+            if strip.y_start == 2 {
+                panic!("boom on strip");
+            }
+        });
+        assert_eq!(r, Err(TileError::Panicked("boom on strip".into())));
+    }
+
+    #[test]
+    fn raised_cancel_flag_aborts_render() {
+        let v = vp(8, 8);
+        let cancel = AtomicBool::new(true);
+        let r = try_render_tiled(&v, 4, 0u32, Some(&cancel), |_, _| {});
+        assert_eq!(r, Err(TileError::Cancelled));
     }
 }

@@ -39,7 +39,7 @@ impl Brush {
                 Ok(Polygon::new(ring).into())
             }
             Brush::Circle { center, radius } => {
-                if !(*radius > 0.0) {
+                if *radius <= 0.0 || radius.is_nan() {
                     return Err(UrbaneError::Data("circle radius must be positive".into()));
                 }
                 Polygon::regular(*center, *radius, 64)
@@ -56,7 +56,7 @@ impl Brush {
                 if path.len() < 2 {
                     return Err(UrbaneError::Data("corridor needs at least 2 vertices".into()));
                 }
-                if !(*width > 0.0) {
+                if *width <= 0.0 || width.is_nan() {
                     return Err(UrbaneError::Data("corridor width must be positive".into()));
                 }
                 // One quad per segment (square caps, mitre-free); segments

@@ -66,7 +66,7 @@ impl ColorMap {
     /// Map a raw value into the scale given a `[lo, hi]` domain.
     /// Degenerate domains map to the scale midpoint.
     pub fn map_value(&self, v: f64, lo: f64, hi: f64) -> [u8; 3] {
-        if !(hi > lo) {
+        if hi <= lo || hi.is_nan() || lo.is_nan() {
             return self.sample(0.5);
         }
         self.sample((v - lo) / (hi - lo))

@@ -22,6 +22,7 @@ pub mod brush;
 pub mod catalog;
 pub mod colormap;
 pub mod export;
+pub mod guard;
 pub mod planner;
 pub mod resolution;
 pub mod session;
@@ -29,6 +30,7 @@ pub mod view;
 
 pub use brush::Brush;
 pub use catalog::DataCatalog;
+pub use guard::{GuardPath, GuardReport, GuardedResult};
 pub use planner::{PlanChoice, PlannerConfig, QueryPlanner};
 pub use resolution::ResolutionPyramid;
 pub use session::{SessionConfig, UrbaneSession};
@@ -46,6 +48,16 @@ pub enum UrbaneError {
     Data(String),
     /// I/O failure when exporting images.
     Io(String),
+    /// Invalid session/framework configuration.
+    Config(String),
+    /// The query was cancelled by its cancel handle.
+    Cancelled,
+    /// The query's deadline passed (and, for guarded evaluation, every
+    /// fallback rung also failed to beat it).
+    DeadlineExceeded,
+    /// A worker panicked or an internal invariant broke; the session
+    /// survives and stays usable.
+    Internal(String),
 }
 
 impl std::fmt::Display for UrbaneError {
@@ -56,6 +68,10 @@ impl std::fmt::Display for UrbaneError {
             UrbaneError::Join(m) => write!(f, "raster join error: {m}"),
             UrbaneError::Data(m) => write!(f, "data error: {m}"),
             UrbaneError::Io(m) => write!(f, "io error: {m}"),
+            UrbaneError::Config(m) => write!(f, "config error: {m}"),
+            UrbaneError::Cancelled => write!(f, "query cancelled"),
+            UrbaneError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            UrbaneError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }
@@ -64,7 +80,14 @@ impl std::error::Error for UrbaneError {}
 
 impl From<raster_join::RasterJoinError> for UrbaneError {
     fn from(e: raster_join::RasterJoinError) -> Self {
-        UrbaneError::Join(e.to_string())
+        // Guardrail variants keep their type across the layer boundary so
+        // the session can distinguish "user cancelled" from "query failed".
+        match e {
+            raster_join::RasterJoinError::Cancelled => UrbaneError::Cancelled,
+            raster_join::RasterJoinError::DeadlineExceeded => UrbaneError::DeadlineExceeded,
+            raster_join::RasterJoinError::Internal(m) => UrbaneError::Internal(m),
+            other => UrbaneError::Join(other.to_string()),
+        }
     }
 }
 

@@ -12,11 +12,10 @@ use crate::catalog::DataCatalog;
 use crate::colormap::ColorMap;
 use crate::resolution::ResolutionPyramid;
 use crate::view::map::{ChoroplethImage, MapView};
-use crate::Result;
-use parking_lot::Mutex;
-use raster_join::RasterJoinConfig;
+use crate::{Result, UrbaneError};
+use raster_join::{QueryBudget, RasterJoinConfig};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use urban_data::filter::Filter;
 use urban_data::query::{AggKind, AggTable, SpatialAggQuery};
 use urban_data::time::TimeRange;
@@ -54,9 +53,19 @@ pub struct CacheStats {
     pub misses: u64,
 }
 
+/// A cached preview sample: the sampled table plus its scale-up factor.
+type SampleEntry = Arc<(urban_data::PointTable, f64)>;
+
+/// Lock a mutex, recovering from poisoning: session caches hold plain data
+/// whose invariants hold between operations, and a query thread that
+/// panicked mid-evaluation must not wedge the whole session.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 /// An interactive Urbane session.
 pub struct UrbaneSession {
-    config: SessionConfig,
+    pub(crate) config: SessionConfig,
     catalog: DataCatalog,
     pyramid: ResolutionPyramid,
     // Interaction state.
@@ -71,21 +80,24 @@ pub struct UrbaneSession {
     cache: Mutex<HashMap<String, Arc<AggTable>>>,
     cache_stats: Mutex<CacheStats>,
     // Preview samples: (dataset, sample size) → (sample table, scale-up).
-    samples: Mutex<HashMap<(String, usize), Arc<(urban_data::PointTable, f64)>>>,
+    samples: Mutex<HashMap<(String, usize), SampleEntry>>,
 }
 
 impl UrbaneSession {
     /// Open a session. The first catalog data set (alphabetically) is active.
-    ///
-    /// # Panics
-    /// Panics on an empty catalog — a session needs data to explore.
-    pub fn new(config: SessionConfig, catalog: DataCatalog, pyramid: ResolutionPyramid) -> Self {
+    /// Fails with [`UrbaneError::Config`] on an empty catalog — a session
+    /// needs data to explore.
+    pub fn new(
+        config: SessionConfig,
+        catalog: DataCatalog,
+        pyramid: ResolutionPyramid,
+    ) -> Result<Self> {
         let active_dataset = catalog
             .names()
             .first()
-            .expect("session needs at least one dataset")
+            .ok_or_else(|| UrbaneError::Config("session needs at least one dataset".into()))?
             .to_string();
-        UrbaneSession {
+        Ok(UrbaneSession {
             config,
             catalog,
             pyramid,
@@ -98,7 +110,7 @@ impl UrbaneSession {
             cache: Mutex::new(HashMap::new()),
             cache_stats: Mutex::new(CacheStats::default()),
             samples: Mutex::new(HashMap::new()),
-        }
+        })
     }
 
     /// The catalog.
@@ -190,7 +202,7 @@ impl UrbaneSession {
 
     /// Cache statistics so far.
     pub fn cache_stats(&self) -> CacheStats {
-        *self.cache_stats.lock()
+        *lock(&self.cache_stats)
     }
 
     /// Assemble the current query from interaction state.
@@ -206,7 +218,7 @@ impl UrbaneSession {
     }
 
     /// A stable fingerprint of (dataset, resolution, query) for the cache.
-    fn fingerprint(&self) -> String {
+    pub(crate) fn fingerprint(&self) -> String {
         format!(
             "{}|{}|{:?}|{:?}|{:?}",
             self.active_dataset, self.active_level, self.agg, self.time_window, self.attr_filters
@@ -215,21 +227,33 @@ impl UrbaneSession {
 
     /// Evaluate the current view's aggregates (cached).
     pub fn evaluate(&self) -> Result<Arc<AggTable>> {
+        self.evaluate_budgeted(&QueryBudget::unlimited()).map(|(table, _)| table)
+    }
+
+    /// Budgeted evaluation: like [`evaluate`](Self::evaluate) but the join
+    /// polls `budget` cooperatively. Returns the table plus the join's ε
+    /// error bound (`None` when served from cache, where the bound is not
+    /// re-derived). Failed/aborted queries are never cached.
+    pub(crate) fn evaluate_budgeted(
+        &self,
+        budget: &QueryBudget,
+    ) -> Result<(Arc<AggTable>, Option<f64>)> {
         let key = self.fingerprint();
-        if let Some(hit) = self.cache.lock().get(&key).cloned() {
-            self.cache_stats.lock().hits += 1;
-            return Ok(hit);
+        if let Some(hit) = lock(&self.cache).get(&key).cloned() {
+            lock(&self.cache_stats).hits += 1;
+            return Ok((hit, None));
         }
-        self.cache_stats.lock().misses += 1;
+        lock(&self.cache_stats).misses += 1;
 
         let points = self.catalog.get(&self.active_dataset)?;
         let regions = self.pyramid.level(self.active_level)?;
         let join = raster_join::RasterJoin::new(self.config.join.clone());
-        let res = join.execute(&points, &regions, &self.current_query())?;
+        let res = join.execute_with_budget(&points, &regions, &self.current_query(), budget)?;
+        let epsilon = res.epsilon;
         let table = Arc::new(res.table);
 
         if self.config.cache_capacity > 0 {
-            let mut cache = self.cache.lock();
+            let mut cache = lock(&self.cache);
             if cache.len() >= self.config.cache_capacity {
                 // Simple eviction: drop an arbitrary entry (bounded memory
                 // is what matters here, not optimal reuse).
@@ -239,7 +263,30 @@ impl UrbaneSession {
             }
             cache.insert(key, table.clone());
         }
-        Ok(table)
+        Ok((table, Some(epsilon)))
+    }
+
+    /// Uncached evaluation at an explicit (coarser) bounded resolution —
+    /// the degradation rung of guarded evaluation. Bounded + points-first
+    /// regardless of the session's configured mode, because the rung exists
+    /// to buy speed: a coarser canvas trades ε for latency, and the caller
+    /// reports the resulting bound in its [`crate::GuardReport`].
+    pub(crate) fn evaluate_degraded(
+        &self,
+        resolution: u32,
+        budget: &QueryBudget,
+    ) -> Result<(AggTable, f64)> {
+        let points = self.catalog.get(&self.active_dataset)?;
+        let regions = self.pyramid.level(self.active_level)?;
+        let config = RasterJoinConfig {
+            spec: raster_join::CanvasSpec::Resolution(resolution),
+            mode: raster_join::ExecutionMode::Bounded,
+            strategy: raster_join::PointStrategy::PointsFirst,
+            ..self.config.join.clone()
+        };
+        let join = raster_join::RasterJoin::new(config);
+        let res = join.execute_with_budget(&points, &regions, &self.current_query(), budget)?;
+        Ok((res.table, res.epsilon))
     }
 
     /// Fast approximate evaluation for in-flight interactions (slider
@@ -257,7 +304,7 @@ impl UrbaneSession {
         // whole interaction burst — resampling per frame would cost a full
         // pass over the data and defeat the preview.
         let key = (self.active_dataset.clone(), sample_rows);
-        let cached = self.samples.lock().get(&key).cloned();
+        let cached = lock(&self.samples).get(&key).cloned();
         let sample_and_scale = match cached {
             Some(s) => s,
             None => {
@@ -268,7 +315,7 @@ impl UrbaneSession {
                 let scale = urban_data::sampling::scale_up_factor(points.len(), sample.len())
                     .unwrap_or(1.0);
                 let entry = Arc::new((sample, scale));
-                self.samples.lock().insert(key, entry.clone());
+                lock(&self.samples).insert(key, entry.clone());
                 entry
             }
         };
@@ -337,6 +384,7 @@ mod tests {
             catalog,
             pyramid,
         )
+        .unwrap()
     }
 
     #[test]
@@ -469,7 +517,8 @@ mod tests {
             },
             catalog,
             pyramid,
-        );
+        )
+        .unwrap();
         let a = s.evaluate().unwrap();
         let b = s.evaluate().unwrap();
         assert!(!Arc::ptr_eq(&a, &b), "capacity 0 must bypass the cache");
@@ -486,6 +535,17 @@ mod tests {
             s.set_time_window(Some(TimeRange::new(day * DAY, (day + 1) * DAY)));
             let _ = s.evaluate().unwrap();
         }
-        assert!(s.cache.lock().len() <= s.config.cache_capacity);
+        assert!(lock(&s.cache).len() <= s.config.cache_capacity);
+    }
+
+    #[test]
+    fn empty_catalog_is_a_config_error() {
+        let city = CityModel::nyc_like();
+        let pyramid = ResolutionPyramid::standard(&city.bbox(), 8, 4, 5);
+        let err = match UrbaneSession::new(SessionConfig::default(), DataCatalog::new(), pyramid) {
+            Ok(_) => panic!("empty catalog must be rejected"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, crate::UrbaneError::Config(_)), "{err:?}");
     }
 }

@@ -57,6 +57,7 @@ pub fn draw_legend_ramp(
 }
 
 /// Draw a bar chart of `values` (None = missing, drawn as a thin stub).
+#[allow(clippy::too_many_arguments)] // flat draw params mirror the other draw_* helpers
 pub fn draw_bar_chart(
     dst: &mut Buffer2D<[u8; 3]>,
     values: &[Option<f64>],

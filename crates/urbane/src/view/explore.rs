@@ -244,7 +244,7 @@ mod tests {
     fn profiles_normalized_and_similarity() {
         let (t, rs) = setup();
         let view = ExplorationView::with_defaults();
-        let metrics = vec![("taxi", &t, SpatialAggQuery::count())];
+        let metrics = [("taxi", &t, SpatialAggQuery::count())];
         let profiles = view.profiles(&metrics.iter().map(|(n, p, q)| (*n, *p, q.clone())).collect::<Vec<_>>(), &rs).unwrap();
         assert_eq!(profiles.len(), 2);
         assert_eq!(profiles[0].features, vec![1.0]); // max count

@@ -58,7 +58,8 @@ fn main() {
         SessionConfig { join: RasterJoinConfig::with_resolution(1024), ..Default::default() },
         catalog,
         pyramid,
-    );
+    )
+    .expect("example catalog is non-empty");
 
     println!("session interactions:");
     s.select_dataset("taxi").unwrap();

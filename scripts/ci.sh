@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, test, lint. Everything runs offline — the workspace
+# vendors its few dependencies in-tree (vendor/), so no registry access is
+# needed or attempted.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace --all-targets -- -D warnings

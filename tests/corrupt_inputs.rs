@@ -1,0 +1,154 @@
+//! Corrupt-input robustness: every parser in the ingest surface (binary
+//! tables, CSV, GeoJSON, WKT) must return a typed error — never panic or
+//! slice out of bounds — when fed truncated or bit-flipped data.
+//!
+//! Truncations of a valid payload are always invalid, so they must `Err`.
+//! Bit flips may happen to produce a *different valid* payload (e.g. a
+//! flipped coordinate byte), so for those the contract is only "no panic":
+//! the decoder returns *some* `Result` and the process survives.
+
+use urban_data::binfmt;
+use urban_data::csv::{read_csv, write_csv};
+use urban_data::gen::city::CityModel;
+use urban_data::gen::taxi::{generate_taxi, TaxiConfig};
+use urban_data::PointTable;
+use urbane_geom::geojson::{parse_geojson, to_geojson};
+use urbane_geom::wkt::{multipolygon_to_wkt, parse_wkt};
+
+fn small_table() -> PointTable {
+    let city = CityModel::nyc_like();
+    generate_taxi(&city, &TaxiConfig { rows: 64, seed: 42, start: 0, days: 2 })
+}
+
+/// A GeoJSON FeatureCollection and a WKT multipolygon derived from the
+/// city model's region generator, so the corpus is realistic.
+fn geo_corpus() -> (String, String) {
+    let city = CityModel::nyc_like();
+    let regions = urban_data::gen::regions::voronoi_neighborhoods(&city.bbox(), 6, 9, 2);
+    let features: Vec<urbane_geom::geojson::Feature> = regions
+        .iter()
+        .map(|(_, name, geom)| urbane_geom::geojson::Feature {
+            geometry: geom.clone(),
+            properties: std::collections::BTreeMap::from([(
+                "name".to_string(),
+                urbane_geom::geojson::Json::String(name.to_string()),
+            )]),
+        })
+        .collect();
+    let geojson = to_geojson(&features);
+    let wkt = multipolygon_to_wkt(regions.geometry(0));
+    (geojson, wkt)
+}
+
+#[test]
+fn truncated_binfmt_always_errs() {
+    let bytes = binfmt::encode(&small_table());
+    assert!(binfmt::decode(&bytes).is_ok(), "sanity: the full payload decodes");
+    for cut in 0..bytes.len() {
+        assert!(
+            binfmt::decode(&bytes[..cut]).is_err(),
+            "truncation at byte {cut}/{} must err, not panic",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn bitflipped_binfmt_never_panics() {
+    let bytes = binfmt::encode(&small_table());
+    for pos in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 1 << bit;
+            // A flip may land in payload data and still decode; the
+            // contract is "typed Result, no panic".
+            let _ = binfmt::decode(&corrupt);
+        }
+    }
+}
+
+#[test]
+fn truncated_csv_never_panics() {
+    let mut buf = Vec::new();
+    write_csv(&mut buf, &small_table()).unwrap();
+    assert!(read_csv(&buf[..]).is_ok(), "sanity: the full payload parses");
+    for cut in (0..buf.len()).step_by(7) {
+        // A cut can land on a line boundary and still be a valid (shorter)
+        // CSV, so only the no-panic contract holds.
+        let _ = read_csv(&buf[..cut]);
+    }
+}
+
+#[test]
+fn bitflipped_csv_never_panics() {
+    let mut buf = Vec::new();
+    write_csv(&mut buf, &small_table()).unwrap();
+    for pos in (0..buf.len()).step_by(3) {
+        for bit in [0, 3, 7] {
+            let mut corrupt = buf.clone();
+            corrupt[pos] ^= 1 << bit;
+            let _ = read_csv(&corrupt[..]);
+        }
+    }
+}
+
+#[test]
+fn truncated_geojson_always_errs() {
+    let (geojson, _) = geo_corpus();
+    assert!(parse_geojson(&geojson).is_ok(), "sanity: the full document parses");
+    // Every strict prefix of a document ending in `]}` is incomplete.
+    for cut in 0..geojson.len() {
+        if geojson.is_char_boundary(cut) {
+            assert!(parse_geojson(&geojson[..cut]).is_err(), "prefix of len {cut} must err");
+        }
+    }
+}
+
+#[test]
+fn bitflipped_geojson_never_panics() {
+    let (geojson, _) = geo_corpus();
+    let bytes = geojson.as_bytes();
+    for pos in (0..bytes.len()).step_by(5) {
+        for bit in [1, 4, 6] {
+            let mut corrupt = bytes.to_vec();
+            corrupt[pos] ^= 1 << bit;
+            if let Ok(s) = std::str::from_utf8(&corrupt) {
+                let _ = parse_geojson(s);
+            }
+        }
+    }
+}
+
+#[test]
+fn truncated_wkt_always_errs() {
+    let (_, wkt) = geo_corpus();
+    assert!(parse_wkt(&wkt).is_ok(), "sanity: the full geometry parses");
+    for cut in 0..wkt.len() {
+        assert!(parse_wkt(&wkt[..cut]).is_err(), "prefix of len {cut} must err");
+    }
+}
+
+#[test]
+fn bitflipped_wkt_never_panics() {
+    let (_, wkt) = geo_corpus();
+    let bytes = wkt.as_bytes();
+    for pos in 0..bytes.len() {
+        for bit in [0, 2, 5] {
+            let mut corrupt = bytes.to_vec();
+            corrupt[pos] ^= 1 << bit;
+            if let Ok(s) = std::str::from_utf8(&corrupt) {
+                let _ = parse_wkt(s);
+            }
+        }
+    }
+}
+
+#[test]
+fn nesting_bombs_err_quickly() {
+    // Adversarial nesting in either format must exhaust a depth/parse
+    // check, not the stack.
+    let json_bomb = format!("{}0{}", "[".repeat(500_000), "]".repeat(500_000));
+    assert!(urbane_geom::geojson::parse_json(&json_bomb).is_err());
+    let wkt_bomb = format!("MULTIPOLYGON {}", "(".repeat(500_000));
+    assert!(parse_wkt(&wkt_bomb).is_err());
+}

@@ -87,7 +87,8 @@ fn urbane_session_drives_the_full_demo_path() {
         SessionConfig { join: RasterJoinConfig::with_resolution(512), ..Default::default() },
         catalog,
         pyramid,
-    );
+    )
+    .expect("catalog is non-empty");
     session.select_dataset("taxi").unwrap();
 
     // Walk the pyramid; totals must be consistent across resolutions (the

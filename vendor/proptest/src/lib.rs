@@ -1,0 +1,511 @@
+//! Offline stand-in for the subset of `proptest` 1.x this workspace uses:
+//! the `proptest!` macro, range/tuple/vec/option strategies, `prop_map` /
+//! `prop_filter_map` adapters, and the `prop_assert*` / `prop_assume!`
+//! macros. The build container has no crates.io access, so the workspace
+//! vendors the surface it needs.
+//!
+//! Semantics: each test runs `ProptestConfig::cases` deterministic random
+//! cases (no shrinking — failures report the unshrunk input, which the
+//! deterministic seed makes reproducible).
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per property.
+    pub cases: u32,
+    /// Maximum strategy rejections (filters, `prop_assume!`) tolerated
+    /// before the property errors out.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Default::default() }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the input; the case is regenerated.
+    Reject(String),
+    /// A `prop_assert*` failed; the property fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Deterministic generator driving all strategies (splitmix64 core).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+}
+
+/// A generator of random values. `generate` returns `None` when the
+/// strategy rejects the draw (e.g. `prop_filter_map` filtered it out);
+/// the runner retries with fresh randomness.
+pub trait Strategy {
+    type Value: Debug + Clone;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Map generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug + Clone,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Filter + map: `None` rejects the draw.
+    fn prop_filter_map<O, F>(self, _reason: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        O: Debug + Clone,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap { inner: self, f }
+    }
+
+    /// Filter: `false` rejects the draw.
+    fn prop_filter<F>(self, _reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, f }
+    }
+}
+
+/// Adapter returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug + Clone, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// Adapter returned by [`Strategy::prop_filter_map`].
+#[derive(Debug, Clone)]
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug + Clone, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.generate(rng).and_then(&self.f)
+    }
+}
+
+/// Adapter returned by [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.generate(rng).filter(|v| (self.f)(v))
+    }
+}
+
+/// A constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Debug + Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                Some((self.start as u64).wrapping_add(rng.below(span)) as $t)
+            }
+        }
+    )*};
+}
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> Option<f64> {
+        assert!(self.start < self.end, "empty range strategy");
+        Some(self.start + rng.unit_f64() * (self.end - self.start))
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> Option<f32> {
+        assert!(self.start < self.end, "empty range strategy");
+        Some(self.start + (rng.unit_f64() as f32) * (self.end - self.start))
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.generate(rng)?,)+))
+            }
+        }
+    )*};
+}
+impl_strategy_tuple! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Length specification: a fixed size or a half-open range.
+    pub trait SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty vec length range");
+            let span = (self.end - self.start) as u64;
+            self.start + rng.below(span) as usize
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+        VecStrategy { element, size }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        size: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L>
+    where
+        S::Value: Debug + Clone,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let n = self.size.pick(rng);
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                // Retry element-level rejections locally a few times so a
+                // picky element strategy doesn't reject the whole vector.
+                let mut attempts = 0;
+                loop {
+                    match self.element.generate(rng) {
+                        Some(v) => break out.push(v),
+                        None if attempts < 16 => attempts += 1,
+                        None => return None,
+                    }
+                }
+            }
+            Some(out)
+        }
+    }
+}
+
+/// Option strategies (`proptest::option`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// `None` in ~25% of draws, `Some(inner)` otherwise (matching upstream's
+    /// default weighting closely enough for routing tests).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<Option<S::Value>> {
+            if rng.next_u64().is_multiple_of(4) {
+                Some(None)
+            } else {
+                self.inner.generate(rng).map(Some)
+            }
+        }
+    }
+}
+
+/// The test runner driving `proptest!`-generated tests.
+pub mod test_runner {
+    use super::{ProptestConfig, Strategy, TestCaseError, TestRng};
+
+    /// Run `body` against `config.cases` generated inputs, panicking on the
+    /// first failure with the offending input's debug form.
+    pub fn run<S, F>(config: &ProptestConfig, strategy: &S, body: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut rng = TestRng::new(0xC0FF_EE00_5EED ^ (config.cases as u64).rotate_left(17));
+        let mut rejects = 0u32;
+        let mut passed = 0u32;
+        while passed < config.cases {
+            let value = match strategy.generate(&mut rng) {
+                Some(v) => v,
+                None => {
+                    rejects += 1;
+                    if rejects > config.max_global_rejects {
+                        panic!(
+                            "proptest: strategy rejected {} draws before reaching {} cases",
+                            rejects, config.cases
+                        );
+                    }
+                    continue;
+                }
+            };
+            match body(value.clone()) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejects += 1;
+                    if rejects > config.max_global_rejects {
+                        panic!(
+                            "proptest: {} assume-rejections before reaching {} cases",
+                            rejects, config.cases
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest case failed: {msg}\ninput: {value:?}");
+                }
+            }
+        }
+    }
+}
+
+/// Everything the workspace's tests import.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Define property tests. Supports an optional
+/// `#![proptest_config(expr)]` header and `fn name(arg in strategy, ...)`
+/// items with arbitrary attributes (`#[test]`, doc comments).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let strategy = ($($strat,)+);
+                $crate::test_runner::run(&config, &strategy, |($($arg,)+)| {
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Assert a condition inside a property (fails the case, not the process).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), a, b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), a, b
+            )));
+        }
+    }};
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($a), stringify!($b), a
+            )));
+        }
+    }};
+}
+
+/// Reject the current case (regenerated, not counted as a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate() {
+        let mut rng = crate::TestRng::new(1);
+        let strat = (0i64..10, 0.0f64..1.0, 0u8..3);
+        for _ in 0..100 {
+            let (a, b, c) = Strategy::generate(&strat, &mut rng).unwrap();
+            assert!((0..10).contains(&a));
+            assert!((0.0..1.0).contains(&b));
+            assert!(c < 3);
+        }
+    }
+
+    #[test]
+    fn vec_and_option_generate() {
+        let mut rng = crate::TestRng::new(2);
+        let v = crate::collection::vec(0u32..5, 3..8);
+        let o = crate::option::of(0i32..4);
+        let mut saw_none = false;
+        for _ in 0..100 {
+            let xs = Strategy::generate(&v, &mut rng).unwrap();
+            assert!((3..8).contains(&xs.len()));
+            if Strategy::generate(&o, &mut rng).unwrap().is_none() {
+                saw_none = true;
+            }
+        }
+        assert!(saw_none);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(x in 0i64..100, ys in crate::collection::vec(0.0f64..1.0, 0..10)) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 100, "x was {}", x);
+            prop_assert_eq!(ys.len(), ys.len());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_works(p in (0.0f64..1.0, 0.0f64..1.0).prop_map(|(a, b)| a + b)) {
+            prop_assert!((0.0..2.0).contains(&p));
+        }
+    }
+}
