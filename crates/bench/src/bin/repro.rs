@@ -3,14 +3,18 @@
 //! ```text
 //! cargo run --release -p urbane-bench --bin repro -- --exp all --scale 1000000
 //! cargo run --release -p urbane-bench --bin repro -- --exp e2
+//! cargo run --release -p urbane-bench --bin repro -- --exp bench \
+//!     --scale 1000000 --threads 4 --reps 5 --json BENCH_rasterjoin.json
 //! ```
 
-use urbane_bench::experiments;
+use urbane_bench::{experiments, perf};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--exp all|e1|...|e10] [--scale N] [--out DIR]\n\
-         defaults: --exp all --scale 1000000 --out out"
+        "usage: repro [--exp all|bench|e1|...|e10] [--scale N] [--out DIR]\n\
+         \x20             [--threads N] [--reps N] [--json PATH]\n\
+         defaults: --exp all --scale 1000000 --out out --threads 4 --reps 5\n\
+         --threads/--reps/--json apply to the `bench` experiment only"
     );
     std::process::exit(2);
 }
@@ -20,6 +24,9 @@ fn main() {
     let mut exp = "all".to_string();
     let mut scale = 1_000_000usize;
     let mut out_dir = "out".to_string();
+    let mut threads = 4usize;
+    let mut reps = 5usize;
+    let mut json_path: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -39,6 +46,26 @@ fn main() {
                 i += 1;
                 out_dir = args.get(i).cloned().unwrap_or_else(|| usage());
             }
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&t| t > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--reps" => {
+                i += 1;
+                reps = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&r| r > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -46,6 +73,18 @@ fn main() {
             }
         }
         i += 1;
+    }
+
+    if exp == "bench" {
+        let cfg = perf::PerfConfig { points: scale, threads, reps, ..Default::default() };
+        let report = perf::run(&cfg);
+        if let Some(path) = &json_path {
+            std::fs::write(path, report.to_json())
+                .unwrap_or_else(|e| panic!("write {path}: {e}"));
+            println!("wrote {path}");
+        }
+        println!("{}", report.render());
+        return;
     }
 
     println!(

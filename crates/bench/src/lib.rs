@@ -6,6 +6,7 @@
 //! (`cargo run --release -p urbane-bench --bin repro -- --exp all`).
 
 pub mod experiments;
+pub mod perf;
 pub mod workload;
 
 use std::time::Instant;

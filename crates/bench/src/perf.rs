@@ -1,0 +1,270 @@
+//! Binning / work-stealing performance suite — the `--exp bench` mode of the
+//! `repro` binary and the generator of `BENCH_rasterjoin.json`.
+//!
+//! The suite times the bounded multi-tile point pass with spatial binning
+//! off (every tile scans the full table — the pre-binning executor's cost
+//! model) against a prebuilt [`BinnedPointTable`] driven through
+//! [`RasterJoin::execute_store`], plus single-tile and accurate-mode
+//! controls. Bin construction is timed separately because a session builds
+//! bins once and amortizes them over every subsequent frame.
+//!
+//! Every timed pair is first checked for bit-identical `AggTable`s, so a
+//! silently-wrong fast path can never produce a flattering number.
+
+use crate::{median_ms, time_ms, Table};
+use crate::workload::Workload;
+use raster_join::{
+    BinningMode, CanvasSpec, PointStore, QueryBudget, RasterJoin, RasterJoinConfig,
+};
+use urban_data::binned::BinnedPointTable;
+use urban_data::query::{AggKind, SpatialAggQuery};
+
+/// Knobs for the perf suite (all settable from the `repro` CLI).
+#[derive(Debug, Clone)]
+pub struct PerfConfig {
+    /// Taxi rows for the workload (the headline run uses 1,000,000).
+    pub points: usize,
+    /// Worker threads for the multi-tile experiments.
+    pub threads: usize,
+    /// Repetitions per measurement; the median is reported.
+    pub reps: usize,
+    /// Canvas resolution of the multi-tile experiments.
+    pub resolution: u32,
+    /// Tile size limit — `resolution / max_tile` per axis gives the grid.
+    pub max_tile: u32,
+}
+
+impl Default for PerfConfig {
+    fn default() -> Self {
+        PerfConfig { points: 1_000_000, threads: 4, reps: 5, resolution: 1024, max_tile: 256 }
+    }
+}
+
+/// One measured experiment row.
+#[derive(Debug, Clone)]
+pub struct PerfRow {
+    /// Experiment name (stable across runs — consumers key on it).
+    pub name: String,
+    /// Median wall-clock latency.
+    pub median_ms: f64,
+    /// Input points divided by the median latency.
+    pub points_per_sec: f64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Tiles in the canvas plan.
+    pub tiles: usize,
+    /// Whether the run used a binned point store.
+    pub binned: bool,
+}
+
+/// The full suite result: rows plus the derived headline numbers.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Config the suite ran with.
+    pub config: PerfConfig,
+    /// Milliseconds to build the bins (paid once per dataset, not per frame).
+    pub bin_build_ms: f64,
+    /// Grid dimensions the auto-binner chose.
+    pub grid: (u32, u32),
+    /// All measured rows.
+    pub rows: Vec<PerfRow>,
+    /// Unbinned / binned latency ratio for the headline bounded multi-tile
+    /// experiment (>1 means binning won).
+    pub speedup_bounded_multitile: f64,
+}
+
+impl PerfReport {
+    /// Hand-rolled JSON (the workspace deliberately has no serde): one
+    /// object with per-experiment rows, written to `BENCH_rasterjoin.json`
+    /// by `scripts/bench.sh`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"bench\": \"rasterjoin\",\n");
+        s.push_str(&format!(
+            "  \"command\": \"cargo run --release -p urbane-bench --bin repro -- --exp bench \
+             --scale {} --threads {} --reps {} --json BENCH_rasterjoin.json\",\n",
+            self.config.points, self.config.threads, self.config.reps
+        ));
+        s.push_str(&format!("  \"points\": {},\n", self.config.points));
+        s.push_str(&format!("  \"threads\": {},\n", self.config.threads));
+        s.push_str(&format!("  \"reps\": {},\n", self.config.reps));
+        s.push_str(&format!("  \"resolution\": {},\n", self.config.resolution));
+        s.push_str(&format!("  \"max_tile\": {},\n", self.config.max_tile));
+        s.push_str(&format!("  \"bin_grid\": [{}, {}],\n", self.grid.0, self.grid.1));
+        s.push_str(&format!("  \"bin_build_ms\": {:.3},\n", self.bin_build_ms));
+        s.push_str(&format!(
+            "  \"speedup_bounded_multitile\": {:.3},\n",
+            self.speedup_bounded_multitile
+        ));
+        s.push_str("  \"experiments\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"median_ms\": {:.3}, \"points_per_sec\": {:.0}, \
+                 \"threads\": {}, \"tiles\": {}, \"binned\": {}}}{}\n",
+                r.name,
+                r.median_ms,
+                r.points_per_sec,
+                r.threads,
+                r.tiles,
+                r.binned,
+                if i + 1 < self.rows.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Human-readable table for the repro binary's stdout.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(["experiment", "median ms", "Mpts/s", "threads", "tiles", "binned"]);
+        for r in &self.rows {
+            t.row([
+                r.name.clone(),
+                format!("{:.1}", r.median_ms),
+                format!("{:.1}", r.points_per_sec / 1e6),
+                format!("{}", r.threads),
+                format!("{}", r.tiles),
+                format!("{}", r.binned),
+            ]);
+        }
+        format!(
+            "BENCH  Binning + work-stealing ({} points, median of {}; bins: {}x{} built in \
+             {:.1} ms)\n\n{}\nbounded multi-tile speedup (unbinned / binned): {:.2}x\n",
+            self.config.points,
+            self.config.reps,
+            self.grid.0,
+            self.grid.1,
+            self.bin_build_ms,
+            t.render(),
+            self.speedup_bounded_multitile
+        )
+    }
+}
+
+fn config(cfg: &PerfConfig, binning: BinningMode, mode: raster_join::ExecutionMode) -> RasterJoinConfig {
+    RasterJoinConfig {
+        spec: CanvasSpec::Resolution(cfg.resolution),
+        max_tile: cfg.max_tile,
+        mode,
+        threads: cfg.threads,
+        binning,
+        ..Default::default()
+    }
+}
+
+/// Run the suite. Deterministic (seeded workload, fixed region set); only
+/// the wall-clock numbers vary run to run.
+pub fn run(cfg: &PerfConfig) -> PerfReport {
+    use raster_join::ExecutionMode::{Accurate, Bounded};
+    let w = Workload::standard(cfg.points, 42);
+    let regions = w.neighborhoods();
+    let q = SpatialAggQuery::new(AggKind::Sum("fare".into()));
+    let budget = QueryBudget::unlimited();
+
+    // Bins built once, like a session would; timed separately.
+    let (bins, bin_build_ms) = time_ms(|| BinnedPointTable::build(&w.taxi));
+    let binned_store = PointStore::with_bins(&w.taxi, &bins);
+    let plain_store = PointStore::plain(&w.taxi);
+
+    let mut rows = Vec::new();
+    let mut run_pair = |name: &str, mode, threads: usize| -> (f64, f64) {
+        let off = RasterJoin::new(RasterJoinConfig {
+            threads,
+            ..config(cfg, BinningMode::Off, mode)
+        });
+        // Correctness gate: the binned table must be bit-identical to the
+        // unbinned one before either side is worth timing.
+        let base = off.execute_store(plain_store, &regions, &q, &budget).expect("unbinned run");
+        let fast = off.execute_store(binned_store, &regions, &q, &budget).expect("binned run");
+        assert_eq!(base.table, fast.table, "{name}: binned result diverged");
+        let tiles = base.tiles;
+        let unbinned_ms = median_ms(cfg.reps, || {
+            off.execute_store(plain_store, &regions, &q, &budget).expect("unbinned run");
+        });
+        let binned_ms = median_ms(cfg.reps, || {
+            off.execute_store(binned_store, &regions, &q, &budget).expect("binned run");
+        });
+        for (suffix, ms, binned) in
+            [("unbinned", unbinned_ms, false), ("binned", binned_ms, true)]
+        {
+            rows.push(PerfRow {
+                name: format!("{name}_{suffix}"),
+                median_ms: ms,
+                points_per_sec: cfg.points as f64 / (ms / 1e3),
+                threads,
+                tiles,
+                binned,
+            });
+        }
+        (unbinned_ms, binned_ms)
+    };
+
+    let (head_unbinned, head_binned) = run_pair("bounded_multitile", Bounded, cfg.threads);
+    run_pair("bounded_multitile_serial", Bounded, 1);
+    run_pair("accurate_multitile", Accurate, cfg.threads);
+
+    // Single-tile control: candidates() returns None (viewport covers the
+    // bins' bbox), so binned and unbinned must cost the same.
+    {
+        let single = RasterJoin::new(RasterJoinConfig {
+            spec: CanvasSpec::Resolution(cfg.resolution),
+            max_tile: cfg.resolution.max(cfg.max_tile),
+            threads: 1,
+            binning: BinningMode::Off,
+            ..Default::default()
+        });
+        let base = single.execute_store(plain_store, &regions, &q, &budget).expect("single run");
+        let fast =
+            single.execute_store(binned_store, &regions, &q, &budget).expect("single binned");
+        assert_eq!(base.table, fast.table, "single-tile: binned result diverged");
+        let ms = median_ms(cfg.reps, || {
+            single.execute_store(binned_store, &regions, &q, &budget).expect("single binned");
+        });
+        rows.push(PerfRow {
+            name: "bounded_singletile_binned".into(),
+            median_ms: ms,
+            points_per_sec: cfg.points as f64 / (ms / 1e3),
+            threads: 1,
+            tiles: base.tiles,
+            binned: true,
+        });
+    }
+
+    PerfReport {
+        config: cfg.clone(),
+        bin_build_ms,
+        grid: bins.grid_dims(),
+        rows,
+        speedup_bounded_multitile: head_unbinned / head_binned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_suite_runs_and_serializes() {
+        let cfg = PerfConfig {
+            points: 20_000,
+            threads: 2,
+            reps: 1,
+            resolution: 256,
+            max_tile: 64,
+        };
+        let report = run(&cfg);
+        assert!(report.rows.len() >= 5);
+        assert!(report.rows.iter().all(|r| r.median_ms >= 0.0 && r.points_per_sec >= 0.0));
+        let json = report.to_json();
+        // Structural sanity without a JSON parser: balanced braces, the
+        // stable keys present, one object per experiment row.
+        assert!(json.starts_with("{\n") && json.ends_with("}\n"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        for key in ["\"bench\"", "\"bin_build_ms\"", "\"speedup_bounded_multitile\"", "\"experiments\""] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches("\"name\"").count(), report.rows.len());
+        assert!(report.render().contains("speedup"));
+    }
+}

@@ -18,13 +18,14 @@
 
 use crate::bounded::{gather_region, point_pass, POINT_CHUNK};
 use crate::budget::QueryBudget;
+use crate::compiled::{CompiledQuery, PointStore};
 use crate::executor::PolygonPath;
 use crate::Result;
 use gpu_raster::line::traverse_segment;
 use gpu_raster::Pipeline;
 use std::collections::HashSet;
-use urban_data::query::{AggTable, SpatialAggQuery};
-use urban_data::{PointTable, RegionId, RegionSet};
+use urban_data::query::AggTable;
+use urban_data::{RegionId, RegionSet};
 use urbane_geom::projection::Viewport;
 
 /// Execute accurate Raster Join for one tile. The budget is polled per
@@ -32,15 +33,16 @@ use urbane_geom::projection::Viewport;
 /// pass and the exact fix-up.
 pub(crate) fn accurate_tile(
     viewport: &Viewport,
-    points: &PointTable,
+    store: &PointStore<'_>,
     regions: &RegionSet,
-    query: &SpatialAggQuery,
+    cq: &CompiledQuery,
     path: PolygonPath,
     budget: &QueryBudget,
 ) -> Result<(AggTable, gpu_raster::RenderStats)> {
+    let points = store.table();
     let mut pipe = Pipeline::new(*viewport);
     let (w, h) = (viewport.width, viewport.height);
-    let bufs = point_pass(&mut pipe, points, query, budget)?;
+    let bufs = point_pass(&mut pipe, store, cq, budget)?;
 
     // Step 2: per-region boundary pixels + global (pixel, region) pairs.
     let mut boundary_pairs: Vec<(u32, RegionId)> = Vec::new();
@@ -67,7 +69,7 @@ pub(crate) fn accurate_tile(
     boundary_pairs.sort_unstable();
 
     // Step 3: interior gather per region.
-    let mut table = AggTable::new(query.agg_kind(), regions.len());
+    let mut table = AggTable::new(cq.agg.clone(), regions.len());
     for (id, _, geom) in regions.iter() {
         budget.check()?;
         let skip_set = &region_boundary[id as usize];
@@ -81,15 +83,18 @@ pub(crate) fn accurate_tile(
         )?;
     }
 
-    // Step 4: exact fix-up for points in boundary pixels.
-    let agg = query.agg_kind();
-    let col = agg.resolve(points)?;
-    let filter = query.filters.compile(points)?;
-    for i in 0..points.len() {
-        if i % POINT_CHUNK == 0 {
+    // Step 4: exact fix-up for points in boundary pixels. A binned store
+    // narrows the probe to the tile's candidate rows (ascending, so the
+    // accumulation order matches the full scan).
+    let column: Option<&[f32]> = cq.col.map(|c| points.column(c));
+    let cand = store.candidates(&viewport.world);
+    let total = cand.as_ref().map_or(points.len(), |c| c.len());
+    for k in 0..total {
+        if k % POINT_CHUNK == 0 {
             budget.check()?;
         }
-        if !filter.matches(i) {
+        let i = cand.as_ref().map_or(k, |c| c[k] as usize);
+        if !cq.matches(i) {
             continue;
         }
         let p = points.loc(i);
@@ -102,7 +107,7 @@ pub(crate) fn accurate_tile(
         if lo == boundary_pairs.len() || boundary_pairs[lo].0 != pix {
             continue; // not a boundary pixel for any region
         }
-        let v = col.map_or(0.0, |c| points.attr(i, c) as f64);
+        let v = column.map_or(0.0, |vals| vals[i] as f64);
         for &(q, id) in &boundary_pairs[lo..] {
             if q != pix {
                 break;
@@ -142,8 +147,9 @@ mod tests {
     use rand::{Rng, SeedableRng};
     use spatial_index::naive_join;
     use urban_data::gen::regions::voronoi_neighborhoods;
-    use urban_data::query::AggKind;
+    use urban_data::query::{AggKind, SpatialAggQuery};
     use urban_data::schema::{AttrType, Schema};
+    use urban_data::PointTable;
     use urbane_geom::{BoundingBox, Point};
 
     // Unbudgeted shim: these tests exercise exactness, not the guardrails.
@@ -154,7 +160,10 @@ mod tests {
         query: &SpatialAggQuery,
         path: PolygonPath,
     ) -> Result<(AggTable, gpu_raster::RenderStats)> {
-        super::accurate_tile(viewport, points, regions, query, path, &QueryBudget::unlimited())
+        let budget = QueryBudget::unlimited();
+        let store = PointStore::plain(points);
+        let cq = CompiledQuery::new(points, query, &budget)?;
+        super::accurate_tile(viewport, &store, regions, &cq, path, &budget)
     }
 
     fn random_points(n: usize, seed: u64, extent: &BoundingBox) -> PointTable {

@@ -8,12 +8,13 @@
 //! pixel diagonal — the plan's ε.
 
 use crate::budget::QueryBudget;
+use crate::compiled::{CompiledQuery, PointStore};
 use crate::executor::PolygonPath;
 use crate::Result;
 use gpu_raster::blend::BlendOp;
 use gpu_raster::{Buffer2D, Pipeline};
-use urban_data::query::{AggKind, AggState, AggTable, SpatialAggQuery};
-use urban_data::{PointTable, RegionSet};
+use urban_data::query::{AggKind, AggState, AggTable};
+use urban_data::RegionSet;
 use urbane_geom::projection::Viewport;
 use urbane_geom::triangulate::triangulate;
 use urbane_geom::MultiPolygon;
@@ -33,54 +34,61 @@ pub(crate) struct PointBuffers {
 /// enough that the check cost vanishes against the per-point work.
 pub(crate) const POINT_CHUNK: usize = 8192;
 
-/// Render the point pass for one tile: filter, project, blend. The stream is
+/// Render the point pass for one tile: select, project, blend. The stream is
 /// processed in [`POINT_CHUNK`]-sized chunks with a budget check between
 /// chunks, so cancellation interrupts the pass mid-stream.
+///
+/// With a binned store the pass iterates only the tile's candidate rows
+/// (sorted ascending, so the per-pixel blend order — and therefore every
+/// f32 accumulation — is bit-identical to the full scan). The surviving-row
+/// list of each chunk is computed once and shared by the blend, MIN, and MAX
+/// loops, and values are read straight from the resolved column — no
+/// per-chunk gather allocation.
 pub(crate) fn point_pass(
     pipe: &mut Pipeline,
-    points: &PointTable,
-    query: &SpatialAggQuery,
+    store: &PointStore<'_>,
+    cq: &CompiledQuery,
     budget: &QueryBudget,
 ) -> Result<PointBuffers> {
-    let agg = query.agg_kind();
-    let col = agg.resolve(points)?;
-    let filter = query.filters.compile(points)?;
+    let points = store.table();
     let (w, h) = (pipe.viewport().width, pipe.viewport().height);
 
     let mut count_sum = Buffer2D::new(w, h, [0.0f32; 2]);
-    let needs_min = matches!(agg, AggKind::Min(_));
-    let needs_max = matches!(agg, AggKind::Max(_));
+    let needs_min = matches!(cq.agg, AggKind::Min(_));
+    let needs_max = matches!(cq.agg, AggKind::Max(_));
     let mut min_buf = needs_min.then(|| Buffer2D::new(w, h, f32::INFINITY));
     let mut max_buf = needs_max.then(|| Buffer2D::new(w, h, f32::NEG_INFINITY));
 
     // The filtered fragment stream — this is the per-frame hot loop the
     // paper's performance argument rests on: one pass, one fragment each.
     let viewport = *pipe.viewport();
+    let candidates = store.candidates(&viewport.world);
+    let column: Option<&[f32]> = cq.col.map(|c| points.column(c));
+    let total = candidates.as_ref().map_or(points.len(), |c| c.len());
+    let mut idx_buf: Vec<u32> = Vec::with_capacity(POINT_CHUNK.min(total));
+
     let mut start = 0usize;
-    while start < points.len() {
+    while start < total {
         budget.check()?;
-        let end = (start + POINT_CHUNK).min(points.len());
-        let idxs = (start..end).filter(|&i| filter.matches(i));
+        let end = (start + POINT_CHUNK).min(total);
+        match &candidates {
+            None => cq.select_range(start, end, &mut idx_buf),
+            Some(c) => cq.select_from(&c[start..end], &mut idx_buf),
+        }
         pipe.draw_points(
             &mut count_sum,
-            idxs.clone().map(|i| points.loc(i)),
-            {
-                let vals: Vec<f32> = match col {
-                    Some(c) => idxs.clone().map(|i| points.attr(i, c)).collect(),
-                    None => Vec::new(),
-                };
-                move |k| [1.0, if vals.is_empty() { 0.0 } else { vals[k] }]
-            },
+            idx_buf.iter().map(|&i| points.loc(i as usize)),
+            |k| [1.0, column.map_or(0.0, |vals| vals[idx_buf[k] as usize])],
             BlendOp::Add,
         );
-        if let (Some(buf), Some(c)) = (min_buf.as_mut(), col) {
-            for i in (start..end).filter(|&i| filter.matches(i)) {
-                gpu_raster::point::draw_point(buf, &viewport, points.loc(i), points.attr(i, c), BlendOp::Min);
+        if let (Some(buf), Some(vals)) = (min_buf.as_mut(), column) {
+            for &i in &idx_buf {
+                gpu_raster::point::draw_point(buf, &viewport, points.loc(i as usize), vals[i as usize], BlendOp::Min);
             }
         }
-        if let (Some(buf), Some(c)) = (max_buf.as_mut(), col) {
-            for i in (start..end).filter(|&i| filter.matches(i)) {
-                gpu_raster::point::draw_point(buf, &viewport, points.loc(i), points.attr(i, c), BlendOp::Max);
+        if let (Some(buf), Some(vals)) = (max_buf.as_mut(), column) {
+            for &i in &idx_buf {
+                gpu_raster::point::draw_point(buf, &viewport, points.loc(i as usize), vals[i as usize], BlendOp::Max);
             }
         }
         start = end;
@@ -162,15 +170,15 @@ pub(crate) fn gather_region<F: FnMut(u32, u32) -> bool>(
 /// region in the polygon pass (and per point chunk inside the point pass).
 pub(crate) fn bounded_tile(
     viewport: &Viewport,
-    points: &PointTable,
+    store: &PointStore<'_>,
     regions: &RegionSet,
-    query: &SpatialAggQuery,
+    cq: &CompiledQuery,
     path: PolygonPath,
     budget: &QueryBudget,
 ) -> Result<(AggTable, gpu_raster::RenderStats)> {
     let mut pipe = Pipeline::new(*viewport);
-    let bufs = point_pass(&mut pipe, points, query, budget)?;
-    let mut table = AggTable::new(query.agg_kind(), regions.len());
+    let bufs = point_pass(&mut pipe, store, cq, budget)?;
+    let mut table = AggTable::new(cq.agg.clone(), regions.len());
     for (id, _, geom) in regions.iter() {
         budget.check()?;
         gather_region(
@@ -188,8 +196,9 @@ pub(crate) fn bounded_tile(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use urban_data::query::AggKind;
+    use urban_data::query::{AggKind, SpatialAggQuery};
     use urban_data::schema::{AttrType, Schema};
+    use urban_data::PointTable;
     use urbane_geom::{BoundingBox, Point, Polygon};
 
     // Shadow the crate fn with an unbudgeted shim: these tests exercise the
@@ -201,7 +210,10 @@ mod tests {
         query: &SpatialAggQuery,
         path: PolygonPath,
     ) -> Result<(AggTable, gpu_raster::RenderStats)> {
-        super::bounded_tile(viewport, points, regions, query, path, &QueryBudget::unlimited())
+        let budget = QueryBudget::unlimited();
+        let store = PointStore::plain(points);
+        let cq = CompiledQuery::new(points, query, &budget)?;
+        super::bounded_tile(viewport, &store, regions, &cq, path, &budget)
     }
 
     fn viewport() -> Viewport {

@@ -5,13 +5,35 @@ use crate::accurate::accurate_tile;
 use crate::bounded::bounded_tile;
 use crate::budget::QueryBudget;
 use crate::canvas::{CanvasPlan, CanvasSpec};
+use crate::compiled::{CompiledQuery, PointStore};
 use crate::{RasterJoinError, Result};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use gpu_raster::blend::BlendOp;
 use gpu_raster::{Buffer2D, Pipeline, RenderStats};
+use urban_data::binned::BinnedPointTable;
 use urban_data::query::{AggTable, SpatialAggQuery};
 use urban_data::{PointTable, RegionSet};
 use urbane_geom::projection::Viewport;
+
+/// Tables below this size are never auto-binned: a full scan of a few
+/// thousand rows is cheaper than building and probing the grid.
+pub const MIN_AUTO_BIN_POINTS: usize = 4096;
+
+/// Whether (and how) the executor builds a [`BinnedPointTable`] before
+/// running the tile passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinningMode {
+    /// Bin automatically when it can pay off: multi-tile plan and at least
+    /// [`MIN_AUTO_BIN_POINTS`] rows. The default.
+    Auto,
+    /// Never bin — every tile scans the full table (the pre-binning
+    /// behavior; also the right choice when the caller already holds a
+    /// [`BinnedPointTable`] and uses [`RasterJoin::execute_store`]).
+    Off,
+    /// Always bin on an explicit `side × side` grid.
+    Grid(u32),
+}
 
 /// Bounded (ε-approximate), weighted (coverage-corrected), or accurate
 /// (exact) execution.
@@ -63,6 +85,8 @@ pub struct RasterJoinConfig {
     pub strategy: PointStrategy,
     /// Worker threads for multi-tile plans (1 = serial).
     pub threads: usize,
+    /// Spatial binning of the point table (per-tile candidate pruning).
+    pub binning: BinningMode,
     /// Injected faults for guardrail testing (feature-gated; `None` in
     /// normal operation).
     #[cfg(feature = "fault-injection")]
@@ -78,6 +102,7 @@ impl Default for RasterJoinConfig {
             path: PolygonPath::Scanline,
             strategy: PointStrategy::PointsFirst,
             threads: 1,
+            binning: BinningMode::Auto,
             #[cfg(feature = "fault-injection")]
             faults: None,
         }
@@ -184,6 +209,63 @@ impl RasterJoin {
             return Err(RasterJoinError::Config("empty region set".into()));
         }
         budget.check()?;
+        let bins = self.auto_bins(points, regions)?;
+        let store = match &bins {
+            Some(b) => PointStore::with_bins(points, b),
+            None => PointStore::plain(points),
+        };
+        self.execute_store(store, regions, query, budget)
+    }
+
+    /// Build bins for a one-shot execution per [`BinningMode`]. Long-lived
+    /// callers (sessions) should build a [`BinnedPointTable`] once and use
+    /// [`execute_store`](Self::execute_store) instead.
+    fn auto_bins(
+        &self,
+        points: &PointTable,
+        regions: &RegionSet,
+    ) -> Result<Option<BinnedPointTable>> {
+        match self.config.binning {
+            BinningMode::Off => Ok(None),
+            BinningMode::Grid(side) => {
+                if side == 0 {
+                    return Err(RasterJoinError::Config(
+                        "binning grid side must be positive".into(),
+                    ));
+                }
+                Ok(Some(BinnedPointTable::with_grid(points, side, side)))
+            }
+            BinningMode::Auto => {
+                if points.len() < MIN_AUTO_BIN_POINTS {
+                    return Ok(None);
+                }
+                let plan =
+                    CanvasPlan::plan(&regions.bbox(), self.config.spec, self.config.max_tile)?;
+                if plan.tiles.len() <= 1 {
+                    return Ok(None);
+                }
+                Ok(Some(BinnedPointTable::build(points)))
+            }
+        }
+    }
+
+    /// Evaluate `query` against a caller-provided [`PointStore`] — the entry
+    /// point for sessions that bin a dataset once and reuse the bins across
+    /// frames. Semantics are identical to
+    /// [`execute_with_budget`](Self::execute_with_budget) (budget polling,
+    /// panic isolation, deterministic results), except that no bins are
+    /// built here: the store is used as given.
+    pub fn execute_store(
+        &self,
+        store: PointStore<'_>,
+        regions: &RegionSet,
+        query: &SpatialAggQuery,
+        budget: &QueryBudget,
+    ) -> Result<RasterJoinResult> {
+        if regions.is_empty() {
+            return Err(RasterJoinError::Config("empty region set".into()));
+        }
+        budget.check()?;
         let plan = CanvasPlan::plan(&regions.bbox(), self.config.spec, self.config.max_tile)?;
 
         if self.config.strategy == PointStrategy::IdBuffer
@@ -194,7 +276,13 @@ impl RasterJoin {
             ));
         }
 
-        let agg = query.agg_kind();
+        // Compile once per query: the filter set collapses to a shared
+        // bitmask and the value column is resolved up front, so every tile
+        // on every worker probes bits instead of re-running the conjunction.
+        let cq = CompiledQuery::new(store.table(), query, budget)?;
+        let store = &store;
+        let cq = &cq;
+
         // Per-tile body: budget poll, fault hook, then the actual kernel in a
         // panic shield so one bad tile cannot take the process down.
         let run_tile = |idx: usize, vp: &Viewport| -> Result<(AggTable, RenderStats)> {
@@ -210,22 +298,22 @@ impl RasterJoin {
                 }
                 match self.config.strategy {
                     PointStrategy::IdBuffer => {
-                        id_buffer_tile(vp, points, regions, query, self.config.path, budget)
+                        id_buffer_tile(vp, store, regions, cq, self.config.path, budget)
                     }
                     PointStrategy::PointsFirst => match self.config.mode {
                         ExecutionMode::Bounded => {
-                            bounded_tile(vp, points, regions, query, self.config.path, budget)
+                            bounded_tile(vp, store, regions, cq, self.config.path, budget)
                         }
                         ExecutionMode::Weighted => crate::weighted::weighted_tile(
                             vp,
-                            points,
+                            store,
                             regions,
-                            query,
+                            cq,
                             self.config.path,
                             budget,
                         ),
                         ExecutionMode::Accurate => {
-                            accurate_tile(vp, points, regions, query, self.config.path, budget)
+                            accurate_tile(vp, store, regions, cq, self.config.path, budget)
                         }
                     },
                 }
@@ -238,37 +326,56 @@ impl RasterJoin {
             })
         };
 
-        let mut table = AggTable::new(agg, regions.len());
+        let mut table = AggTable::new(cq.agg.clone(), regions.len());
         let mut stats = RenderStats::new();
-        let threads = self.config.threads.max(1);
-        if threads == 1 || plan.tiles.len() == 1 {
+        let threads = self.config.threads.max(1).min(plan.tiles.len());
+        if threads == 1 {
             for (idx, vp) in plan.tiles.iter().enumerate() {
                 let (t, s) = run_tile(idx, vp)?;
                 table.merge(&t)?;
                 stats.merge(&s);
             }
         } else {
-            let chunk_size = plan.tiles.len().div_ceil(threads);
-            let results: Vec<Result<Option<(AggTable, RenderStats)>>> =
+            // Work-stealing: a shared cursor hands out tiles one at a time,
+            // so a hot tile (hotspot-skewed data) occupies one worker while
+            // the rest drain the remaining tiles — no chunk serializes behind
+            // it. Workers report per-tile results keyed by tile index; the
+            // merge below replays them in tile order, which keeps the f64
+            // merge arithmetic — and therefore the answer — independent of
+            // the thread count and of scheduling races.
+            type TileOut = (usize, (AggTable, RenderStats));
+            let tiles = &plan.tiles;
+            let cursor = AtomicUsize::new(0);
+            let abort = AtomicBool::new(false);
+            let worker_outs: Vec<(Vec<TileOut>, Option<RasterJoinError>)> =
                 std::thread::scope(|scope| {
-                    let mut handles = Vec::new();
-                    for (ci, chunk) in plan.tiles.chunks(chunk_size).enumerate() {
-                        let run_tile = &run_tile;
-                        handles.push(scope.spawn(move || {
-                            let mut acc: Option<(AggTable, RenderStats)> = None;
-                            for (i, vp) in chunk.iter().enumerate() {
-                                let (t, s) = run_tile(ci * chunk_size + i, vp)?;
-                                match &mut acc {
-                                    None => acc = Some((t, s)),
-                                    Some((at, ast)) => {
-                                        at.merge(&t).map_err(RasterJoinError::from)?;
-                                        ast.merge(&s);
+                    let (run_tile, cursor, abort) = (&run_tile, &cursor, &abort);
+                    let handles: Vec<_> = (0..threads)
+                        .map(|_| {
+                            scope.spawn(move || {
+                                let mut done: Vec<TileOut> = Vec::new();
+                                loop {
+                                    // First failure raises the abort flag:
+                                    // the other workers stop pulling tiles
+                                    // and drain cleanly.
+                                    if abort.load(Ordering::Relaxed) {
+                                        return (done, None);
+                                    }
+                                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                                    if idx >= tiles.len() {
+                                        return (done, None);
+                                    }
+                                    match run_tile(idx, &tiles[idx]) {
+                                        Ok(out) => done.push((idx, out)),
+                                        Err(e) => {
+                                            abort.store(true, Ordering::Relaxed);
+                                            return (done, Some(e));
+                                        }
                                     }
                                 }
-                            }
-                            Ok::<_, RasterJoinError>(acc)
-                        }));
-                    }
+                            })
+                        })
+                        .collect();
                     handles
                         .into_iter()
                         .map(|h| {
@@ -276,36 +383,38 @@ impl RasterJoin {
                                 // Unreachable in practice (run_tile catches
                                 // kernel panics), but keep the worker fallible
                                 // rather than re-panicking the caller.
-                                Err(RasterJoinError::Internal(format!(
-                                    "tile worker panicked: {}",
-                                    gpu_raster::tile::panic_message(payload.as_ref())
-                                )))
+                                (
+                                    Vec::new(),
+                                    Some(RasterJoinError::Internal(format!(
+                                        "tile worker panicked: {}",
+                                        gpu_raster::tile::panic_message(payload.as_ref())
+                                    ))),
+                                )
                             })
                         })
                         .collect()
                 });
             // Prefer an Internal diagnosis over the cancellations it causes.
             let mut first_err: Option<RasterJoinError> = None;
-            for r in results {
-                match r {
-                    Ok(Some((t, s))) => {
-                        table.merge(&t)?;
-                        stats.merge(&s);
-                    }
-                    Ok(None) => {}
-                    Err(e) => {
-                        let internal = matches!(e, RasterJoinError::Internal(_));
-                        if first_err.is_none()
-                            || (internal
-                                && !matches!(first_err, Some(RasterJoinError::Internal(_))))
-                        {
-                            first_err = Some(e);
-                        }
+            let mut parts: Vec<TileOut> = Vec::new();
+            for (done, err) in worker_outs {
+                parts.extend(done);
+                if let Some(e) = err {
+                    let internal = matches!(e, RasterJoinError::Internal(_));
+                    if first_err.is_none()
+                        || (internal && !matches!(first_err, Some(RasterJoinError::Internal(_))))
+                    {
+                        first_err = Some(e);
                     }
                 }
             }
             if let Some(e) = first_err {
                 return Err(e);
+            }
+            parts.sort_unstable_by_key(|&(idx, _)| idx);
+            for (_, (t, s)) in &parts {
+                table.merge(t)?;
+                stats.merge(s);
             }
         }
 
@@ -325,12 +434,13 @@ impl RasterJoin {
 /// non-overlapping region sets.
 fn id_buffer_tile(
     viewport: &Viewport,
-    points: &PointTable,
+    store: &PointStore<'_>,
     regions: &RegionSet,
-    query: &SpatialAggQuery,
+    cq: &CompiledQuery,
     path: PolygonPath,
     budget: &QueryBudget,
 ) -> Result<(AggTable, RenderStats)> {
+    let points = store.table();
     let mut pipe = Pipeline::new(*viewport);
     let (w, h) = (viewport.width, viewport.height);
     let mut ids = Buffer2D::new(w, h, gpu_raster::NO_REGION);
@@ -353,21 +463,24 @@ fn id_buffer_tile(
         }
     }
 
-    let agg = query.agg_kind();
-    let col = agg.resolve(points)?;
-    let filter = query.filters.compile(points)?;
-    let mut table = AggTable::new(agg, regions.len());
-    for i in 0..points.len() {
-        if i % crate::bounded::POINT_CHUNK == 0 {
+    let mut table = AggTable::new(cq.agg.clone(), regions.len());
+    let column: Option<&[f32]> = cq.col.map(|c| points.column(c));
+    // A binned store narrows the scatter to the tile's candidate rows
+    // (ascending, so the accumulation order matches the full scan).
+    let cand = store.candidates(&viewport.world);
+    let total = cand.as_ref().map_or(points.len(), |c| c.len());
+    for k in 0..total {
+        if k % crate::bounded::POINT_CHUNK == 0 {
             budget.check()?;
         }
-        if !filter.matches(i) {
+        let i = cand.as_ref().map_or(k, |c| c[k] as usize);
+        if !cq.matches(i) {
             continue;
         }
         if let Some((x, y)) = viewport.world_to_pixel(points.loc(i)) {
             let id = ids.get(x, y);
             if id != gpu_raster::NO_REGION {
-                let v = col.map_or(0.0, |c| points.attr(i, c) as f64);
+                let v = column.map_or(0.0, |vals| vals[i] as f64);
                 table.states[(id - 1) as usize].accumulate(v);
             }
         }

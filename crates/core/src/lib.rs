@@ -36,6 +36,7 @@ pub mod accurate;
 pub mod bounded;
 pub mod budget;
 pub mod canvas;
+pub mod compiled;
 pub mod executor;
 #[cfg(feature = "fault-injection")]
 pub mod fault;
@@ -44,8 +45,10 @@ pub mod weighted;
 
 pub use budget::{CancelHandle, QueryBudget};
 pub use canvas::{CanvasPlan, CanvasSpec};
+pub use compiled::PointStore;
 pub use executor::{
-    ExecutionMode, PolygonPath, PointStrategy, RasterJoin, RasterJoinConfig, RasterJoinResult,
+    BinningMode, ExecutionMode, PolygonPath, PointStrategy, RasterJoin, RasterJoinConfig,
+    RasterJoinResult, MIN_AUTO_BIN_POINTS,
 };
 #[cfg(feature = "fault-injection")]
 pub use fault::FaultPlan;

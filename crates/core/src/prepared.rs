@@ -15,6 +15,7 @@
 use crate::bounded::{fold_pixel, point_pass, POINT_CHUNK};
 use crate::budget::QueryBudget;
 use crate::canvas::{CanvasPlan, CanvasSpec};
+use crate::compiled::{CompiledQuery, PointStore};
 use crate::executor::{ExecutionMode, RasterJoinResult};
 use crate::{RasterJoinError, Result};
 use gpu_raster::line::traverse_segment;
@@ -153,14 +154,27 @@ impl PreparedRasterJoin {
         query: &SpatialAggQuery,
         budget: &QueryBudget,
     ) -> Result<RasterJoinResult> {
-        let agg = query.agg_kind();
-        let mut table = AggTable::new(agg.clone(), self.n_regions);
+        self.execute_store(PointStore::plain(points), query, budget)
+    }
+
+    /// Replay a query against a caller-provided [`PointStore`] — combine
+    /// cached polygon rasterization with cached spatial bins so each frame
+    /// costs only the candidate point pass plus the pixel-list gather.
+    pub fn execute_store(
+        &self,
+        store: PointStore<'_>,
+        query: &SpatialAggQuery,
+        budget: &QueryBudget,
+    ) -> Result<RasterJoinResult> {
+        let points = store.table();
+        let cq = CompiledQuery::new(points, query, budget)?;
+        let mut table = AggTable::new(cq.agg.clone(), self.n_regions);
         let mut stats = RenderStats::new();
 
         for tile in &self.tiles {
             budget.check()?;
             let mut pipe = Pipeline::new(tile.viewport);
-            let bufs = point_pass(&mut pipe, points, query, budget)?;
+            let bufs = point_pass(&mut pipe, &store, &cq, budget)?;
             let w = tile.viewport.width;
 
             // Gather via cached pixel lists.
@@ -174,15 +188,18 @@ impl PreparedRasterJoin {
                 }
             }
 
-            // Accurate mode: exact fix-up for boundary-pixel points.
+            // Accurate mode: exact fix-up for boundary-pixel points, probing
+            // only the tile's candidate rows when bins are attached.
             if self.mode == ExecutionMode::Accurate && !tile.boundary_pairs.is_empty() {
-                let col = agg.resolve(points)?;
-                let filter = query.filters.compile(points)?;
-                for i in 0..points.len() {
-                    if i % POINT_CHUNK == 0 {
+                let column: Option<&[f32]> = cq.col.map(|c| points.column(c));
+                let cand = store.candidates(&tile.viewport.world);
+                let total = cand.as_ref().map_or(points.len(), |c| c.len());
+                for k in 0..total {
+                    if k % POINT_CHUNK == 0 {
                         budget.check()?;
                     }
-                    if !filter.matches(i) {
+                    let i = cand.as_ref().map_or(k, |c| c[k] as usize);
+                    if !cq.matches(i) {
                         continue;
                     }
                     let p = points.loc(i);
@@ -195,7 +212,7 @@ impl PreparedRasterJoin {
                     if lo == tile.boundary_pairs.len() || tile.boundary_pairs[lo].0 != pix {
                         continue;
                     }
-                    let v = col.map_or(0.0, |c| points.attr(i, c) as f64);
+                    let v = column.map_or(0.0, |vals| vals[i] as f64);
                     for &(q, id) in &tile.boundary_pairs[lo..] {
                         if q != pix {
                             break;

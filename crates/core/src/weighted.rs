@@ -18,13 +18,13 @@
 
 use crate::bounded::{gather_region, point_pass};
 use crate::budget::QueryBudget;
+use crate::compiled::{CompiledQuery, PointStore};
 use crate::executor::PolygonPath;
 use crate::Result;
 use gpu_raster::line::traverse_segment;
 use gpu_raster::Pipeline;
-use std::collections::HashSet;
-use urban_data::query::{AggTable, SpatialAggQuery};
-use urban_data::{PointTable, RegionSet};
+use urban_data::query::AggTable;
+use urban_data::RegionSet;
 use urbane_geom::clip::clip_polygon_to_box;
 use urbane_geom::projection::Viewport;
 
@@ -32,39 +32,44 @@ use urbane_geom::projection::Viewport;
 /// region (and per point chunk inside the point pass).
 pub(crate) fn weighted_tile(
     viewport: &Viewport,
-    points: &PointTable,
+    store: &PointStore<'_>,
     regions: &RegionSet,
-    query: &SpatialAggQuery,
+    cq: &CompiledQuery,
     path: PolygonPath,
     budget: &QueryBudget,
 ) -> Result<(AggTable, gpu_raster::RenderStats)> {
     let mut pipe = Pipeline::new(*viewport);
     let (w, h) = (viewport.width, viewport.height);
-    let bufs = point_pass(&mut pipe, points, query, budget)?;
+    let bufs = point_pass(&mut pipe, store, cq, budget)?;
     let pixel_area = viewport.units_per_pixel_x() * viewport.units_per_pixel_y();
 
-    let mut table = AggTable::new(query.agg_kind(), regions.len());
-    let mut boundary = HashSet::new();
+    let mut table = AggTable::new(cq.agg.clone(), regions.len());
+    let mut boundary: Vec<u32> = Vec::new();
     for (id, _, geom) in regions.iter() {
         budget.check()?;
         if !viewport.world.intersects(&geom.bbox()) {
             continue;
         }
-        // This region's boundary pixels.
+        // This region's boundary pixels, sorted and deduped: membership is a
+        // binary search, and — unlike a HashSet, whose iteration order varies
+        // per process — the fractional fold below visits pixels in a fixed
+        // order, keeping the f64 accumulation deterministic run-to-run.
         boundary.clear();
         for poly in geom.polygons() {
             for e in poly.edges() {
                 let a = viewport.world_to_screen(e.a);
                 let b = viewport.world_to_screen(e.b);
                 traverse_segment(a, b, w, h, |x, y| {
-                    boundary.insert(y * w + x);
+                    boundary.push(y * w + x);
                 });
             }
         }
+        boundary.sort_unstable();
+        boundary.dedup();
         // Interior pixels: full weight, via the ordinary gather.
         let state = &mut table.states[id as usize];
         gather_region(&mut pipe, &bufs, geom, path, state, |x, y| {
-            boundary.contains(&(y * w + x))
+            boundary.binary_search(&(y * w + x)).is_ok()
         })?;
         // Boundary pixels: exact area-fraction weight.
         for &pix in &boundary {
@@ -99,7 +104,9 @@ mod tests {
     use rand::{Rng, SeedableRng};
     use spatial_index::naive_join;
     use urban_data::gen::regions::voronoi_neighborhoods;
+    use urban_data::query::SpatialAggQuery;
     use urban_data::schema::{AttrType, Schema};
+    use urban_data::PointTable;
     use urbane_geom::{BoundingBox, Point};
 
     // Unbudgeted shim: these tests exercise accuracy, not the guardrails.
@@ -110,7 +117,10 @@ mod tests {
         query: &SpatialAggQuery,
         path: PolygonPath,
     ) -> Result<(AggTable, gpu_raster::RenderStats)> {
-        super::weighted_tile(viewport, points, regions, query, path, &QueryBudget::unlimited())
+        let budget = QueryBudget::unlimited();
+        let store = PointStore::plain(points);
+        let cq = CompiledQuery::new(points, query, &budget)?;
+        super::weighted_tile(viewport, &store, regions, &cq, path, &budget)
     }
 
     fn random_points(n: usize, seed: u64, extent: &BoundingBox) -> PointTable {
@@ -163,13 +173,16 @@ mod tests {
 
         let (weighted, _) =
             weighted_tile(&vp, &points, &regions, &q, PolygonPath::Scanline).unwrap();
+        let budget = QueryBudget::unlimited();
+        let store = PointStore::plain(&points);
+        let cq = CompiledQuery::new(&points, &q, &budget).unwrap();
         let (bounded, _) = crate::bounded::bounded_tile(
             &vp,
-            &points,
+            &store,
             &regions,
-            &q,
+            &cq,
             PolygonPath::Scanline,
-            &QueryBudget::unlimited(),
+            &budget,
         )
         .unwrap();
 

@@ -24,6 +24,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod binfmt;
+pub mod binned;
 pub mod csv;
 pub mod filter;
 pub mod gen;
@@ -36,6 +37,7 @@ pub mod stats;
 pub mod table;
 pub mod time;
 
+pub use binned::BinnedPointTable;
 pub use filter::{Filter, FilterSet};
 pub use query::{AggKind, AggState, AggTable, SpatialAggQuery};
 pub use region::{RegionId, RegionSet};

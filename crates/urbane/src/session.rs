@@ -13,12 +13,13 @@ use crate::colormap::ColorMap;
 use crate::resolution::ResolutionPyramid;
 use crate::view::map::{ChoroplethImage, MapView};
 use crate::{Result, UrbaneError};
-use raster_join::{QueryBudget, RasterJoinConfig};
+use raster_join::{BinningMode, PointStore, QueryBudget, RasterJoinConfig};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard};
 use urban_data::filter::Filter;
 use urban_data::query::{AggKind, AggTable, SpatialAggQuery};
 use urban_data::time::TimeRange;
+use urban_data::BinnedPointTable;
 
 /// Static session configuration.
 #[derive(Debug, Clone)]
@@ -81,6 +82,10 @@ pub struct UrbaneSession {
     cache_stats: Mutex<CacheStats>,
     // Preview samples: (dataset, sample size) → (sample table, scale-up).
     samples: Mutex<HashMap<(String, usize), SampleEntry>>,
+    // Spatial bins per dataset, built lazily on first use and reused for
+    // every subsequent frame (the catalog is immutable for the session's
+    // lifetime, so bins never go stale).
+    bins: Mutex<HashMap<String, Arc<BinnedPointTable>>>,
 }
 
 impl UrbaneSession {
@@ -110,6 +115,7 @@ impl UrbaneSession {
             cache: Mutex::new(HashMap::new()),
             cache_stats: Mutex::new(CacheStats::default()),
             samples: Mutex::new(HashMap::new()),
+            bins: Mutex::new(HashMap::new()),
         })
     }
 
@@ -248,7 +254,12 @@ impl UrbaneSession {
         let points = self.catalog.get(&self.active_dataset)?;
         let regions = self.pyramid.level(self.active_level)?;
         let join = raster_join::RasterJoin::new(self.config.join.clone());
-        let res = join.execute_with_budget(&points, &regions, &self.current_query(), budget)?;
+        let bins = self.dataset_bins(&self.active_dataset, &points);
+        let store = match &bins {
+            Some(b) => PointStore::with_bins(&points, b),
+            None => PointStore::plain(&points),
+        };
+        let res = join.execute_store(store, &regions, &self.current_query(), budget)?;
         let epsilon = res.epsilon;
         let table = Arc::new(res.table);
 
@@ -285,8 +296,47 @@ impl UrbaneSession {
             ..self.config.join.clone()
         };
         let join = raster_join::RasterJoin::new(config);
-        let res = join.execute_with_budget(&points, &regions, &self.current_query(), budget)?;
+        let bins = self.dataset_bins(&self.active_dataset, &points);
+        let store = match &bins {
+            Some(b) => PointStore::with_bins(&points, b),
+            None => PointStore::plain(&points),
+        };
+        let res = join.execute_store(store, &regions, &self.current_query(), budget)?;
         Ok((res.table, res.epsilon))
+    }
+
+    /// The active dataset's spatial bins, built once and reused across
+    /// frames. `None` when the session's join config disables binning or the
+    /// table is too small for pruning to pay off.
+    fn dataset_bins(
+        &self,
+        name: &str,
+        points: &urban_data::PointTable,
+    ) -> Option<Arc<BinnedPointTable>> {
+        let grid_side = match self.config.join.binning {
+            BinningMode::Off => return None,
+            BinningMode::Grid(side) if side > 0 => Some(side),
+            BinningMode::Grid(_) => return None,
+            BinningMode::Auto => {
+                if points.len() < raster_join::MIN_AUTO_BIN_POINTS {
+                    return None;
+                }
+                None
+            }
+        };
+        if let Some(hit) = lock(&self.bins).get(name).cloned() {
+            // The catalog never changes under a live session; the length
+            // check is pure defense — a stale index would mean wrong answers.
+            if hit.len() == points.len() {
+                return Some(hit);
+            }
+        }
+        let built = Arc::new(match grid_side {
+            Some(s) => BinnedPointTable::with_grid(points, s, s),
+            None => BinnedPointTable::build(points),
+        });
+        lock(&self.bins).insert(name.to_string(), built.clone());
+        Some(built)
     }
 
     /// Fast approximate evaluation for in-flight interactions (slider

@@ -10,3 +10,10 @@ export CARGO_NET_OFFLINE=true
 cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Bench smoke: the perf suite must run to completion without panicking
+# (its built-in binned == unbinned assertions double as a correctness
+# gate). Small scale, one rep — this is a crash check, not a regression
+# gate; the real numbers come from scripts/bench.sh.
+cargo run --release -p urbane-bench --bin repro -- \
+  --exp bench --scale 20000 --threads 2 --reps 1 > /dev/null

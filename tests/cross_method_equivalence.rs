@@ -177,6 +177,41 @@ proptest! {
         }
     }
 
+    /// Spatial binning is invisible on arbitrary scenarios: a binned store
+    /// replays the unbinned table *bit-for-bit* (not approximately) in every
+    /// execution mode, serial and work-stealing.
+    #[test]
+    fn binned_store_matches_unbinned(s in scenario_strategy()) {
+        use raster_join::{BinningMode, CanvasSpec, ExecutionMode, PointStore, QueryBudget};
+        use urban_data::binned::BinnedPointTable;
+        let (pts, regions, q) = build(&s);
+        prop_assume!(!regions.is_empty());
+        let bins = BinnedPointTable::build(&pts);
+        let budget = QueryBudget::unlimited();
+        for (mode, threads) in [
+            (ExecutionMode::Bounded, 1usize),
+            (ExecutionMode::Bounded, 3),
+            (ExecutionMode::Accurate, 2),
+        ] {
+            // 96-px canvas tiled at 32 px → multi-tile, so pruning engages.
+            let join = RasterJoin::new(RasterJoinConfig {
+                spec: CanvasSpec::Resolution(96),
+                max_tile: 32,
+                mode,
+                threads,
+                binning: BinningMode::Off,
+                ..Default::default()
+            });
+            let base = join
+                .execute_store(PointStore::plain(&pts), &regions, &q, &budget)
+                .unwrap();
+            let got = join
+                .execute_store(PointStore::with_bins(&pts, &bins), &regions, &q, &budget)
+                .unwrap();
+            prop_assert_eq!(&base.table, &got.table, "{:?} threads={} diverged", mode, threads);
+        }
+    }
+
     /// The spatio-temporal partition join equals the plain index join.
     #[test]
     fn st_partitions_change_nothing(s in scenario_strategy()) {

@@ -5,7 +5,8 @@
 use std::time::{Duration, Instant};
 
 use raster_join::{
-    CancelHandle, FaultPlan, QueryBudget, RasterJoin, RasterJoinConfig, RasterJoinError,
+    BinningMode, CancelHandle, FaultPlan, QueryBudget, RasterJoin, RasterJoinConfig,
+    RasterJoinError,
 };
 use urban_data::query::SpatialAggQuery;
 use urban_data::{PointTable, RegionSet};
@@ -118,6 +119,79 @@ fn elapsed_deadline_aborts_a_stalled_query() {
     let started = Instant::now();
     let err = join.execute_with_budget(&points, &regions, &q, &budget).unwrap_err();
     assert_eq!(err, RasterJoinError::DeadlineExceeded);
+    assert!(started.elapsed() < Duration::from_secs(60));
+}
+
+/// The guardrails survive the binned store + work-stealing fast path: an
+/// injected panic on a stolen tile is still a typed `Internal`, the plan
+/// disarms, and the retry reproduces the unbinned answer bit-for-bit.
+#[test]
+fn binned_work_stealing_preserves_panic_isolation() {
+    let (points, regions) = demo_data();
+    let q = SpatialAggQuery::count();
+    let plan = FaultPlan::new().panic_on_tile(2);
+    let join = RasterJoin::new(RasterJoinConfig {
+        threads: 4,
+        binning: BinningMode::Grid(16),
+        faults: Some(plan.clone()),
+        ..tiled_config()
+    });
+    match join.execute(&points, &regions, &q) {
+        Err(RasterJoinError::Internal(m)) => assert!(m.contains("injected fault"), "{m}"),
+        other => panic!("expected Err(Internal), got {other:?}"),
+    }
+    let retried = join.execute(&points, &regions, &q).unwrap();
+    let unbinned = RasterJoin::new(RasterJoinConfig { threads: 1, ..tiled_config() })
+        .execute(&points, &regions, &q)
+        .unwrap();
+    assert_eq!(retried.table, unbinned.table);
+}
+
+/// A deadline elapses while one stolen tile of a binned multi-threaded
+/// query is stalled mid-pass: the cooperative polls must notice and abort
+/// with `DeadlineExceeded`, not run the stall out.
+#[test]
+fn deadline_fires_mid_pass_under_binned_work_stealing() {
+    let (points, regions) = demo_data();
+    let q = SpatialAggQuery::count();
+    let join = RasterJoin::new(RasterJoinConfig {
+        threads: 4,
+        binning: BinningMode::Grid(16),
+        faults: Some(FaultPlan::new().delay_on_tile(0, Duration::from_secs(3600))),
+        ..tiled_config()
+    });
+    let budget = QueryBudget::with_deadline(Duration::from_millis(50));
+    let started = Instant::now();
+    let err = join.execute_with_budget(&points, &regions, &q, &budget).unwrap_err();
+    assert_eq!(err, RasterJoinError::DeadlineExceeded);
+    assert!(started.elapsed() < Duration::from_secs(60));
+}
+
+/// Cancellation lands promptly when the stalled tile sits on one worker of
+/// a binned work-stealing pool (the other workers drain and stop pulling).
+#[test]
+fn cancellation_prompt_under_binned_work_stealing() {
+    let (points, regions) = demo_data();
+    let q = SpatialAggQuery::count();
+    let plan = FaultPlan::new().delay_on_tile(0, Duration::from_secs(3600));
+    let join = RasterJoin::new(RasterJoinConfig {
+        threads: 4,
+        binning: BinningMode::Grid(16),
+        faults: Some(plan.clone()),
+        ..tiled_config()
+    });
+    let handle = CancelHandle::new();
+    let budget = QueryBudget::unlimited().cancellable(&handle);
+    let started = Instant::now();
+    let result = std::thread::scope(|scope| {
+        let worker = scope.spawn(|| join.execute_with_budget(&points, &regions, &q, &budget));
+        while plan.tiles_started() == 0 {
+            std::thread::yield_now();
+        }
+        handle.cancel();
+        worker.join().expect("worker must not panic")
+    });
+    assert_eq!(result.unwrap_err(), RasterJoinError::Cancelled);
     assert!(started.elapsed() < Duration::from_secs(60));
 }
 
