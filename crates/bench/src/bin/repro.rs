@@ -7,14 +7,17 @@
 //!     --scale 1000000 --threads 4 --reps 5 --json BENCH_rasterjoin.json
 //! ```
 
-use urbane_bench::{experiments, perf};
+use urbane_bench::{experiments, perf, serve_bench};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--exp all|bench|e1|...|e10] [--scale N] [--out DIR]\n\
+        "usage: repro [--exp all|bench|serve|e1|...|e10] [--scale N] [--out DIR]\n\
          \x20             [--threads N] [--reps N] [--json PATH]\n\
+         \x20             [--clients N] [--requests N]\n\
          defaults: --exp all --scale 1000000 --out out --threads 4 --reps 5\n\
-         --threads/--reps/--json apply to the `bench` experiment only"
+         \x20         --clients 2 --requests 60\n\
+         --threads/--reps/--json apply to `bench` and `serve` only;\n\
+         --clients/--requests apply to `serve` only (scale = dataset rows)"
     );
     std::process::exit(2);
 }
@@ -27,6 +30,8 @@ fn main() {
     let mut threads = 4usize;
     let mut reps = 5usize;
     let mut json_path: Option<String> = None;
+    let mut clients = 2usize;
+    let mut requests = 60usize;
 
     let mut i = 0;
     while i < args.len() {
@@ -66,6 +71,22 @@ fn main() {
                 i += 1;
                 json_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--clients" => {
+                i += 1;
+                clients = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&c| c > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--requests" => {
+                i += 1;
+                requests = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&r| r > 0)
+                    .unwrap_or_else(|| usage());
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -73,6 +94,24 @@ fn main() {
             }
         }
         i += 1;
+    }
+
+    if exp == "serve" {
+        let cfg = serve_bench::ServeConfig {
+            rows: scale.min(500_000),
+            clients,
+            requests,
+            workers: threads.max(clients),
+            ..Default::default()
+        };
+        let report = serve_bench::run(&cfg);
+        if let Some(path) = &json_path {
+            std::fs::write(path, report.to_json())
+                .unwrap_or_else(|e| panic!("write {path}: {e}"));
+            println!("wrote {path}");
+        }
+        println!("{}", report.render());
+        return;
     }
 
     if exp == "bench" {

@@ -7,6 +7,7 @@
 
 pub mod experiments;
 pub mod perf;
+pub mod serve_bench;
 pub mod workload;
 
 use std::time::Instant;

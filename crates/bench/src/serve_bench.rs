@@ -1,0 +1,278 @@
+//! Closed-loop load generator for the serving layer — the `--exp serve`
+//! mode of the `repro` binary and the generator of `BENCH_serve.json`.
+//!
+//! N client threads hold persistent connections to an in-process
+//! [`UrbaneServer`] and issue `POST /query` back-to-back from a small pool
+//! of distinct queries — the dashboard-style workload the query-result
+//! cache exists for (many analysts looking at the same handful of views).
+//! The identical workload runs twice, cache on then cache off, so the
+//! reported speedup isolates exactly one variable.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use urbane::catalog::DataCatalog;
+use urbane::service::{ServiceConfig, UrbaneService};
+use urbane::ResolutionPyramid;
+use urbane_serve::router::synthetic_table;
+use urbane_serve::{Client, ServerConfig, UrbaneServer};
+use urban_data::gen::city::CityModel;
+use urban_data::time::DAY;
+
+/// Knobs for the serve suite (all settable from the `repro` CLI).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Taxi rows in the served dataset.
+    pub rows: usize,
+    /// Concurrent closed-loop clients (kept ≤ workers so admission control
+    /// never sheds — this suite measures service time, not queue policy).
+    pub clients: usize,
+    /// Requests per client per run.
+    pub requests: usize,
+    /// Server worker threads.
+    pub workers: usize,
+    /// Distinct queries the clients cycle through (the cache's working set).
+    pub distinct_queries: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { rows: 200_000, clients: 2, requests: 60, workers: 2, distinct_queries: 8 }
+    }
+}
+
+/// Measured outcome of one run (one cache setting).
+#[derive(Debug, Clone)]
+pub struct ServeRunStats {
+    /// Completed 200-status requests.
+    pub completed: usize,
+    /// Non-200 responses (should be 0 for this workload).
+    pub errors: usize,
+    /// Requests per second over the run's wall-clock span.
+    pub throughput_rps: f64,
+    /// Latency percentiles, milliseconds.
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Query-cache hits observed by the service.
+    pub cache_hits: u64,
+}
+
+/// The full suite result.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Config the suite ran with.
+    pub config: ServeConfig,
+    /// The run with the query-result cache enabled.
+    pub cache_on: ServeRunStats,
+    /// The run with the cache disabled (capacity 0).
+    pub cache_off: ServeRunStats,
+    /// Throughput ratio, cache on / cache off.
+    pub speedup: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// The query pool: `distinct` single-day time windows over the taxi set.
+fn query_bodies(distinct: usize) -> Vec<String> {
+    (0..distinct.max(1))
+        .map(|i| {
+            let start = i as i64 * DAY;
+            format!(
+                "{{\"dataset\":\"taxi\",\"level\":1,\"filters\":[{{\"type\":\"time\",\"start\":{start},\"end\":{}}}]}}",
+                start + DAY
+            )
+        })
+        .collect()
+}
+
+fn run_once(addr: SocketAddr, service: &Arc<UrbaneService>, cfg: &ServeConfig) -> ServeRunStats {
+    let bodies = Arc::new(query_bodies(cfg.distinct_queries));
+    let hits_before = service.cache_stats().hits;
+    let started = Instant::now();
+    let handles: Vec<_> = (0..cfg.clients)
+        .map(|c| {
+            let bodies = Arc::clone(&bodies);
+            let requests = cfg.requests;
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr, Duration::from_secs(30))
+                    .expect("bench client connects");
+                let mut latencies = Vec::with_capacity(requests);
+                let mut errors = 0usize;
+                for i in 0..requests {
+                    // Offset per client so the runs interleave the pool.
+                    let body = &bodies[(c + i) % bodies.len()];
+                    let t0 = Instant::now();
+                    match client.post("/query", body) {
+                        Ok(resp) if resp.status == 200 => {
+                            latencies.push(t0.elapsed().as_secs_f64() * 1e3)
+                        }
+                        _ => errors += 1,
+                    }
+                }
+                (latencies, errors)
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::new();
+    let mut errors = 0usize;
+    for h in handles {
+        let (l, e) = h.join().expect("bench client thread");
+        latencies.extend(l);
+        errors += e;
+    }
+    let span = started.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    ServeRunStats {
+        completed: latencies.len(),
+        errors,
+        throughput_rps: if span > 0.0 { latencies.len() as f64 / span } else { 0.0 },
+        p50_ms: percentile(&latencies, 0.50),
+        p95_ms: percentile(&latencies, 0.95),
+        p99_ms: percentile(&latencies, 0.99),
+        cache_hits: service.cache_stats().hits - hits_before,
+    }
+}
+
+fn boot_server(cfg: &ServeConfig, cache_capacity: usize) -> UrbaneServer {
+    let city = CityModel::nyc_like();
+    let mut catalog = DataCatalog::new();
+    catalog.register(
+        "taxi",
+        synthetic_table("taxi", cfg.rows, 7).expect("taxi generator exists"),
+    );
+    let pyramid = ResolutionPyramid::standard(&city.bbox(), 16, 8, 5);
+    let service = UrbaneService::new(
+        ServiceConfig {
+            join: raster_join::RasterJoinConfig::with_resolution(512),
+            cache_capacity,
+            default_deadline: Duration::from_secs(30),
+            ..Default::default()
+        },
+        catalog,
+        pyramid,
+    )
+    .expect("service boots");
+    UrbaneServer::start(
+        ServerConfig {
+            workers: cfg.workers,
+            queue_capacity: cfg.clients.max(4) * 2,
+            ..Default::default()
+        },
+        Arc::new(service),
+    )
+    .expect("server binds an ephemeral port")
+}
+
+/// Run the suite: identical closed-loop workload, cache on then off.
+pub fn run(cfg: &ServeConfig) -> ServeReport {
+    let cache_on = {
+        let server = boot_server(cfg, 1024);
+        let stats = run_once(server.addr(), server.service(), cfg);
+        server.shutdown();
+        stats
+    };
+    let cache_off = {
+        let server = boot_server(cfg, 0);
+        let stats = run_once(server.addr(), server.service(), cfg);
+        server.shutdown();
+        stats
+    };
+    let speedup = if cache_off.throughput_rps > 0.0 {
+        cache_on.throughput_rps / cache_off.throughput_rps
+    } else {
+        0.0
+    };
+    ServeReport { config: cfg.clone(), cache_on, cache_off, speedup }
+}
+
+impl ServeReport {
+    /// Hand-rolled JSON (the workspace deliberately has no serde), written
+    /// to `BENCH_serve.json`.
+    pub fn to_json(&self) -> String {
+        let run = |s: &ServeRunStats| {
+            format!(
+                "{{\"completed\": {}, \"errors\": {}, \"throughput_rps\": {:.1}, \
+                 \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"cache_hits\": {}}}",
+                s.completed, s.errors, s.throughput_rps, s.p50_ms, s.p95_ms, s.p99_ms, s.cache_hits
+            )
+        };
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"bench\": \"serve\",\n");
+        s.push_str(&format!(
+            "  \"command\": \"cargo run --release -p urbane-bench --bin repro -- --exp serve \
+             --scale {} --clients {} --requests {} --threads {} --json BENCH_serve.json\",\n",
+            self.config.rows, self.config.clients, self.config.requests, self.config.workers
+        ));
+        s.push_str(&format!("  \"rows\": {},\n", self.config.rows));
+        s.push_str(&format!("  \"clients\": {},\n", self.config.clients));
+        s.push_str(&format!("  \"requests_per_client\": {},\n", self.config.requests));
+        s.push_str(&format!("  \"workers\": {},\n", self.config.workers));
+        s.push_str(&format!("  \"distinct_queries\": {},\n", self.config.distinct_queries));
+        s.push_str(&format!("  \"cache_on\": {},\n", run(&self.cache_on)));
+        s.push_str(&format!("  \"cache_off\": {},\n", run(&self.cache_off)));
+        s.push_str(&format!("  \"speedup\": {:.3}\n", self.speedup));
+        s.push_str("}\n");
+        s
+    }
+
+    /// Human-readable table for the repro binary's stdout.
+    pub fn render(&self) -> String {
+        let mut t = crate::Table::new(["run", "req/s", "p50 ms", "p95 ms", "p99 ms", "hits", "errors"]);
+        for (name, s) in [("cache on", &self.cache_on), ("cache off", &self.cache_off)] {
+            t.row([
+                name.to_string(),
+                format!("{:.1}", s.throughput_rps),
+                format!("{:.2}", s.p50_ms),
+                format!("{:.2}", s.p95_ms),
+                format!("{:.2}", s.p99_ms),
+                format!("{}", s.cache_hits),
+                format!("{}", s.errors),
+            ]);
+        }
+        format!("{}\ncache speedup: {:.2}x\n", t.render(), self.speedup)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let sorted = vec![1.0, 2.0, 3.0, 4.0, 100.0];
+        assert_eq!(percentile(&sorted, 0.5), 3.0);
+        assert_eq!(percentile(&sorted, 0.99), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn tiny_suite_reports_cache_speedup() {
+        // Miniature end-to-end run: enough traffic for hits to dominate
+        // with the cache on, small enough for a unit test.
+        let report = run(&ServeConfig {
+            rows: 20_000,
+            clients: 2,
+            requests: 12,
+            workers: 2,
+            distinct_queries: 4,
+        });
+        assert_eq!(report.cache_on.errors, 0);
+        assert_eq!(report.cache_off.errors, 0);
+        assert_eq!(report.cache_on.completed, 24);
+        assert!(report.cache_on.cache_hits > 0, "repeated queries must hit");
+        assert_eq!(report.cache_off.cache_hits, 0, "capacity 0 disables the cache");
+        let json = report.to_json();
+        assert!(urbane_geom::geojson::parse_json(&json).is_ok(), "{json}");
+    }
+}

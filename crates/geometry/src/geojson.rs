@@ -56,6 +56,23 @@ impl Json {
             _ => None,
         }
     }
+
+    /// Borrow as bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// `Display` serializes a `Json` tree back to a *valid* JSON document:
+/// strings are escaped and non-finite numbers (which JSON cannot represent)
+/// are written as `null` rather than `NaN`/`inf`.
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&json_value(self))
+    }
 }
 
 /// Maximum container nesting the parser accepts. Real GeoJSON nests five
@@ -443,6 +460,9 @@ fn json_value(v: &Json) -> String {
     match v {
         Json::Null => "null".into(),
         Json::Bool(b) => b.to_string(),
+        // JSON has no NaN/Infinity literals; `f64::to_string` would emit
+        // them and corrupt the document, so non-finite collapses to null.
+        Json::Number(n) if !n.is_finite() => "null".into(),
         Json::Number(n) => n.to_string(),
         Json::String(s) => json_string(s),
         Json::Array(a) => {
@@ -482,6 +502,33 @@ mod tests {
     #[test]
     fn json_unicode_escape() {
         assert_eq!(parse_json(r#""é""#).unwrap(), Json::String("é".into()));
+    }
+
+    #[test]
+    fn display_roundtrips_hostile_strings() {
+        let v = Json::Object(
+            [
+                ("q\"uote\\".to_string(), Json::String("a\"b\\c\nd\u{1}".into())),
+                ("n".to_string(), Json::Number(1.5)),
+            ]
+            .into_iter()
+            .collect(),
+        );
+        let text = v.to_string();
+        assert_eq!(parse_json(&text).unwrap(), v, "{text}");
+    }
+
+    #[test]
+    fn display_writes_non_finite_as_null() {
+        let v = Json::Array(vec![
+            Json::Number(f64::NAN),
+            Json::Number(f64::INFINITY),
+            Json::Number(f64::NEG_INFINITY),
+            Json::Number(2.0),
+        ]);
+        let text = v.to_string();
+        assert_eq!(text, "[null,null,null,2]");
+        assert!(parse_json(&text).is_ok());
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! A tiny blocking HTTP client over `TcpStream`, for the integration tests
+//! and the closed-loop load generator. Speaks exactly the subset the server
+//! does: one request, one `Content-Length` response, optional keep-alive.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A response as seen by the client.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(k, _)| *k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// A persistent connection to the server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect, with a read timeout so a wedged server fails a test instead
+    /// of hanging it.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Client { reader: BufReader::new(stream) })
+    }
+
+    /// Issue one request and read the full response. Reusable while the
+    /// server keeps the connection alive.
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<ClientResponse> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: urbane\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        let stream = self.reader.get_mut();
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()?;
+        self.read_response()
+    }
+
+    /// `GET` convenience.
+    pub fn get(&mut self, path: &str) -> io::Result<ClientResponse> {
+        self.request("GET", path, "")
+    }
+
+    /// `POST` convenience.
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<ClientResponse> {
+        self.request("POST", path, body)
+    }
+
+    fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim_end_matches(['\r', '\n']).to_string())
+    }
+
+    fn read_response(&mut self) -> io::Result<ClientResponse> {
+        let status_line = self.read_line()?;
+        let status = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad status line {status_line:?}"))
+            })?;
+        let mut headers = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = line.split_once(':') {
+                headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+            }
+        }
+        let len = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok())
+            .unwrap_or(0);
+        let mut body = vec![0u8; len];
+        self.reader.read_exact(&mut body)?;
+        Ok(ClientResponse {
+            status,
+            headers,
+            body: String::from_utf8_lossy(&body).into_owned(),
+        })
+    }
+}

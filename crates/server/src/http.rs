@@ -1,0 +1,298 @@
+//! Minimal HTTP/1.1 framing — just enough protocol for `urbane-serve`.
+//!
+//! The serving layer is deliberately std-only (the workspace vendors its
+//! few dependencies and adds none), so this module hand-rolls the narrow
+//! HTTP subset the server speaks: request-line + headers + Content-Length
+//! bodies in, status + headers + body out, with keep-alive. Everything is
+//! bounded — header size, header count, body size — so a hostile peer can
+//! cost at most a bounded read, never unbounded memory.
+
+use std::io::{self, BufRead, Write};
+
+/// Parse/framing limits.
+pub const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Maximum number of header lines accepted per request.
+pub const MAX_HEADERS: usize = 100;
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), uppercased as received.
+    pub method: String,
+    /// Request target path (query strings are kept verbatim).
+    pub path: String,
+    /// Header name/value pairs in arrival order (names lowercased).
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (names are stored lowercased).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(k, _)| *k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Does the client ask to drop the connection after this exchange?
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .map(|v| v.eq_ignore_ascii_case("close"))
+            .unwrap_or(false)
+    }
+}
+
+/// Why reading a request failed.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Clean EOF before the request line — the peer simply hung up.
+    Eof,
+    /// Socket-level failure (including read timeouts).
+    Io(io::Error),
+    /// The bytes were not valid HTTP, or exceeded a framing limit. The
+    /// message is safe to echo in a 400 body.
+    Malformed(String),
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Read a single bounded line (without CRLF). Errors when the line exceeds
+/// [`MAX_HEADER_LINE`].
+fn read_line<R: BufRead>(r: &mut R) -> Result<Option<String>, ReadError> {
+    let mut line = Vec::with_capacity(64);
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(ReadError::Malformed("truncated request line".into()));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_HEADER_LINE {
+                    return Err(ReadError::Malformed("header line too long".into()));
+                }
+            }
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    }
+}
+
+/// Read one request from `r`. `Err(Eof)` on a cleanly closed idle
+/// connection; `Malformed` covers both bad syntax and exceeded limits.
+pub fn read_request<R: BufRead>(r: &mut R, max_body: usize) -> Result<Request, ReadError> {
+    let request_line = match read_line(r)? {
+        None => return Err(ReadError::Eof),
+        Some(l) => l,
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v),
+        _ => return Err(ReadError::Malformed(format!("bad request line {request_line:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed(format!("unsupported version {version:?}")));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_line(r)? {
+            None => return Err(ReadError::Malformed("truncated headers".into())),
+            Some(l) => l,
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ReadError::Malformed("too many headers".into()));
+        }
+        match line.split_once(':') {
+            Some((k, v)) => {
+                headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()))
+            }
+            None => return Err(ReadError::Malformed(format!("bad header {line:?}"))),
+        }
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+        .transpose()
+        .map_err(|_| ReadError::Malformed("bad content-length".into()))?
+        .unwrap_or(0);
+    if content_length > max_body {
+        return Err(ReadError::Malformed(format!(
+            "body of {content_length} bytes exceeds the {max_body}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)
+        .map_err(|e| ReadError::Malformed(format!("short body: {e}")))?;
+
+    Ok(Request { method, path, headers, body })
+}
+
+/// An outgoing response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Extra headers (name, value).
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A JSON error envelope: `{"error": "..."}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        let m = urbane_geom::geojson::Json::String(message.to_string());
+        Response::json(status, format!("{{\"error\":{m}}}"))
+    }
+
+    /// Attach a header (builder style).
+    pub fn with_header(mut self, name: &str, value: String) -> Self {
+        self.headers.push((name.to_string(), value));
+        self
+    }
+}
+
+/// The reason phrase for the handful of statuses the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Serialize a response. `keep_alive` controls the `Connection` header —
+/// the caller decides based on the request and its own lifecycle.
+pub fn write_response<W: Write>(w: &mut W, resp: &Response, keep_alive: bool) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (k, v) in &resp.headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes())?;
+    w.write_all(&resp.body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, ReadError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), 1024)
+    }
+
+    #[test]
+    fn parses_get() {
+        let r = parse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert_eq!(r.header("host"), Some("x"));
+        assert_eq!(r.header("HOST"), Some("x"));
+        assert!(r.body.is_empty());
+        assert!(!r.wants_close());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let r = parse("POST /query HTTP/1.1\r\nContent-Length: 4\r\nConnection: close\r\n\r\nabcd")
+            .unwrap();
+        assert_eq!(r.body, b"abcd");
+        assert!(r.wants_close());
+    }
+
+    #[test]
+    fn eof_and_malformed_are_distinguished() {
+        assert!(matches!(parse(""), Err(ReadError::Eof)));
+        assert!(matches!(parse("garbage\r\n\r\n"), Err(ReadError::Malformed(_))));
+        assert!(matches!(parse("GET / SPDY/3\r\n\r\n"), Err(ReadError::Malformed(_))));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(ReadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn response_roundtrip_shape() {
+        let mut out = Vec::new();
+        let resp = Response::json(200, "{\"ok\":true}".into())
+            .with_header("Retry-After", "1".into());
+        write_response(&mut out, &resp, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn error_envelope_escapes() {
+        let r = Response::error(400, "bad \"thing\"\n");
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(urbane_geom::geojson::parse_json(&body).is_ok(), "{body}");
+    }
+}

@@ -1,0 +1,242 @@
+//! # urbane-serve — the HTTP serving layer
+//!
+//! A concurrent query server over [`urbane::UrbaneService`], std-only by
+//! design (the workspace vendors its few dependencies and this crate adds
+//! none). Architecture, socket to session:
+//!
+//! ```text
+//! TcpListener ──► acceptor thread ──► bounded queue ──► worker pool
+//!                      │ (full?)                            │
+//!                      └─► 429 + Retry-After                ├─► HTTP parse
+//!                                                           ├─► Router
+//!                                                           └─► UrbaneService
+//!                                                                 ├─ query cache
+//!                                                                 └─ degradation ladder
+//! ```
+//!
+//! Two control layers sit between the socket and the query engine:
+//!
+//! * **Admission control** — connections pass through a bounded queue into
+//!   a fixed worker pool ([`pool`]). A full queue sheds immediately with
+//!   `429 Too Many Requests` + `Retry-After`, written by the acceptor
+//!   before the request is even read (cheap, legal, and honest: the server
+//!   already knows it cannot serve promptly).
+//! * **Deadlines** — each `/query` carries (or defaults) a wall-clock
+//!   deadline that becomes the query's `QueryBudget`, so overload degrades
+//!   answer fidelity (the PR-1 ladder) instead of stacking latency.
+//!
+//! Endpoints: `POST /query`, `POST /reload`, `GET /datasets`,
+//! `GET /healthz`, `GET /metrics`.
+
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod pool;
+pub mod router;
+pub mod wire;
+
+pub use client::{Client, ClientResponse};
+pub use metrics::{Metrics, Route};
+pub use pool::WorkerPool;
+pub use router::Router;
+
+use http::{read_request, write_response, ReadError, Response};
+use metrics::Route as MetricsRoute;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use urbane::UrbaneService;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads.
+    pub workers: usize,
+    /// Bounded queue capacity — connections beyond `workers` busy +
+    /// `queue_capacity` waiting are shed with 429.
+    pub queue_capacity: usize,
+    /// Per-connection read timeout: bounds how long an idle keep-alive
+    /// connection may pin a worker.
+    pub read_timeout: Duration,
+    /// Maximum request-body bytes.
+    pub max_body: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_capacity: 32,
+            read_timeout: Duration::from_secs(5),
+            max_body: 1 << 20,
+        }
+    }
+}
+
+/// A running server. Dropping the handle does *not* stop it — call
+/// [`shutdown`](Self::shutdown) (tests) or [`wait`](Self::wait) (binary).
+pub struct UrbaneServer {
+    addr: SocketAddr,
+    router: Arc<Router>,
+    metrics: Arc<Metrics>,
+    pool: Arc<WorkerPool>,
+    stopping: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl UrbaneServer {
+    /// Bind, spawn the worker pool and the acceptor, and return. The
+    /// returned handle is ready for traffic (`addr()` is connectable).
+    pub fn start(config: ServerConfig, service: Arc<UrbaneService>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let metrics = Arc::new(Metrics::new());
+        let router = Arc::new(Router::new(service, Arc::clone(&metrics)));
+        let pool = Arc::new(WorkerPool::new(config.workers, config.queue_capacity));
+        let stopping = Arc::new(AtomicBool::new(false));
+
+        let acceptor = {
+            let router = Arc::clone(&router);
+            let metrics = Arc::clone(&metrics);
+            let pool = Arc::clone(&pool);
+            let stopping = Arc::clone(&stopping);
+            let read_timeout = config.read_timeout;
+            let max_body = config.max_body;
+            std::thread::Builder::new()
+                .name("urbane-serve-acceptor".into())
+                .spawn(move || {
+                    accept_loop(&listener, &router, &metrics, &pool, &stopping, read_timeout, max_body)
+                })?
+        };
+
+        Ok(UrbaneServer { addr, router, metrics, pool, stopping, acceptor: Some(acceptor) })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service (tests reach through this for reloads/stats).
+    pub fn service(&self) -> &Arc<UrbaneService> {
+        self.router.service()
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Stop accepting, drain the pool, and join every thread. In-flight
+    /// requests finish (bounded by the read timeout for idle keep-alives);
+    /// queued-but-unstarted connections are closed.
+    pub fn shutdown(mut self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        // The acceptor is blocked in accept(); a self-connect wakes it so it
+        // can observe the flag. A failure here means the listener is already
+        // dead, which is fine.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        self.pool.shutdown();
+    }
+
+    /// Block until the acceptor exits (the binary's main loop; effectively
+    /// forever — the process is stopped externally).
+    pub fn wait(mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn accept_loop(
+    listener: &TcpListener,
+    router: &Arc<Router>,
+    metrics: &Arc<Metrics>,
+    pool: &Arc<WorkerPool>,
+    stopping: &Arc<AtomicBool>,
+    read_timeout: Duration,
+    max_body: usize,
+) {
+    for stream in listener.incoming() {
+        if stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        let mut stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        metrics.observe_connection();
+        let job = {
+            let router = Arc::clone(router);
+            let metrics = Arc::clone(metrics);
+            let pool = Arc::clone(pool);
+            let stopping = Arc::clone(stopping);
+            let stream = match stream.try_clone() {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            move || handle_connection(stream, &router, &metrics, &pool, &stopping, read_timeout, max_body)
+        };
+        if pool.try_submit(job).is_err() {
+            // Shed before reading the request: the queue being full already
+            // tells us we cannot serve promptly, and not reading keeps the
+            // rejection O(1) regardless of request size.
+            metrics.observe_shed();
+            metrics.observe(MetricsRoute::Other, 429, Duration::ZERO);
+            let resp = Response::error(429, "server saturated, please retry")
+                .with_header("Retry-After", "1".into());
+            let _ = write_response(&mut stream, &resp, false);
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    router: &Router,
+    metrics: &Metrics,
+    pool: &WorkerPool,
+    stopping: &AtomicBool,
+    read_timeout: Duration,
+    max_body: usize,
+) {
+    if stream.set_read_timeout(Some(read_timeout)).is_err() || stream.set_nodelay(true).is_err() {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let req = match read_request(&mut reader, max_body) {
+            Ok(r) => r,
+            // Peer hung up, or a read timeout/reset: nothing useful to say.
+            Err(ReadError::Eof) | Err(ReadError::Io(_)) => return,
+            Err(ReadError::Malformed(m)) => {
+                metrics.observe(MetricsRoute::Other, 400, Duration::ZERO);
+                let _ = write_response(&mut writer, &Response::error(400, &m), false);
+                return;
+            }
+        };
+        let start = Instant::now();
+        let route = router::route_of(&req.method, &req.path);
+        let resp = router.handle(&req, pool.depth());
+        let status = resp.status;
+        let keep = !req.wants_close() && !stopping.load(Ordering::SeqCst);
+        let write_ok = write_response(&mut writer, &resp, keep).is_ok();
+        metrics.observe(route, status, start.elapsed());
+        if !keep || !write_ok {
+            return;
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! The admission-controlled worker pool.
+//!
+//! Requests flow acceptor → bounded queue → fixed worker threads. The
+//! queue bound *is* the admission-control policy: when it is full the
+//! acceptor sheds load immediately (HTTP 429 + `Retry-After`) instead of
+//! letting latency grow without bound — a full queue means the server is
+//! already `capacity × typical-latency` behind, and stacking more work
+//! would only convert overload into timeouts for everyone. Shedding keeps
+//! the served requests fast and gives clients an honest backpressure
+//! signal they can retry against.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Submission failed because the queue is at capacity. Contains the job
+/// back, should the caller want to do something else with it.
+pub struct QueueFull(pub Job);
+
+impl std::fmt::Debug for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("QueueFull(..)")
+    }
+}
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    available: Condvar,
+    capacity: usize,
+}
+
+/// A fixed-size worker pool over a bounded job queue.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    // Behind a Mutex so `shutdown` can join through a shared reference (the
+    // pool is held in an `Arc` by the acceptor and the server handle).
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` threads servicing a queue bounded at `capacity`
+    /// pending jobs (both clamped to ≥ 1).
+    pub fn new(workers: usize, capacity: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState { queue: VecDeque::new(), shutdown: false }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("urbane-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        WorkerPool { shared, workers: Mutex::new(workers) }
+    }
+
+    /// Enqueue a job, failing fast when the queue is full (the caller turns
+    /// that into a 429) or the pool is shutting down.
+    pub fn try_submit<F: FnOnce() + Send + 'static>(&self, job: F) -> Result<(), QueueFull> {
+        let job: Job = Box::new(job);
+        let mut state = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        if state.shutdown || state.queue.len() >= self.shared.capacity {
+            return Err(QueueFull(job));
+        }
+        state.queue.push_back(job);
+        drop(state);
+        self.shared.available.notify_one();
+        Ok(())
+    }
+
+    /// Jobs currently waiting (not including ones being executed).
+    pub fn depth(&self) -> usize {
+        self.shared.state.lock().unwrap_or_else(|p| p.into_inner()).queue.len()
+    }
+
+    /// The queue bound.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Stop accepting work, drop pending jobs, and join the workers. Jobs
+    /// already *running* complete; jobs still queued are discarded (their
+    /// connections close, which is the honest signal at shutdown).
+    /// Idempotent — a second call finds no workers left to join.
+    pub fn shutdown(&self) {
+        {
+            let mut state = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            state.shutdown = true;
+            state.queue.clear();
+        }
+        self.shared.available.notify_all();
+        let workers = {
+            let mut w = self.workers.lock().unwrap_or_else(|p| p.into_inner());
+            std::mem::take(&mut *w)
+        };
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared
+                    .available
+                    .wait(state)
+                    .unwrap_or_else(|p| p.into_inner());
+            }
+        };
+        // A panicking job must not take the worker down with it — the pool
+        // is fixed-size, so a lost worker is permanently lost capacity.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn executes_submitted_jobs() {
+        let pool = WorkerPool::new(2, 16);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..10 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.try_submit(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                tx.send(()).unwrap();
+            })
+            .unwrap();
+        }
+        for _ in 0..10 {
+            rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn saturated_queue_rejects_deterministically() {
+        // One worker, blocked on a gate; queue capacity 2. The third
+        // pending submission must be rejected — no sleeps, no races.
+        let pool = WorkerPool::new(1, 2);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (running_tx, running_rx) = mpsc::channel::<()>();
+        pool.try_submit(move || {
+            running_tx.send(()).unwrap();
+            gate_rx.recv().unwrap();
+        })
+        .unwrap();
+        // Wait until the worker has *dequeued* the blocker, so queue slots
+        // are exactly free.
+        running_rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+
+        assert!(pool.try_submit(|| {}).is_ok());
+        assert!(pool.try_submit(|| {}).is_ok());
+        assert_eq!(pool.depth(), 2);
+        assert!(matches!(pool.try_submit(|| {}), Err(QueueFull(_))));
+
+        gate_tx.send(()).unwrap();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let pool = WorkerPool::new(1, 4);
+        let (tx, rx) = mpsc::channel();
+        pool.try_submit(|| panic!("job goes boom")).unwrap();
+        pool.try_submit(move || tx.send(42).unwrap()).unwrap();
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap(), 42);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work() {
+        let pool = WorkerPool::new(1, 4);
+        let shared = Arc::clone(&pool.shared);
+        pool.shutdown();
+        let state = shared.state.lock().unwrap();
+        assert!(state.shutdown);
+        assert!(state.queue.is_empty());
+        drop(state);
+    }
+}

@@ -15,6 +15,7 @@
 //! understands `--kind taxi|311|crime`.
 
 use std::process::exit;
+use urbane::UrbaneError;
 use urban_data::gen::city::CityModel;
 use urban_data::gen::events::{generate_complaints, generate_crime, EventConfig};
 use urban_data::gen::regions::{boroughs, grid_regions, voronoi_neighborhoods};
@@ -76,15 +77,48 @@ fn usage() -> ! {
     exit(2);
 }
 
-fn fail(msg: &str) -> ! {
-    eprintln!("error: {msg}");
-    exit(1);
+/// CLI failure, split by who is at fault: a bad invocation (exit 2, same
+/// as `usage`) or a typed runtime error from the stack (exit 1). Every
+/// fallible path funnels here — the binary never panics on user input.
+enum CliError {
+    Usage(String),
+    Runtime(UrbaneError),
 }
 
-fn load_data(args: &Args) -> Result<PointTable, String> {
+impl From<String> for CliError {
+    fn from(m: String) -> Self {
+        CliError::Usage(m)
+    }
+}
+
+impl From<UrbaneError> for CliError {
+    fn from(e: UrbaneError) -> Self {
+        CliError::Runtime(e)
+    }
+}
+
+impl From<raster_join::RasterJoinError> for CliError {
+    fn from(e: raster_join::RasterJoinError) -> Self {
+        CliError::Runtime(e.into())
+    }
+}
+
+impl From<urban_data::DataError> for CliError {
+    fn from(e: urban_data::DataError) -> Self {
+        CliError::Runtime(e.into())
+    }
+}
+
+type CliResult<T = ()> = Result<T, CliError>;
+
+fn io_err(context: &str, e: std::io::Error) -> CliError {
+    CliError::Runtime(UrbaneError::Io(format!("{context}: {e}")))
+}
+
+fn load_data(args: &Args) -> CliResult<PointTable> {
     let path = args.require("data")?;
-    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
-    binfmt::decode(&bytes).map_err(|e| format!("decoding {path}: {e}"))
+    let bytes = std::fs::read(path).map_err(|e| io_err(&format!("reading {path}"), e))?;
+    Ok(binfmt::decode(&bytes)?)
 }
 
 fn parse_regions(spec: &str, data_bbox: urbane_geom::BoundingBox) -> Result<RegionSet, String> {
@@ -150,7 +184,7 @@ fn join_config(args: &Args) -> Result<raster_join::RasterJoinConfig, String> {
     })
 }
 
-fn cmd_generate(args: &Args) -> Result<(), String> {
+fn cmd_generate(args: &Args) -> CliResult {
     let rows: usize = args.parse_num("rows", 1_000_000)?;
     let seed: u64 = args.parse_num("seed", 42)?;
     let days: u32 = args.parse_num("days", 30)?;
@@ -167,20 +201,23 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
         "crime" => {
             generate_crime(&city, &EventConfig { rows, seed, start, days, n_types: 10 })
         }
-        other => return Err(format!("--kind {other:?}: use taxi | 311 | crime")),
+        other => return Err(format!("--kind {other:?}: use taxi | 311 | crime").into()),
     };
-    std::fs::write(out, binfmt::encode(&table)).map_err(|e| format!("writing {out}: {e}"))?;
+    std::fs::write(out, binfmt::encode(&table))
+        .map_err(|e| io_err(&format!("writing {out}"), e))?;
     eprintln!("wrote {} rows to {out}", table.len());
     if let Some(csv_path) = args.get("csv") {
-        let f = std::fs::File::create(csv_path).map_err(|e| e.to_string())?;
+        let f = std::fs::File::create(csv_path)
+            .map_err(|e| io_err(&format!("creating {csv_path}"), e))?;
         let mut w = std::io::BufWriter::new(f);
-        csv::write_csv(&mut w, &table).map_err(|e| e.to_string())?;
+        csv::write_csv(&mut w, &table)
+            .map_err(|e| io_err(&format!("writing {csv_path}"), e))?;
         eprintln!("also wrote CSV to {csv_path}");
     }
     Ok(())
 }
 
-fn cmd_info(args: &Args) -> Result<(), String> {
+fn cmd_info(args: &Args) -> CliResult {
     let t = load_data(args)?;
     println!("rows: {}", t.len());
     let b = t.bbox();
@@ -190,7 +227,7 @@ fn cmd_info(args: &Args) -> Result<(), String> {
     }
     println!("columns:");
     for (name, ty) in t.schema().iter() {
-        match urban_data::stats::summarize_column(&t, name).map_err(|e| e.to_string())? {
+        match urban_data::stats::summarize_column(&t, name)? {
             Some(s) => println!(
                 "  {name:<14} {ty:?}  mean {:.2}  std {:.2}  min {:.2}  p50 {:.2}  max {:.2}",
                 s.mean,
@@ -205,14 +242,14 @@ fn cmd_info(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_query(args: &Args) -> Result<(), String> {
+fn cmd_query(args: &Args) -> CliResult {
     let t = load_data(args)?;
     let regions = parse_regions(args.get_or("regions", "nbhd:260"), t.bbox())?;
     let q = build_query(args)?;
     let join = raster_join::RasterJoin::new(join_config(args)?);
 
     let start = std::time::Instant::now();
-    let res = join.execute(&t, &regions, &q).map_err(|e| e.to_string())?;
+    let res = join.execute(&t, &regions, &q)?;
     let ms = start.elapsed().as_secs_f64() * 1e3;
     eprintln!(
         "{} rows x {} regions in {ms:.1} ms (ε = {:.1}, canvas {}x{}, {} tiles)",
@@ -226,7 +263,7 @@ fn cmd_query(args: &Args) -> Result<(), String> {
 
     if let Some(path) = args.get("geojson") {
         let text = urbane::export::choropleth_to_geojson(&regions, &res.table);
-        std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
+        std::fs::write(path, text).map_err(|e| io_err(&format!("writing {path}"), e))?;
         eprintln!("GeoJSON written to {path}");
     }
 
@@ -245,7 +282,7 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_map(args: &Args) -> Result<(), String> {
+fn cmd_map(args: &Args) -> CliResult {
     let t = load_data(args)?;
     let regions = parse_regions(args.get_or("regions", "nbhd:260"), t.bbox())?;
     let q = build_query(args)?;
@@ -253,8 +290,9 @@ fn cmd_map(args: &Args) -> Result<(), String> {
     let out = args.require("out")?;
 
     let view = MapView::new(join_config(args)?, urbane::colormap::ColorMap::viridis());
-    let img = view.render(&t, &regions, &q, size, size).map_err(|e| e.to_string())?;
-    gpu_raster::ppm::write_ppm(out, &img.image).map_err(|e| e.to_string())?;
+    let img = view.render(&t, &regions, &q, size, size)?;
+    gpu_raster::ppm::write_ppm(out, &img.image)
+        .map_err(|e| io_err(&format!("writing {out}"), e))?;
     eprintln!(
         "choropleth written to {out} (legend {:.1} .. {:.1}, ε = {:.1})",
         img.legend.lo, img.legend.hi, img.epsilon
@@ -262,7 +300,7 @@ fn cmd_map(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_heatmap(args: &Args) -> Result<(), String> {
+fn cmd_heatmap(args: &Args) -> CliResult {
     let t = load_data(args)?;
     let size: u32 = args.parse_num("size", 800)?;
     let blur: u32 = args.parse_num("blur", 2)?;
@@ -275,14 +313,14 @@ fn cmd_heatmap(args: &Args) -> Result<(), String> {
         &q.filters,
         &vp,
         &HeatmapConfig { blur_radius: blur, ..Default::default() },
-    )
-    .map_err(|e| e.to_string())?;
-    gpu_raster::ppm::write_ppm(out, &hm.image).map_err(|e| e.to_string())?;
+    )?;
+    gpu_raster::ppm::write_ppm(out, &hm.image)
+        .map_err(|e| io_err(&format!("writing {out}"), e))?;
     eprintln!("heatmap written to {out} ({} points, peak {:.1})", hm.points_drawn, hm.max_density);
     Ok(())
 }
 
-fn cmd_explore(args: &Args) -> Result<(), String> {
+fn cmd_explore(args: &Args) -> CliResult {
     use urban_data::time::{TimeBucket, TimeRange};
     use urbane::view::ExplorationView;
 
@@ -292,7 +330,7 @@ fn cmd_explore(args: &Args) -> Result<(), String> {
     let view = ExplorationView::new(join_config(args)?);
 
     let top: usize = args.parse_num("top", 5)?;
-    let ranked = view.rank_regions(&t, &regions, &q).map_err(|e| e.to_string())?;
+    let ranked = view.rank_regions(&t, &regions, &q)?;
     println!("top {top} regions:");
     for (i, (r, v)) in ranked.iter().take(top).enumerate() {
         println!("  {}. {}\t{:.2}", i + 1, regions.region_name(*r), v.unwrap_or(0.0));
@@ -306,13 +344,17 @@ fn cmd_explore(args: &Args) -> Result<(), String> {
         "day" => TimeBucket::Day,
         "week" => TimeBucket::Week,
         "month" => TimeBucket::Month,
-        other => return Err(format!("--bucket {other:?}: use hour|day|week|month")),
+        other => return Err(format!("--bucket {other:?}: use hour|day|week|month").into()),
+    };
+    // An empty ranking (e.g. a region set nothing falls into) is a valid
+    // outcome, not a reason to panic on `ranked[0]`.
+    let Some(&(reference, _)) = ranked.first() else {
+        println!("no regions ranked (empty region set or no matching rows)");
+        return Ok(());
     };
     let series = view
-        .time_series("data", &t, &regions, &q, TimeRange::new(extent.start, extent.end), bucket)
-        .map_err(|e| e.to_string())?;
+        .time_series("data", &t, &regions, &q, TimeRange::new(extent.start, extent.end), bucket)?;
     println!("\n{} series for the top region:", args.get_or("bucket", "week"));
-    let reference = ranked[0].0;
     let max = series
         .region(reference)
         .iter()
@@ -325,7 +367,7 @@ fn cmd_explore(args: &Args) -> Result<(), String> {
     }
     if let Some(path) = args.get("csv") {
         std::fs::write(path, urbane::export::series_to_csv(&regions, &series))
-            .map_err(|e| format!("writing {path}: {e}"))?;
+            .map_err(|e| io_err(&format!("writing {path}"), e))?;
         eprintln!("series CSV written to {path}");
     }
     Ok(())
@@ -336,7 +378,10 @@ fn main() {
     let Some(cmd) = argv.first() else { usage() };
     let args = match Args::parse(&argv[1..]) {
         Ok(a) => a,
-        Err(e) => fail(&e),
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(2);
+        }
     };
     let result = match cmd.as_str() {
         "generate" => cmd_generate(&args),
@@ -347,7 +392,17 @@ fn main() {
         "explore" => cmd_explore(&args),
         _ => usage(),
     };
-    if let Err(e) = result {
-        fail(&e);
+    match result {
+        Ok(()) => {}
+        // Invocation problems exit 2 (like `usage`); runtime failures exit
+        // 1 with the stack's typed message (e.g. "data error: ...").
+        Err(CliError::Usage(m)) => {
+            eprintln!("error: {m}");
+            exit(2);
+        }
+        Err(CliError::Runtime(e)) => {
+            eprintln!("error: {e}");
+            exit(1);
+        }
     }
 }

@@ -1,0 +1,275 @@
+//! Sharded LRU query-result cache — the serving layer's front line.
+//!
+//! Served spatial-aggregation traffic is dominated by repeated and
+//! overlapping queries (the GeoBlocks observation): dashboards refresh the
+//! same view, many clients look at the same city, sliders revisit recent
+//! positions. Answering those from a cache keyed on the *canonical query*
+//! is the single biggest throughput win at the server boundary, far ahead
+//! of making the join itself faster.
+//!
+//! The cache is sharded to keep lock hold times negligible under a worker
+//! pool: the key hash picks a shard, each shard is an independent
+//! `Mutex<HashMap>` with its own LRU clock. Keys are produced by
+//! [`crate::service::UrbaneService`] and embed the dataset *generation*, so
+//! a dataset reload invalidates every cached answer for it without touching
+//! the cache at all — stale entries become unreachable and age out through
+//! normal LRU pressure (plus an explicit [`QueryCache::purge`] sweep on
+//! reload for memory hygiene).
+//!
+//! Hash collisions cannot serve wrong answers: entries store the full
+//! canonical key string and compare it on every hit.
+
+use crate::session::{lock, CacheStats};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A canonical cache key: the 64-bit FNV-1a hash picks the shard and the
+/// bucket; the canonical string confirms the match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheKey {
+    hash: u64,
+    canonical: String,
+}
+
+impl CacheKey {
+    /// Key a canonical query description (the caller is responsible for
+    /// canonicalization — same query, same string).
+    pub fn new(canonical: String) -> Self {
+        CacheKey { hash: fnv1a(canonical.as_bytes()), canonical }
+    }
+
+    /// The canonical string this key was built from.
+    pub fn canonical(&self) -> &str {
+        &self.canonical
+    }
+}
+
+/// 64-bit FNV-1a — tiny, dependency-free, and good enough for bucketing
+/// (collisions are verified against the canonical string anyway).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct Entry<V> {
+    canonical: String,
+    value: V,
+    last_used: u64,
+}
+
+struct Shard<V> {
+    map: HashMap<u64, Entry<V>>,
+    clock: u64,
+}
+
+impl<V> Shard<V> {
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+}
+
+/// A sharded LRU map from canonical query keys to shared values.
+///
+/// `V` is cloned out on hits, so callers use cheap handles (`Arc<...>`).
+pub struct QueryCache<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<V: Clone> QueryCache<V> {
+    /// A cache holding at most `capacity` entries across `shards` shards
+    /// (capacity 0 disables caching entirely; shard count is clamped to at
+    /// least 1 and at most `capacity`).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let n_shards = shards.max(1).min(capacity.max(1));
+        let per_shard_capacity = if capacity == 0 { 0 } else { capacity.div_ceil(n_shards) };
+        QueryCache {
+            shards: (0..n_shards)
+                .map(|_| Mutex::new(Shard { map: HashMap::new(), clock: 0 }))
+                .collect(),
+            per_shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard<V>> {
+        &self.shards[(key.hash % self.shards.len() as u64) as usize]
+    }
+
+    /// Look up a key, refreshing its LRU position on a hit.
+    pub fn get(&self, key: &CacheKey) -> Option<V> {
+        if self.per_shard_capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut shard = lock(self.shard(key));
+        let tick = shard.tick();
+        match shard.map.get_mut(&key.hash) {
+            Some(e) if e.canonical == key.canonical => {
+                e.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.value.clone())
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert (or replace) an entry, evicting the shard's least-recently-
+    /// used entry when the shard is full. Eviction scans the shard — shards
+    /// are small by construction, and insertions only happen on cache
+    /// misses, which already paid for a full query.
+    pub fn insert(&self, key: CacheKey, value: V) {
+        if self.per_shard_capacity == 0 {
+            return;
+        }
+        let mut shard = lock(self.shard(&key));
+        let tick = shard.tick();
+        if shard.map.len() >= self.per_shard_capacity && !shard.map.contains_key(&key.hash) {
+            if let Some(oldest) =
+                shard.map.iter().min_by_key(|(_, e)| e.last_used).map(|(&h, _)| h)
+            {
+                shard.map.remove(&oldest);
+            }
+        }
+        shard.map.insert(
+            key.hash,
+            Entry { canonical: key.canonical, value, last_used: tick },
+        );
+    }
+
+    /// Drop every entry whose canonical key starts with `prefix` — used on
+    /// dataset reloads to release stale answers eagerly (correctness does
+    /// not depend on this: reloaded generations change the key anyway).
+    pub fn purge(&self, prefix: &str) {
+        for shard in &self.shards {
+            lock(shard).map.retain(|_, e| !e.canonical.starts_with(prefix));
+        }
+    }
+
+    /// Entries currently held (across all shards).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).map.len()).sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn key(s: &str) -> CacheKey {
+        CacheKey::new(s.to_string())
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let c: QueryCache<u32> = QueryCache::new(8, 2);
+        assert_eq!(c.get(&key("a")), None);
+        c.insert(key("a"), 1);
+        assert_eq!(c.get(&key("a")), Some(1));
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn capacity_zero_disables() {
+        let c: QueryCache<u32> = QueryCache::new(0, 4);
+        c.insert(key("a"), 1);
+        assert_eq!(c.get(&key("a")), None);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest() {
+        // One shard so the eviction order is fully observable.
+        let c: QueryCache<u32> = QueryCache::new(2, 1);
+        c.insert(key("a"), 1);
+        c.insert(key("b"), 2);
+        assert_eq!(c.get(&key("a")), Some(1)); // refresh "a"
+        c.insert(key("c"), 3); // evicts "b" (coldest)
+        assert_eq!(c.get(&key("b")), None);
+        assert_eq!(c.get(&key("a")), Some(1));
+        assert_eq!(c.get(&key("c")), Some(3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn replacement_does_not_evict() {
+        let c: QueryCache<u32> = QueryCache::new(2, 1);
+        c.insert(key("a"), 1);
+        c.insert(key("b"), 2);
+        c.insert(key("a"), 10); // replace in place
+        assert_eq!(c.get(&key("a")), Some(10));
+        assert_eq!(c.get(&key("b")), Some(2));
+    }
+
+    #[test]
+    fn purge_by_prefix() {
+        let c: QueryCache<u32> = QueryCache::new(16, 4);
+        c.insert(key("taxi|0|q1"), 1);
+        c.insert(key("taxi|0|q2"), 2);
+        c.insert(key("crime|0|q1"), 3);
+        c.purge("taxi|");
+        assert_eq!(c.get(&key("taxi|0|q1")), None);
+        assert_eq!(c.get(&key("crime|0|q1")), Some(3));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn colliding_hashes_never_serve_wrong_values() {
+        // Force a collision by constructing keys with the same hash slot:
+        // with one shard every key lands together; fake equal hashes by
+        // checking the canonical guard through the public API instead.
+        let c: QueryCache<u32> = QueryCache::new(4, 1);
+        c.insert(key("x"), 7);
+        // A different canonical string that happens to share a bucket can
+        // only be observed via canonical comparison; "y" simply misses.
+        assert_eq!(c.get(&key("y")), None);
+    }
+
+    #[test]
+    fn concurrent_hammering_stays_consistent() {
+        let c: Arc<QueryCache<usize>> = Arc::new(QueryCache::new(64, 8));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..500 {
+                        let k = key(&format!("q{}", (t * 131 + i) % 40));
+                        match c.get(&k) {
+                            Some(v) => assert_eq!(v, (t * 131 + i) % 40 % 7),
+                            None => c.insert(k, (t * 131 + i) % 40 % 7),
+                        }
+                    }
+                });
+            }
+        });
+        assert!(c.len() <= 64);
+        let st = c.stats();
+        assert_eq!(st.hits + st.misses, 2000);
+    }
+}

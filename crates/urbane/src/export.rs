@@ -34,6 +34,16 @@ pub fn choropleth_to_geojson(regions: &RegionSet, table: &AggTable) -> String {
     to_geojson(&features)
 }
 
+/// RFC-4180 quoting for a CSV cell: region names are caller data and may
+/// contain separators, quotes, or newlines.
+fn csv_cell(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
 /// Serialize a per-region time series as CSV: one row per region, one
 /// column per bucket (empty cell = no data).
 pub fn series_to_csv(
@@ -46,7 +56,7 @@ pub fn series_to_csv(
     }
     out.push('\n');
     for (id, name, _) in regions.iter() {
-        out.push_str(name);
+        out.push_str(&csv_cell(name));
         for v in series.region(id) {
             match v {
                 Some(v) => out.push_str(&format!(",{v}")),
@@ -92,6 +102,57 @@ mod tests {
         );
         // Geometry survives.
         assert_eq!(feats[0].geometry.area(), 100.0);
+    }
+
+    /// Region names are caller data — quotes, backslashes and control
+    /// characters must come back intact through a parse of the exported
+    /// document, and the document itself must stay well-formed.
+    #[test]
+    fn geojson_escapes_hostile_region_names() {
+        let hostile = "B\"road\\way\n\t — 7ᵗʰ Ave";
+        let square = grid_regions(&BoundingBox::from_coords(0.0, 0.0, 1.0, 1.0), 1, 1);
+        let rs = RegionSet::new(
+            "hostile",
+            vec![(hostile.to_string(), square.geometry(0).clone())],
+        );
+        let t = AggTable::new(AggKind::Count, 1);
+        let text = choropleth_to_geojson(&rs, &t);
+        let feats = parse_geojson(&text).expect("exported GeoJSON must stay parseable");
+        assert_eq!(feats[0].properties.get("name").and_then(Json::as_str), Some(hostile));
+    }
+
+    /// `NaN` aggregate values have no JSON literal; they must export as
+    /// `null`, not corrupt the document.
+    #[test]
+    fn geojson_non_finite_values_export_as_null() {
+        let (rs, mut t) = setup();
+        t.states[1].accumulate(0.0);
+        t.agg = AggKind::Avg("x".into());
+        t.states[0].sum = f64::NAN;
+        t.states[1].sum = f64::INFINITY;
+        let text = choropleth_to_geojson(&rs, &t);
+        let feats = parse_geojson(&text).expect("non-finite values must not corrupt JSON");
+        assert_eq!(feats[0].properties.get("value"), Some(&Json::Null));
+        assert_eq!(feats[1].properties.get("value"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn series_csv_quotes_hostile_names() {
+        use crate::view::explore::DatasetSeries;
+        use urban_data::time::TimeRange;
+        let square = grid_regions(&BoundingBox::from_coords(0.0, 0.0, 1.0, 1.0), 1, 1);
+        let rs = RegionSet::new(
+            "hostile",
+            vec![("Name, with \"comma\"".to_string(), square.geometry(0).clone())],
+        );
+        let series = DatasetSeries {
+            dataset: "taxi".into(),
+            buckets: vec![TimeRange::new(0, 100)],
+            series: vec![vec![Some(5.0)]],
+        };
+        let csv = series_to_csv(&rs, &series);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[1], "\"Name, with \"\"comma\"\"\",5");
     }
 
     #[test]

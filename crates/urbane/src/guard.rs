@@ -76,10 +76,47 @@ pub struct GuardReport {
     pub error_bound: Option<f64>,
 }
 
+impl GuardPath {
+    /// Stable wire name of the rung (used by the serving layer's JSON and
+    /// metrics exposition).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            GuardPath::Full => "full",
+            GuardPath::DegradedBounded => "degraded_bounded",
+            GuardPath::PreviewSample => "preview_sample",
+        }
+    }
+}
+
 impl GuardReport {
     /// Did the answer come from a fallback rung?
     pub fn degraded(&self) -> bool {
         self.path != GuardPath::Full
+    }
+
+    /// Serialize the report as a JSON object — the `guard` field of the
+    /// serving layer's `/query` responses. Times are reported in
+    /// milliseconds; the error bound is `null` when unknown.
+    pub fn to_json(&self) -> urbane_geom::geojson::Json {
+        use urbane_geom::geojson::Json;
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("path".to_string(), Json::String(self.path.as_str().to_string()));
+        m.insert("degraded".to_string(), Json::Bool(self.degraded()));
+        m.insert("retried".to_string(), Json::Bool(self.retried));
+        m.insert(
+            "fallbacks".to_string(),
+            Json::Array(self.fallbacks.iter().map(|f| Json::String(f.clone())).collect()),
+        );
+        m.insert("elapsed_ms".to_string(), Json::Number(self.elapsed.as_secs_f64() * 1e3));
+        m.insert("deadline_ms".to_string(), Json::Number(self.deadline.as_secs_f64() * 1e3));
+        m.insert(
+            "error_bound".to_string(),
+            match self.error_bound {
+                Some(e) => Json::Number(e),
+                None => Json::Null,
+            },
+        );
+        Json::Object(m)
     }
 }
 
@@ -91,6 +128,117 @@ pub struct GuardedResult {
     pub table: Arc<AggTable>,
     /// How this answer was produced.
     pub report: GuardReport,
+}
+
+/// Run the degradation ladder over caller-supplied rungs. This is the one
+/// shared implementation behind [`UrbaneSession::evaluate_guarded`] (rungs
+/// bound to the session's interaction state) and
+/// [`crate::service::UrbaneService::query`] (rungs bound to a wire-level
+/// request), so both paths share deadline accounting, retry policy, and
+/// report construction exactly.
+///
+/// * `full` may be called twice (one retry after an internal/panic error),
+///   under a budget expiring at the caller's deadline.
+/// * `degraded` runs once under a grace budget of half the deadline again.
+/// * `preview` is unbudgeted — the ladder must terminate with an answer —
+///   but a raised `cancel` handle still short-circuits it.
+pub(crate) fn run_ladder<F, D, P>(
+    deadline: Duration,
+    cancel: Option<&CancelHandle>,
+    mut full: F,
+    degraded: D,
+    preview: P,
+) -> Result<GuardedResult>
+where
+    F: FnMut(&QueryBudget) -> Result<(Arc<AggTable>, Option<f64>)>,
+    D: FnOnce(&QueryBudget) -> Result<(AggTable, f64)>,
+    P: FnOnce() -> Result<AggTable>,
+{
+    let start = Instant::now();
+    let hard_deadline = start + deadline;
+    let mut fallbacks = Vec::new();
+    let mut retried = false;
+
+    let budget_until = |until: Instant| {
+        let b = QueryBudget::until(until);
+        match cancel {
+            Some(h) => b.cancellable(h),
+            None => b,
+        }
+    };
+
+    // Rung 1: full fidelity, one retry on internal (panic) failure.
+    let mut first = full(&budget_until(hard_deadline));
+    if let Err(UrbaneError::Internal(m)) = &first {
+        fallbacks.push(format!("retrying full query after internal error: {m}"));
+        retried = true;
+        first = full(&budget_until(hard_deadline));
+    }
+    match first {
+        Ok((table, error_bound)) => {
+            return Ok(GuardedResult {
+                table,
+                report: GuardReport {
+                    path: GuardPath::Full,
+                    fallbacks,
+                    retried,
+                    elapsed: start.elapsed(),
+                    deadline,
+                    error_bound,
+                },
+            });
+        }
+        Err(UrbaneError::Cancelled) => return Err(UrbaneError::Cancelled),
+        Err(e @ (UrbaneError::DeadlineExceeded | UrbaneError::Internal(_))) => {
+            fallbacks.push(format!("full query failed: {e}"));
+        }
+        Err(e) => return Err(e),
+    }
+
+    // Rung 2: coarser bounded canvas, with a grace window — the user
+    // already waited the full deadline, so the fallback gets half again.
+    let grace_deadline = hard_deadline + deadline / 2;
+    match degraded(&budget_until(grace_deadline)) {
+        Ok((table, epsilon)) => {
+            return Ok(GuardedResult {
+                table: Arc::new(table),
+                report: GuardReport {
+                    path: GuardPath::DegradedBounded,
+                    fallbacks,
+                    retried,
+                    elapsed: start.elapsed(),
+                    deadline,
+                    error_bound: Some(epsilon),
+                },
+            });
+        }
+        Err(UrbaneError::Cancelled) => return Err(UrbaneError::Cancelled),
+        Err(e @ (UrbaneError::DeadlineExceeded | UrbaneError::Internal(_))) => {
+            fallbacks.push(format!("degraded query failed: {e}"));
+        }
+        Err(e) => return Err(e),
+    }
+
+    // Rung 3: sample preview. Unbudgeted — the ladder must terminate
+    // with an answer, and a few thousand sampled rows always render
+    // quickly — but an explicit cancel still wins.
+    if let Some(h) = cancel {
+        if h.is_cancelled() {
+            return Err(UrbaneError::Cancelled);
+        }
+    }
+    let table = preview()?;
+    Ok(GuardedResult {
+        table: Arc::new(table),
+        report: GuardReport {
+            path: GuardPath::PreviewSample,
+            fallbacks,
+            retried,
+            elapsed: start.elapsed(),
+            deadline,
+            error_bound: None,
+        },
+    })
 }
 
 impl UrbaneSession {
@@ -107,91 +255,13 @@ impl UrbaneSession {
         deadline: Duration,
         cancel: Option<&CancelHandle>,
     ) -> Result<GuardedResult> {
-        let start = Instant::now();
-        let hard_deadline = start + deadline;
-        let mut fallbacks = Vec::new();
-        let mut retried = false;
-
-        let budget_until = |until: Instant| {
-            let b = QueryBudget::until(until);
-            match cancel {
-                Some(h) => b.cancellable(h),
-                None => b,
-            }
-        };
-
-        // Rung 1: full fidelity, one retry on internal (panic) failure.
-        let mut full = self.evaluate_budgeted(&budget_until(hard_deadline));
-        if let Err(UrbaneError::Internal(m)) = &full {
-            fallbacks.push(format!("retrying full query after internal error: {m}"));
-            retried = true;
-            full = self.evaluate_budgeted(&budget_until(hard_deadline));
-        }
-        match full {
-            Ok((table, error_bound)) => {
-                return Ok(GuardedResult {
-                    table,
-                    report: GuardReport {
-                        path: GuardPath::Full,
-                        fallbacks,
-                        retried,
-                        elapsed: start.elapsed(),
-                        deadline,
-                        error_bound,
-                    },
-                });
-            }
-            Err(UrbaneError::Cancelled) => return Err(UrbaneError::Cancelled),
-            Err(e @ (UrbaneError::DeadlineExceeded | UrbaneError::Internal(_))) => {
-                fallbacks.push(format!("full query failed: {e}"));
-            }
-            Err(e) => return Err(e),
-        }
-
-        // Rung 2: coarser bounded canvas, with a grace window — the user
-        // already waited the full deadline, so the fallback gets half again.
-        let grace_deadline = hard_deadline + deadline / 2;
-        match self.evaluate_degraded(DEGRADED_RESOLUTION, &budget_until(grace_deadline)) {
-            Ok((table, epsilon)) => {
-                return Ok(GuardedResult {
-                    table: Arc::new(table),
-                    report: GuardReport {
-                        path: GuardPath::DegradedBounded,
-                        fallbacks,
-                        retried,
-                        elapsed: start.elapsed(),
-                        deadline,
-                        error_bound: Some(epsilon),
-                    },
-                });
-            }
-            Err(UrbaneError::Cancelled) => return Err(UrbaneError::Cancelled),
-            Err(e @ (UrbaneError::DeadlineExceeded | UrbaneError::Internal(_))) => {
-                fallbacks.push(format!("degraded query failed: {e}"));
-            }
-            Err(e) => return Err(e),
-        }
-
-        // Rung 3: sample preview. Unbudgeted — the ladder must terminate
-        // with an answer, and a few thousand sampled rows always render
-        // quickly — but an explicit cancel still wins.
-        if let Some(h) = cancel {
-            if h.is_cancelled() {
-                return Err(UrbaneError::Cancelled);
-            }
-        }
-        let table = self.evaluate_preview(PREVIEW_ROWS)?;
-        Ok(GuardedResult {
-            table: Arc::new(table),
-            report: GuardReport {
-                path: GuardPath::PreviewSample,
-                fallbacks,
-                retried,
-                elapsed: start.elapsed(),
-                deadline,
-                error_bound: None,
-            },
-        })
+        run_ladder(
+            deadline,
+            cancel,
+            |budget| self.evaluate_budgeted(budget),
+            |budget| self.evaluate_degraded(DEGRADED_RESOLUTION, budget),
+            || self.evaluate_preview(PREVIEW_ROWS),
+        )
     }
 }
 

@@ -19,21 +19,27 @@
 //!   every view update.
 
 pub mod brush;
+pub mod cache;
 pub mod catalog;
 pub mod colormap;
 pub mod export;
 pub mod guard;
 pub mod planner;
 pub mod resolution;
+pub mod service;
 pub mod session;
 pub mod view;
 
 pub use brush::Brush;
+pub use cache::{CacheKey, QueryCache};
 pub use catalog::DataCatalog;
 pub use guard::{GuardPath, GuardReport, GuardedResult};
 pub use planner::{PlanChoice, PlannerConfig, QueryPlanner};
 pub use resolution::ResolutionPyramid;
-pub use session::{SessionConfig, UrbaneSession};
+pub use service::{
+    DatasetInfo, GuardOutcomes, QueryAnswer, QueryRequest, ServiceConfig, UrbaneService,
+};
+pub use session::{CacheStats, SessionConfig, UrbaneSession};
 
 /// Errors from the framework layer.
 #[derive(Debug, Clone, PartialEq)]

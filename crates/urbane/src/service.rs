@@ -1,0 +1,665 @@
+//! The serving facade: a thread-shared, request-parameterized view of the
+//! whole stack.
+//!
+//! [`UrbaneSession`](crate::UrbaneSession) models *one* analyst driving one
+//! view — its interaction state (active dataset, filters, resolution) is
+//! mutable and implicit. A server cannot work that way: every request
+//! carries its own complete [`QueryRequest`], many requests run at once,
+//! and datasets can be reloaded under live traffic. [`UrbaneService`] is
+//! that multi-client counterpart:
+//!
+//! * **Shareable** — every method takes `&self`; internal state is guarded
+//!   by poison-recovering locks, so `Arc<UrbaneService>` serves any number
+//!   of worker threads.
+//! * **Generational catalog** — each dataset carries a generation counter,
+//!   bumped by [`UrbaneService::reload_dataset`]. Derived state (cached
+//!   answers, spatial bins, preview samples) is keyed by generation, so a
+//!   reload atomically invalidates everything without stopping traffic.
+//! * **Query-result cache** — a sharded LRU ([`crate::cache::QueryCache`])
+//!   keyed by a canonical string of (dataset, generation, level, mode,
+//!   resolution, aggregate, filters). Only full-fidelity answers are
+//!   cached: a degraded answer served under pressure must not mask the real
+//!   one once pressure subsides.
+//! * **Guarded by construction** — every query runs the PR-1 degradation
+//!   ladder ([`crate::guard`]) under the request's deadline, so an
+//!   overloaded server degrades fidelity instead of queueing unboundedly.
+
+use crate::cache::{CacheKey, QueryCache};
+use crate::catalog::DataCatalog;
+use crate::guard::{run_ladder, GuardPath, GuardReport, DEGRADED_RESOLUTION, PREVIEW_ROWS};
+use crate::resolution::ResolutionPyramid;
+use crate::session::{lock, CacheStats};
+use crate::{Result, UrbaneError};
+use raster_join::{
+    BinningMode, CancelHandle, CanvasSpec, ExecutionMode, PointStore, QueryBudget, RasterJoin,
+    RasterJoinConfig,
+};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+use urban_data::filter::Filter;
+use urban_data::query::{AggKind, AggTable, SpatialAggQuery};
+use urban_data::{BinnedPointTable, PointTable, RegionSet};
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Base raster-join configuration (threads, binning, default canvas).
+    /// Per-request mode/resolution override `mode` and `spec`.
+    pub join: RasterJoinConfig,
+    /// Total query-result cache entries across shards (0 disables caching).
+    pub cache_capacity: usize,
+    /// Cache shard count (clamped to ≥ 1).
+    pub cache_shards: usize,
+    /// Deadline applied when a request does not carry one.
+    pub default_deadline: Duration,
+    /// Upper bound on per-request canvas resolutions — a guardrail against
+    /// a client requesting a 1e9² canvas.
+    pub max_resolution: u32,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            join: RasterJoinConfig::default(),
+            cache_capacity: 1024,
+            cache_shards: 8,
+            default_deadline: Duration::from_secs(2),
+            max_resolution: 4096,
+        }
+    }
+}
+
+/// One complete, self-contained query — everything a session keeps as
+/// interaction state, spelled out per request.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// Dataset name in the catalog.
+    pub dataset: String,
+    /// Resolution-pyramid level index.
+    pub level: usize,
+    /// The aggregate.
+    pub agg: AggKind,
+    /// Conjunctive filters.
+    pub filters: Vec<Filter>,
+    /// Execution mode (bounded / weighted / accurate).
+    pub mode: ExecutionMode,
+    /// Canvas resolution; `None` uses the service's base spec.
+    pub resolution: Option<u32>,
+    /// Wall-clock deadline; `None` uses the service default.
+    pub deadline: Option<Duration>,
+}
+
+impl QueryRequest {
+    /// A bounded COUNT over the whole dataset at pyramid level `level` —
+    /// the simplest useful request; builder methods refine it.
+    pub fn count(dataset: impl Into<String>, level: usize) -> Self {
+        QueryRequest {
+            dataset: dataset.into(),
+            level,
+            agg: AggKind::Count,
+            filters: Vec::new(),
+            mode: ExecutionMode::Bounded,
+            resolution: None,
+            deadline: None,
+        }
+    }
+
+    /// Replace the aggregate.
+    pub fn agg(mut self, agg: AggKind) -> Self {
+        self.agg = agg;
+        self
+    }
+
+    /// Add a filter.
+    pub fn filter(mut self, f: Filter) -> Self {
+        self.filters.push(f);
+        self
+    }
+
+    /// Set the execution mode.
+    pub fn mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Set an explicit canvas resolution.
+    pub fn resolution(mut self, r: u32) -> Self {
+        self.resolution = Some(r);
+        self
+    }
+
+    /// Set a wall-clock deadline.
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// The `SpatialAggQuery` this request describes.
+    pub fn to_query(&self) -> SpatialAggQuery {
+        let mut q = SpatialAggQuery::new(self.agg.clone());
+        for f in &self.filters {
+            q = q.filter(f.clone());
+        }
+        q
+    }
+}
+
+/// A served answer: the table, how it was produced, and cache provenance.
+#[derive(Debug, Clone)]
+pub struct QueryAnswer {
+    /// Per-region aggregates.
+    pub table: Arc<AggTable>,
+    /// The region set the table indexes into (for naming regions on the
+    /// wire).
+    pub regions: Arc<RegionSet>,
+    /// How the answer was produced (ladder rung, retries, timing, ε).
+    pub report: GuardReport,
+    /// Served from the query-result cache?
+    pub cached: bool,
+    /// Generation of the dataset that answered.
+    pub generation: u64,
+}
+
+/// Catalog entry metadata, as reported by `GET /datasets`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetInfo {
+    /// Registered name.
+    pub name: String,
+    /// Row count.
+    pub rows: usize,
+    /// Reload generation (0 = as first registered).
+    pub generation: u64,
+}
+
+/// Degradation-ladder outcome counters (for `/metrics`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GuardOutcomes {
+    /// Answers served at full fidelity (fresh).
+    pub full: u64,
+    /// Answers from the coarser bounded rung.
+    pub degraded_bounded: u64,
+    /// Answers from the sample-preview rung.
+    pub preview_sample: u64,
+    /// Answers served from the query-result cache.
+    pub cached: u64,
+}
+
+struct DatasetEntry {
+    table: Arc<PointTable>,
+    generation: u64,
+}
+
+/// What the cache stores per canonical query.
+#[derive(Clone)]
+struct CachedAnswer {
+    table: Arc<AggTable>,
+    epsilon: Option<f64>,
+}
+
+/// Generation-keyed derived state: (dataset name, generation) → artifact.
+type GenerationKeyed<T> = Mutex<HashMap<(String, u64), T>>;
+
+/// Lock an RwLock for reading, recovering from poisoning (same contract as
+/// [`crate::session::lock`]: invariants hold between operations).
+fn read<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|p| p.into_inner())
+}
+
+fn write<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|p| p.into_inner())
+}
+
+/// The multi-client serving facade over catalog + pyramid + raster join.
+pub struct UrbaneService {
+    config: ServiceConfig,
+    pyramid: ResolutionPyramid,
+    datasets: RwLock<BTreeMap<String, DatasetEntry>>,
+    cache: QueryCache<CachedAnswer>,
+    // Derived, generation-keyed state (rebuilt lazily after reloads).
+    bins: GenerationKeyed<Arc<BinnedPointTable>>,
+    samples: GenerationKeyed<Arc<(PointTable, f64)>>,
+    outcomes: [AtomicU64; 4],
+}
+
+impl UrbaneService {
+    /// Build a service over an initial catalog (all datasets start at
+    /// generation 0). Fails on an empty catalog or an empty pyramid — a
+    /// server with nothing to serve is a deployment error worth surfacing
+    /// at boot, not per request.
+    pub fn new(
+        config: ServiceConfig,
+        catalog: DataCatalog,
+        pyramid: ResolutionPyramid,
+    ) -> Result<Self> {
+        if catalog.is_empty() {
+            return Err(UrbaneError::Config("service needs at least one dataset".into()));
+        }
+        if pyramid.is_empty() {
+            return Err(UrbaneError::Config("service needs at least one pyramid level".into()));
+        }
+        let datasets = catalog
+            .names()
+            .into_iter()
+            .map(|name| {
+                let table = catalog.get(name).expect("name came from the catalog");
+                (name.to_string(), DatasetEntry { table, generation: 0 })
+            })
+            .collect();
+        let cache = QueryCache::new(config.cache_capacity, config.cache_shards);
+        Ok(UrbaneService {
+            config,
+            pyramid,
+            datasets: RwLock::new(datasets),
+            cache,
+            bins: Mutex::new(HashMap::new()),
+            samples: Mutex::new(HashMap::new()),
+            outcomes: Default::default(),
+        })
+    }
+
+    /// The resolution pyramid.
+    pub fn pyramid(&self) -> &ResolutionPyramid {
+        &self.pyramid
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Catalog metadata for every registered dataset.
+    pub fn datasets(&self) -> Vec<DatasetInfo> {
+        read(&self.datasets)
+            .iter()
+            .map(|(name, e)| DatasetInfo {
+                name: name.clone(),
+                rows: e.table.len(),
+                generation: e.generation,
+            })
+            .collect()
+    }
+
+    /// Query-result cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Entries currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Degradation-ladder outcome counters.
+    pub fn guard_outcomes(&self) -> GuardOutcomes {
+        GuardOutcomes {
+            full: self.outcomes[0].load(Ordering::Relaxed),
+            degraded_bounded: self.outcomes[1].load(Ordering::Relaxed),
+            preview_sample: self.outcomes[2].load(Ordering::Relaxed),
+            cached: self.outcomes[3].load(Ordering::Relaxed),
+        }
+    }
+
+    /// Replace (or add) a dataset, bumping its generation. Every cached
+    /// answer, bin index, and preview sample derived from the old table
+    /// becomes unreachable immediately; in-flight queries holding the old
+    /// `Arc` finish against the snapshot they started with. Returns the new
+    /// generation.
+    pub fn reload_dataset(&self, name: &str, table: PointTable) -> u64 {
+        let generation = {
+            let mut datasets = write(&self.datasets);
+            let generation = datasets.get(name).map(|e| e.generation + 1).unwrap_or(0);
+            datasets.insert(
+                name.to_string(),
+                DatasetEntry { table: Arc::new(table), generation },
+            );
+            generation
+        };
+        // Eager hygiene: stale entries are already unreachable (the key
+        // embeds the generation), but dropping them now releases memory and
+        // keeps LRU pressure honest.
+        self.cache.purge(&format!("{name}|"));
+        lock(&self.bins).retain(|(n, _), _| n != name);
+        lock(&self.samples).retain(|(n, _), _| n != name);
+        generation
+    }
+
+    /// Dataset snapshot + generation, or `UnknownDataset`.
+    fn dataset(&self, name: &str) -> Result<(Arc<PointTable>, u64)> {
+        read(&self.datasets)
+            .get(name)
+            .map(|e| (Arc::clone(&e.table), e.generation))
+            .ok_or_else(|| UrbaneError::UnknownDataset(name.to_string()))
+    }
+
+    /// Canonical cache key: dataset + generation + every query dimension in
+    /// a stable order. Filters are a conjunction, so they are sorted into a
+    /// canonical order — `[A, B]` and `[B, A]` share an entry.
+    fn cache_key(&self, req: &QueryRequest, generation: u64) -> CacheKey {
+        let mut filters: Vec<String> = req.filters.iter().map(|f| format!("{f:?}")).collect();
+        filters.sort();
+        CacheKey::new(format!(
+            "{}|{}|{}|{:?}|{}|{:?}|{}",
+            req.dataset,
+            generation,
+            req.level,
+            req.mode,
+            self.effective_resolution(req),
+            req.agg,
+            filters.join("&"),
+        ))
+    }
+
+    /// The canvas resolution a request resolves to (clamped to the
+    /// configured maximum).
+    fn effective_resolution(&self, req: &QueryRequest) -> u32 {
+        let base = match self.config.join.spec {
+            CanvasSpec::Resolution(r) => r,
+            // ε-specs depend on the region extent; 1024 is the default
+            // canvas and a sane stand-in for keying purposes.
+            _ => 1024,
+        };
+        req.resolution.unwrap_or(base).clamp(1, self.config.max_resolution)
+    }
+
+    /// The join configuration a request resolves to.
+    fn join_config(&self, req: &QueryRequest) -> RasterJoinConfig {
+        RasterJoinConfig {
+            spec: CanvasSpec::Resolution(self.effective_resolution(req)),
+            mode: req.mode,
+            ..self.config.join.clone()
+        }
+    }
+
+    /// The dataset's spatial bins for `generation`, built once per
+    /// generation and shared. Mirrors the session's policy (binning mode,
+    /// auto threshold).
+    fn dataset_bins(
+        &self,
+        name: &str,
+        generation: u64,
+        points: &PointTable,
+    ) -> Option<Arc<BinnedPointTable>> {
+        let grid_side = match self.config.join.binning {
+            BinningMode::Off => return None,
+            BinningMode::Grid(side) if side > 0 => Some(side),
+            BinningMode::Grid(_) => return None,
+            BinningMode::Auto => {
+                if points.len() < raster_join::MIN_AUTO_BIN_POINTS {
+                    return None;
+                }
+                None
+            }
+        };
+        let key = (name.to_string(), generation);
+        if let Some(hit) = lock(&self.bins).get(&key).cloned() {
+            return Some(hit);
+        }
+        let built = Arc::new(match grid_side {
+            Some(s) => BinnedPointTable::with_grid(points, s, s),
+            None => BinnedPointTable::build(points),
+        });
+        lock(&self.bins).insert(key, built.clone());
+        Some(built)
+    }
+
+    /// The dataset's preview sample (+ scale-up factor) for `generation`.
+    fn preview_sample(
+        &self,
+        name: &str,
+        generation: u64,
+        points: &PointTable,
+    ) -> Arc<(PointTable, f64)> {
+        let key = (name.to_string(), generation);
+        if let Some(hit) = lock(&self.samples).get(&key).cloned() {
+            return hit;
+        }
+        let rows = urban_data::sampling::reservoir_sample(points, PREVIEW_ROWS, 0xF00D);
+        let sample = urban_data::sampling::take_rows(points, &rows);
+        let scale =
+            urban_data::sampling::scale_up_factor(points.len(), sample.len()).unwrap_or(1.0);
+        let entry = Arc::new((sample, scale));
+        lock(&self.samples).insert(key, entry.clone());
+        entry
+    }
+
+    /// Serve one request: cache lookup, then the degradation ladder under
+    /// the request's deadline. Full-fidelity answers are cached; degraded
+    /// ones are not (they must not shadow the real answer once load drops).
+    pub fn query(&self, req: &QueryRequest) -> Result<QueryAnswer> {
+        self.query_cancellable(req, None)
+    }
+
+    /// [`query`](Self::query) with an explicit cancel handle (a client
+    /// disconnect raises it).
+    pub fn query_cancellable(
+        &self,
+        req: &QueryRequest,
+        cancel: Option<&CancelHandle>,
+    ) -> Result<QueryAnswer> {
+        let start = Instant::now();
+        let (points, generation) = self.dataset(&req.dataset)?;
+        let regions = self.pyramid.level(req.level)?;
+        let deadline = req.deadline.unwrap_or(self.config.default_deadline);
+        let query = req.to_query();
+
+        let key = self.cache_key(req, generation);
+        if let Some(hit) = self.cache.get(&key) {
+            self.outcomes[3].fetch_add(1, Ordering::Relaxed);
+            return Ok(QueryAnswer {
+                table: hit.table,
+                regions,
+                report: GuardReport {
+                    path: GuardPath::Full,
+                    fallbacks: Vec::new(),
+                    retried: false,
+                    elapsed: start.elapsed(),
+                    deadline,
+                    error_bound: hit.epsilon,
+                },
+                cached: true,
+                generation,
+            });
+        }
+
+        let bins = self.dataset_bins(&req.dataset, generation, &points);
+        let store = || match &bins {
+            Some(b) => PointStore::with_bins(&points, b),
+            None => PointStore::plain(&points),
+        };
+
+        let full = |budget: &QueryBudget| -> Result<(Arc<AggTable>, Option<f64>)> {
+            let join = RasterJoin::new(self.join_config(req));
+            let res = join.execute_store(store(), &regions, &query, budget)?;
+            Ok((Arc::new(res.table), Some(res.epsilon)))
+        };
+        let degraded = |budget: &QueryBudget| -> Result<(AggTable, f64)> {
+            let config = RasterJoinConfig {
+                spec: CanvasSpec::Resolution(DEGRADED_RESOLUTION),
+                mode: ExecutionMode::Bounded,
+                strategy: raster_join::PointStrategy::PointsFirst,
+                ..self.config.join.clone()
+            };
+            let join = RasterJoin::new(config);
+            let res = join.execute_store(store(), &regions, &query, budget)?;
+            Ok((res.table, res.epsilon))
+        };
+        let preview = || -> Result<AggTable> {
+            let sample_and_scale = self.preview_sample(&req.dataset, generation, &points);
+            let (sample, scale) = (&sample_and_scale.0, sample_and_scale.1);
+            let join = RasterJoin::new(self.join_config(req));
+            let mut res = join.execute(sample, &regions, &query)?;
+            for state in &mut res.table.states {
+                state.count = (state.count as f64 * scale).round() as u64;
+                state.weight *= scale;
+                state.sum *= scale;
+            }
+            Ok(res.table)
+        };
+
+        let result = run_ladder(deadline, cancel, full, degraded, preview)?;
+        let outcome_slot = match result.report.path {
+            GuardPath::Full => 0,
+            GuardPath::DegradedBounded => 1,
+            GuardPath::PreviewSample => 2,
+        };
+        self.outcomes[outcome_slot].fetch_add(1, Ordering::Relaxed);
+        if result.report.path == GuardPath::Full {
+            self.cache.insert(
+                key,
+                CachedAnswer {
+                    table: Arc::clone(&result.table),
+                    epsilon: result.report.error_bound,
+                },
+            );
+        }
+        Ok(QueryAnswer {
+            table: result.table,
+            regions,
+            report: result.report,
+            cached: false,
+            generation,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urban_data::gen::city::CityModel;
+    use urban_data::gen::taxi::{generate_taxi, TaxiConfig};
+    use urban_data::time::{TimeRange, DAY};
+
+    fn service(cache_capacity: usize) -> UrbaneService {
+        let city = CityModel::nyc_like();
+        let taxi =
+            generate_taxi(&city, &TaxiConfig { rows: 5_000, seed: 3, start: 0, days: 10 });
+        let mut catalog = DataCatalog::new();
+        catalog.register("taxi", taxi);
+        let pyramid = ResolutionPyramid::standard(&city.bbox(), 16, 8, 5);
+        UrbaneService::new(
+            ServiceConfig {
+                join: RasterJoinConfig::with_resolution(256),
+                cache_capacity,
+                ..Default::default()
+            },
+            catalog,
+            pyramid,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn query_then_cache_hit() {
+        let s = service(64);
+        let req = QueryRequest::count("taxi", 0);
+        let a = s.query(&req).unwrap();
+        assert!(!a.cached);
+        assert_eq!(a.report.path, GuardPath::Full);
+        let b = s.query(&req).unwrap();
+        assert!(b.cached);
+        assert!(Arc::ptr_eq(&a.table, &b.table), "cache must share the table");
+        assert_eq!(s.guard_outcomes().cached, 1);
+        assert_eq!(s.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn filter_order_is_canonicalized() {
+        let s = service(64);
+        let f1 = Filter::Time(TimeRange::new(0, 3 * DAY));
+        let f2 = Filter::AttrRange { column: "fare".into(), min: 2.0, max: 40.0 };
+        let a = QueryRequest::count("taxi", 0).filter(f1.clone()).filter(f2.clone());
+        let b = QueryRequest::count("taxi", 0).filter(f2).filter(f1);
+        let ra = s.query(&a).unwrap();
+        let rb = s.query(&b).unwrap();
+        assert!(rb.cached, "reordered conjunction must hit the same entry");
+        assert!(Arc::ptr_eq(&ra.table, &rb.table));
+    }
+
+    #[test]
+    fn reload_bumps_generation_and_invalidates() {
+        let s = service(64);
+        let req = QueryRequest::count("taxi", 0);
+        let a = s.query(&req).unwrap();
+        assert_eq!(a.generation, 0);
+
+        let city = CityModel::nyc_like();
+        let bigger =
+            generate_taxi(&city, &TaxiConfig { rows: 9_000, seed: 4, start: 0, days: 10 });
+        let generation = s.reload_dataset("taxi", bigger);
+        assert_eq!(generation, 1);
+        assert_eq!(s.cache_len(), 0, "reload must purge the dataset's entries");
+
+        let b = s.query(&req).unwrap();
+        assert!(!b.cached, "post-reload query must miss");
+        assert_eq!(b.generation, 1);
+        assert!(b.table.total_count() > a.table.total_count());
+        assert_eq!(s.datasets()[0].generation, 1);
+    }
+
+    #[test]
+    fn per_request_mode_and_resolution() {
+        let s = service(64);
+        let bounded = s.query(&QueryRequest::count("taxi", 1)).unwrap();
+        let accurate = s
+            .query(&QueryRequest::count("taxi", 1).mode(ExecutionMode::Accurate))
+            .unwrap();
+        // Different modes are distinct cache entries and may differ at the
+        // ε edge; both must be real answers.
+        assert!(!accurate.cached);
+        assert!(bounded.table.total_count() > 0);
+        assert!(accurate.table.total_count() > 0);
+        let hi_res = s
+            .query(&QueryRequest::count("taxi", 1).resolution(512))
+            .unwrap();
+        assert!(!hi_res.cached);
+        assert!(hi_res.report.error_bound.unwrap() < bounded.report.error_bound.unwrap());
+    }
+
+    #[test]
+    fn resolution_is_clamped() {
+        let s = service(64);
+        let req = QueryRequest::count("taxi", 0).resolution(1 << 30);
+        // Must not attempt a 2^30 canvas; the clamp keeps it servable.
+        let a = s.query(&req).unwrap();
+        assert!(a.table.total_count() > 0);
+    }
+
+    #[test]
+    fn unknown_dataset_and_level_are_typed() {
+        let s = service(64);
+        assert!(matches!(
+            s.query(&QueryRequest::count("ghost", 0)),
+            Err(UrbaneError::UnknownDataset(_))
+        ));
+        assert!(matches!(
+            s.query(&QueryRequest::count("taxi", 99)),
+            Err(UrbaneError::UnknownResolution(_))
+        ));
+    }
+
+    #[test]
+    fn zero_deadline_degrades_but_answers() {
+        let s = service(64);
+        let req = QueryRequest::count("taxi", 0).deadline(Duration::ZERO);
+        let a = s.query(&req).unwrap();
+        assert!(a.report.degraded());
+        assert!(a.table.total_count() > 0);
+        // Degraded answers must not be cached.
+        assert_eq!(s.cache_len(), 0);
+        let outcomes = s.guard_outcomes();
+        assert_eq!(outcomes.full, 0);
+        assert_eq!(outcomes.degraded_bounded + outcomes.preview_sample, 1);
+    }
+
+    #[test]
+    fn empty_catalog_is_rejected() {
+        let city = CityModel::nyc_like();
+        let pyramid = ResolutionPyramid::standard(&city.bbox(), 8, 4, 5);
+        assert!(matches!(
+            UrbaneService::new(ServiceConfig::default(), DataCatalog::new(), pyramid),
+            Err(UrbaneError::Config(_))
+        ));
+    }
+}

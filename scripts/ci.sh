@@ -17,3 +17,35 @@ cargo clippy --workspace --all-targets -- -D warnings
 # gate; the real numbers come from scripts/bench.sh.
 cargo run --release -p urbane-bench --bin repro -- \
   --exp bench --scale 20000 --threads 2 --reps 1 > /dev/null
+
+# Server smoke: boot urbane-serve on an ephemeral port, hit every endpoint
+# once over real TCP, prove the repeat query is a cache hit, and shut down
+# cleanly. Fast (small synthetic dataset) and self-contained.
+serve_log="$(mktemp)"
+target/release/urbane-serve --port 0 --rows 20000 --workers 2 > "$serve_log" &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+
+addr=""
+for _ in $(seq 1 50); do
+  addr="$(sed -n 's#^urbane-serve listening on http://##p' "$serve_log")"
+  [ -n "$addr" ] && break
+  sleep 0.2
+done
+[ -n "$addr" ] || { echo "urbane-serve did not report an address"; cat "$serve_log"; exit 1; }
+
+# grep reads all of stdin (no -q) so curl never sees a closed pipe under
+# pipefail.
+curl -fsS "http://$addr/healthz" | grep '^ok' > /dev/null
+curl -fsS "http://$addr/datasets" | grep '"taxi"' > /dev/null
+body='{"dataset":"taxi","level":1}'
+curl -fsS -X POST -d "$body" "http://$addr/query" | grep '"cached":false' > /dev/null
+curl -fsS -X POST -d "$body" "http://$addr/query" | grep '"cached":true' > /dev/null
+curl -fsS "http://$addr/metrics" | grep '^urbane_requests_total{path="/query",status="200"}' > /dev/null
+curl -fsS "http://$addr/metrics" | grep '^urbane_cache_hits_total' > /dev/null
+
+kill "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+trap - EXIT
+rm -f "$serve_log"
+echo "server smoke OK"

@@ -2,6 +2,7 @@
 //! prompt cancellation, all driven by deterministic fault injection rather
 //! than wall-clock sleeps.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use raster_join::{
@@ -256,4 +257,54 @@ fn guarded_evaluation_retries_past_a_transient_panic() {
     let got = session.evaluate_guarded(Duration::from_secs(120), None).unwrap();
     assert_eq!(got.report.path, GuardPath::Full, "one panic costs a retry, not fidelity");
     assert!(got.report.retried);
+}
+
+/// N threads hammer two shared sessions — one bounded, one accurate — with
+/// a mix of cached and guarded queries. Every concurrent answer must be
+/// bit-identical to the serial reference, and afterwards the caches must
+/// still be warm and unpoisoned: the original `Arc` is still served and the
+/// hit/miss ledger balances exactly (one serial miss each, all the rest
+/// hits).
+#[test]
+fn concurrent_mixed_mode_session_use_matches_serial() {
+    const THREADS: usize = 8;
+    const ITERS: usize = 4;
+    let bounded = guarded_session(tiled_config());
+    let accurate = guarded_session(RasterJoinConfig {
+        max_tile: 256,
+        ..RasterJoinConfig::accurate(1024)
+    });
+
+    let serial_bounded = bounded.evaluate().unwrap();
+    let serial_accurate = accurate.evaluate().unwrap();
+
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|| {
+                for _ in 0..ITERS {
+                    let b = bounded.evaluate().unwrap();
+                    assert_eq!(*b, *serial_bounded, "bounded answers must match serial");
+                    let a = accurate.evaluate().unwrap();
+                    assert_eq!(*a, *serial_accurate, "accurate answers must match serial");
+                    let g = bounded.evaluate_guarded(Duration::from_secs(120), None).unwrap();
+                    assert_eq!(g.report.path, GuardPath::Full);
+                    assert_eq!(*g.table, *serial_bounded, "guarded answers must match serial");
+                }
+            });
+        }
+    });
+
+    let again = bounded.evaluate().unwrap();
+    assert!(
+        Arc::ptr_eq(&serial_bounded, &again),
+        "the cache must still serve the original entry"
+    );
+    let stats = bounded.cache_stats();
+    assert_eq!(stats.misses, 1, "only the serial warm-up may miss");
+    // Each iteration hits twice (evaluate + the guarded full rung), plus
+    // the post-scope probe.
+    assert_eq!(stats.hits as usize, THREADS * ITERS * 2 + 1);
+    let stats = accurate.cache_stats();
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.hits as usize, THREADS * ITERS);
 }

@@ -1,0 +1,182 @@
+//! End-to-end tests for the serving layer: boot a real [`UrbaneServer`] on
+//! an ephemeral port and exercise it over actual TCP with the bundled
+//! minimal HTTP client — query answers, cache hits, reload invalidation,
+//! load shedding under a saturated queue, and deadline degradation
+//! reported over the wire.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+use urbane::catalog::DataCatalog;
+use urbane::service::{ServiceConfig, UrbaneService};
+use urbane::ResolutionPyramid;
+use urbane_geom::geojson::{parse_json, Json};
+use urbane_serve::router::synthetic_table;
+use urbane_serve::{Client, ServerConfig, UrbaneServer};
+use urban_data::gen::city::CityModel;
+
+/// Boot a server over a small synthetic taxi table.
+fn boot(config: ServerConfig) -> UrbaneServer {
+    let city = CityModel::nyc_like();
+    let mut catalog = DataCatalog::new();
+    catalog.register("taxi", synthetic_table("taxi", 6_000, 3).expect("taxi generator"));
+    let pyramid = ResolutionPyramid::standard(&city.bbox(), 16, 8, 5);
+    let service = UrbaneService::new(
+        ServiceConfig {
+            join: raster_join::RasterJoinConfig::with_resolution(256),
+            default_deadline: Duration::from_secs(30),
+            ..Default::default()
+        },
+        catalog,
+        pyramid,
+    )
+    .expect("service boots");
+    UrbaneServer::start(config, Arc::new(service)).expect("server binds ephemeral port")
+}
+
+fn parse_body(body: &str) -> Json {
+    parse_json(body).unwrap_or_else(|e| panic!("response body must be JSON ({e}): {body}"))
+}
+
+#[test]
+fn query_roundtrip_cache_hit_and_reload_invalidation() {
+    let server = boot(ServerConfig::default());
+    let mut client = Client::connect(server.addr(), Duration::from_secs(30)).unwrap();
+
+    // Health and catalog listing.
+    let health = client.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    let datasets = client.get("/datasets").unwrap();
+    assert_eq!(datasets.status, 200);
+    assert!(datasets.body.contains("\"taxi\""), "{}", datasets.body);
+
+    // First query computes...
+    let body = "{\"dataset\":\"taxi\",\"level\":1}";
+    let first = client.post("/query", body).unwrap();
+    assert_eq!(first.status, 200, "{}", first.body);
+    let first_json = parse_body(&first.body);
+    assert_eq!(first_json.get("cached").and_then(Json::as_bool), Some(false));
+    assert_eq!(first_json.get("generation").and_then(Json::as_f64), Some(0.0));
+    let total = first_json.get("total_count").and_then(Json::as_f64).unwrap();
+    assert!(total > 0.0, "synthetic taxi rows must land in regions");
+
+    // ...the identical repeat is served from the cache, bit-identical.
+    let second = client.post("/query", body).unwrap();
+    assert_eq!(second.status, 200);
+    let second_json = parse_body(&second.body);
+    assert_eq!(second_json.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        second_json.get("regions").map(|r| format!("{r}")),
+        first_json.get("regions").map(|r| format!("{r}")),
+        "cached answer must be identical to the computed one"
+    );
+
+    // Reload bumps the generation and invalidates the cached entry.
+    let reload = client
+        .post("/reload", "{\"dataset\":\"taxi\",\"rows\":6000,\"seed\":4}")
+        .unwrap();
+    assert_eq!(reload.status, 200, "{}", reload.body);
+    let reload_json = parse_body(&reload.body);
+    assert_eq!(reload_json.get("generation").and_then(Json::as_f64), Some(1.0));
+
+    let third = client.post("/query", body).unwrap();
+    assert_eq!(third.status, 200);
+    let third_json = parse_body(&third.body);
+    assert_eq!(
+        third_json.get("cached").and_then(Json::as_bool),
+        Some(false),
+        "reload must invalidate the cached answer"
+    );
+    assert_eq!(third_json.get("generation").and_then(Json::as_f64), Some(1.0));
+
+    server.shutdown();
+}
+
+#[test]
+fn saturated_queue_sheds_with_429_and_recovers() {
+    // One worker, queue of one: with two connections held open (a client
+    // that never sends a request pins its worker until the read timeout),
+    // every further connection must be shed immediately with a 429.
+    let server = boot(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        read_timeout: Duration::from_secs(10),
+        ..Default::default()
+    });
+    let addr = server.addr();
+
+    let held: Vec<TcpStream> = (0..2)
+        .map(|_| TcpStream::connect(addr).expect("held connection"))
+        .collect();
+    // Give the acceptor a moment to hand both held connections to the pool.
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut shed = 0usize;
+    for _ in 0..4 {
+        let mut probe = TcpStream::connect(addr).expect("probe connection");
+        probe.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        probe.write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut buf = Vec::new();
+        let _ = std::io::Read::read_to_end(&mut probe, &mut buf);
+        let text = String::from_utf8_lossy(&buf).to_string();
+        if text.starts_with("HTTP/1.1 429") {
+            assert!(
+                text.contains("Retry-After: 1"),
+                "shed responses must carry Retry-After: {text}"
+            );
+            shed += 1;
+        }
+    }
+    assert!(
+        shed >= 3,
+        "with worker+queue both occupied, probes must be shed (got {shed}/4)"
+    );
+
+    // Release the held connections; the server must serve again.
+    drop(held);
+    let mut client = Client::connect(addr, Duration::from_secs(30)).unwrap();
+    let health = client.get("/healthz").unwrap();
+    assert_eq!(health.status, 200, "server must recover once load drains");
+
+    // The shed counter made it into the metrics page.
+    let metrics = client.get("/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let shed_line = metrics
+        .body
+        .lines()
+        .find(|l| l.starts_with("urbane_shed_total"))
+        .expect("metrics expose urbane_shed_total");
+    let count: u64 = shed_line.split_whitespace().last().unwrap().parse().unwrap();
+    assert!(count >= shed as u64, "{shed_line}");
+
+    server.shutdown();
+}
+
+#[test]
+fn exhausted_deadline_degrades_over_the_wire() {
+    let server = boot(ServerConfig::default());
+    let mut client = Client::connect(server.addr(), Duration::from_secs(30)).unwrap();
+
+    // A zero deadline can never fit the full rung: the degradation ladder
+    // must fall through to the preview sample and say so in the report.
+    let resp = client
+        .post("/query", "{\"dataset\":\"taxi\",\"level\":1,\"deadline_ms\":0}")
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let json = parse_body(&resp.body);
+    let guard = json.get("guard").expect("answer carries a guard report");
+    assert_eq!(guard.get("path").and_then(Json::as_str), Some("preview_sample"));
+    assert_eq!(guard.get("degraded").and_then(Json::as_bool), Some(true));
+    assert_eq!(json.get("cached").and_then(Json::as_bool), Some(false));
+
+    // Degraded answers must not poison the cache: the repeat is not served
+    // as a cached full answer.
+    let repeat = client
+        .post("/query", "{\"dataset\":\"taxi\",\"level\":1,\"deadline_ms\":0}")
+        .unwrap();
+    let repeat_json = parse_body(&repeat.body);
+    assert_eq!(repeat_json.get("cached").and_then(Json::as_bool), Some(false));
+
+    server.shutdown();
+}
