@@ -5,6 +5,8 @@
 //! that regenerates every experiment table from DESIGN.md §4
 //! (`cargo run --release -p urbane-bench --bin repro -- --exp all`).
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod perf;
 pub mod serve_bench;

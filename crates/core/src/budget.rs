@@ -33,13 +33,19 @@ impl CancelHandle {
 
     /// Raise the flag: every budget sharing it fails its next check with
     /// [`RasterJoinError::Cancelled`].
+    ///
+    /// Release/Acquire pairing: this is a cross-thread control flag, so the
+    /// store synchronizes-with the Acquire loads in [`Self::is_cancelled`],
+    /// [`QueryBudget::check`], and `gpu_raster::tile::try_render_tiled` —
+    /// whatever the cancelling thread wrote before raising the flag is
+    /// visible to workers that observe it.
     pub fn cancel(&self) {
-        self.flag.store(true, Ordering::Relaxed);
+        self.flag.store(true, Ordering::Release);
     }
 
     /// Has the flag been raised?
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Relaxed)
+        self.flag.load(Ordering::Acquire)
     }
 }
 
@@ -111,7 +117,8 @@ impl QueryBudget {
     /// the deadline has also passed.
     pub fn check(&self) -> Result<()> {
         if let Some(c) = &self.cancel {
-            if c.load(Ordering::Relaxed) {
+            // Acquire side of the CancelHandle::cancel Release store.
+            if c.load(Ordering::Acquire) {
                 return Err(RasterJoinError::Cancelled);
             }
         }

@@ -358,9 +358,13 @@ impl RasterJoin {
                                     // First failure raises the abort flag:
                                     // the other workers stop pulling tiles
                                     // and drain cleanly.
-                                    if abort.load(Ordering::Relaxed) {
+                                    // Acquire pairs with the Release store
+                                    // below: an observed abort happens-after
+                                    // everything the failing worker did.
+                                    if abort.load(Ordering::Acquire) {
                                         return (done, None);
                                     }
+                                    // lint: relaxed-ok work-dispenser counter; the increment itself is the only coordination, tile results are published via join
                                     let idx = cursor.fetch_add(1, Ordering::Relaxed);
                                     if idx >= tiles.len() {
                                         return (done, None);
@@ -368,7 +372,10 @@ impl RasterJoin {
                                     match run_tile(idx, &tiles[idx]) {
                                         Ok(out) => done.push((idx, out)),
                                         Err(e) => {
-                                            abort.store(true, Ordering::Relaxed);
+                                            // Release: cross-thread control
+                                            // flag; pairs with the Acquire
+                                            // load at the top of the loop.
+                                            abort.store(true, Ordering::Release);
                                             return (done, Some(e));
                                         }
                                     }

@@ -103,6 +103,7 @@ impl FaultPlan {
             match *f {
                 Fault::PanicOnTile(t) if t == tile
                     && self.disarm() => {
+                        // lint: allow(panic-freedom) fault injection: a controlled panic is this module's entire purpose
                         panic!("injected fault: panic on tile {tile}");
                     }
                 Fault::DelayOnTile { tile: t, ms } if t == tile

@@ -32,6 +32,9 @@
 //! (GPU texture-size limits), worker threads, polygon path, and the
 //! points-first vs. id-buffer strategy ablation.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod accurate;
 pub mod bounded;
 pub mod budget;

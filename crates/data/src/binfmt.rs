@@ -79,17 +79,24 @@ impl<'a> Cursor<'a> {
     }
 
     fn u8(&mut self, what: &str) -> Result<u8> {
-        Ok(self.take(1, what)?[0])
+        match self.take(1, what)? {
+            &[b] => Ok(b),
+            _ => Err(DataError::Decode(format!("truncated reading {what}"))),
+        }
     }
 
     fn u16_le(&mut self, what: &str) -> Result<u16> {
-        let b = self.take(2, what)?;
-        Ok(u16::from_le_bytes([b[0], b[1]]))
+        match self.take(2, what)? {
+            &[a, b] => Ok(u16::from_le_bytes([a, b])),
+            _ => Err(DataError::Decode(format!("truncated reading {what}"))),
+        }
     }
 
     fn u32_le(&mut self, what: &str) -> Result<u32> {
-        let b = self.take(4, what)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        match self.take(4, what)? {
+            &[a, b, c, d] => Ok(u32::from_le_bytes([a, b, c, d])),
+            _ => Err(DataError::Decode(format!("truncated reading {what}"))),
+        }
     }
 
     fn u64_le(&mut self, what: &str) -> Result<u64> {

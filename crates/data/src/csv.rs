@@ -70,7 +70,7 @@ pub fn read_csv<R: Read>(r: R) -> Result<PointTable> {
         .ok_or_else(|| DataError::Decode("empty CSV".into()))?
         .map_err(|e| DataError::Decode(e.to_string()))?;
     let cols = split_line(header.trim_end());
-    if cols.len() < 3 || cols[0] != "x" || cols[1] != "y" || cols[2] != "t" {
+    if !matches!(cols.get(..3), Some([a, b, c]) if a == "x" && b == "y" && c == "t") {
         return Err(DataError::Decode("header must start with x,y,t".into()));
     }
     let attr_cols: Vec<(String, AttrType)> = cols[3..]
@@ -110,12 +110,15 @@ pub fn read_csv<R: Read>(r: R) -> Result<PointTable> {
             s.parse::<f64>()
                 .map_err(|_| DataError::Decode(format!("line {}: bad number {s:?}", lineno + 2)))
         };
-        let x = parse_f64(&cells[0])?;
-        let y = parse_f64(&cells[1])?;
-        let t = cells[2]
+        let [cx, cy, ct, attr_cells @ ..] = cells.as_slice() else {
+            return Err(DataError::Decode(format!("line {}: too few cells", lineno + 2)));
+        };
+        let x = parse_f64(cx)?;
+        let y = parse_f64(cy)?;
+        let t = ct
             .parse::<i64>()
             .map_err(|_| DataError::Decode(format!("line {}: bad timestamp", lineno + 2)))?;
-        for (a, cell) in attrs.iter_mut().zip(&cells[3..]) {
+        for (a, cell) in attrs.iter_mut().zip(attr_cells) {
             *a = parse_f64(cell)? as f32;
         }
         table.push(Point::new(x, y), t, &attrs)?;

@@ -30,10 +30,12 @@ impl Filter {
     fn matches(&self, table: &PointTable, col: Option<usize>, i: usize) -> bool {
         match self {
             Filter::AttrRange { min, max, .. } => {
+                // lint: allow(panic-freedom) FilterSet::compile resolves a column for every attr filter before matches() runs
                 let v = table.attr(i, col.expect("compiled"));
                 v >= *min && v <= *max
             }
             Filter::AttrEquals { value, .. } => {
+                // lint: allow(panic-freedom) FilterSet::compile resolves a column for every attr filter before matches() runs
                 table.attr(i, col.expect("compiled")) == *value
             }
             Filter::Time(r) => r.contains(table.time(i)),

@@ -49,6 +49,7 @@ pub fn complaints_schema() -> Schema {
         ("complaint_type", AttrType::Categorical),
         ("response_hours", AttrType::Numeric),
     ])
+    // lint: allow(panic-freedom) static schema literal; names and arity are fixed at compile time
     .expect("static schema is valid")
 }
 
@@ -74,6 +75,7 @@ pub fn generate_complaints(city: &CityModel, cfg: &EventConfig) -> PointTable {
         let ctype = weighted_index(&mut rng, &type_w) as f32;
         // Response time: log-normal-ish, hours to days.
         let response = (6.0 * (normal(&mut rng) * 0.8 + 1.5).exp()).clamp(0.5, 24.0 * 14.0) as f32;
+        // lint: allow(panic-freedom) push arity matches the two-column schema constructed above
         table.push(loc, t, &[ctype, response]).expect("schema arity is fixed");
     }
     table
@@ -82,6 +84,7 @@ pub fn generate_complaints(city: &CityModel, cfg: &EventConfig) -> PointTable {
 /// Crime schema: `offense` (categorical), `severity` (numeric 1–10).
 pub fn crime_schema() -> Schema {
     Schema::new([("offense", AttrType::Categorical), ("severity", AttrType::Numeric)])
+        // lint: allow(panic-freedom) static schema literal; names and arity are fixed at compile time
         .expect("static schema is valid")
 }
 
@@ -106,6 +109,7 @@ pub fn generate_crime(city: &CityModel, cfg: &EventConfig) -> PointTable {
 
         let offense = weighted_index(&mut rng, &type_w) as f32;
         let severity = (1.0 + (normal(&mut rng).abs() * 2.5)).min(10.0) as f32;
+        // lint: allow(panic-freedom) push arity matches the two-column schema constructed above
         table.push(loc, t, &[offense, severity]).expect("schema arity is fixed");
     }
     table

@@ -71,6 +71,7 @@ pub fn grid_regions(bbox: &BoundingBox, nx: u32, ny: u32) -> RegionSet {
                 (x0 + w, y0 + h),
                 (x0, y0 + h),
             ])
+            // lint: allow(panic-freedom) documented expect: axis-aligned grid cells are always valid rings
             .expect("grid cells are valid rings");
             regions.push((format!("cell_{gx}_{gy}"), poly.into()));
         }
@@ -133,6 +134,7 @@ pub fn boroughs(bbox: &BoundingBox) -> RegionSet {
         .iter()
         .zip(&sites)
         .map(|(&(name, _, _), &s)| {
+            // lint: allow(panic-freedom) documented expect: every site clips a non-empty cell out of its own bbox
             let cell = voronoi_cell(bbox, s, &sites).expect("borough cells are non-empty");
             (name.to_string(), cell.into())
         })
@@ -164,6 +166,7 @@ pub fn star_regions(bbox: &BoundingBox, n: usize, vertices: usize, seed: u64) ->
                     c + Point::new(t.cos(), t.sin()) * r
                 })
                 .collect();
+            // lint: allow(panic-freedom) documented expect: star polygons have >= 6 distinct vertices by construction
             Polygon::new(Ring::new(pts).expect("star rings are valid"))
         })
         .collect();

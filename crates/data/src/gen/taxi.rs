@@ -58,6 +58,7 @@ pub fn taxi_schema() -> Schema {
         ("passengers", AttrType::Categorical),
         ("tip", AttrType::Numeric),
     ])
+    // lint: allow(panic-freedom) static schema literal; names and arity are fixed at compile time
     .expect("static schema is valid")
 }
 
@@ -93,6 +94,7 @@ pub fn generate_taxi(city: &CityModel, cfg: &TaxiConfig) -> PointTable {
 
         table
             .push(loc, t, &[fare, distance, passengers, tip])
+            // lint: allow(panic-freedom) push arity matches the four-column schema constructed above
             .expect("schema arity is fixed");
     }
     table

@@ -18,9 +18,11 @@
 //! marginals, cardinalities) — see DESIGN.md §2 for the substitution
 //! rationale.
 
+#![forbid(unsafe_code)]
+
 // Library paths must surface typed errors, not panic on malformed data;
 // tests are exempt — an unwrap there *is* the assertion.
-#![warn(clippy::unwrap_used)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod binfmt;

@@ -61,14 +61,10 @@ pub fn summarize(values: &[f32], quantile_cuts: &[f64]) -> Option<ColumnSummary>
         })
         .collect();
 
-    Some(ColumnSummary {
-        count: n,
-        mean,
-        std_dev,
-        min: clean[0],
-        max: clean[n - 1],
-        quantiles,
-    })
+    let (Some(&min), Some(&max)) = (clean.first(), clean.last()) else {
+        return None;
+    };
+    Some(ColumnSummary { count: n, mean, std_dev, min, max, quantiles })
 }
 
 /// Summarize a table column by name (median/quartiles by default).

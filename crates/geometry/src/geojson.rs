@@ -205,10 +205,10 @@ impl<'a> JsonParser<'a> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
+                Some(first) => {
                     // Copy a full UTF-8 sequence.
                     let rest = &self.s[self.pos..];
-                    let ch_len = utf8_len(rest[0]);
+                    let ch_len = utf8_len(first);
                     if rest.len() < ch_len {
                         return self.err("truncated UTF-8");
                     }
@@ -383,11 +383,11 @@ fn polygon_from_coords(rings: &[Json]) -> Result<Polygon> {
             let xy = p
                 .as_array()
                 .ok_or_else(|| GeomError::Parse("position is not an array".into()))?;
-            if xy.len() < 2 {
+            let (Some(jx), Some(jy)) = (xy.first(), xy.get(1)) else {
                 return Err(GeomError::Parse("position needs 2 coordinates".into()));
-            }
-            let x = xy[0].as_f64().ok_or_else(|| GeomError::Parse("bad coordinate".into()))?;
-            let y = xy[1].as_f64().ok_or_else(|| GeomError::Parse("bad coordinate".into()))?;
+            };
+            let x = jx.as_f64().ok_or_else(|| GeomError::Parse("bad coordinate".into()))?;
+            let y = jy.as_f64().ok_or_else(|| GeomError::Parse("bad coordinate".into()))?;
             v.push(Point::new(x, y));
         }
         parsed.push(Ring::new(v)?);
@@ -422,7 +422,7 @@ pub fn to_geojson(features: &[Feature]) -> String {
                 }
                 s.push('[');
                 let vs = ring.vertices();
-                for (m, p) in vs.iter().chain(std::iter::once(&vs[0])).enumerate() {
+                for (m, p) in vs.iter().chain(vs.first()).enumerate() {
                     if m > 0 {
                         s.push(',');
                     }

@@ -13,9 +13,11 @@
 //! deliberately implements its own WKT and GeoJSON readers so the whole
 //! reproduction stays self-contained.
 
+#![forbid(unsafe_code)]
+
 // Library paths must surface typed errors, not panic on malformed data;
 // tests are exempt — an unwrap there *is* the assertion.
-#![warn(clippy::unwrap_used)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod bbox;

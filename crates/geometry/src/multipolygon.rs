@@ -74,7 +74,7 @@ impl MultiPolygon {
             area += a;
         }
         if area <= f64::EPSILON {
-            Some(self.polygons[0].centroid())
+            self.polygons.first().map(Polygon::centroid)
         } else {
             Some(acc / area)
         }

@@ -242,6 +242,7 @@ impl Polygon {
     /// Axis-aligned rectangle polygon.
     pub fn rect(b: &BoundingBox) -> Self {
         Polygon::new(
+            // lint: allow(panic-freedom) documented expect: four box corners always form a valid ring
             Ring::new(b.corners().to_vec()).expect("a non-empty box yields a valid ring"),
         )
     }

@@ -17,8 +17,12 @@ pub fn simplify_polyline(points: &[Point], tolerance: f64) -> Vec<Point> {
         return points.to_vec();
     }
     let mut keep = vec![false; points.len()];
-    keep[0] = true;
-    *keep.last_mut().expect("non-empty") = true;
+    if let Some(first) = keep.first_mut() {
+        *first = true;
+    }
+    if let Some(last) = keep.last_mut() {
+        *last = true;
+    }
     dp_recurse(points, 0, points.len() - 1, tolerance, &mut keep);
     points
         .iter()
@@ -55,21 +59,23 @@ fn dp_recurse(points: &[Point], lo: usize, hi: usize, tol: f64, keep: &mut [bool
 pub fn simplify_ring(ring: &Ring, tolerance: f64) -> Ring {
     let v = ring.vertices();
     let n = v.len();
-    if n <= 4 {
+    let (Some(&v0), true) = (v.first(), n > 4) else {
         return ring.clone();
-    }
-    // Anchor 0 and the vertex farthest from vertex 0.
+    };
+    // Anchor 0 and the vertex farthest from vertex 0. The range is
+    // non-empty (n > 4), so max_by always yields a vertex.
     let far = (1..n)
         .max_by(|&i, &j| {
-            v[0].distance_sq(v[i])
-                .partial_cmp(&v[0].distance_sq(v[j]))
+            v0.distance_sq(v[i])
+                .partial_cmp(&v0.distance_sq(v[j]))
                 .unwrap_or(std::cmp::Ordering::Equal)
         })
+        // lint: allow(panic-freedom) documented expect: (1..n) is non-empty under the n > 4 guard above
         .expect("ring has >= 3 vertices");
 
     let mut half1: Vec<Point> = v[0..=far].to_vec();
     let mut half2: Vec<Point> = v[far..].to_vec();
-    half2.push(v[0]);
+    half2.push(v0);
 
     half1 = simplify_polyline(&half1, tolerance);
     half2 = simplify_polyline(&half2, tolerance);

@@ -108,6 +108,7 @@ fn merge_holes(poly: &Polygon) -> Result<Vec<Point>> {
             .iter()
             .enumerate()
             .max_by(|(_, p), (_, q)| p.x.partial_cmp(&q.x).unwrap_or(std::cmp::Ordering::Equal))
+            // lint: allow(panic-freedom) documented expect: Ring guarantees >= 3 vertices, so the hole iterator is non-empty
             .expect("holes are non-empty rings");
 
         // Find the outer vertex visible from M: cast a ray +x from M, find the
@@ -237,7 +238,10 @@ fn ear_clip(loop_pts: &[Point]) -> Result<Vec<Triangle>> {
             return Err(GeomError::Triangulation("ear clipping did not terminate".into()));
         }
     }
-    let (a, b, c) = (loop_pts[idx[0]], loop_pts[idx[1]], loop_pts[idx[2]]);
+    let &[i0, i1, i2] = idx.as_slice() else {
+        return Err(GeomError::Triangulation("ear clipping left a degenerate loop".into()));
+    };
+    let (a, b, c) = (loop_pts[i0], loop_pts[i1], loop_pts[i2]);
     if orientation(a, b, c) != Orientation::Collinear {
         tris.push(Triangle::new(a, b, c));
     }

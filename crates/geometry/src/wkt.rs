@@ -39,10 +39,14 @@ pub fn multipolygon_to_wkt(mp: &MultiPolygon) -> String {
 
 fn polygon_body(poly: &Polygon) -> String {
     let ring_str = |r: &Ring| {
+        let verts = r.vertices();
         let mut parts: Vec<String> =
-            r.vertices().iter().map(|p| format!("{} {}", p.x, p.y)).collect();
-        // WKT repeats the first vertex to close the ring.
-        parts.push(format!("{} {}", r.vertices()[0].x, r.vertices()[0].y));
+            verts.iter().map(|p| format!("{} {}", p.x, p.y)).collect();
+        // WKT repeats the first vertex to close the ring (rings are never
+        // empty, but degrade to an unclosed ring rather than panicking).
+        if let Some(first) = verts.first() {
+            parts.push(format!("{} {}", first.x, first.y));
+        }
         format!("({})", parts.join(", "))
     };
     let mut rings: Vec<String> = vec![ring_str(poly.exterior())];
@@ -57,9 +61,9 @@ pub fn parse_wkt(input: &str) -> Result<WktGeometry> {
     let tag = p.ident()?;
     match tag.to_ascii_uppercase().as_str() {
         "POINT" => {
-            p.expect(b'(')?;
+            p.expect_byte(b'(')?;
             let pt = p.coord()?;
-            p.expect(b')')?;
+            p.expect_byte(b')')?;
             p.end()?;
             Ok(WktGeometry::Point(pt))
         }
@@ -74,7 +78,7 @@ pub fn parse_wkt(input: &str) -> Result<WktGeometry> {
                 p.end()?;
                 return Ok(WktGeometry::MultiPolygon(MultiPolygon::new(vec![])));
             }
-            p.expect(b'(')?;
+            p.expect_byte(b'(')?;
             let mut polys = Vec::new();
             loop {
                 polys.push(p.polygon()?);
@@ -82,7 +86,7 @@ pub fn parse_wkt(input: &str) -> Result<WktGeometry> {
                 if p.try_byte(b',') {
                     continue;
                 }
-                p.expect(b')')?;
+                p.expect_byte(b')')?;
                 break;
             }
             p.end()?;
@@ -96,9 +100,11 @@ pub fn parse_wkt(input: &str) -> Result<WktGeometry> {
 pub fn parse_wkt_polygon(input: &str) -> Result<Polygon> {
     match parse_wkt(input)? {
         WktGeometry::Polygon(p) => Ok(p),
-        WktGeometry::MultiPolygon(mp) if mp.len() == 1 => {
-            Ok(mp.polygons()[0].clone())
-        }
+        WktGeometry::MultiPolygon(mp) if mp.len() == 1 => mp
+            .polygons()
+            .first()
+            .cloned()
+            .ok_or_else(|| GeomError::Parse("expected POLYGON".into())),
         _ => Err(GeomError::Parse("expected POLYGON".into())),
     }
 }
@@ -138,7 +144,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, byte: u8) -> Result<()> {
+    fn expect_byte(&mut self, byte: u8) -> Result<()> {
         self.skip_ws();
         if self.pos < self.s.len() && self.s[self.pos] == byte {
             self.pos += 1;
@@ -182,21 +188,21 @@ impl<'a> Parser<'a> {
     }
 
     fn ring(&mut self) -> Result<Ring> {
-        self.expect(b'(')?;
+        self.expect_byte(b'(')?;
         let mut pts = Vec::new();
         loop {
             pts.push(self.coord()?);
             if self.try_byte(b',') {
                 continue;
             }
-            self.expect(b')')?;
+            self.expect_byte(b')')?;
             break;
         }
         Ring::new(pts)
     }
 
     fn polygon(&mut self) -> Result<Polygon> {
-        self.expect(b'(')?;
+        self.expect_byte(b'(')?;
         let exterior = self.ring()?;
         let mut holes = Vec::new();
         loop {
@@ -206,7 +212,7 @@ impl<'a> Parser<'a> {
                 break;
             }
         }
-        self.expect(b')')?;
+        self.expect_byte(b')')?;
         Polygon::with_holes(exterior, holes)
     }
 

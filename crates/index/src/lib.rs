@@ -20,6 +20,9 @@
 //! returns the same [`urban_data::AggTable`], so results are directly
 //! comparable with `raster-join`'s.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod executor;
 pub mod grid;
 pub mod kdtree;

@@ -56,9 +56,11 @@ impl TimePartitionedPoints {
             counts[bucket_of(t)] += 1;
         }
         let mut offsets = Vec::with_capacity(n_buckets + 1);
-        offsets.push(0u32);
+        let mut acc = 0u32;
+        offsets.push(acc);
         for c in &counts {
-            offsets.push(offsets.last().unwrap() + c);
+            acc += c;
+            offsets.push(acc);
         }
         let mut cursor = offsets.clone();
         let mut rows = vec![0u32; points.len()];

@@ -1,0 +1,28 @@
+//! Fixture: relaxed-ordering annotations and a correctly paired
+//! Release store / Acquire load (which must not fire).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub struct Flags {
+    done: AtomicBool,
+    count: AtomicU64,
+}
+
+impl Flags {
+    pub fn publish(&self) {
+        self.done.store(true, Ordering::Release);
+    }
+
+    pub fn observe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    pub fn bump_bad(&self) {
+        self.count.fetch_add(1, Ordering::Relaxed); //~ relaxed-ordering
+    }
+
+    pub fn bump_ok(&self) {
+        // lint: relaxed-ok fixture: a pure monotone counter needs no ordering
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,18 @@
+//! Fixture: a Release store whose flag is never loaded with Acquire
+//! anywhere in the corpus — the release has nothing to synchronize with.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub struct Orphan {
+    ready: AtomicBool,
+}
+
+impl Orphan {
+    pub fn publish(&self) {
+        self.ready.store(true, Ordering::Release); //~ release-acquire
+    }
+
+    pub fn peek(&self) -> bool {
+        self.ready.load(Ordering::Relaxed) //~ relaxed-ordering
+    }
+}

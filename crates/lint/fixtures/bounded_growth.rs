@@ -1,0 +1,31 @@
+//! Fixture: growth into self-rooted state with and without a cap note.
+
+use std::collections::HashMap;
+
+pub struct Session {
+    items: Vec<u64>,
+    lookup: HashMap<u64, u64>,
+}
+
+impl Session {
+    pub fn record(&mut self, v: u64) {
+        self.items.push(v); //~ bounded-growth
+    }
+
+    pub fn remember(&mut self, k: u64, v: u64) {
+        self.lookup.insert(k, v); //~ bounded-growth
+    }
+
+    pub fn record_capped(&mut self, v: u64) {
+        if self.items.len() < 1024 {
+            // lint: bounded-by 1024 entries per session
+            self.items.push(v);
+        }
+    }
+
+    pub fn local_growth_is_fine(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        out.push(self.items.len() as u64);
+        out
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: catch_unwind whose result vanishes, next to one that is
+//! visibly handled.
+
+pub fn swallowed(job: Box<dyn FnOnce()>) {
+    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)); //~ catch-unwind-pairing
+    log_done();
+}
+
+pub fn handled(job: Box<dyn FnOnce()>) -> bool {
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+    !outcome.is_err()
+}
+
+fn log_done() {}

@@ -1,0 +1,17 @@
+//! Fixture: wall-clock reads in answer paths, one annotated as
+//! metrics-only.
+
+pub fn merge_badly() -> u64 {
+    let t = std::time::Instant::now(); //~ determinism
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn stamp_badly() -> bool {
+    std::time::SystemTime::now().elapsed().is_ok() //~ determinism
+}
+
+pub fn merge_with_metrics() -> u64 {
+    // lint: allow(determinism) fixture: elapsed feeds only a latency metric, never the answer
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

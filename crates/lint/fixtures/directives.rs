@@ -1,0 +1,21 @@
+//! Fixture: malformed `// lint:` directives are themselves violations.
+
+// lint: allow(panic-freedom)
+//~^ directive-syntax
+pub fn missing_justification() {}
+
+// lint: allow(made-up-rule) with a reason
+//~^ directive-syntax
+pub fn unknown_rule() {}
+
+// lint: relaxed-ok
+//~^ directive-syntax
+pub fn missing_reason() {}
+
+// lint: bounded-by
+//~^ directive-syntax
+pub fn missing_cap() {}
+
+// lint: frobnicate the widget
+//~^ directive-syntax
+pub fn unknown_directive() {}

@@ -1,0 +1,49 @@
+//! Fixture: every panic-freedom pattern, plus exemptions that must not fire.
+
+pub fn naked_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap() //~ panic-freedom
+}
+
+pub fn naked_expect(x: Option<u32>) -> u32 {
+    x.expect("present") //~ panic-freedom
+}
+
+pub fn explicit_panic(flag: bool) {
+    if flag {
+        panic!("boom"); //~ panic-freedom
+    }
+}
+
+pub fn unreachable_arm(v: u8) -> u8 {
+    match v {
+        0 => 1,
+        _ => unreachable!(), //~ panic-freedom
+    }
+}
+
+pub fn todo_stub() {
+    todo!() //~ panic-freedom
+}
+
+pub fn literal_index(xs: &[u32]) -> u32 {
+    xs[0] //~ panic-freedom
+}
+
+pub fn suppressed_unwrap(x: Option<u32>) -> u32 {
+    // lint: allow(panic-freedom) fixture: a justified suppression must silence the rule
+    x.unwrap()
+}
+
+pub fn strings_and_comments_are_inert() -> &'static str {
+    // a comment mentioning x.unwrap() or panic!("boom") must not fire
+    "neither does x.unwrap() or panic!(\"boom\") inside a string literal"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let xs = vec![1u32];
+        assert_eq!(xs[0], xs.first().copied().unwrap());
+    }
+}

@@ -1,0 +1,246 @@
+//! The ratcheting debt baseline.
+//!
+//! `lint-baseline.json` is a committed ledger of violations the project has
+//! accepted *for now*. `check` compares the live scan against it with
+//! ratchet semantics: for every `(file, rule)` pair the live count may be at
+//! most the baselined count. New debt anywhere — a new file, a new rule hit,
+//! one more unwrap in an already-indebted file — fails the build; paying
+//! debt down never does (it just prints a nudge to re-run `baseline` so the
+//! ledger shrinks and stays shrunk).
+//!
+//! Line numbers are recorded for humans but deliberately NOT matched: an
+//! unrelated edit that shifts a baselined violation by ten lines must not
+//! break CI. Counts per `(file, rule)` are what ratchets.
+//!
+//! The JSON reader/writer is hand-rolled (std-only workspace; the tree is
+//! offline), tolerant on input and canonical on output.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use crate::json::{self, Json};
+use crate::rules::Violation;
+
+/// One accepted violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    pub file: String,
+    pub line: u32,
+    pub rule: String,
+    pub message: String,
+}
+
+/// The committed ledger.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    pub entries: Vec<Entry>,
+}
+
+impl Baseline {
+    pub fn from_violations(violations: &[Violation]) -> Baseline {
+        Baseline {
+            entries: violations
+                .iter()
+                .map(|v| Entry {
+                    file: v.file.clone(),
+                    line: v.line,
+                    rule: v.rule.as_str().to_string(),
+                    message: v.message.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Canonical JSON: stable field order, one entry per line, trailing
+    /// newline — friendly to diffs and to `git blame`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let comma = if i + 1 == self.entries.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}{}",
+                json::escape(&e.file),
+                e.line,
+                json::escape(&e.rule),
+                json::escape(&e.message),
+                comma
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let root = json::parse(text)?;
+        let entries_json = root
+            .get("entries")
+            .and_then(Json::as_array)
+            .ok_or_else(|| "baseline: missing `entries` array".to_string())?;
+        let mut entries = Vec::with_capacity(entries_json.len());
+        for (i, e) in entries_json.iter().enumerate() {
+            let field = |k: &str| {
+                e.get(k)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("baseline entry {i}: missing string `{k}`"))
+            };
+            let line = e
+                .get("line")
+                .and_then(Json::as_u32)
+                .ok_or_else(|| format!("baseline entry {i}: missing numeric `line`"))?;
+            entries.push(Entry {
+                file: field("file")?,
+                line,
+                rule: field("rule")?,
+                message: field("message")?,
+            });
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Load from disk; a missing file is an empty baseline (a fresh checkout
+    /// with zero accepted debt), any other error is fatal.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        match fs::read_to_string(path) {
+            Ok(text) => Baseline::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::default()),
+            Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+        }
+    }
+
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        fs::write(path, self.to_json()).map_err(|e| format!("cannot write {}: {e}", path.display()))
+    }
+}
+
+/// Per-`(file, rule)` count table, sorted for deterministic iteration.
+fn counts<'a, I: Iterator<Item = (&'a str, &'a str)>>(items: I) -> Vec<((String, String), usize)> {
+    let mut v: Vec<((String, String), usize)> = Vec::new();
+    for (file, rule) in items {
+        let key = (file.to_string(), rule.to_string());
+        match v.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, n)) => *n += 1,
+            None => v.push((key, 1)),
+        }
+    }
+    v.sort();
+    v
+}
+
+/// One `(file, rule)` bucket that regressed past its baselined count.
+#[derive(Debug, Clone)]
+pub struct Regression {
+    pub file: String,
+    pub rule: String,
+    pub baselined: usize,
+    pub found: usize,
+    /// Every live violation in the bucket (lines drift, so the new one
+    /// cannot be singled out — humans triage from the full list).
+    pub violations: Vec<Violation>,
+}
+
+/// Outcome of `check`: ratchet verdict plus bookkeeping for output.
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    pub regressions: Vec<Regression>,
+    pub current_total: usize,
+    pub baseline_total: usize,
+    /// Buckets where debt was paid down (live < baselined): a nudge to
+    /// re-run `baseline` and shrink the ledger.
+    pub improved: Vec<(String, String, usize, usize)>,
+}
+
+impl CheckReport {
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Ratchet comparison; see module docs for semantics.
+pub fn check(current: &[Violation], baseline: &Baseline) -> CheckReport {
+    let cur = counts(current.iter().map(|v| (v.file.as_str(), v.rule.as_str())));
+    let base = counts(baseline.entries.iter().map(|e| (e.file.as_str(), e.rule.as_str())));
+    let base_count = |key: &(String, String)| {
+        base.iter().find(|(k, _)| k == key).map(|(_, n)| *n).unwrap_or(0)
+    };
+
+    let mut report = CheckReport {
+        current_total: current.len(),
+        baseline_total: baseline.entries.len(),
+        ..CheckReport::default()
+    };
+
+    for (key, found) in &cur {
+        let allowed = base_count(key);
+        if *found > allowed {
+            report.regressions.push(Regression {
+                file: key.0.clone(),
+                rule: key.1.clone(),
+                baselined: allowed,
+                found: *found,
+                violations: current
+                    .iter()
+                    .filter(|v| v.file == key.0 && v.rule.as_str() == key.1)
+                    .cloned()
+                    .collect(),
+            });
+        } else if *found < allowed {
+            report.improved.push((key.0.clone(), key.1.clone(), allowed, *found));
+        }
+    }
+    // Buckets fully paid off: present in the baseline, absent live.
+    for (key, allowed) in &base {
+        if !cur.iter().any(|(k, _)| k == key) {
+            report.improved.push((key.0.clone(), key.1.clone(), *allowed, 0));
+        }
+    }
+    report.improved.sort();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleId;
+
+    fn v(file: &str, line: u32, rule: RuleId) -> Violation {
+        Violation { file: file.to_string(), line, rule, message: format!("m{line}") }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let vs = vec![
+            v("crates/a/src/lib.rs", 3, RuleId::PanicFreedom),
+            v("crates/b/src/x.rs", 9, RuleId::RelaxedOrdering),
+        ];
+        let b = Baseline::from_violations(&vs);
+        let parsed = match Baseline::parse(&b.to_json()) {
+            Ok(p) => p,
+            Err(e) => panic!("parse failed: {e}"),
+        };
+        assert_eq!(parsed.entries, b.entries);
+    }
+
+    #[test]
+    fn ratchet_blocks_new_debt_and_allows_drift() {
+        let base = Baseline::from_violations(&[v("f.rs", 10, RuleId::PanicFreedom)]);
+        // Same count, different line: fine.
+        let drifted = [v("f.rs", 42, RuleId::PanicFreedom)];
+        assert!(check(&drifted, &base).ok());
+        // One more in the same bucket: regression.
+        let grown = [v("f.rs", 10, RuleId::PanicFreedom), v("f.rs", 11, RuleId::PanicFreedom)];
+        let rep = check(&grown, &base);
+        assert!(!rep.ok());
+        assert_eq!(rep.regressions.len(), 1);
+        assert_eq!(rep.regressions.first().map(|r| (r.baselined, r.found)), Some((1, 2)));
+        // New bucket entirely: regression.
+        let new_file = [v("g.rs", 1, RuleId::Determinism)];
+        assert!(!check(&new_file, &base).ok());
+        // Paid off: ok, and flagged as improvable.
+        let rep = check(&[], &base);
+        assert!(rep.ok());
+        assert_eq!(rep.improved.len(), 1);
+    }
+}

@@ -1,0 +1,164 @@
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+//! `urbane-lint` CLI.
+//!
+//! ```text
+//! urbane-lint check    [--root DIR] [--baseline FILE] [--json]
+//! urbane-lint baseline [--root DIR] [--baseline FILE]
+//! ```
+//!
+//! Exit codes: 0 clean (or within baseline), 1 ratchet regression,
+//! 2 usage or I/O error.
+
+use std::env;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use urbane_lint::baseline::{check, Baseline};
+use urbane_lint::engine::{find_workspace_root, scan_workspace};
+use urbane_lint::json;
+
+const USAGE: &str = "usage: urbane-lint <check|baseline> [--root DIR] [--baseline FILE] [--json]";
+
+struct Opts {
+    command: String,
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    json: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Opts, String> {
+    let mut it = args.iter();
+    let command = it.next().cloned().ok_or_else(|| USAGE.to_string())?;
+    if command != "check" && command != "baseline" {
+        return Err(format!("unknown command `{command}`\n{USAGE}"));
+    }
+    let mut opts = Opts { command, root: None, baseline: None, json: false };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root =
+                    Some(PathBuf::from(it.next().ok_or("--root needs a directory")?));
+            }
+            "--baseline" => {
+                opts.baseline =
+                    Some(PathBuf::from(it.next().ok_or("--baseline needs a file")?));
+            }
+            "--json" => opts.json = true,
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let opts = parse_args(&args)?;
+
+    let root = match opts.root {
+        Some(r) => r,
+        None => {
+            let cwd = env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+            find_workspace_root(&cwd)
+                .ok_or("no workspace root (Cargo.toml + crates/) above cwd; pass --root")?
+        }
+    };
+    let baseline_path = opts.baseline.unwrap_or_else(|| root.join("lint-baseline.json"));
+
+    let violations = scan_workspace(&root)?;
+
+    if opts.command == "baseline" {
+        let b = Baseline::from_violations(&violations);
+        b.save(&baseline_path)?;
+        println!(
+            "urbane-lint: wrote {} entr{} to {}",
+            b.entries.len(),
+            if b.entries.len() == 1 { "y" } else { "ies" },
+            baseline_path.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let base = Baseline::load(&baseline_path)?;
+    let report = check(&violations, &base);
+
+    if opts.json {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"ok\": {}, \"current_total\": {}, \"baseline_total\": {}, \"violations\": [",
+            report.ok(),
+            report.current_total,
+            report.baseline_total
+        );
+        for (i, v) in violations.iter().enumerate() {
+            let comma = if i + 1 == violations.len() { "" } else { ", " };
+            let _ = write!(
+                out,
+                "{{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}{}",
+                json::escape(&v.file),
+                v.line,
+                json::escape(v.rule.as_str()),
+                json::escape(&v.message),
+                comma
+            );
+        }
+        out.push_str("], \"regressions\": [");
+        for (i, r) in report.regressions.iter().enumerate() {
+            let comma = if i + 1 == report.regressions.len() { "" } else { ", " };
+            let _ = write!(
+                out,
+                "{{\"file\": {}, \"rule\": {}, \"baselined\": {}, \"found\": {}}}{}",
+                json::escape(&r.file),
+                json::escape(&r.rule),
+                r.baselined,
+                r.found,
+                comma
+            );
+        }
+        out.push_str("]}");
+        println!("{out}");
+    } else if report.ok() {
+        println!(
+            "urbane-lint: OK — {} violation(s), all within the {}-entry baseline",
+            report.current_total, report.baseline_total
+        );
+        if !report.improved.is_empty() {
+            println!(
+                "urbane-lint: {} bucket(s) improved — run `urbane-lint baseline` to ratchet down:",
+                report.improved.len()
+            );
+            for (file, rule, was, now) in &report.improved {
+                println!("  {file} [{rule}]: {was} -> {now}");
+            }
+        }
+    } else {
+        println!("urbane-lint: FAILED — new debt beyond the ratchet baseline:");
+        for r in &report.regressions {
+            println!(
+                "  {} [{}]: baseline allows {}, found {}:",
+                r.file, r.rule, r.baselined, r.found
+            );
+            for v in &r.violations {
+                println!("    {}", v.render());
+            }
+        }
+        println!(
+            "fix the new violation(s), add an inline `// lint: allow(<rule>) <why>`, or — for \
+             deliberate new debt — regenerate with `cargo run -p urbane-lint -- baseline`"
+        );
+    }
+
+    Ok(if report.ok() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("urbane-lint: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

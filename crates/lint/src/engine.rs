@@ -1,0 +1,125 @@
+//! Workspace walking and cross-file rule resolution.
+//!
+//! The engine owns everything above a single file: discovering which files
+//! are project code (crate `src/` trees — not `vendor/`, not `target/`, not
+//! the deliberately-bad `fixtures/`), running the per-file scanner, and
+//! resolving the one cross-file rule (`release-acquire`: a `Release` store
+//! in one crate may be paired with an `Acquire` load in another).
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{scan_source, AtomicSite, RuleId, ScanMode, Violation};
+
+/// Walk up from `start` to the workspace root: the first ancestor holding
+/// both a `Cargo.toml` and a `crates/` directory.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Repo-relative path with forward slashes.
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let mut s = String::new();
+    for comp in rel.components() {
+        if !s.is_empty() {
+            s.push('/');
+        }
+        s.push_str(&comp.as_os_str().to_string_lossy());
+    }
+    s
+}
+
+/// Every `.rs` file under `crates/*/src`, sorted, skipping fixture corpora.
+pub fn collect_workspace_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let crates = root.join("crates");
+    let mut files = Vec::new();
+    let entries =
+        fs::read_dir(&crates).map_err(|e| format!("cannot read {}: {e}", crates.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir: {e}"))?;
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            walk_rs(&src, &mut files)?;
+        }
+    }
+    files.retain(|p| !p.components().any(|c| c.as_os_str() == "fixtures"));
+    files.sort();
+    Ok(files)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir: {e}"))?;
+        let path = entry.path();
+        if path.is_dir() {
+            walk_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scan a set of files as one unit: per-file rules plus cross-file
+/// release/acquire resolution. `root` anchors the repo-relative names.
+pub fn scan_files(root: &Path, files: &[PathBuf], mode: ScanMode) -> Result<Vec<Violation>, String> {
+    let mut violations = Vec::new();
+    let mut stores: Vec<AtomicSite> = Vec::new();
+    let mut load_names: BTreeSet<String> = BTreeSet::new();
+
+    for path in files {
+        let rel = rel_path(root, path);
+        let src =
+            fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let scan = scan_source(&rel, &src, mode);
+        violations.extend(scan.violations);
+        stores.extend(scan.release_stores);
+        load_names.extend(scan.acquire_loads.into_iter().map(|s| s.name));
+    }
+
+    for s in stores {
+        if !load_names.contains(&s.name) {
+            violations.push(Violation {
+                file: s.file,
+                line: s.line,
+                rule: RuleId::ReleaseAcquire,
+                message: format!(
+                    "`{}` is stored with Release but never loaded with Acquire anywhere in \
+                     the scanned set — the release has nothing to synchronize with",
+                    s.name
+                ),
+            });
+        }
+    }
+
+    violations.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+    });
+    Ok(violations)
+}
+
+/// Full workspace scan under path-based rule scoping.
+pub fn scan_workspace(root: &Path) -> Result<Vec<Violation>, String> {
+    let files = collect_workspace_files(root)?;
+    scan_files(root, &files, ScanMode::Workspace)
+}
+
+/// Scan a fixture corpus: every rule applies to every file, paths are
+/// reported relative to `dir` (so expectations are stable).
+pub fn scan_fixtures(dir: &Path) -> Result<Vec<Violation>, String> {
+    let mut files = Vec::new();
+    walk_rs(dir, &mut files)?;
+    files.sort();
+    scan_files(dir, &files, ScanMode::AllRules)
+}

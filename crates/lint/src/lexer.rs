@@ -1,0 +1,447 @@
+//! A lightweight Rust lexer — just enough structure for invariant linting.
+//!
+//! The rule engine needs to tell *code* apart from *prose*: an `unwrap` inside
+//! a string literal or a doc comment is not a panic site, and a `// lint:`
+//! suppression must only be read from a real line comment. A full parse
+//! (`syn`) is overkill and unavailable offline, so this module tokenizes raw
+//! source into identifiers, literals, punctuation, and comments, with enough
+//! care around the awkward corners — raw strings (`r#"…"#`), raw identifiers
+//! (`r#fn`), byte strings, nested block comments, lifetimes vs. char
+//! literals — that downstream rules can pattern-match token sequences without
+//! false hits from text.
+//!
+//! The lexer is lossless about position (every token carries its 1-based
+//! line) and deliberately lossy about everything rules never look at:
+//! numeric suffixes stay glued to their literal, multi-char operators are
+//! emitted as single-char [`TokenKind::Punct`] tokens (`::` is `:`,`:`), and
+//! keywords are plain [`TokenKind::Ident`]s.
+
+/// Classification of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `fn`, `Ordering`, `r#match`).
+    Ident,
+    /// Lifetime such as `'a` (including `'_` and `'static`).
+    Lifetime,
+    /// Integer literal, possibly suffixed (`0`, `1_000`, `0xFF`, `2u32`).
+    Int,
+    /// Float literal (`1.0`, `6e4`, `2.5f32`).
+    Float,
+    /// String or byte-string literal, cooked or raw.
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// `// …` comment (doc comments `///`/`//!` included), text kept.
+    LineComment,
+    /// `/* … */` comment (nesting-aware), text kept, line = opening line.
+    BlockComment,
+    /// Any other single character (`.`, `(`, `!`, `:`…).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    /// Is this token a comment (and therefore invisible to code rules)?
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Is this exactly the punctuation character `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// Is this the identifier `name`?
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Lexer { chars: src.chars().collect(), i: 0, line: 1, out: Vec::new() }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied();
+        if let Some(ch) = c {
+            if ch == '\n' {
+                self.line += 1;
+            }
+            self.i += 1;
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn text_between(&self, start: usize, end: usize) -> String {
+        self.chars[start..end.min(self.chars.len())].iter().collect()
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.cooked_string(line),
+                '\'' => self.char_or_lifetime(line),
+                'r' | 'b' if self.string_prefix() => {
+                    // `string_prefix` already established which literal form
+                    // starts here; re-dispatch on its shape.
+                    self.prefixed_literal(line);
+                }
+                _ if is_ident_start(c) => self.ident(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let start = self.i;
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text = self.text_between(start, self.i);
+        self.push(TokenKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let start = self.i;
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: tolerate, we are a linter
+            }
+        }
+        let text = self.text_between(start, self.i);
+        self.push(TokenKind::BlockComment, text, line);
+    }
+
+    /// Consume a cooked (escaped) string body starting at the opening quote.
+    fn cooked_string(&mut self, line: u32) {
+        let start = self.i;
+        self.bump(); // opening '"'
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        let text = self.text_between(start, self.i);
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// Does the source at `i` start a prefixed literal (`r"`, `r#"`, `b"`,
+    /// `b'`, `br"`, `br#"`)? Raw identifiers (`r#fn`) return false.
+    fn string_prefix(&self) -> bool {
+        let mut j = 1; // past the leading r/b
+        if self.peek(0) == Some('b') && self.peek(1) == Some('r') {
+            j = 2;
+        }
+        if self.peek(0) == Some('b') && self.peek(j) == Some('\'') {
+            return true;
+        }
+        let mut k = j;
+        while self.peek(k) == Some('#') {
+            k += 1;
+        }
+        // Raw identifier `r#ident` has exactly one '#' then an ident char.
+        self.peek(k) == Some('"')
+    }
+
+    fn prefixed_literal(&mut self, line: u32) {
+        let start = self.i;
+        if self.peek(0) == Some('b') && self.peek(1) == Some('\'') {
+            // Byte char literal b'x'.
+            self.bump(); // b
+            self.consume_char_literal();
+            let text = self.text_between(start, self.i);
+            self.push(TokenKind::Char, text, line);
+            return;
+        }
+        // r / b / br prefix.
+        let mut raw = false;
+        while let Some(c @ ('r' | 'b')) = self.peek(0) {
+            raw |= c == 'r';
+            self.bump();
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            self.bump();
+            hashes += 1;
+        }
+        if self.peek(0) == Some('"') {
+            self.bump();
+            if hashes == 0 {
+                // b"…" is cooked (escapes active); r"…" is raw (backslash is a
+                // literal character and cannot precede the terminator).
+                while let Some(c) = self.bump() {
+                    match c {
+                        '\\' if !raw => {
+                            self.bump();
+                        }
+                        '"' => break,
+                        _ => {}
+                    }
+                }
+            } else {
+                // Scan for '"' followed by `hashes` hashes.
+                loop {
+                    match self.bump() {
+                        None => break,
+                        Some('"') => {
+                            let mut seen = 0usize;
+                            while seen < hashes && self.peek(0) == Some('#') {
+                                self.bump();
+                                seen += 1;
+                            }
+                            if seen == hashes {
+                                break;
+                            }
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+            let text = self.text_between(start, self.i);
+            self.push(TokenKind::Str, text, line);
+        } else {
+            // Defensive: `string_prefix` said literal but shape changed —
+            // fall back to lexing an identifier from the start position.
+            self.i = start;
+            self.ident(line);
+        }
+    }
+
+    /// Consume a char-literal body starting at `'` (caller handled prefixes).
+    fn consume_char_literal(&mut self) {
+        self.bump(); // opening '
+        if self.bump() == Some('\\') {
+            // Escape: simple (\n, \', \\) or \u{…}.
+            if self.bump() == Some('u') && self.peek(0) == Some('{') {
+                while let Some(c) = self.bump() {
+                    if c == '}' {
+                        break;
+                    }
+                }
+            }
+        }
+        if self.peek(0) == Some('\'') {
+            self.bump();
+        }
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        // `'a` lifetime vs `'a'` char vs `'\n'` char.
+        let start = self.i;
+        let next = self.peek(1);
+        let is_char = match next {
+            Some('\\') => true,
+            Some(c) if is_ident_start(c) || c.is_ascii_digit() => self.peek(2) == Some('\''),
+            Some(_) => true, // '(' etc. can only be a char literal like '('
+            None => false,
+        };
+        if is_char {
+            self.consume_char_literal();
+            let text = self.text_between(start, self.i);
+            self.push(TokenKind::Char, text, line);
+        } else {
+            self.bump(); // '
+            while let Some(c) = self.peek(0) {
+                if is_ident_continue(c) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let text = self.text_between(start, self.i);
+            self.push(TokenKind::Lifetime, text, line);
+        }
+    }
+
+    fn ident(&mut self, line: u32) {
+        let start = self.i;
+        // Raw identifier prefix r#.
+        if self.peek(0) == Some('r') && self.peek(1) == Some('#') {
+            self.bump();
+            self.bump();
+        }
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = self.text_between(start, self.i);
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let start = self.i;
+        let mut is_float = false;
+        // Integer part (covers 0x/0b/0o bodies and suffixes: alnum + '_').
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fractional part only when '.' is followed by a digit ('0..1' and
+        // '1.max(2)' must not swallow the dot).
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            self.bump(); // '.'
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        let text = self.text_between(start, self.i);
+        // `6e4`-style floats lex as one alnum run; classify by exponent marker
+        // on decimal literals.
+        if !is_float
+            && !text.starts_with("0x")
+            && !text.starts_with("0b")
+            && !text.starts_with("0o")
+            && (text.contains('e') || text.contains('E'))
+        {
+            is_float = true;
+        }
+        self.push(if is_float { TokenKind::Float } else { TokenKind::Int }, text, line);
+    }
+}
+
+/// Tokenize `src`. Never fails: malformed input degrades to punctuation
+/// tokens rather than errors — a linter must survive any file it is pointed
+/// at.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_hide_code() {
+        let toks = kinds(r#"let s = "x.unwrap()"; y.unwrap();"#);
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "s", "y", "unwrap"]);
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let toks = kinds("let a = r#\"panic!()\"#; let r#fn = 1;");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Str && t.contains("panic")));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "r#fn"));
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "panic"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments_and_lines() {
+        let toks = lex("/* a /* b */ c */ x\ny");
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert_eq!(toks[1].text, "x");
+        assert_eq!(toks[1].line, 1);
+        assert_eq!(toks[2].line, 2);
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = kinds("a[0]; 1_000; 0xFF; 1.5; 0..10; 1.max(2)");
+        assert!(toks.contains(&(TokenKind::Int, "0".to_string())));
+        assert!(toks.contains(&(TokenKind::Int, "1_000".to_string())));
+        assert!(toks.contains(&(TokenKind::Int, "0xFF".to_string())));
+        assert!(toks.contains(&(TokenKind::Float, "1.5".to_string())));
+        // Range and method call keep their dots as punctuation.
+        assert!(toks.contains(&(TokenKind::Int, "10".to_string())));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "max"));
+    }
+
+    #[test]
+    fn byte_literals() {
+        let toks = kinds(r#"let a = b"bytes.unwrap()"; let c = b'\n';"#);
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::Str));
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::Char));
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+}

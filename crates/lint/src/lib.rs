@@ -1,0 +1,35 @@
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+//! # urbane-lint — workspace invariant checker with a ratcheting baseline
+//!
+//! The reproduction's correctness story (bit-identical answers regardless of
+//! thread count, the §8 degradation ladder, poison-recovering panic
+//! isolation) rests on conventions that `rustc` cannot see. This crate makes
+//! them mechanical: a lightweight Rust [`lexer`] (string/char/comment/
+//! raw-string aware — no `syn`, the tree is offline), a structural [`scope`]
+//! index (test spans, attributes, fn bodies), a [`rules`] catalog of seven
+//! project invariants, an [`engine`] that walks every `crates/*/src` file,
+//! and a committed ratcheting [`baseline`] so existing debt is frozen while
+//! new debt fails CI.
+//!
+//! Two entry points:
+//!
+//! ```text
+//! cargo run -p urbane-lint -- check      # fail on any violation beyond lint-baseline.json
+//! cargo run -p urbane-lint -- baseline   # regenerate the ledger (ratchet down)
+//! ```
+//!
+//! See DESIGN.md §11 for the rule catalog and suppression grammar.
+
+pub mod baseline;
+pub mod engine;
+pub mod json;
+pub mod lexer;
+pub mod rules;
+pub mod scope;
+
+pub use baseline::{check, Baseline, CheckReport};
+pub use engine::{
+    collect_workspace_files, find_workspace_root, scan_files, scan_fixtures, scan_workspace,
+};
+pub use rules::{scan_source, RuleId, ScanMode, Violation};

@@ -1,0 +1,284 @@
+//! Structural scopes recovered from the token stream.
+//!
+//! Three questions the rules keep asking, answered once per file:
+//!
+//! 1. **Is this token test code?** — inside a `#[cfg(test)]` item or a
+//!    `#[test]` function. The panic-freedom rule exempts those.
+//! 2. **Is this token inside an attribute?** — `#[derive(...)]` and friends
+//!    mention identifiers that must not be mistaken for calls.
+//! 3. **Which function body encloses this token?** — the `catch_unwind`
+//!    pairing rule scans "the rest of the same function" for recovery code.
+//!
+//! All three are brace/bracket matching problems over the significant
+//! (non-comment) tokens; no type information needed. The matcher is
+//! deliberately forgiving: unbalanced input (mid-edit files, macro soup)
+//! degrades to "no span", never to a panic.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Half-open token-index span `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Span {
+    pub fn contains(&self, idx: usize) -> bool {
+        idx >= self.start && idx < self.end
+    }
+}
+
+/// A `fn` item: `fn_idx` is the `fn` keyword token, `body` covers the tokens
+/// strictly inside the `{ … }` body (or is empty for bodiless trait methods).
+#[derive(Debug, Clone, Copy)]
+pub struct FnSpan {
+    pub fn_idx: usize,
+    pub body: Span,
+}
+
+/// Per-file structural index; see module docs.
+#[derive(Debug, Default)]
+pub struct Scopes {
+    test_spans: Vec<Span>,
+    attr_spans: Vec<Span>,
+    fns: Vec<FnSpan>,
+}
+
+impl Scopes {
+    /// Is token `idx` inside test-only code (`#[cfg(test)]` / `#[test]`)?
+    pub fn in_test(&self, idx: usize) -> bool {
+        self.test_spans.iter().any(|s| s.contains(idx))
+    }
+
+    /// Is token `idx` inside an outer attribute `#[…]`?
+    pub fn in_attr(&self, idx: usize) -> bool {
+        self.attr_spans.iter().any(|s| s.contains(idx))
+    }
+
+    /// Innermost function body containing token `idx`, if any.
+    pub fn enclosing_fn(&self, idx: usize) -> Option<FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.contains(idx))
+            .min_by_key(|f| f.body.end - f.body.start)
+            .copied()
+    }
+}
+
+/// Indices of non-comment tokens, in order. Rules walk this so comments never
+/// interrupt a pattern like `.` `unwrap` `(`.
+pub fn significant(tokens: &[Token]) -> Vec<usize> {
+    (0..tokens.len()).filter(|&i| !tokens[i].is_comment()).collect()
+}
+
+/// Does an attribute's token text mark test-only code? Catches `#[test]`,
+/// `#[cfg(test)]`, `#[cfg(all(test, …))]`; deliberately does NOT catch
+/// `#[cfg(not(test))]` (that is production code). `#[cfg(any(test, …))]` is
+/// treated as test code — conservative for an exemption that only relaxes
+/// rules on code also compiled under `cargo test`.
+fn is_test_attr(idents: &[&str]) -> bool {
+    if idents == ["test"] {
+        return true;
+    }
+    idents.first() == Some(&"cfg")
+        && idents.contains(&"test")
+        && !idents.contains(&"not")
+}
+
+/// Build the structural index for one token stream.
+pub fn analyze(tokens: &[Token], sig: &[usize]) -> Scopes {
+    let mut scopes = Scopes::default();
+    let mut p = 0usize; // position within `sig`
+
+    // Pass 1: attributes (also records which ones are test markers).
+    let mut pending_test_attr: Vec<usize> = Vec::new(); // sig positions just past a test attr
+    while p < sig.len() {
+        let t = &tokens[sig[p]];
+        // `#[...]` outer attribute or `#![...]` inner attribute.
+        let bracket_off = if p + 1 < sig.len() && tokens[sig[p + 1]].is_punct('[') {
+            Some(1)
+        } else if p + 2 < sig.len()
+            && tokens[sig[p + 1]].is_punct('!')
+            && tokens[sig[p + 2]].is_punct('[')
+        {
+            Some(2)
+        } else {
+            None
+        };
+        if t.is_punct('#') && bracket_off.is_some() {
+            // Scan to matching ']'.
+            let open = p + bracket_off.unwrap_or(1);
+            let mut depth = 0usize;
+            let mut q = open;
+            let mut idents: Vec<&str> = Vec::new();
+            while q < sig.len() {
+                let tq = &tokens[sig[q]];
+                if tq.is_punct('[') {
+                    depth += 1;
+                } else if tq.is_punct(']') {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        break;
+                    }
+                } else if tq.kind == TokenKind::Ident {
+                    idents.push(tq.text.as_str());
+                }
+                q += 1;
+            }
+            let close = q.min(sig.len().saturating_sub(1));
+            scopes.attr_spans.push(Span { start: sig[p], end: sig[close] + 1 });
+            if is_test_attr(&idents) {
+                pending_test_attr.push(close + 1);
+            }
+            p = close + 1;
+        } else {
+            p += 1;
+        }
+    }
+
+    // Pass 2: for each test attribute, the attributed item's body becomes a
+    // test span. Skip any further attributes/idents up to the first `{` at
+    // paren depth 0 (or stop at `;` — a bodiless item has no span to mark).
+    for &start in &pending_test_attr {
+        let mut q = start;
+        let mut paren = 0usize;
+        let mut open_brace: Option<usize> = None;
+        while q < sig.len() {
+            let tq = &tokens[sig[q]];
+            if tq.is_punct('(') {
+                paren += 1;
+            } else if tq.is_punct(')') {
+                paren = paren.saturating_sub(1);
+            } else if tq.is_punct('{') && paren == 0 {
+                open_brace = Some(q);
+                break;
+            } else if tq.is_punct(';') && paren == 0 {
+                break;
+            }
+            q += 1;
+        }
+        if let Some(open) = open_brace {
+            if let Some(close) = match_brace(tokens, sig, open) {
+                scopes.test_spans.push(Span { start: sig[open], end: sig[close] + 1 });
+            }
+        }
+    }
+
+    // Pass 3: fn bodies. `fn` keyword → first `{` at paren depth 0 before a
+    // top-level `;` is the body opener.
+    for (pos, &ti) in sig.iter().enumerate() {
+        if !tokens[ti].is_ident("fn") {
+            continue;
+        }
+        let mut q = pos + 1;
+        let mut paren = 0usize;
+        let mut body: Option<Span> = None;
+        while q < sig.len() {
+            let tq = &tokens[sig[q]];
+            if tq.is_punct('(') {
+                paren += 1;
+            } else if tq.is_punct(')') {
+                paren = paren.saturating_sub(1);
+            } else if tq.is_punct('{') && paren == 0 {
+                if let Some(close) = match_brace(tokens, sig, q) {
+                    body = Some(Span { start: sig[q] + 1, end: sig[close] });
+                }
+                break;
+            } else if tq.is_punct(';') && paren == 0 {
+                break; // trait method without body
+            }
+            q += 1;
+        }
+        if let Some(b) = body {
+            scopes.fns.push(FnSpan { fn_idx: ti, body: b });
+        }
+    }
+
+    scopes
+}
+
+/// Given the sig-position of a `{`, return the sig-position of its matching
+/// `}` (None when unbalanced).
+fn match_brace(tokens: &[Token], sig: &[usize], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (q, &ti) in sig.iter().enumerate().skip(open) {
+        if tokens[ti].is_punct('{') {
+            depth += 1;
+        } else if tokens[ti].is_punct('}') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return Some(q);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn scopes_of(src: &str) -> (Vec<Token>, Vec<usize>, Scopes) {
+        let toks = lex(src);
+        let sig = significant(&toks);
+        let sc = analyze(&toks, &sig);
+        (toks, sig, sc)
+    }
+
+    #[test]
+    fn cfg_test_mod_is_exempt() {
+        let src = "fn prod() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { y.unwrap(); } }";
+        let (toks, _sig, sc) = scopes_of(src);
+        let unwraps: Vec<usize> =
+            (0..toks.len()).filter(|&i| toks[i].is_ident("unwrap")).collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(!sc.in_test(unwraps[0]));
+        assert!(sc.in_test(unwraps[1]));
+    }
+
+    #[test]
+    fn cfg_not_test_is_production() {
+        let src = "#[cfg(not(test))]\nmod real { fn f() { x.unwrap(); } }";
+        let (toks, _sig, sc) = scopes_of(src);
+        let idx = (0..toks.len()).find(|&i| toks[i].is_ident("unwrap"));
+        assert!(idx.is_some_and(|i| !sc.in_test(i)));
+    }
+
+    #[test]
+    fn test_fn_attr() {
+        let src = "#[test]\nfn check() { assert!(x.unwrap()); }\nfn prod() { y.unwrap(); }";
+        let (toks, _sig, sc) = scopes_of(src);
+        let unwraps: Vec<usize> =
+            (0..toks.len()).filter(|&i| toks[i].is_ident("unwrap")).collect();
+        assert!(sc.in_test(unwraps[0]));
+        assert!(!sc.in_test(unwraps[1]));
+    }
+
+    #[test]
+    fn enclosing_fn_finds_innermost() {
+        let src = "fn outer() { fn inner() { marker(); } }";
+        let (toks, _sig, sc) = scopes_of(src);
+        let m = (0..toks.len()).find(|&i| toks[i].is_ident("marker"));
+        let m = match m {
+            Some(i) => i,
+            None => panic!("marker not lexed"),
+        };
+        let f = sc.enclosing_fn(m);
+        assert!(f.is_some());
+        // Innermost body is the smaller one.
+        let span = f.map(|f| f.body.end - f.body.start);
+        assert!(span.is_some_and(|w| w < 15));
+    }
+
+    #[test]
+    fn attr_spans_cover_derives() {
+        let src = "#[derive(Debug, Clone)]\nstruct S;";
+        let (toks, _sig, sc) = scopes_of(src);
+        let d = (0..toks.len()).find(|&i| toks[i].is_ident("Debug"));
+        assert!(d.is_some_and(|i| sc.in_attr(i)));
+        let s = (0..toks.len()).find(|&i| toks[i].is_ident("S"));
+        assert!(s.is_some_and(|i| !sc.in_attr(i)));
+    }
+}

@@ -22,6 +22,9 @@
 //! match the GL conventions the paper depends on, so Raster Join's error
 //! bound and its accuracy/performance trade-offs carry over unchanged.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod blend;
 pub mod buffer;
 pub mod line;

@@ -34,15 +34,7 @@ pub fn downsample_rgb(src: &Buffer2D<[u8; 3]>, factor: u32) -> Buffer2D<[u8; 3]>
                     }
                 }
             }
-            out.set(
-                x,
-                y,
-                [
-                    ((acc[0] + samples / 2) / samples) as u8,
-                    ((acc[1] + samples / 2) / samples) as u8,
-                    ((acc[2] + samples / 2) / samples) as u8,
-                ],
-            );
+            out.set(x, y, acc.map(|v| ((v + samples / 2) / samples) as u8));
         }
     }
     out

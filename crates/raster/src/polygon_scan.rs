@@ -69,8 +69,7 @@ pub fn rasterize_rings<F: FnMut(u32, u32)>(
         xs.sort_by(|p, q| p.partial_cmp(q).unwrap_or(std::cmp::Ordering::Equal));
         // Fill between crossing pairs: pixel centers x + 0.5 ∈ [x0, x1).
         for pair in xs.chunks_exact(2) {
-            let x0 = pair[0];
-            let x1 = pair[1];
+            let &[x0, x1] = pair else { continue };
             let px_start = (x0 - 0.5).ceil().max(0.0) as i64;
             let px_end = (((x1 - 0.5).ceil() as i64) - 1).min(width as i64 - 1);
             for x in px_start..=px_end {

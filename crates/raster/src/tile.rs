@@ -95,7 +95,9 @@ where
 {
     match try_render_tiled(viewport, n_tiles, fill, None, render) {
         Ok(buf) => buf,
+        // lint: allow(panic-freedom) documented contract: render_tiled re-raises worker panics; try_render_tiled is the non-panicking variant
         Err(TileError::Panicked(msg)) => panic!("tile worker panicked: {msg}"),
+        // lint: allow(panic-freedom) no cancel flag is supplied on this path, so Cancelled cannot occur
         Err(TileError::Cancelled) => unreachable!("no cancel flag was supplied"),
     }
 }
@@ -126,7 +128,9 @@ where
         for (slot, strip) in parts.iter_mut().zip(&strips) {
             let render = &render;
             scope.spawn(move || {
-                if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+                // Acquire side of the canceller's Release store (see
+                // raster_join::budget::CancelHandle::cancel).
+                if cancel.is_some_and(|c| c.load(Ordering::Acquire)) {
                     *slot = Err(TileError::Cancelled);
                     return;
                 }
@@ -160,6 +164,7 @@ where
     for (part, strip) in parts.into_iter().zip(&strips) {
         let part = match part {
             Ok(Some(buf)) => buf,
+            // lint: allow(panic-freedom) Err and cancelled (Ok(None)) strips were turned into early returns above
             _ => unreachable!("failures were filtered above"),
         };
         let dst_start = strip.y_start as usize * width;

@@ -28,6 +28,9 @@
 //! Endpoints: `POST /query`, `POST /reload`, `GET /datasets`,
 //! `GET /healthz`, `GET /metrics`.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod client;
 pub mod http;
 pub mod metrics;

@@ -102,16 +102,19 @@ impl Metrics {
 
     /// Record one shed (429 written by the acceptor).
     pub fn observe_shed(&self) {
+        // lint: relaxed-ok monotone shed counter; nothing is published through it
         self.shed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record one accepted connection.
     pub fn observe_connection(&self) {
+        // lint: relaxed-ok monotone connection counter; nothing is published through it
         self.connections.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total requests shed so far.
     pub fn shed_total(&self) -> u64 {
+        // lint: relaxed-ok counter read for tests/exposition only
         self.shed.load(Ordering::Relaxed)
     }
 
@@ -163,11 +166,13 @@ impl Metrics {
         drop(t);
 
         let _ = writeln!(out, "# TYPE urbane_shed_total counter");
+        // lint: relaxed-ok counter read for metrics exposition; scrape needs no ordering
         let _ = writeln!(out, "urbane_shed_total {}", self.shed.load(Ordering::Relaxed));
         let _ = writeln!(out, "# TYPE urbane_connections_total counter");
         let _ = writeln!(
             out,
             "urbane_connections_total {}",
+            // lint: relaxed-ok counter read for metrics exposition; scrape needs no ordering
             self.connections.load(Ordering::Relaxed)
         );
     }

@@ -59,6 +59,7 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("urbane-serve-worker-{i}"))
                     .spawn(move || worker_loop(&shared))
+                    // lint: allow(panic-freedom) documented expect: pool construction happens at startup; a host that cannot spawn threads cannot serve at all
                     .expect("spawning a worker thread")
             })
             .collect();
@@ -129,6 +130,7 @@ fn worker_loop(shared: &PoolShared) {
         };
         // A panicking job must not take the worker down with it — the pool
         // is fixed-size, so a lost worker is permanently lost capacity.
+        // lint: allow(catch-unwind-pairing) payload deliberately dropped: jobs own their connection and report errors wire-side; no shared state crosses the unwind boundary
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
     }
 }

@@ -164,12 +164,12 @@ fn build_query(args: &Args) -> Result<SpatialAggQuery, String> {
     }
     if let Some(spec) = args.get("range") {
         let parts: Vec<&str> = spec.split(':').collect();
-        if parts.len() != 3 {
+        let &[col, lo_s, hi_s] = parts.as_slice() else {
             return Err(format!("--range {spec:?}: use col:lo:hi"));
-        }
-        let lo: f32 = parts[1].parse().map_err(|_| "--range: bad lo".to_string())?;
-        let hi: f32 = parts[2].parse().map_err(|_| "--range: bad hi".to_string())?;
-        q = q.filter(Filter::AttrRange { column: parts[0].into(), min: lo, max: hi });
+        };
+        let lo: f32 = lo_s.parse().map_err(|_| "--range: bad lo".to_string())?;
+        let hi: f32 = hi_s.parse().map_err(|_| "--range: bad hi".to_string())?;
+        q = q.filter(Filter::AttrRange { column: col.into(), min: lo, max: hi });
     }
     Ok(q)
 }

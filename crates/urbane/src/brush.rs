@@ -64,16 +64,17 @@ impl Brush {
                 let half = width / 2.0;
                 let mut parts = Vec::with_capacity(path.len() - 1);
                 for seg in path.windows(2) {
-                    let dir = match (seg[1] - seg[0]).normalized() {
+                    let &[s0, s1] = seg else { continue };
+                    let dir = match (s1 - s0).normalized() {
                         Some(d) => d,
                         None => continue, // zero-length segment
                     };
                     let n = dir.perp() * half;
                     let ring = Ring::new(vec![
-                        seg[0] - n,
-                        seg[1] - n,
-                        seg[1] + n,
-                        seg[0] + n,
+                        s0 - n,
+                        s1 - n,
+                        s1 + n,
+                        s0 + n,
                     ])
                     .map_err(|e| UrbaneError::Data(format!("corridor: {e}")))?;
                     parts.push(Polygon::new(ring));

@@ -108,6 +108,7 @@ impl<V: Clone> QueryCache<V> {
     /// Look up a key, refreshing its LRU position on a hit.
     pub fn get(&self, key: &CacheKey) -> Option<V> {
         if self.per_shard_capacity == 0 {
+            // lint: relaxed-ok monotone miss counter; nothing is published through it
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
@@ -116,10 +117,12 @@ impl<V: Clone> QueryCache<V> {
         match shard.map.get_mut(&key.hash) {
             Some(e) if e.canonical == key.canonical => {
                 e.last_used = tick;
+                // lint: relaxed-ok monotone hit counter; the shard lock orders the entry itself
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(e.value.clone())
             }
             _ => {
+                // lint: relaxed-ok monotone miss counter; nothing is published through it
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -171,8 +174,8 @@ impl<V: Clone> QueryCache<V> {
     /// Hit/miss counters since construction.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed), // lint: relaxed-ok counter read for stats only
+            misses: self.misses.load(Ordering::Relaxed), // lint: relaxed-ok counter read for stats only
         }
     }
 }

@@ -48,19 +48,15 @@ impl ColorMap {
     pub fn sample(&self, t: f64) -> [u8; 3] {
         let t = if t.is_nan() { 0.0 } else { t.clamp(0.0, 1.0) };
         let n = self.stops.len();
-        if n == 1 {
-            return self.stops[0];
+        if let [only] = self.stops.as_slice() {
+            return *only;
         }
         let x = t * (n - 1) as f64;
         let i = (x.floor() as usize).min(n - 2);
         let f = x - i as f64;
         let a = self.stops[i];
         let b = self.stops[i + 1];
-        [
-            (a[0] as f64 + (b[0] as f64 - a[0] as f64) * f).round() as u8,
-            (a[1] as f64 + (b[1] as f64 - a[1] as f64) * f).round() as u8,
-            (a[2] as f64 + (b[2] as f64 - a[2] as f64) * f).round() as u8,
-        ]
+        std::array::from_fn(|c| (a[c] as f64 + (b[c] as f64 - a[c] as f64) * f).round() as u8)
     }
 
     /// Map a raw value into the scale given a `[lo, hi]` domain.

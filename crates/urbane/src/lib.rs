@@ -18,6 +18,9 @@
 //!   resolution and viewport, with a result cache; drives Raster Join for
 //!   every view update.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod brush;
 pub mod cache;
 pub mod catalog;

@@ -143,6 +143,7 @@ impl QueryPlanner {
             PlanChoice::Cube => self
                 .cube
                 .as_ref()
+                // lint: allow(panic-freedom) documented expect: choose() only returns Cube after checking the cube exists
                 .expect("choose() returned Cube only when one exists")
                 .query(query)
                 .map_err(|e| crate::UrbaneError::Data(e.to_string()))?,

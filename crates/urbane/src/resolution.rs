@@ -71,6 +71,7 @@ impl ResolutionPyramid {
             .iter()
             .find(|l| l.len() >= min_regions)
             .cloned()
+            // lint: allow(panic-freedom) documented expect: the pyramid constructor rejects empty level sets
             .unwrap_or_else(|| self.levels.last().expect("non-empty").clone())
     }
 }

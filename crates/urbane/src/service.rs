@@ -114,6 +114,7 @@ impl QueryRequest {
 
     /// Add a filter.
     pub fn filter(mut self, f: Filter) -> Self {
+        // lint: bounded-by the caller's filter list (request builder, not retained server state)
         self.filters.push(f);
         self
     }
@@ -220,7 +221,30 @@ pub struct UrbaneService {
     // Derived, generation-keyed state (rebuilt lazily after reloads).
     bins: GenerationKeyed<Arc<BinnedPointTable>>,
     samples: GenerationKeyed<Arc<(PointTable, f64)>>,
-    outcomes: [AtomicU64; 4],
+    outcomes: OutcomeCounters,
+}
+
+/// Monotone counters behind [`GuardOutcomes`], one per ladder outcome.
+/// Named fields (rather than a slot array) so every increment names the
+/// outcome it counts.
+#[derive(Default)]
+struct OutcomeCounters {
+    full: AtomicU64,
+    degraded_bounded: AtomicU64,
+    preview_sample: AtomicU64,
+    cached: AtomicU64,
+}
+
+impl OutcomeCounters {
+    fn bump(counter: &AtomicU64) {
+        // lint: relaxed-ok monotone outcome counter; nothing is published through it
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn read(counter: &AtomicU64) -> u64 {
+        // lint: relaxed-ok monotone outcome counter read for display only
+        counter.load(Ordering::Relaxed)
+    }
 }
 
 impl UrbaneService {
@@ -243,6 +267,7 @@ impl UrbaneService {
             .names()
             .into_iter()
             .map(|name| {
+                // lint: allow(panic-freedom) name came from catalog.names() one line up; documented expect
                 let table = catalog.get(name).expect("name came from the catalog");
                 (name.to_string(), DatasetEntry { table, generation: 0 })
             })
@@ -294,10 +319,10 @@ impl UrbaneService {
     /// Degradation-ladder outcome counters.
     pub fn guard_outcomes(&self) -> GuardOutcomes {
         GuardOutcomes {
-            full: self.outcomes[0].load(Ordering::Relaxed),
-            degraded_bounded: self.outcomes[1].load(Ordering::Relaxed),
-            preview_sample: self.outcomes[2].load(Ordering::Relaxed),
-            cached: self.outcomes[3].load(Ordering::Relaxed),
+            full: OutcomeCounters::read(&self.outcomes.full),
+            degraded_bounded: OutcomeCounters::read(&self.outcomes.degraded_bounded),
+            preview_sample: OutcomeCounters::read(&self.outcomes.preview_sample),
+            cached: OutcomeCounters::read(&self.outcomes.cached),
         }
     }
 
@@ -438,6 +463,7 @@ impl UrbaneService {
         req: &QueryRequest,
         cancel: Option<&CancelHandle>,
     ) -> Result<QueryAnswer> {
+        // lint: allow(determinism) wall-clock feeds only GuardReport::elapsed (latency metadata), never the answer table
         let start = Instant::now();
         let (points, generation) = self.dataset(&req.dataset)?;
         let regions = self.pyramid.level(req.level)?;
@@ -446,7 +472,7 @@ impl UrbaneService {
 
         let key = self.cache_key(req, generation);
         if let Some(hit) = self.cache.get(&key) {
-            self.outcomes[3].fetch_add(1, Ordering::Relaxed);
+            OutcomeCounters::bump(&self.outcomes.cached);
             return Ok(QueryAnswer {
                 table: hit.table,
                 regions,
@@ -499,13 +525,13 @@ impl UrbaneService {
         };
 
         let result = run_ladder(deadline, cancel, full, degraded, preview)?;
-        let outcome_slot = match result.report.path {
-            GuardPath::Full => 0,
-            GuardPath::DegradedBounded => 1,
-            GuardPath::PreviewSample => 2,
-        };
-        self.outcomes[outcome_slot].fetch_add(1, Ordering::Relaxed);
+        OutcomeCounters::bump(match result.report.path {
+            GuardPath::Full => &self.outcomes.full,
+            GuardPath::DegradedBounded => &self.outcomes.degraded_bounded,
+            GuardPath::PreviewSample => &self.outcomes.preview_sample,
+        });
         if result.report.path == GuardPath::Full {
+            // lint: bounded-by cache_capacity (sharded LRU evicts at capacity)
             self.cache.insert(
                 key,
                 CachedAnswer {

@@ -11,6 +11,11 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Invariant lint: panic-freedom, atomics orderings, catch_unwind pairing,
+# bounded growth, determinism. Fails on any violation beyond the committed
+# lint-baseline.json ratchet (see DESIGN.md §11).
+cargo run --release -p urbane-lint -- check
+
 # Bench smoke: the perf suite must run to completion without panicking
 # (its built-in binned == unbinned assertions double as a correctness
 # gate). Small scale, one rep — this is a crash check, not a regression

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Run the workspace invariant linter (see DESIGN.md §11).
+#
+#   scripts/lint.sh            # check against the committed baseline
+#   scripts/lint.sh --json     # same, machine-readable
+#   scripts/lint.sh baseline   # regenerate lint-baseline.json (ratchet down)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+mode="check"
+if [ "${1:-}" = "baseline" ]; then
+  mode="baseline"
+  shift
+fi
+exec cargo run --release -p urbane-lint -- "$mode" "$@"

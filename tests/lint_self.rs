@@ -1,0 +1,139 @@
+//! Self-test for `urbane-lint`: the fixture corpus must fire exactly at its
+//! `//~` markers, the live workspace must stay within the committed
+//! baseline, and the suppression grammar must round-trip.
+//!
+//! Expectation markers in `crates/lint/fixtures/*.rs`:
+//!   `code(); //~ rule-name`   — this line violates `rule-name`
+//!   `//~^ rule-name`          — the *previous* line violates `rule-name`
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use urbane_lint::{check, find_workspace_root, scan_fixtures, scan_source, scan_workspace};
+use urbane_lint::{Baseline, RuleId, ScanMode};
+
+fn workspace_root() -> PathBuf {
+    find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("the test binary runs inside the workspace")
+}
+
+/// `(file, line, rule)` triples the markers in `dir` promise.
+fn expected_from_markers(dir: &Path) -> BTreeSet<(String, u32, String)> {
+    let mut expected = BTreeSet::new();
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .expect("fixture dir exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "fixture corpus is empty");
+    for path in entries {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let src = std::fs::read_to_string(&path).unwrap();
+        for (i, line) in src.lines().enumerate() {
+            let Some(idx) = line.find("//~") else { continue };
+            let mut rest = &line[idx + 3..];
+            let mut target = (i + 1) as u32;
+            if let Some(stripped) = rest.strip_prefix('^') {
+                rest = stripped;
+                target -= 1;
+            }
+            for rule in rest.split_whitespace() {
+                assert!(
+                    RuleId::from_str(rule).is_some(),
+                    "{name}:{}: marker names unknown rule {rule:?}",
+                    i + 1
+                );
+                expected.insert((name.clone(), target, rule.to_string()));
+            }
+        }
+    }
+    expected
+}
+
+#[test]
+fn fixture_corpus_fires_exactly_at_marked_lines() {
+    let dir = workspace_root().join("crates/lint/fixtures");
+    let expected = expected_from_markers(&dir);
+    let found: BTreeSet<(String, u32, String)> = scan_fixtures(&dir)
+        .expect("fixture scan")
+        .into_iter()
+        .map(|v| (v.file, v.line, v.rule.as_str().to_string()))
+        .collect();
+
+    let missing: Vec<_> = expected.difference(&found).collect();
+    let unexpected: Vec<_> = found.difference(&expected).collect();
+    assert!(
+        missing.is_empty() && unexpected.is_empty(),
+        "fixture mismatch\n  marked but not fired: {missing:?}\n  fired but not marked: {unexpected:?}"
+    );
+    // Every rule must be exercised by at least one fixture.
+    let rules_hit: BTreeSet<&str> = expected.iter().map(|(_, _, r)| r.as_str()).collect();
+    for rule in RuleId::ALL {
+        assert!(
+            rules_hit.contains(rule.as_str()),
+            "no fixture exercises rule {}",
+            rule.as_str()
+        );
+    }
+}
+
+#[test]
+fn live_workspace_is_within_the_committed_baseline() {
+    let root = workspace_root();
+    let violations = scan_workspace(&root).expect("workspace scan");
+    let baseline = Baseline::load(&root.join("lint-baseline.json")).expect("baseline parses");
+    assert!(
+        baseline.entries.len() <= 25,
+        "committed baseline has grown to {} entries — burn down debt instead",
+        baseline.entries.len()
+    );
+    let report = check(&violations, &baseline);
+    assert!(
+        report.regressions.is_empty(),
+        "lint regressions vs committed baseline: {:#?}",
+        report.regressions
+    );
+}
+
+#[test]
+fn injected_debt_regresses_against_the_committed_baseline() {
+    let root = workspace_root();
+    let mut violations = scan_workspace(&root).expect("workspace scan");
+    // Simulate pasting a fixture snippet into a library crate: the ratchet
+    // must refuse the new debt even though the baseline is non-empty.
+    let snippet = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    let injected = scan_source("crates/core/src/injected.rs", snippet, ScanMode::Workspace);
+    assert_eq!(injected.violations.len(), 1, "snippet must violate panic-freedom");
+    violations.extend(injected.violations);
+
+    let baseline = Baseline::load(&root.join("lint-baseline.json")).expect("baseline parses");
+    let report = check(&violations, &baseline);
+    assert_eq!(report.regressions.len(), 1, "injected debt must be a regression");
+    assert_eq!(report.regressions[0].file, "crates/core/src/injected.rs");
+}
+
+#[test]
+fn suppression_roundtrip() {
+    let bare = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    let scan = scan_source("crates/core/src/x.rs", bare, ScanMode::Workspace);
+    assert_eq!(scan.violations.len(), 1);
+    assert_eq!(scan.violations[0].rule, RuleId::PanicFreedom);
+    assert_eq!(scan.violations[0].line, 2);
+
+    // A justified allow on the same line silences it ...
+    let allowed =
+        "fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // lint: allow(panic-freedom) proven present by caller\n}\n";
+    let scan = scan_source("crates/core/src/x.rs", allowed, ScanMode::Workspace);
+    assert!(scan.violations.is_empty(), "{:?}", scan.violations);
+
+    // ... but an unjustified allow is itself a directive-syntax violation
+    // and does not suppress.
+    let malformed =
+        "fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // lint: allow(panic-freedom)\n}\n";
+    let scan = scan_source("crates/core/src/x.rs", malformed, ScanMode::Workspace);
+    let rules: Vec<RuleId> = scan.violations.iter().map(|v| v.rule).collect();
+    assert!(rules.contains(&RuleId::PanicFreedom), "{rules:?}");
+    assert!(rules.contains(&RuleId::DirectiveSyntax), "{rules:?}");
+}
