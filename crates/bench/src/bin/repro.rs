@@ -7,17 +7,18 @@
 //!     --scale 1000000 --threads 4 --reps 5 --json BENCH_rasterjoin.json
 //! ```
 
-use urbane_bench::{experiments, perf, serve_bench};
+use urbane_bench::{experiments, perf, serve_bench, verify_exp};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--exp all|bench|serve|e1|...|e10] [--scale N] [--out DIR]\n\
+        "usage: repro [--exp all|bench|serve|verify|e1|...|e10] [--scale N] [--out DIR]\n\
          \x20             [--threads N] [--reps N] [--json PATH]\n\
          \x20             [--clients N] [--requests N]\n\
          defaults: --exp all --scale 1000000 --out out --threads 4 --reps 5\n\
          \x20         --clients 2 --requests 60\n\
-         --threads/--reps/--json apply to `bench` and `serve` only;\n\
-         --clients/--requests apply to `serve` only (scale = dataset rows)"
+         --threads/--reps apply to `bench` and `serve`; --json also to `verify`;\n\
+         --clients/--requests apply to `serve` only (scale = dataset rows);\n\
+         for `verify`, scale maps to corpus size (default = fast CI corpus)"
     );
     std::process::exit(2);
 }
@@ -111,6 +112,28 @@ fn main() {
             println!("wrote {path}");
         }
         println!("{}", report.render());
+        return;
+    }
+
+    if exp == "verify" {
+        let workloads = verify_exp::workloads_for_scale(scale);
+        println!("ε-certification sweep: {workloads} differential workloads");
+        let report = match verify_exp::run(workloads) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("verify experiment failed to execute: {e}");
+                std::process::exit(2);
+            }
+        };
+        if let Some(path) = &json_path {
+            std::fs::write(path, report.to_json())
+                .unwrap_or_else(|e| panic!("write {path}: {e}"));
+            println!("wrote {path}");
+        }
+        print!("{}", report.render());
+        if !report.passed() {
+            std::process::exit(1);
+        }
         return;
     }
 

@@ -143,14 +143,11 @@ pub fn boundary_pixel_count(viewport: &Viewport, regions: &RegionSet) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
     use spatial_index::naive_join;
     use urban_data::gen::regions::voronoi_neighborhoods;
     use urban_data::query::{AggKind, SpatialAggQuery};
-    use urban_data::schema::{AttrType, Schema};
     use urban_data::PointTable;
-    use urbane_geom::{BoundingBox, Point};
+    use urbane_geom::BoundingBox;
 
     // Unbudgeted shim: these tests exercise exactness, not the guardrails.
     fn accurate_tile(
@@ -166,18 +163,10 @@ mod tests {
         super::accurate_tile(viewport, &store, regions, &cq, path, &budget)
     }
 
+    // Delegates to the shared corpus generator — same draw order as the
+    // historical in-module copy, so tables (and results) are unchanged.
     fn random_points(n: usize, seed: u64, extent: &BoundingBox) -> PointTable {
-        let schema = Schema::new([("v", AttrType::Numeric)]).unwrap();
-        let mut t = PointTable::new(schema);
-        let mut rng = StdRng::seed_from_u64(seed);
-        for i in 0..n {
-            let p = Point::new(
-                extent.min.x + rng.gen::<f64>() * extent.width(),
-                extent.min.y + rng.gen::<f64>() * extent.height(),
-            );
-            t.push(p, i as i64, &[rng.gen::<f32>() * 100.0]).unwrap();
-        }
-        t
+        urban_data::gen::corpus::uniform_points(extent, n, seed, 100.0)
     }
 
     /// Accurate RJ at a *coarse* resolution must still match the exact join:

@@ -241,32 +241,18 @@ impl PreparedRasterJoin {
 mod tests {
     use super::*;
     use crate::executor::{RasterJoin, RasterJoinConfig};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
     use spatial_index::naive_join;
     use urban_data::filter::Filter;
+    use urban_data::gen::corpus::uniform_points;
     use urban_data::gen::regions::voronoi_neighborhoods;
     use urban_data::query::AggKind;
-    use urban_data::schema::{AttrType, Schema};
     use urban_data::time::TimeRange;
     use urbane_geom::BoundingBox;
 
+    // Delegates to the shared corpus generator — same draw order as the
+    // historical in-module copy, so tables (and results) are unchanged.
     fn random_points(n: usize, seed: u64, extent: &BoundingBox) -> PointTable {
-        let schema = Schema::new([("v", AttrType::Numeric)]).unwrap();
-        let mut t = PointTable::new(schema);
-        let mut rng = StdRng::seed_from_u64(seed);
-        for i in 0..n {
-            t.push(
-                Point::new(
-                    extent.min.x + rng.gen::<f64>() * extent.width(),
-                    extent.min.y + rng.gen::<f64>() * extent.height(),
-                ),
-                i as i64,
-                &[rng.gen::<f32>() * 10.0],
-            )
-            .unwrap();
-        }
-        t
+        uniform_points(extent, n, seed, 10.0)
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Shared seeded test corpus: the point-cloud and simple-polygon generators
+//! every test suite and the `urbane-verify` harness draw from.
+//!
+//! Before this module each crate's test module carried its own ad-hoc
+//! `random_points` copy; the copies drifted in value ranges and rng draw
+//! order, which made cross-suite results incomparable. These generators are
+//! the single source of truth: fully seeded, deterministic across platforms
+//! (the vendored `StdRng` is a fixed splitmix-based stream), and documented
+//! about their draw order so refactors can keep byte-identical tables.
+//!
+//! Polygon generators produce *simple* (non-self-intersecting) rings,
+//! normalized counter-clockwise — the repo-wide exterior-ring convention.
+
+use crate::schema::{AttrType, Schema};
+use crate::table::PointTable;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use urbane_geom::{BoundingBox, GeomError, Point, Polygon, Ring};
+
+/// The attribute column every corpus table carries.
+pub const CORPUS_COLUMN: &str = "v";
+
+/// Uniform random points over `extent` with one numeric column `"v"` in
+/// `[0, value_max)` and timestamps `0..n` (row index).
+///
+/// Draw order per row is `x`, `y`, then `v` — the exact order the historical
+/// per-crate copies used, so tables generated here are byte-identical to the
+/// ones the old test helpers produced for the same `(n, seed, extent)`.
+pub fn uniform_points(extent: &BoundingBox, n: usize, seed: u64, value_max: f32) -> PointTable {
+    // lint: allow(panic-freedom) static schema literal; name and arity are fixed at compile time
+    let schema = Schema::new([(CORPUS_COLUMN, AttrType::Numeric)]).expect("static corpus schema");
+    let mut t = PointTable::new(schema);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..n {
+        let p = Point::new(
+            extent.min.x + rng.gen::<f64>() * extent.width(),
+            extent.min.y + rng.gen::<f64>() * extent.height(),
+        );
+        // lint: allow(panic-freedom) push arity matches the one-column schema constructed above
+        t.push(p, i as i64, &[rng.gen::<f32>() * value_max]).expect("arity matches schema");
+    }
+    t
+}
+
+/// Hotspot-skewed points: `clusters` Gaussian blobs inside `extent` (plus a
+/// uniform background) with the same `"v"` column contract as
+/// [`uniform_points`]. Samples falling outside the extent are clamped onto
+/// it, so every row is inside the canvas and boundary bands stay meaningful.
+pub fn clustered_points(
+    extent: &BoundingBox,
+    n: usize,
+    clusters: usize,
+    seed: u64,
+    value_max: f32,
+) -> PointTable {
+    // lint: allow(panic-freedom) static schema literal; name and arity are fixed at compile time
+    let schema = Schema::new([(CORPUS_COLUMN, AttrType::Numeric)]).expect("static corpus schema");
+    let mut t = PointTable::new(schema);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = clusters.max(1);
+    let centers: Vec<Point> = (0..k)
+        .map(|_| {
+            Point::new(
+                extent.min.x + rng.gen::<f64>() * extent.width(),
+                extent.min.y + rng.gen::<f64>() * extent.height(),
+            )
+        })
+        .collect();
+    let sigma = 0.08 * extent.width().max(extent.height());
+    for i in 0..n {
+        let p = if rng.gen::<f64>() < 0.15 {
+            // Uniform background so empty regions stay possible.
+            Point::new(
+                extent.min.x + rng.gen::<f64>() * extent.width(),
+                extent.min.y + rng.gen::<f64>() * extent.height(),
+            )
+        } else {
+            let c = centers[rng.gen_range(0..k)];
+            let x = c.x + super::normal(&mut rng) * sigma;
+            let y = c.y + super::normal(&mut rng) * sigma;
+            Point::new(
+                x.clamp(extent.min.x, extent.max.x),
+                y.clamp(extent.min.y, extent.max.y),
+            )
+        };
+        // lint: allow(panic-freedom) push arity matches the one-column schema constructed above
+        t.push(p, i as i64, &[rng.gen::<f32>() * value_max]).expect("arity matches schema");
+    }
+    t
+}
+
+/// Seeded *simple* polygon: `vertices` points at monotonically increasing
+/// angles around `center` with jittered radii in
+/// `[0.35, 1.0] · mean_radius`. Monotone angles make the ring star-shaped
+/// about `center`, hence non-self-intersecting; increasing angles make it
+/// counter-clockwise, matching the exterior-ring convention.
+pub fn simple_polygon(
+    center: Point,
+    mean_radius: f64,
+    vertices: usize,
+    seed: u64,
+) -> Result<Polygon, GeomError> {
+    let n = vertices.max(3);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pts: Vec<Point> = (0..n)
+        .map(|k| {
+            // Jitter each vertex inside its own angular slot so the angle
+            // sequence stays strictly monotone (simple by construction).
+            let theta =
+                (k as f64 + 0.85 * rng.gen::<f64>()) / n as f64 * std::f64::consts::TAU;
+            let r = mean_radius * (0.35 + 0.65 * rng.gen::<f64>());
+            Point::new(center.x + r * theta.cos(), center.y + r * theta.sin())
+        })
+        .collect();
+    Ok(Polygon::new(Ring::new(pts)?))
+}
+
+/// A batch of seeded simple polygons scattered over `extent` (possibly
+/// overlapping) — the shared corpus for parser round-trip and geometry
+/// tests. Polygon `i` uses seed `seed + i`, so subsets are stable.
+pub fn simple_polygons(
+    extent: &BoundingBox,
+    count: usize,
+    seed: u64,
+) -> Result<Vec<Polygon>, GeomError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let radius = 0.18 * extent.width().min(extent.height());
+    (0..count)
+        .map(|i| {
+            let c = Point::new(
+                extent.min.x + radius + rng.gen::<f64>() * (extent.width() - 2.0 * radius),
+                extent.min.y + radius + rng.gen::<f64>() * (extent.height() - 2.0 * radius),
+            );
+            let verts = 4 + (rng.gen::<f64>() * 9.0) as usize; // 4..=12
+            simple_polygon(c, radius * (0.5 + 0.5 * rng.gen::<f64>()), verts, seed ^ (i as u64))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_points_deterministic_and_in_extent() {
+        let extent = BoundingBox::from_coords(10.0, -5.0, 110.0, 45.0);
+        let a = uniform_points(&extent, 500, 7, 10.0);
+        let b = uniform_points(&extent, 500, 7, 10.0);
+        assert_eq!(a.len(), 500);
+        for i in 0..a.len() {
+            assert_eq!(a.loc(i), b.loc(i));
+            assert_eq!(a.time(i), i as i64);
+            assert!(extent.contains(a.loc(i)));
+            let v = a.attr(i, 0);
+            assert!((0.0..10.0).contains(&v), "value {v} outside [0, value_max)");
+        }
+        let c = uniform_points(&extent, 500, 8, 10.0);
+        assert_ne!(a.loc(0), c.loc(0), "different seeds must differ");
+    }
+
+    #[test]
+    fn clustered_points_stay_inside() {
+        let extent = BoundingBox::from_coords(0.0, 0.0, 50.0, 20.0);
+        let t = clustered_points(&extent, 400, 3, 11, 100.0);
+        assert_eq!(t.len(), 400);
+        for i in 0..t.len() {
+            assert!(extent.contains(t.loc(i)));
+        }
+    }
+
+    #[test]
+    fn simple_polygons_are_simple_and_ccw() {
+        for seed in 0..40u64 {
+            let poly = simple_polygon(Point::new(3.0, -2.0), 5.0, 3 + (seed as usize % 10), seed)
+                .expect("star-shaped ring is valid");
+            assert!(poly.exterior().is_ccw(), "seed {seed}: exterior must be CCW");
+            assert!(poly.exterior().is_simple(), "seed {seed}: ring must be simple");
+            assert!(poly.area() > 0.0);
+        }
+    }
+
+    #[test]
+    fn polygon_batch_deterministic() {
+        let extent = BoundingBox::from_coords(0.0, 0.0, 100.0, 100.0);
+        let a = simple_polygons(&extent, 6, 3).unwrap();
+        let b = simple_polygons(&extent, 6, 3).unwrap();
+        assert_eq!(a.len(), 6);
+        for (pa, pb) in a.iter().zip(&b) {
+            assert_eq!(pa.exterior().vertices(), pb.exterior().vertices());
+            assert!(extent.contains_box(&pa.bbox()), "polygon must fit the extent");
+        }
+    }
+}

@@ -9,6 +9,7 @@
 //! neighborhoods / tract-grid). Everything is seeded and deterministic.
 
 pub mod city;
+pub mod corpus;
 pub mod events;
 pub mod regions;
 pub mod taxi;

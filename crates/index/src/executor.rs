@@ -116,24 +116,18 @@ mod tests {
     use crate::naive::naive_join;
     use crate::quadtree::QuadTreeIndex;
     use crate::rtree::RTreeIndex;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
     use urban_data::filter::Filter;
+    use urban_data::gen::corpus::uniform_points;
+    use urban_data::schema::Schema;
     use urban_data::gen::regions::voronoi_neighborhoods;
     use urban_data::query::AggKind;
-    use urban_data::schema::{AttrType, Schema};
     use urban_data::time::TimeRange;
-    use urbane_geom::{BoundingBox, Point};
+    use urbane_geom::BoundingBox;
 
+    // Delegates to the shared corpus generator — same draw order as the
+    // historical in-module copy, so tables (and results) are unchanged.
     fn random_points(n: usize, seed: u64) -> PointTable {
-        let schema = Schema::new([("v", AttrType::Numeric)]).unwrap();
-        let mut t = PointTable::new(schema);
-        let mut rng = StdRng::seed_from_u64(seed);
-        for i in 0..n {
-            let p = Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0);
-            t.push(p, i as i64, &[rng.gen::<f32>() * 50.0]).unwrap();
-        }
-        t
+        uniform_points(&BoundingBox::from_coords(0.0, 0.0, 100.0, 100.0), n, seed, 50.0)
     }
 
     fn regions() -> RegionSet {

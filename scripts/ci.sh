@@ -16,6 +16,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 # lint-baseline.json ratchet (see DESIGN.md §11).
 cargo run --release -p urbane-lint -- check
 
+# Verify stage: the ε-certification harness on the fast corpus (15 seeded
+# workloads ≈ 280 differential runs + the metamorphic laws, sub-second
+# after the build). Fails if any run exceeds its analytic error budget or
+# any law is violated. VERIFY_FULL=1 in the environment quadruples the
+# corpus for the nightly sweep — same command, same report schema.
+./scripts/verify.sh --quiet --out VERIFY_report.json
+echo "verify stage OK"
+
 # Bench smoke: the perf suite must run to completion without panicking
 # (its built-in binned == unbinned assertions double as a correctness
 # gate). Small scale, one rep — this is a crash check, not a regression

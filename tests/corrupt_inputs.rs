@@ -7,13 +7,16 @@
 //! flipped coordinate byte), so for those the contract is only "no panic":
 //! the decoder returns *some* `Result` and the process survives.
 
+use proptest::prelude::*;
 use urban_data::binfmt;
 use urban_data::csv::{read_csv, write_csv};
 use urban_data::gen::city::CityModel;
+use urban_data::gen::corpus::{simple_polygons, uniform_points};
 use urban_data::gen::taxi::{generate_taxi, TaxiConfig};
 use urban_data::PointTable;
 use urbane_geom::geojson::{parse_geojson, to_geojson};
-use urbane_geom::wkt::{multipolygon_to_wkt, parse_wkt};
+use urbane_geom::wkt::{multipolygon_to_wkt, parse_wkt, polygon_to_wkt, WktGeometry};
+use urbane_geom::BoundingBox;
 
 fn small_table() -> PointTable {
     let city = CityModel::nyc_like();
@@ -139,6 +142,88 @@ fn bitflipped_wkt_never_panics() {
             if let Ok(s) = std::str::from_utf8(&corrupt) {
                 let _ = parse_wkt(s);
             }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// WKT round-trip on the shared simple-polygon corpus: serialize →
+    /// parse → identical vertices (f64 `Display` is shortest-round-trip,
+    /// so coordinates survive bit-for-bit) and a re-serialization that is
+    /// byte-identical.
+    #[test]
+    fn wkt_roundtrip_is_lossless(seed in 0u64..50_000, count in 1usize..6) {
+        let extent = BoundingBox::from_coords(-75.0, 40.0, -73.0, 41.0);
+        let polys = simple_polygons(&extent, count, seed).expect("corpus polygons are valid");
+        for poly in &polys {
+            let wkt = polygon_to_wkt(poly);
+            let parsed = match parse_wkt(&wkt) {
+                Ok(WktGeometry::Polygon(p)) => p,
+                other => return Err(TestCaseError::fail(format!("{wkt} parsed as {other:?}"))),
+            };
+            prop_assert_eq!(
+                poly.exterior().vertices(), parsed.exterior().vertices(),
+                "vertices drifted through WKT"
+            );
+            prop_assert_eq!(polygon_to_wkt(&parsed), wkt, "re-serialization drifted");
+        }
+    }
+
+    /// GeoJSON round-trip on the same corpus, through the FeatureCollection
+    /// writer and parser.
+    #[test]
+    fn geojson_roundtrip_is_lossless(seed in 0u64..50_000, count in 1usize..6) {
+        let extent = BoundingBox::from_coords(-75.0, 40.0, -73.0, 41.0);
+        let polys = simple_polygons(&extent, count, seed).expect("corpus polygons are valid");
+        let features: Vec<urbane_geom::geojson::Feature> = polys
+            .iter()
+            .map(|p| urbane_geom::geojson::Feature {
+                geometry: urbane_geom::MultiPolygon::from_polygon(p.clone()),
+                properties: std::collections::BTreeMap::new(),
+            })
+            .collect();
+        let doc = to_geojson(&features);
+        let parsed = parse_geojson(&doc).expect("writer output must parse");
+        prop_assert_eq!(parsed.len(), features.len());
+        for (orig, back) in features.iter().zip(&parsed) {
+            for (po, pb) in orig.geometry.polygons().iter().zip(back.geometry.polygons()) {
+                prop_assert_eq!(
+                    po.exterior().vertices(), pb.exterior().vertices(),
+                    "vertices drifted through GeoJSON"
+                );
+            }
+        }
+        prop_assert_eq!(to_geojson(&parsed), doc, "re-serialization drifted");
+    }
+}
+
+/// 1000 seeded tables through binfmt encode→decode: every row, timestamp,
+/// and attribute must survive bit-for-bit. Covers empty and single-row
+/// tables (seeds 0 and 1 pin the sizes).
+#[test]
+fn binfmt_roundtrip_fuzz_1k_seeds() {
+    let extent = BoundingBox::from_coords(-75.0, 40.0, -73.0, 41.0);
+    for seed in 0..1_000u64 {
+        let rows = match seed {
+            0 => 0,
+            1 => 1,
+            s => (s * 7 % 96) as usize + 2,
+        };
+        let table = uniform_points(&extent, rows, seed, 50.0);
+        let bytes = binfmt::encode(&table);
+        let back = binfmt::decode(&bytes)
+            .unwrap_or_else(|e| panic!("seed {seed} ({rows} rows) failed to decode: {e}"));
+        assert_eq!(back.len(), table.len(), "seed {seed}: row count drifted");
+        for i in 0..table.len() {
+            assert_eq!(table.loc(i), back.loc(i), "seed {seed} row {i}: location drifted");
+            assert_eq!(table.time(i), back.time(i), "seed {seed} row {i}: timestamp drifted");
+            assert_eq!(
+                table.attr(i, 0).to_bits(),
+                back.attr(i, 0).to_bits(),
+                "seed {seed} row {i}: attribute drifted"
+            );
         }
     }
 }

@@ -1,0 +1,133 @@
+//! Golden-file snapshots of the serving layer's wire output.
+//!
+//! The `/metrics` exposition and `/query` JSON are API surface: dashboards
+//! scrape the former, clients parse the latter. These tests freeze both
+//! against committed snapshots in `tests/golden/`, so any change to a
+//! metric name, a label, a JSON key, or the guard-report shape shows up as
+//! a reviewable diff instead of silently breaking downstream parsers.
+//!
+//! Nondeterministic values are normalized before comparison:
+//!
+//! * latency histogram buckets and sums (wall-clock dependent) → `<T>`;
+//!   request *counts* stay exact — the request sequence is fixed;
+//! * the guard report's `elapsed_ms` → `"<T>"`.
+//!
+//! To regenerate after an intentional wire change:
+//! `UPDATE_GOLDEN=1 cargo test -p urbane-bench --test serve_golden`.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+use urbane::catalog::DataCatalog;
+use urbane::service::{ServiceConfig, UrbaneService};
+use urbane::ResolutionPyramid;
+use urbane_serve::router::synthetic_table;
+use urbane_serve::{Client, ServerConfig, UrbaneServer};
+use urban_data::gen::city::CityModel;
+
+fn boot() -> UrbaneServer {
+    let city = CityModel::nyc_like();
+    let mut catalog = DataCatalog::new();
+    catalog.register("taxi", synthetic_table("taxi", 6_000, 3).expect("taxi generator"));
+    let pyramid = ResolutionPyramid::standard(&city.bbox(), 16, 8, 5);
+    let service = UrbaneService::new(
+        ServiceConfig {
+            join: raster_join::RasterJoinConfig::with_resolution(256),
+            default_deadline: Duration::from_secs(30),
+            ..Default::default()
+        },
+        catalog,
+        pyramid,
+    )
+    .expect("service boots");
+    UrbaneServer::start(ServerConfig::default(), Arc::new(service)).expect("server binds")
+}
+
+/// Compare `actual` against `tests/golden/<name>`, or rewrite the file when
+/// `UPDATE_GOLDEN=1`.
+fn assert_golden(name: &str, actual: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden").join(name);
+    if std::env::var("UPDATE_GOLDEN").as_deref() == Ok("1") {
+        std::fs::create_dir_all(path.parent().expect("golden dir has a parent"))
+            .expect("create golden dir");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {name} ({e}); regenerate with UPDATE_GOLDEN=1")
+    });
+    assert_eq!(
+        expected, actual,
+        "wire output drifted from tests/golden/{name}; if intentional, \
+         regenerate with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+/// Blank out the trailing value of timing-dependent exposition lines,
+/// keeping names, labels, and the deterministic request counts intact.
+fn normalize_metrics(text: &str) -> String {
+    let mut out = String::new();
+    for l in text.lines() {
+        if l.starts_with("urbane_request_latency_ms_bucket")
+            || l.starts_with("urbane_request_latency_ms_sum")
+        {
+            let head = l.rsplit_once(' ').map_or(l, |(h, _)| h);
+            out.push_str(head);
+            out.push_str(" <T>\n");
+        } else {
+            out.push_str(l);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Replace the numeric value of `"elapsed_ms":…` (compact JSON) with a
+/// placeholder; every other field in the answer is deterministic.
+fn normalize_query_json(body: &str) -> String {
+    let key = "\"elapsed_ms\":";
+    match body.find(key) {
+        None => body.to_string(),
+        Some(start) => {
+            let vstart = start + key.len();
+            let rest = &body[vstart..];
+            let vlen = rest.find([',', '}']).unwrap_or(rest.len());
+            format!("{}{key}\"<T>\"{}", &body[..start], &rest[vlen..])
+        }
+    }
+}
+
+#[test]
+fn wire_snapshots_are_stable() {
+    let server = boot();
+    let mut client = Client::connect(server.addr(), Duration::from_secs(30)).unwrap();
+
+    // Fixed request sequence — the metrics counters below depend on it.
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+    assert_eq!(client.get("/datasets").unwrap().status, 200);
+
+    let count = client.post("/query", "{\"dataset\":\"taxi\",\"level\":1}").unwrap();
+    assert_eq!(count.status, 200, "{}", count.body);
+    assert_golden("serve_query_count.json", &normalize_query_json(&count.body));
+
+    let sum = client
+        .post(
+            "/query",
+            "{\"dataset\":\"taxi\",\"level\":1,\"agg\":\"sum:fare\",\"mode\":\"accurate\",\
+             \"filters\":[{\"type\":\"range\",\"column\":\"fare\",\"min\":5,\"max\":60}]}",
+        )
+        .unwrap();
+    assert_eq!(sum.status, 200, "{}", sum.body);
+    assert_golden("serve_query_sum.json", &normalize_query_json(&sum.body));
+
+    // Malformed body: the 400 shape is wire surface too.
+    let bad = client.post("/query", "{\"dataset\":\"taxi\"}").unwrap();
+    assert_eq!(bad.status, 400);
+    assert_golden("serve_query_bad.json", &normalize_query_json(&bad.body));
+
+    let metrics = client.get("/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    assert_golden("serve_metrics.txt", &normalize_metrics(&metrics.body));
+
+    server.shutdown();
+}
