@@ -7,17 +7,18 @@
 //!     --scale 1000000 --threads 4 --reps 5 --json BENCH_rasterjoin.json
 //! ```
 
-use urbane_bench::{experiments, perf, serve_bench, verify_exp};
+use urbane_bench::{experiments, perf, serve_bench, swarm, verify_exp};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--exp all|bench|serve|verify|e1|...|e10] [--scale N] [--out DIR]\n\
+        "usage: repro [--exp all|bench|serve|swarm|verify|e1|...|e10] [--scale N] [--out DIR]\n\
          \x20             [--threads N] [--reps N] [--json PATH]\n\
-         \x20             [--clients N] [--requests N]\n\
+         \x20             [--clients N] [--requests N] [--shards N] [--kills N]\n\
          defaults: --exp all --scale 1000000 --out out --threads 4 --reps 5\n\
-         \x20         --clients 2 --requests 60\n\
-         --threads/--reps apply to `bench` and `serve`; --json also to `verify`;\n\
-         --clients/--requests apply to `serve` only (scale = dataset rows);\n\
+         \x20         --clients 2 --requests 60 --shards 3 --kills 2\n\
+         --threads/--reps apply to `bench` and `serve`; --json also to `verify`/`swarm`;\n\
+         --clients/--requests apply to `serve` and `swarm` (scale = dataset rows);\n\
+         --shards/--kills apply to `swarm` (chaos-driven sharded front);\n\
          for `verify`, scale maps to corpus size (default = fast CI corpus)"
     );
     std::process::exit(2);
@@ -33,6 +34,8 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut clients = 2usize;
     let mut requests = 60usize;
+    let mut shards = 3usize;
+    let mut kills = 2usize;
 
     let mut i = 0;
     while i < args.len() {
@@ -88,6 +91,21 @@ fn main() {
                     .filter(|&r| r > 0)
                     .unwrap_or_else(|| usage());
             }
+            "--shards" => {
+                i += 1;
+                shards = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--kills" => {
+                i += 1;
+                kills = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -112,6 +130,32 @@ fn main() {
             println!("wrote {path}");
         }
         println!("{}", report.render());
+        return;
+    }
+
+    if exp == "swarm" {
+        let cfg = swarm::SwarmConfig {
+            rows: scale.min(100_000),
+            shards,
+            clients: clients.max(3),
+            requests,
+            kills,
+            ..Default::default()
+        };
+        println!(
+            "swarm: {} shards, {} clients x {} requests, {} scheduled kills, seed {:#x}",
+            cfg.shards, cfg.clients, cfg.requests, cfg.kills, cfg.seed
+        );
+        let report = swarm::run(&cfg);
+        if let Some(path) = &json_path {
+            std::fs::write(path, report.to_json())
+                .unwrap_or_else(|e| panic!("write {path}: {e}"));
+            println!("wrote {path}");
+        }
+        print!("{}", report.render());
+        if !report.passed() {
+            std::process::exit(1);
+        }
         return;
     }
 

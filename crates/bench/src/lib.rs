@@ -10,6 +10,7 @@
 pub mod experiments;
 pub mod perf;
 pub mod serve_bench;
+pub mod swarm;
 pub mod verify_exp;
 pub mod workload;
 

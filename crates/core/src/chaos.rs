@@ -1,0 +1,289 @@
+//! Network-level chaos injection — the distributed sibling of [`crate::fault`].
+//!
+//! [`FaultPlan`](crate::FaultPlan) misbehaves *inside* one executor (tile
+//! panics, stalls, internal errors). A [`ChaosPlan`] misbehaves at the
+//! process boundary: connections that are refused, responses that truncate
+//! mid-body, calls that stall, and whole shards that die. The sharded
+//! serving layer consults the plan on every shard call, and the swarm
+//! harness consults the kill schedule between request waves — so every
+//! retry, hedge, circuit-breaker, and restart path is exercisable from a
+//! single seed, deterministically.
+//!
+//! Everything is plain data plus shared atomic counters: clones of a plan
+//! observe and update the same state (same contract as `FaultPlan`), which
+//! lets a test or harness hold one clone while the transport consumes
+//! another. Unlike `FaultPlan`, chaos events do *not* disarm after first
+//! trigger — production-shaped chaos is a rate, not a one-shot — but the
+//! event for call *n* depends only on `(seed, n)`, so a re-run replays the
+//! identical schedule.
+//!
+//! This module is always compiled (no feature gate): an unconfigured plan
+//! costs one atomic increment per call and injects nothing.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// What the transport should do to the current shard call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// Proceed normally.
+    None,
+    /// Behave as if `connect()` was refused (shard unreachable).
+    RefuseConnect,
+    /// Complete the exchange but treat the response as truncated mid-body.
+    TruncateResponse,
+    /// Stall the call for `ms` milliseconds before sending (the transport
+    /// bounds the stall by the caller's remaining deadline).
+    Delay {
+        /// Injected stall in milliseconds.
+        ms: u64,
+    },
+}
+
+/// One scheduled shard kill, in units of shard calls (not wall-clock, so a
+/// replay lands the kill at the same logical point regardless of machine
+/// speed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardKill {
+    /// Fire once the plan has observed at least this many calls.
+    pub after_calls: u64,
+    /// Which shard to kill.
+    pub shard: usize,
+}
+
+#[derive(Debug, Default)]
+struct ChaosShared {
+    calls: AtomicU64,
+    refused: AtomicU64,
+    truncated: AtomicU64,
+    delayed: AtomicU64,
+    next_kill: AtomicUsize,
+}
+
+/// Observed event counts (for reports and assertions).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosCounts {
+    /// Shard calls the plan has classified.
+    pub calls: u64,
+    /// Injected connection refusals.
+    pub refused: u64,
+    /// Injected response truncations.
+    pub truncated: u64,
+    /// Injected delays.
+    pub delayed: u64,
+}
+
+/// A deterministic, seeded schedule of network-level faults.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosPlan {
+    seed: u64,
+    refuse_per_mille: u16,
+    truncate_per_mille: u16,
+    delay_per_mille: u16,
+    delay_base_ms: u64,
+    delay_jitter_ms: u64,
+    kills: Vec<ShardKill>,
+    shared: Arc<ChaosShared>,
+}
+
+/// splitmix64 finalizer — the same mixing constant family `FaultPlan` and
+/// the shared data generators use; good enough to decorrelate event draws.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ChaosPlan {
+    /// An empty plan with a seed; builder methods arm it.
+    pub fn seeded(seed: u64) -> Self {
+        ChaosPlan { seed, ..Default::default() }
+    }
+
+    /// Refuse roughly `per_mille`/1000 of connections (clamped to 1000).
+    pub fn refuse(mut self, per_mille: u16) -> Self {
+        self.refuse_per_mille = per_mille.min(1000);
+        self
+    }
+
+    /// Truncate roughly `per_mille`/1000 of responses mid-body.
+    pub fn truncate(mut self, per_mille: u16) -> Self {
+        self.truncate_per_mille = per_mille.min(1000);
+        self
+    }
+
+    /// Stall roughly `per_mille`/1000 of calls for `base_ms` plus a
+    /// deterministic jitter in `[0, jitter_ms]`.
+    pub fn delay(mut self, per_mille: u16, base_ms: u64, jitter_ms: u64) -> Self {
+        self.delay_per_mille = per_mille.min(1000);
+        self.delay_base_ms = base_ms;
+        self.delay_jitter_ms = jitter_ms;
+        self
+    }
+
+    /// Schedule a shard kill once `after_calls` calls have been observed.
+    /// Kills fire in schedule order (sort your schedule by `after_calls`).
+    pub fn kill(mut self, after_calls: u64, shard: usize) -> Self {
+        self.kills.push(ShardKill { after_calls, shard });
+        self.kills.sort_by_key(|k| k.after_calls);
+        self
+    }
+
+    /// Classify the next shard call. Event `n` depends only on `(seed, n)`,
+    /// so replays are bit-identical; counters record what was injected.
+    pub fn next_event(&self) -> ChaosEvent {
+        let n = self.shared.calls.fetch_add(1, Ordering::SeqCst);
+        let total = u64::from(self.refuse_per_mille)
+            + u64::from(self.truncate_per_mille)
+            + u64::from(self.delay_per_mille);
+        if total == 0 {
+            return ChaosEvent::None;
+        }
+        let draw = mix64(self.seed ^ n.wrapping_mul(0xA076_1D64_78BD_642F)) % 1000;
+        if draw < u64::from(self.refuse_per_mille) {
+            self.shared.refused.fetch_add(1, Ordering::SeqCst);
+            ChaosEvent::RefuseConnect
+        } else if draw < u64::from(self.refuse_per_mille) + u64::from(self.truncate_per_mille) {
+            self.shared.truncated.fetch_add(1, Ordering::SeqCst);
+            ChaosEvent::TruncateResponse
+        } else if draw < total {
+            self.shared.delayed.fetch_add(1, Ordering::SeqCst);
+            let jitter = match self.delay_jitter_ms {
+                0 => 0,
+                j => mix64(self.seed ^ n.rotate_left(17)) % (j + 1),
+            };
+            ChaosEvent::Delay { ms: self.delay_base_ms + jitter }
+        } else {
+            ChaosEvent::None
+        }
+    }
+
+    /// The next scheduled kill whose `after_calls` threshold has been
+    /// reached, advancing the schedule cursor. Poll between request waves;
+    /// each kill is returned exactly once across all clones.
+    pub fn kill_due(&self) -> Option<ShardKill> {
+        loop {
+            let idx = self.shared.next_kill.load(Ordering::SeqCst);
+            let kill = *self.kills.get(idx)?;
+            if self.shared.calls.load(Ordering::SeqCst) < kill.after_calls {
+                return None;
+            }
+            if self
+                .shared
+                .next_kill
+                .compare_exchange(idx, idx + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return Some(kill);
+            }
+        }
+    }
+
+    /// Scheduled kills not yet fired.
+    pub fn kills_pending(&self) -> usize {
+        self.kills.len().saturating_sub(self.shared.next_kill.load(Ordering::SeqCst))
+    }
+
+    /// Observed event counters so far.
+    pub fn counts(&self) -> ChaosCounts {
+        ChaosCounts {
+            calls: self.shared.calls.load(Ordering::SeqCst),
+            refused: self.shared.refused.load(Ordering::SeqCst),
+            truncated: self.shared.truncated.load(Ordering::SeqCst),
+            delayed: self.shared.delayed.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Does this plan inject anything at all (events or kills)?
+    pub fn is_armed(&self) -> bool {
+        self.refuse_per_mille > 0
+            || self.truncate_per_mille > 0
+            || self.delay_per_mille > 0
+            || !self.kills.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_plan_injects_nothing() {
+        let plan = ChaosPlan::seeded(7);
+        assert!(!plan.is_armed());
+        for _ in 0..100 {
+            assert_eq!(plan.next_event(), ChaosEvent::None);
+        }
+        assert_eq!(plan.counts().calls, 100);
+        assert_eq!(plan.kill_due(), None);
+    }
+
+    #[test]
+    fn sequences_are_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<ChaosEvent> {
+            let plan = ChaosPlan::seeded(seed).refuse(100).truncate(100).delay(100, 5, 10);
+            (0..200).map(|_| plan.next_event()).collect()
+        };
+        assert_eq!(run(42), run(42), "same seed, same schedule");
+        assert_ne!(run(42), run(43), "different seeds must diverge");
+    }
+
+    #[test]
+    fn rates_land_near_their_per_mille() {
+        let plan = ChaosPlan::seeded(9).refuse(200).truncate(100).delay(100, 2, 0);
+        for _ in 0..10_000 {
+            plan.next_event();
+        }
+        let c = plan.counts();
+        assert_eq!(c.calls, 10_000);
+        // Loose 3-sigma-ish bands: determinism matters, exact rates do not.
+        assert!((1_500..2_500).contains(&c.refused), "refused {}", c.refused);
+        assert!((600..1_400).contains(&c.truncated), "truncated {}", c.truncated);
+        assert!((600..1_400).contains(&c.delayed), "delayed {}", c.delayed);
+    }
+
+    #[test]
+    fn delay_jitter_stays_in_band() {
+        let plan = ChaosPlan::seeded(3).delay(1000, 10, 5);
+        let mut seen_distinct = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            match plan.next_event() {
+                ChaosEvent::Delay { ms } => {
+                    assert!((10..=15).contains(&ms), "delay {ms} out of band");
+                    seen_distinct.insert(ms);
+                }
+                other => panic!("rate 1000 must always delay, got {other:?}"),
+            }
+        }
+        assert!(seen_distinct.len() > 1, "jitter must vary");
+    }
+
+    #[test]
+    fn kills_fire_once_in_schedule_order() {
+        let plan = ChaosPlan::seeded(1).kill(5, 1).kill(10, 0);
+        assert!(plan.is_armed());
+        assert_eq!(plan.kill_due(), None, "no calls yet");
+        for _ in 0..5 {
+            plan.next_event();
+        }
+        assert_eq!(plan.kill_due(), Some(ShardKill { after_calls: 5, shard: 1 }));
+        assert_eq!(plan.kill_due(), None, "second kill not due yet");
+        for _ in 0..5 {
+            plan.next_event();
+        }
+        assert_eq!(plan.kill_due(), Some(ShardKill { after_calls: 10, shard: 0 }));
+        assert_eq!(plan.kill_due(), None, "schedule exhausted");
+        assert_eq!(plan.kills_pending(), 0);
+    }
+
+    #[test]
+    fn clones_share_counters_and_schedule() {
+        let plan = ChaosPlan::seeded(1).kill(1, 0);
+        let clone = plan.clone();
+        clone.next_event();
+        assert_eq!(plan.counts().calls, 1);
+        assert!(clone.kill_due().is_some());
+        assert_eq!(plan.kill_due(), None, "clone consumed the kill");
+    }
+}

@@ -39,6 +39,7 @@ pub mod accurate;
 pub mod bounded;
 pub mod budget;
 pub mod canvas;
+pub mod chaos;
 pub mod compiled;
 pub mod executor;
 #[cfg(feature = "fault-injection")]
@@ -48,6 +49,7 @@ pub mod weighted;
 
 pub use budget::{CancelHandle, QueryBudget};
 pub use canvas::{CanvasPlan, CanvasSpec};
+pub use chaos::{ChaosCounts, ChaosEvent, ChaosPlan, ShardKill};
 pub use compiled::PointStore;
 pub use executor::{
     BinningMode, ExecutionMode, PolygonPath, PointStrategy, RasterJoin, RasterJoinConfig,

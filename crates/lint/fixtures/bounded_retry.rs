@@ -1,0 +1,91 @@
+//! Fixture: retry loops with and without a visible attempt cap.
+
+pub struct Transport {
+    ok: bool,
+    backoff_ms: u64,
+    retry_count: u64,
+}
+
+impl Transport {
+    fn try_send(&mut self) -> bool {
+        self.ok
+    }
+
+    fn retry(&mut self) {
+        self.retry_count += 1;
+    }
+
+    fn step(&mut self) -> bool {
+        self.ok
+    }
+
+    fn stopping(&self) -> bool {
+        !self.ok
+    }
+
+    fn note(&self, _msg: &str) {}
+
+    pub fn naive_forever(&mut self) {
+        loop { //~ bounded-retry
+            if self.try_send() {
+                break;
+            }
+            self.retry_count += 1;
+        }
+    }
+
+    pub fn spin_with_backoff(&mut self) {
+        while !self.ok { //~ bounded-retry
+            self.backoff_ms *= 2;
+            self.retry();
+        }
+    }
+
+    pub fn bounded_by_attempts(&mut self, max_attempts: u32) {
+        let mut attempt = 0;
+        while attempt < max_attempts {
+            if self.try_send() {
+                break;
+            }
+            self.retry();
+            attempt += 1;
+        }
+    }
+
+    pub fn bounded_by_deadline(&mut self, deadline_ms: u64) {
+        loop {
+            if self.try_send() || self.backoff_ms > deadline_ms {
+                break;
+            }
+            self.retry();
+        }
+    }
+
+    pub fn supervised(&mut self) {
+        // lint: allow(bounded-retry) supervisor loop runs until shutdown; each retry is delayed
+        loop {
+            if self.stopping() {
+                break;
+            }
+            self.retry();
+        }
+    }
+
+    pub fn drain_is_not_a_retry_loop(&mut self) {
+        loop {
+            if !self.step() {
+                break;
+            }
+        }
+    }
+
+    pub fn strings_are_not_identifiers(&mut self) {
+        loop {
+            if self.step() {
+                break;
+            }
+            self.note("will retry");
+            return;
+        }
+    }
+}

@@ -7,12 +7,79 @@
 //! bounded — header size, header count, body size — so a hostile peer can
 //! cost at most a bounded read, never unbounded memory.
 
-use std::io::{self, BufRead, Write};
+use std::io::{self, BufRead, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Parse/framing limits.
 pub const MAX_HEADER_LINE: usize = 8 * 1024;
 /// Maximum number of header lines accepted per request.
 pub const MAX_HEADERS: usize = 100;
+
+/// A [`TcpStream`] wrapper that enforces a *total* per-request read budget
+/// on top of the per-read idle timeout.
+///
+/// The idle timeout alone is not enough: a slow-loris client that trickles
+/// one byte every few seconds resets the per-read clock on every byte and
+/// can pin a worker indefinitely. The budget clock arms on the first byte
+/// of a request (so idle keep-alive connections are still governed only by
+/// the idle timeout) and every subsequent read gets the *smaller* of the
+/// idle timeout and the remaining budget; once the budget is exhausted the
+/// read fails with [`io::ErrorKind::TimedOut`]. Call
+/// [`finish_request`](Self::finish_request) between keep-alive requests to
+/// re-arm the budget for the next one.
+#[derive(Debug)]
+pub struct BudgetedStream {
+    stream: TcpStream,
+    idle: Duration,
+    budget: Duration,
+    deadline: Option<Instant>,
+}
+
+impl BudgetedStream {
+    /// Wrap `stream`. `idle` bounds each individual read (and the wait for
+    /// a request to start); `budget` bounds the whole request read.
+    pub fn new(stream: TcpStream, idle: Duration, budget: Duration) -> Self {
+        BudgetedStream { stream, idle, budget, deadline: None }
+    }
+
+    /// The wrapped stream (for writes via `try_clone` etc.).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Disarm the budget clock: the current request is fully read, the next
+    /// read starts a new request (and a fresh budget).
+    pub fn finish_request(&mut self) {
+        self.deadline = None;
+    }
+}
+
+impl Read for BudgetedStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let timeout = match self.deadline {
+            // Between requests: only the idle timeout applies.
+            None => self.idle,
+            Some(d) => {
+                let remaining = d.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "per-request read budget exhausted",
+                    ));
+                }
+                remaining.min(self.idle)
+            }
+        };
+        self.stream.set_read_timeout(Some(timeout))?;
+        let n = self.stream.read(buf)?;
+        if n > 0 && self.deadline.is_none() {
+            // First byte of a request: the budget clock starts now.
+            self.deadline = Some(Instant::now() + self.budget);
+        }
+        Ok(n)
+    }
+}
 
 /// A parsed request.
 #[derive(Debug, Clone)]

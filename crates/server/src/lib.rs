@@ -8,7 +8,7 @@
 //! TcpListener ──► acceptor thread ──► bounded queue ──► worker pool
 //!                      │ (full?)                            │
 //!                      └─► 429 + Retry-After                ├─► HTTP parse
-//!                                                           ├─► Router
+//!                                                           ├─► Handler
 //!                                                           └─► UrbaneService
 //!                                                                 ├─ query cache
 //!                                                                 └─ degradation ladder
@@ -18,12 +18,21 @@
 //!
 //! * **Admission control** — connections pass through a bounded queue into
 //!   a fixed worker pool ([`pool`]). A full queue sheds immediately with
-//!   `429 Too Many Requests` + `Retry-After`, written by the acceptor
-//!   before the request is even read (cheap, legal, and honest: the server
-//!   already knows it cannot serve promptly).
+//!   `429 Too Many Requests` + a jittered `Retry-After`, written by the
+//!   acceptor before the request is even read (cheap, legal, and honest:
+//!   the server already knows it cannot serve promptly).
 //! * **Deadlines** — each `/query` carries (or defaults) a wall-clock
 //!   deadline that becomes the query's `QueryBudget`, so overload degrades
-//!   answer fidelity (the PR-1 ladder) instead of stacking latency.
+//!   answer fidelity (the PR-1 ladder) instead of stacking latency. On the
+//!   read side, a total per-request budget ([`http::BudgetedStream`])
+//!   defeats slow-loris clients that the per-read idle timeout alone would
+//!   let pin a worker forever.
+//!
+//! The request loop is generic over a [`Handler`], so the same accept /
+//! pool / framing plumbing serves both a single-process [`Router`] and the
+//! sharded front ([`supervisor::ShardSupervisor`]), which adds consistent-
+//! hash routing, retries with decorrelated-jitter backoff, hedged reads,
+//! and per-shard circuit breakers ([`shard`]).
 //!
 //! Endpoints: `POST /query`, `POST /reload`, `GET /datasets`,
 //! `GET /healthz`, `GET /metrics`.
@@ -36,14 +45,18 @@ pub mod http;
 pub mod metrics;
 pub mod pool;
 pub mod router;
+pub mod shard;
+pub mod supervisor;
 pub mod wire;
 
 pub use client::{Client, ClientResponse};
 pub use metrics::{Metrics, Route};
 pub use pool::WorkerPool;
 pub use router::Router;
+pub use shard::{BreakerState, RetryPolicy, ShardMetrics};
+pub use supervisor::{ShardSupervisor, SupervisorConfig};
 
-use http::{read_request, write_response, ReadError, Response};
+use http::{read_request, write_response, BudgetedStream, ReadError, Request, Response};
 use metrics::Route as MetricsRoute;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -63,9 +76,14 @@ pub struct ServerConfig {
     /// Bounded queue capacity — connections beyond `workers` busy +
     /// `queue_capacity` waiting are shed with 429.
     pub queue_capacity: usize,
-    /// Per-connection read timeout: bounds how long an idle keep-alive
-    /// connection may pin a worker.
+    /// Per-read idle timeout: bounds how long an idle keep-alive
+    /// connection may pin a worker between bytes.
     pub read_timeout: Duration,
+    /// Total per-request read budget: once the first byte of a request
+    /// arrives, the whole request (line + headers + body) must be read
+    /// within this window — a trickling client cannot reset the clock
+    /// byte by byte.
+    pub read_budget: Duration,
     /// Maximum request-body bytes.
     pub max_body: usize,
 }
@@ -77,58 +95,78 @@ impl Default for ServerConfig {
             workers: 4,
             queue_capacity: 32,
             read_timeout: Duration::from_secs(5),
+            read_budget: Duration::from_secs(10),
             max_body: 1 << 20,
         }
     }
 }
 
-/// A running server. Dropping the handle does *not* stop it — call
-/// [`shutdown`](Self::shutdown) (tests) or [`wait`](Self::wait) (binary).
-pub struct UrbaneServer {
+/// A request handler behind the accept/pool/framing plumbing. Implemented
+/// by the single-process [`Router`] and the sharded front.
+pub trait Handler: Send + Sync + 'static {
+    /// Dispatch one parsed request. `queue_depth` is sampled by the worker
+    /// so handlers can expose it without a pool handle.
+    fn handle(&self, req: &Request, queue_depth: usize) -> Response;
+}
+
+impl Handler for Router {
+    fn handle(&self, req: &Request, queue_depth: usize) -> Response {
+        Router::handle(self, req, queue_depth)
+    }
+}
+
+/// Spread 429 `Retry-After` hints over `1..=4` seconds. A constant hint
+/// synchronizes every shed client into a retry storm that re-saturates the
+/// queue in lockstep; mixing the shed sequence number decorrelates them
+/// deterministically (the acceptor is single-threaded, so replays see the
+/// same sequence).
+fn retry_after_secs(shed_seq: u64) -> u64 {
+    let mut z = shed_seq.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    1 + ((z ^ (z >> 31)) % 4)
+}
+
+/// The generic server core: listener + acceptor + bounded queue + worker
+/// pool around any [`Handler`]. [`UrbaneServer`] wraps it for the
+/// single-process router; the shard supervisor builds on it directly.
+pub struct HttpServer {
     addr: SocketAddr,
-    router: Arc<Router>,
     metrics: Arc<Metrics>,
     pool: Arc<WorkerPool>,
     stopping: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
 }
 
-impl UrbaneServer {
+impl HttpServer {
     /// Bind, spawn the worker pool and the acceptor, and return. The
     /// returned handle is ready for traffic (`addr()` is connectable).
-    pub fn start(config: ServerConfig, service: Arc<UrbaneService>) -> std::io::Result<Self> {
+    pub fn start(
+        config: ServerConfig,
+        handler: Arc<dyn Handler>,
+        metrics: Arc<Metrics>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let metrics = Arc::new(Metrics::new());
-        let router = Arc::new(Router::new(service, Arc::clone(&metrics)));
         let pool = Arc::new(WorkerPool::new(config.workers, config.queue_capacity));
         let stopping = Arc::new(AtomicBool::new(false));
 
         let acceptor = {
-            let router = Arc::clone(&router);
+            let handler = Arc::clone(&handler);
             let metrics = Arc::clone(&metrics);
             let pool = Arc::clone(&pool);
             let stopping = Arc::clone(&stopping);
-            let read_timeout = config.read_timeout;
-            let max_body = config.max_body;
             std::thread::Builder::new()
                 .name("urbane-serve-acceptor".into())
-                .spawn(move || {
-                    accept_loop(&listener, &router, &metrics, &pool, &stopping, read_timeout, max_body)
-                })?
+                .spawn(move || accept_loop(&listener, &handler, &metrics, &pool, &stopping, &config))?
         };
 
-        Ok(UrbaneServer { addr, router, metrics, pool, stopping, acceptor: Some(acceptor) })
+        Ok(HttpServer { addr, metrics, pool, stopping, acceptor: Some(acceptor) })
     }
 
     /// The bound address (resolves port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
-    }
-
-    /// The shared service (tests reach through this for reloads/stats).
-    pub fn service(&self) -> &Arc<UrbaneService> {
-        self.router.service()
     }
 
     /// The metrics registry.
@@ -137,7 +175,7 @@ impl UrbaneServer {
     }
 
     /// Stop accepting, drain the pool, and join every thread. In-flight
-    /// requests finish (bounded by the read timeout for idle keep-alives);
+    /// requests finish (bounded by the read budget for idle keep-alives);
     /// queued-but-unstarted connections are closed.
     pub fn shutdown(mut self) {
         self.stopping.store(true, Ordering::SeqCst);
@@ -160,15 +198,58 @@ impl UrbaneServer {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
+/// A running single-process server. Dropping the handle does *not* stop it
+/// — call [`shutdown`](Self::shutdown) (tests) or [`wait`](Self::wait)
+/// (binary).
+pub struct UrbaneServer {
+    inner: HttpServer,
+    router: Arc<Router>,
+}
+
+impl UrbaneServer {
+    /// Bind, spawn the worker pool and the acceptor, and return. The
+    /// returned handle is ready for traffic (`addr()` is connectable).
+    pub fn start(config: ServerConfig, service: Arc<UrbaneService>) -> std::io::Result<Self> {
+        let metrics = Arc::new(Metrics::new());
+        let router = Arc::new(Router::new(service, Arc::clone(&metrics)));
+        let handler: Arc<dyn Handler> = Arc::clone(&router) as Arc<dyn Handler>;
+        let inner = HttpServer::start(config, handler, metrics)?;
+        Ok(UrbaneServer { inner, router })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr()
+    }
+
+    /// The shared service (tests reach through this for reloads/stats).
+    pub fn service(&self) -> &Arc<UrbaneService> {
+        self.router.service()
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        self.inner.metrics()
+    }
+
+    /// Stop accepting, drain the pool, and join every thread.
+    pub fn shutdown(self) {
+        self.inner.shutdown();
+    }
+
+    /// Block until the acceptor exits.
+    pub fn wait(self) {
+        self.inner.wait();
+    }
+}
+
 fn accept_loop(
     listener: &TcpListener,
-    router: &Arc<Router>,
+    handler: &Arc<dyn Handler>,
     metrics: &Arc<Metrics>,
     pool: &Arc<WorkerPool>,
     stopping: &Arc<AtomicBool>,
-    read_timeout: Duration,
-    max_body: usize,
+    config: &ServerConfig,
 ) {
     for stream in listener.incoming() {
         if stopping.load(Ordering::SeqCst) {
@@ -180,50 +261,67 @@ fn accept_loop(
         };
         metrics.observe_connection();
         let job = {
-            let router = Arc::clone(router);
+            let handler = Arc::clone(handler);
             let metrics = Arc::clone(metrics);
             let pool = Arc::clone(pool);
             let stopping = Arc::clone(stopping);
+            let read_timeout = config.read_timeout;
+            let read_budget = config.read_budget;
+            let max_body = config.max_body;
             let stream = match stream.try_clone() {
                 Ok(s) => s,
                 Err(_) => continue,
             };
-            move || handle_connection(stream, &router, &metrics, &pool, &stopping, read_timeout, max_body)
+            move || {
+                handle_connection(
+                    stream,
+                    handler.as_ref(),
+                    &metrics,
+                    &pool,
+                    &stopping,
+                    read_timeout,
+                    read_budget,
+                    max_body,
+                )
+            }
         };
         if pool.try_submit(job).is_err() {
             // Shed before reading the request: the queue being full already
             // tells us we cannot serve promptly, and not reading keeps the
             // rejection O(1) regardless of request size.
-            metrics.observe_shed();
+            let shed_seq = metrics.observe_shed();
             metrics.observe(MetricsRoute::Other, 429, Duration::ZERO);
             let resp = Response::error(429, "server saturated, please retry")
-                .with_header("Retry-After", "1".into());
+                .with_header("Retry-After", retry_after_secs(shed_seq).to_string());
             let _ = write_response(&mut stream, &resp, false);
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_connection(
     stream: TcpStream,
-    router: &Router,
+    handler: &dyn Handler,
     metrics: &Metrics,
     pool: &WorkerPool,
     stopping: &AtomicBool,
     read_timeout: Duration,
+    read_budget: Duration,
     max_body: usize,
 ) {
-    if stream.set_read_timeout(Some(read_timeout)).is_err() || stream.set_nodelay(true).is_err() {
+    if stream.set_nodelay(true).is_err() {
         return;
     }
     let mut writer = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     };
-    let mut reader = BufReader::new(stream);
+    let mut reader = BufReader::new(BudgetedStream::new(stream, read_timeout, read_budget));
     loop {
         let req = match read_request(&mut reader, max_body) {
             Ok(r) => r,
-            // Peer hung up, or a read timeout/reset: nothing useful to say.
+            // Peer hung up, or a read timeout/budget expiry/reset: nothing
+            // useful to say (a slow-loris peer is not listening anyway).
             Err(ReadError::Eof) | Err(ReadError::Io(_)) => return,
             Err(ReadError::Malformed(m)) => {
                 metrics.observe(MetricsRoute::Other, 400, Duration::ZERO);
@@ -231,9 +329,12 @@ fn handle_connection(
                 return;
             }
         };
+        // The request is fully read: disarm its budget so the next
+        // keep-alive request gets a fresh one.
+        reader.get_mut().finish_request();
         let start = Instant::now();
         let route = router::route_of(&req.method, &req.path);
-        let resp = router.handle(&req, pool.depth());
+        let resp = handler.handle(&req, pool.depth());
         let status = resp.status;
         let keep = !req.wants_close() && !stopping.load(Ordering::SeqCst);
         let write_ok = write_response(&mut writer, &resp, keep).is_ok();
@@ -241,5 +342,22 @@ fn handle_connection(
         if !keep || !write_ok {
             return;
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_after_jitter_spans_the_advertised_range() {
+        let mut seen = std::collections::BTreeSet::new();
+        for n in 0..64 {
+            let s = retry_after_secs(n);
+            assert!((1..=4).contains(&s), "Retry-After {s} out of 1..=4");
+            seen.insert(s);
+        }
+        assert!(seen.len() >= 3, "jitter must actually vary: {seen:?}");
+        assert_eq!(retry_after_secs(7), retry_after_secs(7), "deterministic per sequence number");
     }
 }

@@ -100,10 +100,12 @@ impl Metrics {
         t.latency.entry(route).or_default().observe(elapsed);
     }
 
-    /// Record one shed (429 written by the acceptor).
-    pub fn observe_shed(&self) {
+    /// Record one shed (429 written by the acceptor). Returns the shed
+    /// sequence number (0-based), which the acceptor mixes into the
+    /// jittered `Retry-After` hint.
+    pub fn observe_shed(&self) -> u64 {
         // lint: relaxed-ok monotone shed counter; nothing is published through it
-        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.shed.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Record one accepted connection.

@@ -1,0 +1,745 @@
+//! Shard-call machinery for the fault-tolerant front: consistent-hash
+//! routing, a per-shard circuit breaker, bounded retries with
+//! decorrelated-jitter backoff, optional hedged reads, and a chaos-aware
+//! transport.
+//!
+//! The pieces compose bottom-up:
+//!
+//! * [`ShardRing`] — maps a dataset name onto one of N shards with virtual
+//!   nodes, so adding a shard moves only ~1/N of the keys.
+//! * [`ShardCall`] — one typed call: path, body, absolute deadline,
+//!   idempotence. The *remaining* deadline is recomputed at every send and
+//!   propagated to the shard as `deadline_ms`, so a retry never grants the
+//!   downstream more time than the client has left.
+//! * [`RetryPolicy`] — attempt cap plus decorrelated-jitter backoff
+//!   (`sleep = clamp(base, rand(base, 3·prev), cap)`), the schedule that
+//!   avoids retry convoys without coordination.
+//! * [`CircuitBreaker`] — closed → open (after N consecutive failures) →
+//!   half-open (single probe after a cooldown) → closed. Keeps a dead
+//!   shard from eating every caller's deadline budget.
+//! * [`ShardClient`] — ties transport, chaos injection, retries, and
+//!   hedging together; the supervisor adds the breaker and fallbacks.
+//!
+//! All event counters land in [`ShardMetrics`], rendered into `/metrics`.
+
+use crate::client::{Client, ClientResponse};
+use raster_join::{ChaosEvent, ChaosPlan};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// splitmix64 finalizer, for jitter draws (same family as `ChaosPlan`).
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a — the workspace's canonical string hash (cache keys use it too).
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Consistent-hash ring
+// ---------------------------------------------------------------------------
+
+/// A consistent-hash ring over `shards` shards with `vnodes` virtual nodes
+/// each. Lookup is a binary search over the sorted ring points.
+#[derive(Debug, Clone)]
+pub struct ShardRing {
+    points: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+impl ShardRing {
+    /// Build a ring. `shards` and `vnodes` must both be ≥ 1 (a zero shard
+    /// count has no meaningful routing; callers size these from config).
+    pub fn new(shards: usize, vnodes: usize) -> Self {
+        let shards = shards.max(1);
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(shards * vnodes);
+        for s in 0..shards {
+            for v in 0..vnodes {
+                points.push((mix64(((s as u64) << 32) ^ v as u64), s));
+            }
+        }
+        points.sort_unstable();
+        ShardRing { points, shards }
+    }
+
+    /// Number of shards the ring routes to.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `key` (first ring point clockwise of the key hash).
+    pub fn shard_for(&self, key: &str) -> usize {
+        let h = fnv1a(key);
+        let idx = self.points.partition_point(|&(p, _)| p < h);
+        self.points
+            .get(idx)
+            .or_else(|| self.points.first())
+            .map(|&(_, s)| s)
+            .unwrap_or(0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Retry policy
+// ---------------------------------------------------------------------------
+
+/// Bounded retries with decorrelated-jitter backoff.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so `1` disables retries).
+    pub max_attempts: u32,
+    /// Base backoff; also the jitter floor.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub cap: Duration,
+    /// Hedge an idempotent call after this long without a reply; `None`
+    /// disables hedging.
+    pub hedge_after: Option<Duration>,
+    /// Seed for the deterministic jitter draws.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(250),
+            hedge_after: None,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The decorrelated-jitter schedule: a deterministic draw in
+    /// `[base, 3·prev)`, clamped to `cap`. Feed the previous sleep back in
+    /// as `prev` (start with `base`).
+    pub fn backoff(&self, prev: Duration, seq: u64) -> Duration {
+        let lo = self.base.as_millis() as u64;
+        let hi = (prev.as_millis() as u64).saturating_mul(3).max(lo + 1);
+        let draw = lo + mix64(self.seed ^ seq.wrapping_mul(0x9E37_79B9)) % (hi - lo);
+        Duration::from_millis(draw).min(self.cap)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker
+// ---------------------------------------------------------------------------
+
+/// Breaker position, exposed as a `/metrics` gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow normally.
+    Closed,
+    /// Calls are rejected without touching the shard.
+    Open,
+    /// One probe call is allowed through; its outcome decides.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Numeric gauge encoding (0 closed, 1 half-open, 2 open).
+    pub fn as_gauge(self) -> u8 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open => 2,
+        }
+    }
+}
+
+/// Breaker thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip closed → open.
+    pub failure_threshold: u32,
+    /// How long an open breaker rejects before allowing a half-open probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { failure_threshold: 3, cooldown: Duration::from_millis(500) }
+    }
+}
+
+/// What the breaker says about a prospective call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Closed: call normally.
+    Allow,
+    /// Half-open: this caller carries the probe.
+    Probe,
+    /// Open (or probe already in flight): do not call; degrade.
+    Reject,
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    probe_in_flight: bool,
+}
+
+/// The closed → open → half-open state machine, one per shard.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    inner: Mutex<BreakerInner>,
+    opened_total: AtomicU64,
+    half_opened_total: AtomicU64,
+    closed_total: AtomicU64,
+}
+
+impl CircuitBreaker {
+    /// A fresh, closed breaker.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: None,
+                probe_in_flight: false,
+            }),
+            opened_total: AtomicU64::new(0),
+            half_opened_total: AtomicU64::new(0),
+            closed_total: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BreakerInner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Ask to place a call. [`Admission::Probe`] obliges the caller to
+    /// report the outcome via [`record`](Self::record) with `probe = true`.
+    pub fn admit(&self) -> Admission {
+        let mut g = self.lock();
+        match g.state {
+            BreakerState::Closed => Admission::Allow,
+            BreakerState::Open => {
+                let cooled = g
+                    .opened_at
+                    .is_some_and(|t| t.elapsed() >= self.config.cooldown);
+                if cooled {
+                    g.state = BreakerState::HalfOpen;
+                    g.probe_in_flight = true;
+                    self.half_opened_total.fetch_add(1, Ordering::SeqCst);
+                    Admission::Probe
+                } else {
+                    Admission::Reject
+                }
+            }
+            BreakerState::HalfOpen => {
+                if g.probe_in_flight {
+                    Admission::Reject
+                } else {
+                    g.probe_in_flight = true;
+                    Admission::Probe
+                }
+            }
+        }
+    }
+
+    /// Report a call outcome. `probe` must be true iff [`admit`](Self::admit)
+    /// returned [`Admission::Probe`] for this call.
+    pub fn record(&self, success: bool, probe: bool) {
+        let mut g = self.lock();
+        if probe {
+            g.probe_in_flight = false;
+        }
+        if success {
+            g.consecutive_failures = 0;
+            if g.state != BreakerState::Closed {
+                g.state = BreakerState::Closed;
+                g.opened_at = None;
+                self.closed_total.fetch_add(1, Ordering::SeqCst);
+            }
+        } else {
+            g.consecutive_failures = g.consecutive_failures.saturating_add(1);
+            let trip = match g.state {
+                // A failed half-open probe re-opens immediately.
+                BreakerState::HalfOpen => true,
+                BreakerState::Closed => {
+                    g.consecutive_failures >= self.config.failure_threshold
+                }
+                BreakerState::Open => false,
+            };
+            if trip {
+                g.state = BreakerState::Open;
+                g.opened_at = Some(Instant::now());
+                self.opened_total.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Force the breaker closed (a restarted shard starts with a clean
+    /// slate; its first failures should count from zero).
+    pub fn reset(&self) {
+        let mut g = self.lock();
+        g.state = BreakerState::Closed;
+        g.consecutive_failures = 0;
+        g.opened_at = None;
+        g.probe_in_flight = false;
+    }
+
+    /// Current position.
+    pub fn state(&self) -> BreakerState {
+        self.lock().state
+    }
+
+    /// Lifetime transition counts: (to open, to half-open, to closed).
+    pub fn transitions(&self) -> (u64, u64, u64) {
+        (
+            self.opened_total.load(Ordering::SeqCst),
+            self.half_opened_total.load(Ordering::SeqCst),
+            self.closed_total.load(Ordering::SeqCst),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard metrics
+// ---------------------------------------------------------------------------
+
+/// Front-side counters for the shard layer, rendered into `/metrics`.
+#[derive(Debug, Default)]
+pub struct ShardMetrics {
+    retries: AtomicU64,
+    hedges: AtomicU64,
+    hedge_wins: AtomicU64,
+    restarts: AtomicU64,
+    degraded_answers: AtomicU64,
+}
+
+impl ShardMetrics {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        ShardMetrics::default()
+    }
+
+    pub(crate) fn observe_retry(&self) {
+        self.retries.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn observe_hedge(&self) {
+        self.hedges.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn observe_hedge_win(&self) {
+        self.hedge_wins.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Record one shard restart (the supervisor's health loop calls this).
+    pub fn observe_restart(&self) {
+        self.restarts.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Record one degraded (`shard_degraded`) answer served by the front.
+    pub fn observe_degraded(&self) {
+        self.degraded_answers.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Counter snapshot: (retries, hedges, hedge wins, restarts, degraded).
+    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.retries.load(Ordering::SeqCst),
+            self.hedges.load(Ordering::SeqCst),
+            self.hedge_wins.load(Ordering::SeqCst),
+            self.restarts.load(Ordering::SeqCst),
+            self.degraded_answers.load(Ordering::SeqCst),
+        )
+    }
+
+    /// Append the Prometheus text exposition.
+    pub fn render(&self, out: &mut String) {
+        use std::fmt::Write;
+        let (retries, hedges, wins, restarts, degraded) = self.snapshot();
+        let _ = writeln!(out, "# TYPE urbane_shard_retries_total counter");
+        let _ = writeln!(out, "urbane_shard_retries_total {retries}");
+        let _ = writeln!(out, "# TYPE urbane_shard_hedges_total counter");
+        let _ = writeln!(out, "urbane_shard_hedges_total {hedges}");
+        let _ = writeln!(out, "# TYPE urbane_shard_hedge_wins_total counter");
+        let _ = writeln!(out, "urbane_shard_hedge_wins_total {wins}");
+        let _ = writeln!(out, "# TYPE urbane_shard_restarts_total counter");
+        let _ = writeln!(out, "urbane_shard_restarts_total {restarts}");
+        let _ = writeln!(out, "# TYPE urbane_shard_degraded_total counter");
+        let _ = writeln!(out, "urbane_shard_degraded_total {degraded}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed shard call + transport
+// ---------------------------------------------------------------------------
+
+/// One typed call against a shard. The deadline is absolute; the transport
+/// recomputes the remaining budget at every send.
+#[derive(Debug, Clone)]
+pub struct ShardCall {
+    /// Request path on the shard (`/query`, `/healthz`, …).
+    pub path: String,
+    /// Request body (already carries the propagated `deadline_ms`).
+    pub body: String,
+    /// Absolute wall-clock deadline for the whole call, retries included.
+    pub deadline: Instant,
+    /// Idempotent calls may be hedged; non-idempotent ones never are.
+    pub idempotent: bool,
+}
+
+/// Why a shard call failed (after the client's own retries).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallError {
+    /// Connection refused / shard unreachable.
+    Refused,
+    /// The response arrived truncated.
+    Truncated,
+    /// The deadline expired before a reply.
+    DeadlineExhausted,
+    /// Any other socket-level failure.
+    Io(String),
+}
+
+impl std::fmt::Display for CallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CallError::Refused => f.write_str("shard connection refused"),
+            CallError::Truncated => f.write_str("shard response truncated"),
+            CallError::DeadlineExhausted => f.write_str("deadline exhausted before shard reply"),
+            CallError::Io(m) => write!(f, "shard io error: {m}"),
+        }
+    }
+}
+
+/// The retrying, hedging, chaos-aware shard transport. Cloning shares the
+/// chaos plan and metrics (cheap `Arc`s); each call opens its own
+/// connection, so a dead shard fails fast instead of wedging a pooled
+/// socket.
+#[derive(Clone)]
+pub struct ShardClient {
+    policy: RetryPolicy,
+    chaos: Option<ChaosPlan>,
+    metrics: Arc<ShardMetrics>,
+}
+
+impl ShardClient {
+    /// Build a client. `chaos` injects seeded faults at the call boundary
+    /// (tests/harness); `None` is the production path.
+    pub fn new(policy: RetryPolicy, chaos: Option<ChaosPlan>, metrics: Arc<ShardMetrics>) -> Self {
+        ShardClient { policy, chaos, metrics }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// One transport exchange, chaos applied. No retries at this layer.
+    fn call_once(&self, addr: SocketAddr, call: &ShardCall) -> Result<ClientResponse, CallError> {
+        let mut remaining = call.deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(CallError::DeadlineExhausted);
+        }
+        let event = self
+            .chaos
+            .as_ref()
+            .map(|c| c.next_event())
+            .unwrap_or(ChaosEvent::None);
+        let truncate = match event {
+            ChaosEvent::RefuseConnect => return Err(CallError::Refused),
+            ChaosEvent::Delay { ms } => {
+                let stall = Duration::from_millis(ms);
+                if stall >= remaining {
+                    // The injected stall eats the whole budget: the caller
+                    // would time out waiting, so report exactly that.
+                    std::thread::sleep(remaining);
+                    return Err(CallError::DeadlineExhausted);
+                }
+                std::thread::sleep(stall);
+                remaining = call.deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(CallError::DeadlineExhausted);
+                }
+                false
+            }
+            ChaosEvent::TruncateResponse => true,
+            ChaosEvent::None => false,
+        };
+        let mut client = Client::connect(addr, remaining).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::ConnectionRefused {
+                CallError::Refused
+            } else {
+                CallError::Io(e.to_string())
+            }
+        })?;
+        let resp = client.post(&call.path, &call.body).map_err(|e| match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                CallError::DeadlineExhausted
+            }
+            std::io::ErrorKind::UnexpectedEof => CallError::Truncated,
+            _ => CallError::Io(e.to_string()),
+        })?;
+        if truncate {
+            // The exchange completed, but the plan says the body was cut
+            // mid-stream: discard it and report the truncation the caller
+            // would have seen.
+            return Err(CallError::Truncated);
+        }
+        Ok(resp)
+    }
+
+    /// Race a hedge against a slow primary: if the primary has not replied
+    /// within `hedge_after`, launch a second identical call and take
+    /// whichever finishes first. Only for idempotent calls.
+    fn call_hedged(
+        &self,
+        addr: SocketAddr,
+        call: &ShardCall,
+        hedge_after: Duration,
+    ) -> Result<ClientResponse, CallError> {
+        let (tx, rx) = mpsc::channel::<(bool, Result<ClientResponse, CallError>)>();
+        let spawn_leg = |is_hedge: bool, tx: mpsc::Sender<_>| {
+            let this = self.clone();
+            let call = call.clone();
+            std::thread::spawn(move || {
+                let r = this.call_once(addr, &call);
+                // The race may already be decided; a dropped receiver is fine.
+                let _ = tx.send((is_hedge, r));
+            });
+        };
+        spawn_leg(false, tx.clone());
+        let first = match rx.recv_timeout(hedge_after) {
+            Ok(reply) => Some(reply),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return Err(CallError::Io("hedge channel closed".into()))
+            }
+        };
+        let (from_hedge, result) = match first {
+            Some(reply) => reply,
+            None => {
+                // Primary is slow: launch the hedge and take the first reply.
+                self.metrics.observe_hedge();
+                spawn_leg(true, tx.clone());
+                let remaining = call.deadline.saturating_duration_since(Instant::now());
+                match rx.recv_timeout(remaining) {
+                    Ok(reply) => reply,
+                    Err(_) => return Err(CallError::DeadlineExhausted),
+                }
+            }
+        };
+        drop(tx);
+        if from_hedge && result.is_ok() {
+            self.metrics.observe_hedge_win();
+        }
+        result
+    }
+
+    /// Place a call with bounded retries, decorrelated-jitter backoff, and
+    /// (for idempotent calls) hedging. 5xx replies count as failures and
+    /// are retried; every attempt re-derives the remaining deadline.
+    pub fn call(&self, addr: SocketAddr, call: &ShardCall) -> Result<ClientResponse, CallError> {
+        let max_attempts = self.policy.max_attempts.max(1);
+        let mut attempt = 0u32;
+        let mut prev_backoff = self.policy.base;
+        loop {
+            let remaining = call.deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(CallError::DeadlineExhausted);
+            }
+            let result = match (call.idempotent, self.policy.hedge_after) {
+                (true, Some(h)) if h < remaining => self.call_hedged(addr, call, h),
+                _ => self.call_once(addr, call),
+            };
+            let retryable = match &result {
+                Ok(resp) => resp.status >= 500,
+                // A blown deadline cannot be retried into success.
+                Err(CallError::DeadlineExhausted) => false,
+                Err(_) => true,
+            };
+            attempt += 1;
+            if !retryable || attempt >= max_attempts {
+                return result;
+            }
+            self.metrics.observe_retry();
+            let backoff = self.policy.backoff(prev_backoff, u64::from(attempt));
+            prev_backoff = backoff;
+            let left = call.deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(CallError::DeadlineExhausted);
+            }
+            std::thread::sleep(backoff.min(left));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_deterministic_and_covers_all_shards() {
+        let ring = ShardRing::new(4, 32);
+        let keys = ["taxi", "311", "crime", "bike", "noise", "water", "power", "trees"];
+        let mut hit = [false; 4];
+        for k in keys {
+            let s = ring.shard_for(k);
+            assert!(s < 4);
+            assert_eq!(s, ring.shard_for(k), "routing must be stable");
+            hit[s] = true;
+        }
+        assert!(hit.iter().filter(|&&h| h).count() >= 2, "8 keys over 4 shards must spread");
+    }
+
+    #[test]
+    fn ring_moves_few_keys_when_a_shard_joins() {
+        let before = ShardRing::new(3, 64);
+        let after = ShardRing::new(4, 64);
+        let keys: Vec<String> = (0..1000).map(|i| format!("dataset-{i}")).collect();
+        let moved = keys
+            .iter()
+            .filter(|k| {
+                let b = before.shard_for(k);
+                let a = after.shard_for(k);
+                a != b && a != 3 // moving TO the new shard is expected
+            })
+            .count();
+        assert!(
+            moved < 100,
+            "consistent hashing must not reshuffle between old shards (moved {moved}/1000)"
+        );
+    }
+
+    #[test]
+    fn backoff_is_jittered_bounded_and_deterministic() {
+        let p = RetryPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(100),
+            ..Default::default()
+        };
+        let mut prev = p.base;
+        let mut seen = std::collections::BTreeSet::new();
+        for seq in 0..20 {
+            let b = p.backoff(prev, seq);
+            assert!(b >= Duration::from_millis(10) || b == p.cap, "below base: {b:?}");
+            assert!(b <= p.cap, "above cap: {b:?}");
+            assert_eq!(b, p.backoff(prev, seq), "deterministic per (prev, seq)");
+            seen.insert(b.as_millis());
+            prev = b;
+        }
+        assert!(seen.len() > 3, "jitter must vary: {seen:?}");
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_halfopen_closed() {
+        let b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_millis(20),
+        });
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(), Admission::Allow);
+        b.record(false, false);
+        assert_eq!(b.state(), BreakerState::Closed, "one failure is below threshold");
+        b.record(false, false);
+        assert_eq!(b.state(), BreakerState::Open, "threshold trips the breaker");
+        assert_eq!(b.admit(), Admission::Reject, "open rejects during cooldown");
+
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(b.admit(), Admission::Probe, "cooldown elapses into a half-open probe");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.admit(), Admission::Reject, "only one probe in flight");
+        b.record(true, true);
+        assert_eq!(b.state(), BreakerState::Closed, "a good probe closes the breaker");
+        assert_eq!(b.transitions(), (1, 1, 1));
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::from_millis(10),
+        });
+        b.record(false, false);
+        assert_eq!(b.state(), BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(b.admit(), Admission::Probe);
+        b.record(false, true);
+        assert_eq!(b.state(), BreakerState::Open, "failed probe reopens");
+        assert_eq!(b.transitions().0, 2, "two opens counted");
+    }
+
+    #[test]
+    fn call_against_dead_listener_is_refused_within_attempts() {
+        // Bind then drop: the port is (very likely) dead for the test's
+        // lifetime.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let metrics = Arc::new(ShardMetrics::new());
+        let client = ShardClient::new(
+            RetryPolicy {
+                max_attempts: 3,
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(2),
+                ..Default::default()
+            },
+            None,
+            Arc::clone(&metrics),
+        );
+        let call = ShardCall {
+            path: "/query".into(),
+            body: "{}".into(),
+            deadline: Instant::now() + Duration::from_secs(2),
+            idempotent: true,
+        };
+        let err = client.call(addr, &call).unwrap_err();
+        assert!(
+            matches!(err, CallError::Refused | CallError::Io(_)),
+            "dead listener must refuse: {err:?}"
+        );
+        assert_eq!(metrics.snapshot().0, 2, "two retries after the first attempt");
+    }
+
+    #[test]
+    fn chaos_refusal_consumes_attempts_deterministically() {
+        let chaos = ChaosPlan::seeded(11).refuse(1000);
+        let metrics = Arc::new(ShardMetrics::new());
+        let client = ShardClient::new(
+            RetryPolicy {
+                max_attempts: 2,
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(2),
+                ..Default::default()
+            },
+            Some(chaos.clone()),
+            metrics,
+        );
+        // Any addr works: the refusal fires before the socket is touched.
+        let addr: SocketAddr = "127.0.0.1:9".parse().unwrap();
+        let call = ShardCall {
+            path: "/query".into(),
+            body: "{}".into(),
+            deadline: Instant::now() + Duration::from_secs(1),
+            idempotent: false,
+        };
+        assert!(matches!(client.call(addr, &call), Err(CallError::Refused)));
+        assert_eq!(chaos.counts().refused, 2, "every attempt drew a refusal");
+    }
+}

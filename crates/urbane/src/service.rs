@@ -306,6 +306,13 @@ impl UrbaneService {
             .collect()
     }
 
+    /// The current generation of one dataset, or `None` if unregistered.
+    /// The sharded front and the generation-ledger tests use this to pin
+    /// down exactly which table a served answer was computed against.
+    pub fn dataset_generation(&self, name: &str) -> Option<u64> {
+        read(&self.datasets).get(name).map(|e| e.generation)
+    }
+
     /// Query-result cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()

@@ -62,3 +62,19 @@ wait "$serve_pid" 2>/dev/null || true
 trap - EXIT
 rm -f "$serve_log"
 echo "server smoke OK"
+
+# Swarm smoke: the chaos-driven sharded front at miniature scale — 2
+# shards, 1 scheduled kill (wedge + health-loop revival), zipfian clients.
+# `repro --exp swarm` exits non-zero unless every full-fidelity answer
+# matched the serial oracle, no 5xx escaped, and availability stayed ≥99%;
+# the jq-free grep below additionally pins the kill actually firing and a
+# clean JSON artifact.
+swarm_json="$(mktemp)"
+cargo run --release -p urbane-bench --bin repro -- \
+  --exp swarm --scale 6000 --shards 2 --clients 3 --requests 40 --kills 1 \
+  --json "$swarm_json" > /dev/null
+grep -q '"kills_fired": 1' "$swarm_json" || { echo "swarm kill did not fire"; cat "$swarm_json"; exit 1; }
+grep -q '"wrong": 0' "$swarm_json" || { echo "swarm served wrong answers"; cat "$swarm_json"; exit 1; }
+grep -q '"passed": true' "$swarm_json" || { echo "swarm smoke failed"; cat "$swarm_json"; exit 1; }
+rm -f "$swarm_json"
+echo "swarm smoke OK"

@@ -121,9 +121,19 @@ fn saturated_queue_sheds_with_429_and_recovers() {
         let _ = std::io::Read::read_to_end(&mut probe, &mut buf);
         let text = String::from_utf8_lossy(&buf).to_string();
         if text.starts_with("HTTP/1.1 429") {
+            // The hint is jittered per shed so synchronized clients don't
+            // return in one thundering herd — but it stays in a tight,
+            // advertised band.
+            let retry_after: u64 = text
+                .lines()
+                .find_map(|l| l.strip_prefix("Retry-After: "))
+                .unwrap_or_else(|| panic!("shed responses must carry Retry-After: {text}"))
+                .trim()
+                .parse()
+                .expect("Retry-After must be an integer number of seconds");
             assert!(
-                text.contains("Retry-After: 1"),
-                "shed responses must carry Retry-After: {text}"
+                (1..=4).contains(&retry_after),
+                "jittered Retry-After must stay in 1..=4, got {retry_after}: {text}"
             );
             shed += 1;
         }
@@ -149,6 +159,148 @@ fn saturated_queue_sheds_with_429_and_recovers() {
         .expect("metrics expose urbane_shed_total");
     let count: u64 = shed_line.split_whitespace().last().unwrap().parse().unwrap();
     assert!(count >= shed as u64, "{shed_line}");
+
+    server.shutdown();
+}
+
+#[test]
+fn slow_loris_is_cut_off_by_the_request_read_budget() {
+    // A drip-feeding client sends one byte every 100ms: each individual
+    // read completes well inside the 2s idle timeout, so only the *total*
+    // per-request read budget can end the connection. Before the budget
+    // existed, this client could pin a worker for as long as it kept
+    // dripping.
+    let server = boot(ServerConfig {
+        read_timeout: Duration::from_secs(2),
+        read_budget: Duration::from_millis(500),
+        ..Default::default()
+    });
+    let addr = server.addr();
+
+    let start = std::time::Instant::now();
+    let mut drip = TcpStream::connect(addr).expect("drip connection");
+    drip.set_read_timeout(Some(Duration::from_millis(100))).unwrap();
+    let request = b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+    let mut cut_off = false;
+    let mut served = Vec::new();
+    'drip: for byte in request.iter() {
+        if drip.write_all(std::slice::from_ref(byte)).is_err() {
+            cut_off = true;
+            break;
+        }
+        // The 100ms read timeout doubles as the drip pacing; Ok(0) is the
+        // server hanging up on us.
+        let mut buf = [0u8; 256];
+        loop {
+            match std::io::Read::read(&mut drip, &mut buf) {
+                Ok(0) => {
+                    cut_off = true;
+                    break 'drip;
+                }
+                Ok(n) => served.extend_from_slice(&buf[..n]),
+                Err(_) => break, // read timeout: connection still open
+            }
+        }
+    }
+    assert!(
+        cut_off,
+        "the read budget must cut the slow client off before the request \
+         completes (server answered: {:?})",
+        String::from_utf8_lossy(&served)
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "cut-off must come from the 500ms budget, not a later timeout \
+         (elapsed {:?})",
+        start.elapsed()
+    );
+
+    // The worker the loris held is free again: a well-behaved client is
+    // served promptly.
+    let mut client = Client::connect(addr, Duration::from_secs(5)).unwrap();
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+
+    server.shutdown();
+}
+
+#[test]
+fn reload_during_inflight_queries_never_serves_cross_generation_hits() {
+    use std::collections::btree_map::Entry;
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    // Hammer /query from several threads while /reload swaps the dataset
+    // underneath them, then audit the full response ledger: within one
+    // generation every answer must be bit-identical (a cached hit that
+    // crossed generations would pair a stale region set with a fresh
+    // generation number and fail the audit).
+    let server = boot(ServerConfig::default());
+    let addr = server.addr();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let handles: Vec<_> = (0..3)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr, Duration::from_secs(30)).unwrap();
+                let mut seen: Vec<(u64, String)> = Vec::new();
+                while !stop.load(Ordering::SeqCst) {
+                    let resp = match client.post("/query", "{\"dataset\":\"taxi\",\"level\":1}") {
+                        Ok(r) => r,
+                        Err(_) => {
+                            client = Client::connect(addr, Duration::from_secs(30)).unwrap();
+                            continue;
+                        }
+                    };
+                    if resp.status != 200 {
+                        continue;
+                    }
+                    let json = parse_body(&resp.body);
+                    let generation =
+                        json.get("generation").and_then(Json::as_f64).expect("generation") as u64;
+                    let regions =
+                        json.get("regions").map(|r| format!("{r}")).unwrap_or_default();
+                    seen.push((generation, regions));
+                }
+                seen
+            })
+        })
+        .collect();
+
+    let mut reload_client = Client::connect(addr, Duration::from_secs(30)).unwrap();
+    for seed in 10..16 {
+        std::thread::sleep(Duration::from_millis(80));
+        let body = format!("{{\"dataset\":\"taxi\",\"rows\":6000,\"seed\":{seed}}}");
+        let resp = reload_client.post("/reload", &body).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+    }
+    std::thread::sleep(Duration::from_millis(150));
+    stop.store(true, Ordering::SeqCst);
+
+    let mut ledger: BTreeMap<u64, String> = BTreeMap::new();
+    let mut audited = 0usize;
+    for h in handles {
+        for (generation, regions) in h.join().expect("query thread") {
+            audited += 1;
+            match ledger.entry(generation) {
+                Entry::Vacant(v) => {
+                    v.insert(regions);
+                }
+                Entry::Occupied(o) => assert_eq!(
+                    o.get(),
+                    &regions,
+                    "generation {generation} answered two different region sets — \
+                     a cache hit crossed a reload boundary"
+                ),
+            }
+        }
+    }
+    assert!(audited >= 20, "stress must actually exercise queries (got {audited})");
+    assert!(
+        ledger.len() >= 3,
+        "queries must span several generations, saw {:?}",
+        ledger.keys().collect::<Vec<_>>()
+    );
 
     server.shutdown();
 }
