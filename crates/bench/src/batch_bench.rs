@@ -1,0 +1,332 @@
+//! Multi-query batching benchmark — the `--exp batch` mode of the
+//! `repro` binary and the generator of `BENCH_batch.json`.
+//!
+//! N closed-loop clients hammer one in-process [`UrbaneService`] with
+//! *distinct but compatible* queries: same dataset, level, mode, and
+//! resolution, different filter conjunctions. That is exactly the shape
+//! the batching planner coalesces — one polygon rasterization and one
+//! binned point pass answer the whole group. The identical workload runs
+//! twice, admission window on then off, with the query-result cache
+//! disabled in both legs so the speedup isolates batching alone. Every
+//! client's answer is cross-checked between the two legs: batching must
+//! be a pure scheduling optimisation, bit-identical to serial execution.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use urbane::catalog::DataCatalog;
+use urbane::service::{QueryRequest, ServiceConfig, UrbaneService};
+use urbane::{BatchStats, GuardPath, ResolutionPyramid};
+use urbane_serve::router::synthetic_table;
+use urban_data::filter::Filter;
+use urban_data::gen::city::CityModel;
+
+/// Knobs for the batch suite (settable from the `repro` CLI).
+#[derive(Debug, Clone)]
+pub struct BatchBenchConfig {
+    /// Taxi rows in the served dataset.
+    pub rows: usize,
+    /// Concurrent closed-loop clients, all sharing one dataset. Each
+    /// client issues its own filter, so no two requests share a cache
+    /// key and the single-flight path never collapses them.
+    pub clients: usize,
+    /// Requests per client per leg.
+    pub requests: usize,
+    /// Admission window for the batched leg.
+    pub window_ms: u64,
+    /// Raster canvas resolution.
+    pub resolution: u32,
+}
+
+impl Default for BatchBenchConfig {
+    fn default() -> Self {
+        BatchBenchConfig {
+            rows: 200_000,
+            clients: 8,
+            requests: 10,
+            window_ms: 15,
+            resolution: 512,
+        }
+    }
+}
+
+/// Measured outcome of one leg (one window setting).
+#[derive(Debug, Clone)]
+pub struct BatchRunStats {
+    /// Successfully answered queries.
+    pub completed: usize,
+    /// Failed queries (should be 0).
+    pub errors: usize,
+    /// Answers that arrived at full fidelity.
+    pub full: usize,
+    /// Queries per second over the leg's wall-clock span.
+    pub throughput_qps: f64,
+    /// Median per-query latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th percentile latency, milliseconds.
+    pub p95_ms: f64,
+    /// Planner counters after the leg (all zero when the window is off).
+    pub batches: u64,
+    /// Queries that went through a batch (includes batches of one).
+    pub batched_queries: u64,
+    /// Mean members per dispatched batch.
+    pub mean_batch_size: f64,
+    /// One answer table per client (values vector), for cross-leg
+    /// equality checking.
+    tables: Vec<Vec<Option<f64>>>,
+}
+
+/// The full suite result.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Config the suite ran with.
+    pub config: BatchBenchConfig,
+    /// The leg with the admission window open.
+    pub batched: BatchRunStats,
+    /// The leg with batching disabled (window 0).
+    pub unbatched: BatchRunStats,
+    /// Throughput ratio, batched / unbatched.
+    pub speedup: f64,
+    /// Did every client get the same table in both legs?
+    pub answers_match: bool,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn boot_service(cfg: &BatchBenchConfig, window: Duration) -> Arc<UrbaneService> {
+    let city = CityModel::nyc_like();
+    let mut catalog = DataCatalog::new();
+    catalog.register(
+        "taxi",
+        synthetic_table("taxi", cfg.rows, 7).expect("taxi generator exists"),
+    );
+    let pyramid = ResolutionPyramid::standard(&city.bbox(), 16, 8, 5);
+    let service = UrbaneService::new(
+        ServiceConfig {
+            join: raster_join::RasterJoinConfig::with_resolution(cfg.resolution),
+            cache_capacity: 0,
+            default_deadline: Duration::from_secs(60),
+            batch_window: window,
+            // A full group seals without waiting out the window, so with
+            // N closed-loop clients the window is a latency bound for
+            // stragglers, not a tax on every batch.
+            batch_max: cfg.clients,
+            ..Default::default()
+        },
+        catalog,
+        pyramid,
+    )
+    .expect("service boots");
+    Arc::new(service)
+}
+
+/// Client `c`'s request: a COUNT whose fare filter is broad enough to
+/// keep selectivity ~uniform across clients but distinct enough that no
+/// two clients share a cache key.
+fn client_request(c: usize) -> QueryRequest {
+    QueryRequest::count("taxi", 0).filter(Filter::AttrRange {
+        column: "fare".into(),
+        min: 0.0,
+        max: 500.0 + c as f32,
+    })
+}
+
+fn run_leg(service: &Arc<UrbaneService>, cfg: &BatchBenchConfig) -> BatchRunStats {
+    let started = Instant::now();
+    let handles: Vec<_> = (0..cfg.clients)
+        .map(|c| {
+            let service = Arc::clone(service);
+            let requests = cfg.requests;
+            std::thread::spawn(move || {
+                let req = client_request(c);
+                let mut latencies = Vec::with_capacity(requests);
+                let mut errors = 0usize;
+                let mut full = 0usize;
+                let mut table: Vec<Option<f64>> = Vec::new();
+                for _ in 0..requests {
+                    let t0 = Instant::now();
+                    match service.query(&req) {
+                        Ok(a) => {
+                            latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                            if a.report.path == GuardPath::Full {
+                                full += 1;
+                            }
+                            table = a.table.values();
+                        }
+                        Err(_) => errors += 1,
+                    }
+                }
+                (latencies, errors, full, table)
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::new();
+    let mut errors = 0usize;
+    let mut full = 0usize;
+    let mut tables = Vec::with_capacity(cfg.clients);
+    for h in handles {
+        let (l, e, f, t) = h.join().expect("bench client thread");
+        latencies.extend(l);
+        errors += e;
+        full += f;
+        tables.push(t);
+    }
+    let span = started.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let stats: BatchStats = service.batch_stats();
+    BatchRunStats {
+        completed: latencies.len(),
+        errors,
+        full,
+        throughput_qps: if span > 0.0 { latencies.len() as f64 / span } else { 0.0 },
+        p50_ms: percentile(&latencies, 0.50),
+        p95_ms: percentile(&latencies, 0.95),
+        batches: stats.batches,
+        batched_queries: stats.batched_queries,
+        mean_batch_size: if stats.batches > 0 {
+            stats.batched_queries as f64 / stats.batches as f64
+        } else {
+            0.0
+        },
+        tables,
+    }
+}
+
+/// Run the suite: identical concurrent workload, window on then off.
+pub fn run(cfg: &BatchBenchConfig) -> BatchReport {
+    let batched = run_leg(&boot_service(cfg, Duration::from_millis(cfg.window_ms)), cfg);
+    let unbatched = run_leg(&boot_service(cfg, Duration::ZERO), cfg);
+    let speedup = if unbatched.throughput_qps > 0.0 {
+        batched.throughput_qps / unbatched.throughput_qps
+    } else {
+        0.0
+    };
+    let answers_match = !batched.tables.is_empty()
+        && batched.tables.len() == unbatched.tables.len()
+        && batched
+            .tables
+            .iter()
+            .zip(&unbatched.tables)
+            .all(|(a, b)| !a.is_empty() && a == b);
+    BatchReport { config: cfg.clone(), batched, unbatched, speedup, answers_match }
+}
+
+impl BatchReport {
+    /// Correctness gate: everything answered, at full fidelity, with
+    /// bit-identical tables across the two legs, and the batched leg
+    /// actually coalesced at least one multi-member batch. Deliberately
+    /// excludes the speedup: timing is environment-dependent and is
+    /// reported, not asserted.
+    pub fn passed(&self) -> bool {
+        self.answers_match
+            && self.batched.errors == 0
+            && self.unbatched.errors == 0
+            && self.batched.full == self.batched.completed
+            && self.unbatched.full == self.unbatched.completed
+            && self.batched.batches > 0
+            && self.batched.batched_queries > self.batched.batches
+            && self.unbatched.batches == 0
+    }
+
+    /// Hand-rolled JSON (the workspace deliberately has no serde),
+    /// written to `BENCH_batch.json`.
+    pub fn to_json(&self) -> String {
+        let run = |s: &BatchRunStats| {
+            format!(
+                "{{\"completed\": {}, \"errors\": {}, \"full\": {}, \
+                 \"throughput_qps\": {:.2}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \
+                 \"batches\": {}, \"batched_queries\": {}, \"mean_batch_size\": {:.2}}}",
+                s.completed,
+                s.errors,
+                s.full,
+                s.throughput_qps,
+                s.p50_ms,
+                s.p95_ms,
+                s.batches,
+                s.batched_queries,
+                s.mean_batch_size
+            )
+        };
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"bench\": \"batch\",\n");
+        s.push_str(&format!(
+            "  \"command\": \"cargo run --release -p urbane-bench --bin repro -- --exp batch \
+             --scale {} --clients {} --requests {} --window-ms {} --json BENCH_batch.json\",\n",
+            self.config.rows, self.config.clients, self.config.requests, self.config.window_ms
+        ));
+        s.push_str(&format!("  \"rows\": {},\n", self.config.rows));
+        s.push_str(&format!("  \"clients\": {},\n", self.config.clients));
+        s.push_str(&format!("  \"requests_per_client\": {},\n", self.config.requests));
+        s.push_str(&format!("  \"window_ms\": {},\n", self.config.window_ms));
+        s.push_str(&format!("  \"resolution\": {},\n", self.config.resolution));
+        s.push_str(&format!("  \"batched\": {},\n", run(&self.batched)));
+        s.push_str(&format!("  \"unbatched\": {},\n", run(&self.unbatched)));
+        s.push_str(&format!("  \"speedup\": {:.3},\n", self.speedup));
+        s.push_str(&format!("  \"answers_match\": {},\n", self.answers_match));
+        s.push_str(&format!("  \"passed\": {}\n", self.passed()));
+        s.push_str("}\n");
+        s
+    }
+
+    /// Human-readable table for the repro binary's stdout.
+    pub fn render(&self) -> String {
+        let mut t = crate::Table::new([
+            "run", "q/s", "p50 ms", "p95 ms", "batches", "mean K", "errors",
+        ]);
+        for (name, s) in [("batched", &self.batched), ("unbatched", &self.unbatched)] {
+            t.row([
+                name.to_string(),
+                format!("{:.2}", s.throughput_qps),
+                format!("{:.2}", s.p50_ms),
+                format!("{:.2}", s.p95_ms),
+                format!("{}", s.batches),
+                format!("{:.2}", s.mean_batch_size),
+                format!("{}", s.errors),
+            ]);
+        }
+        format!(
+            "{}\nbatching speedup: {:.2}x  answers match: {}\n",
+            t.render(),
+            self.speedup,
+            self.answers_match
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let sorted = vec![1.0, 2.0, 3.0];
+        assert_eq!(percentile(&sorted, 0.5), 2.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn tiny_suite_coalesces_and_matches() {
+        // Miniature end-to-end run: enough concurrency for the window to
+        // catch at least one pair, small enough for a unit test. The
+        // generous window makes coalescing robust on a loaded machine.
+        let report = run(&BatchBenchConfig {
+            rows: 20_000,
+            clients: 4,
+            requests: 3,
+            window_ms: 150,
+            resolution: 512,
+        });
+        assert!(report.passed(), "{}", report.render());
+        assert_eq!(report.batched.completed, 12);
+        assert_eq!(report.unbatched.completed, 12);
+        let json = report.to_json();
+        assert!(urbane_geom::geojson::parse_json(&json).is_ok(), "{json}");
+    }
+}

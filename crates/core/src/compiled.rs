@@ -21,12 +21,107 @@
 use crate::budget::QueryBudget;
 use crate::Result;
 use urban_data::binned::BinnedPointTable;
+use urban_data::filter::Filter;
 use urban_data::query::{AggKind, SpatialAggQuery};
+use urban_data::time::TimeRange;
 use urban_data::PointTable;
-use urbane_geom::BoundingBox;
+use urbane_geom::{BoundingBox, Point};
 
-/// Rows per budget poll while building the filter bitmask.
+/// Rows per budget poll while building the filter bitmask (a multiple of 64
+/// so chunk edges align with mask words).
 const MASK_CHUNK: usize = 1 << 16;
+
+/// One filter condition bound to its table columns — the per-row dispatch
+/// and column lookup are hoisted out of the scan loop, which matters when
+/// the mask build runs once per batch member.
+enum Pred<'t> {
+    /// Attribute in `[min, max]` (closed; NaN never matches).
+    Range { vals: &'t [f32], min: f32, max: f32 },
+    /// Attribute equals a categorical code.
+    Equals { vals: &'t [f32], value: f32 },
+    /// Timestamp within a half-open range.
+    Time { ts: &'t [i64], range: TimeRange },
+    /// Location within a closed box.
+    Spatial { xs: &'t [f64], ys: &'t [f64], bbox: BoundingBox },
+}
+
+impl Pred<'_> {
+    fn bind<'t>(f: &Filter, points: &'t PointTable) -> Result<Pred<'t>> {
+        Ok(match f {
+            Filter::AttrRange { column, min, max } => Pred::Range {
+                vals: points.column(points.schema().index_of(column)?),
+                min: *min,
+                max: *max,
+            },
+            Filter::AttrEquals { column, value } => Pred::Equals {
+                vals: points.column(points.schema().index_of(column)?),
+                value: *value,
+            },
+            Filter::Time(r) => Pred::Time { ts: points.timestamps(), range: *r },
+            Filter::SpatialBox(b) => {
+                Pred::Spatial { xs: points.xs(), ys: points.ys(), bbox: *b }
+            }
+        })
+    }
+
+    /// Does row `i` satisfy this condition? Identical semantics to
+    /// [`Filter`]'s row probe.
+    #[inline]
+    fn test(&self, i: usize) -> bool {
+        match self {
+            Pred::Range { vals, min, max } => {
+                let v = vals[i];
+                v >= *min && v <= *max
+            }
+            Pred::Equals { vals, value } => vals[i] == *value,
+            Pred::Time { ts, range } => range.contains(ts[i]),
+            Pred::Spatial { xs, ys, bbox } => bbox.contains(Point::new(xs[i], ys[i])),
+        }
+    }
+}
+
+/// Evaluate a filter conjunction over all rows into a bitmask: the first
+/// condition fills the mask with a tight columnar scan, each further one
+/// clears the set bits it rejects (only surviving rows are re-probed).
+fn build_mask(preds: &[Pred<'_>], n: usize, budget: &QueryBudget) -> Result<Vec<u64>> {
+    let mut bits = vec![0u64; n.div_ceil(64)];
+    for (k, pred) in preds.iter().enumerate() {
+        let mut start = 0usize;
+        while start < n {
+            budget.check()?;
+            let end = (start + MASK_CHUNK).min(n);
+            let w0 = start >> 6;
+            if k == 0 {
+                // Fill whole words in a register — one store per 64 rows.
+                for (off, slot) in bits[w0..end.div_ceil(64)].iter_mut().enumerate() {
+                    let lo = (w0 + off) << 6;
+                    let hi = (lo + 64).min(n);
+                    let mut word = 0u64;
+                    for i in lo..hi {
+                        word |= u64::from(pred.test(i)) << (i & 63);
+                    }
+                    *slot = word;
+                }
+            } else {
+                for (off, slot) in bits[w0..end.div_ceil(64)].iter_mut().enumerate() {
+                    let base = (w0 + off) << 6;
+                    let mut word = *slot;
+                    let mut pending = word;
+                    while pending != 0 {
+                        let b = pending.trailing_zeros() as usize;
+                        if !pred.test(base | b) {
+                            word &= !(1u64 << b);
+                        }
+                        pending &= pending - 1;
+                    }
+                    *slot = word;
+                }
+            }
+            start = end;
+        }
+    }
+    Ok(bits)
+}
 
 /// A query compiled against one table: resolved aggregate column plus a
 /// shared filter bitmask. Immutable after construction — share it freely
@@ -54,21 +149,13 @@ impl CompiledQuery {
         let mask = if query.filters.is_empty() {
             None
         } else {
-            let filter = query.filters.compile(points)?;
-            let n = points.len();
-            let mut bits = vec![0u64; n.div_ceil(64)];
-            let mut start = 0usize;
-            while start < n {
-                budget.check()?;
-                let end = (start + MASK_CHUNK).min(n);
-                for i in start..end {
-                    if filter.matches(i) {
-                        bits[i >> 6] |= 1u64 << (i & 63);
-                    }
-                }
-                start = end;
-            }
-            Some(bits)
+            let preds = query
+                .filters
+                .filters()
+                .iter()
+                .map(|f| Pred::bind(f, points))
+                .collect::<Result<Vec<_>>>()?;
+            Some(build_mask(&preds, points.len(), budget)?)
         };
         Ok(CompiledQuery { agg, col, mask })
     }

@@ -220,7 +220,7 @@ impl RasterJoin {
     /// Build bins for a one-shot execution per [`BinningMode`]. Long-lived
     /// callers (sessions) should build a [`BinnedPointTable`] once and use
     /// [`execute_store`](Self::execute_store) instead.
-    fn auto_bins(
+    pub(crate) fn auto_bins(
         &self,
         points: &PointTable,
         regions: &RegionSet,

@@ -36,6 +36,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod accurate;
+pub mod batch;
 pub mod bounded;
 pub mod budget;
 pub mod canvas;
@@ -47,6 +48,7 @@ pub mod fault;
 pub mod prepared;
 pub mod weighted;
 
+pub use batch::{BatchResult, MAX_BATCH_TARGETS};
 pub use budget::{CancelHandle, QueryBudget};
 pub use canvas::{CanvasPlan, CanvasSpec};
 pub use chaos::{ChaosCounts, ChaosEvent, ChaosPlan, ShardKill};

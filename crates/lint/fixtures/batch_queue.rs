@@ -1,0 +1,31 @@
+//! Fixture: batching-planner admission queues. Group state admits members
+//! on the request path, so every push must show its cap — the planner seals
+//! a group at `max_size`, and the group map is bounded by the number of
+//! concurrently open groups (sealing removes the entry).
+
+use std::collections::HashMap;
+
+pub struct Planner {
+    open_groups: HashMap<String, u64>,
+    members: Vec<u64>,
+    max_size: usize,
+}
+
+impl Planner {
+    pub fn admit_unbounded(&mut self, q: u64) {
+        self.members.push(q); //~ bounded-growth
+    }
+
+    pub fn open_group_unbounded(&mut self, key: String, q: u64) {
+        self.open_groups.insert(key, q); //~ bounded-growth
+    }
+
+    pub fn admit(&mut self, key: String, q: u64) {
+        // lint: bounded-by the number of concurrently open groups (sealing removes the entry)
+        self.open_groups.insert(key, q);
+        if self.members.len() < self.max_size {
+            // lint: bounded-by max_size (the member that fills the group seals it)
+            self.members.push(q);
+        }
+    }
+}

@@ -139,6 +139,7 @@ pub fn rule_in_scope(rule: RuleId, rel: &str) -> bool {
                     "crates/urbane/src/service.rs"
                         | "crates/urbane/src/cache.rs"
                         | "crates/urbane/src/session.rs"
+                        | "crates/urbane/src/batch.rs"
                 )
         }
         // Merge/answer paths only. Budget (deadlines), fault (seeded clock

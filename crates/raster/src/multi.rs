@@ -1,0 +1,222 @@
+//! Multi-target framebuffers — one raster pass feeding K render targets.
+//!
+//! The GPU Raster Join amortizes work by attaching several accumulation
+//! textures to one framebuffer object and letting a single draw call blend
+//! into all of them (`glDrawBuffers`). [`MultiBuffer2D`] is the software
+//! analogue: K same-sized targets stored **pixel-major** — the K texels of
+//! one pixel are contiguous — so a point that projects to `(x, y)` touches
+//! one cache line while blending into every target it is gated into.
+//!
+//! Per-target blend order is what makes batched execution bit-identical to
+//! serial execution: [`draw_point_multi`] projects the point once and then
+//! blends targets in ascending index order, so for any fixed target `t` the
+//! sequence of blends it receives is exactly the subsequence of the input
+//! stream that `gate(t)` accepts — the same sequence a solo query over
+//! target `t`'s filter would have produced.
+
+use crate::blend::{Blendable, BlendOp};
+use urbane_geom::projection::Viewport;
+use urbane_geom::Point;
+
+/// A dense 2-D buffer of `K` same-sized render targets, pixel-major:
+/// `data[(y·w + x)·K + t]` is target `t`'s texel at `(x, y)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiBuffer2D<T> {
+    width: u32,
+    height: u32,
+    targets: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy> MultiBuffer2D<T> {
+    /// Allocate `targets` same-sized buffers filled with `fill`.
+    ///
+    /// # Panics
+    /// Panics on a zero-sized buffer or zero targets — always a caller bug.
+    pub fn new(width: u32, height: u32, targets: usize, fill: T) -> Self {
+        assert!(width > 0 && height > 0, "buffer must have texels");
+        assert!(targets > 0, "buffer must have at least one target");
+        let len = width as usize * height as usize * targets;
+        MultiBuffer2D { width, height, targets, data: vec![fill; len] }
+    }
+
+    /// Buffer width in texels.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Buffer height in texels.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Number of render targets.
+    #[inline]
+    pub fn targets(&self) -> usize {
+        self.targets
+    }
+
+    /// Base index of pixel `(x, y)`'s target group.
+    #[inline]
+    fn base(&self, x: u32, y: u32) -> usize {
+        debug_assert!(x < self.width && y < self.height, "texel ({x},{y}) out of bounds");
+        (y as usize * self.width as usize + x as usize) * self.targets
+    }
+
+    /// Read target `t`'s texel at `(x, y)`.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32, t: usize) -> T {
+        self.data[self.base(x, y) + t]
+    }
+
+    /// All K texels of pixel `(x, y)`, in target order (contiguous).
+    #[inline]
+    pub fn texels(&self, x: u32, y: u32) -> &[T] {
+        let base = self.base(x, y);
+        &self.data[base..base + self.targets]
+    }
+
+    /// Mutable access to all K texels of pixel `(x, y)`.
+    #[inline]
+    pub fn texels_mut(&mut self, x: u32, y: u32) -> &mut [T] {
+        let base = self.base(x, y);
+        &mut self.data[base..base + self.targets]
+    }
+
+    /// Mutable access to all K texels of the pixel with linear index
+    /// `pixel` (`y·width + x`) — for callers that pre-project coordinates.
+    #[inline]
+    pub fn texels_at_mut(&mut self, pixel: usize) -> &mut [T] {
+        debug_assert!(
+            pixel < self.width as usize * self.height as usize,
+            "pixel {pixel} out of bounds"
+        );
+        let base = pixel * self.targets;
+        &mut self.data[base..base + self.targets]
+    }
+}
+
+/// Render one world-space point into `target` through `viewport`, blending
+/// `value(t)` into every target `t` (ascending) for which `gate(t)` is true.
+/// The projection runs once regardless of how many targets accept the point.
+/// Returns the number of fragments written (0 when culled or fully gated
+/// out).
+#[inline]
+pub fn draw_point_multi<T, G, V>(
+    target: &mut MultiBuffer2D<T>,
+    viewport: &Viewport,
+    p: Point,
+    mut gate: G,
+    mut value: V,
+    op: BlendOp,
+) -> u64
+where
+    T: Blendable,
+    G: FnMut(usize) -> bool,
+    V: FnMut(usize) -> T,
+{
+    let Some((x, y)) = viewport.world_to_pixel(p) else {
+        return 0;
+    };
+    let mut frags = 0u64;
+    for (t, texel) in target.texels_mut(x, y).iter_mut().enumerate() {
+        if gate(t) {
+            T::blend(texel, value(t), op);
+            frags += 1;
+        }
+    }
+    frags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::Buffer2D;
+    use crate::point::draw_point;
+    use urbane_geom::BoundingBox;
+
+    fn vp() -> Viewport {
+        Viewport::new(BoundingBox::from_coords(0.0, 0.0, 8.0, 8.0), 8, 8)
+    }
+
+    #[test]
+    fn layout_is_pixel_major() {
+        let mut b = MultiBuffer2D::new(4, 4, 3, 0u32);
+        b.texels_mut(2, 1)[1] = 7;
+        assert_eq!(b.get(2, 1, 1), 7);
+        assert_eq!(b.get(2, 1, 0), 0);
+        assert_eq!(b.texels(2, 1), &[0, 7, 0]);
+        assert_eq!(b.targets(), 3);
+    }
+
+    #[test]
+    fn gated_blend_touches_only_accepted_targets() {
+        let mut b = MultiBuffer2D::new(8, 8, 4, 0.0f32);
+        let n = draw_point_multi(
+            &mut b,
+            &vp(),
+            Point::new(1.5, 1.5),
+            |t| t % 2 == 0,
+            |t| (t + 1) as f32,
+            BlendOp::Add,
+        );
+        assert_eq!(n, 2);
+        // World (1.5, 1.5) → pixel (1, 6) with y flipped.
+        assert_eq!(b.texels(1, 6), &[1.0, 0.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn culled_point_writes_nothing() {
+        let mut b = MultiBuffer2D::new(8, 8, 2, 0.0f32);
+        let n = draw_point_multi(
+            &mut b,
+            &vp(),
+            Point::new(100.0, 0.0),
+            |_| true,
+            |_| 1.0,
+            BlendOp::Add,
+        );
+        assert_eq!(n, 0);
+    }
+
+    /// The bit-identity contract: target t of a multi draw accumulates
+    /// exactly what a solo Buffer2D fed t's subsequence accumulates.
+    #[test]
+    fn per_target_blend_matches_solo_buffer() {
+        let v = vp();
+        let pts: Vec<Point> = (0..64)
+            .map(|i| Point::new(0.37 + (i % 8) as f64, 0.91 + (i / 8) as f64))
+            .collect();
+        let vals: Vec<f32> = (0..64).map(|i| 0.1 + (i as f32) * 0.3).collect();
+        let keep = |t: usize, i: usize| (i + t).is_multiple_of(t + 2);
+
+        let mut multi = MultiBuffer2D::new(8, 8, 3, 0.0f32);
+        for (i, &p) in pts.iter().enumerate() {
+            draw_point_multi(&mut multi, &v, p, |t| keep(t, i), |_| vals[i], BlendOp::Add);
+        }
+        for t in 0..3 {
+            let mut solo = Buffer2D::new(8, 8, 0.0f32);
+            for (i, &p) in pts.iter().enumerate() {
+                if keep(t, i) {
+                    draw_point(&mut solo, &v, p, vals[i], BlendOp::Add);
+                }
+            }
+            for y in 0..8 {
+                for x in 0..8 {
+                    assert!(
+                        multi.get(x, y, t).to_bits() == solo.get(x, y).to_bits(),
+                        "target {t} pixel ({x},{y})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "target")]
+    fn zero_targets_panics() {
+        MultiBuffer2D::new(4, 4, 0, 0u8);
+    }
+}

@@ -30,7 +30,11 @@ fn usage() -> ! {
            --seed N            generator seed (default 1)\n\
            --cache-capacity N  query-result cache entries, 0 disables (default 1024)\n\
            --deadline-ms N     default per-query deadline (default 2000)\n\
-           --resolution N      raster canvas resolution (default 512)"
+           --resolution N      raster canvas resolution (default 512)\n\
+           --batch-window-ms N admission window for coalescing concurrent\n\
+                               compatible queries into one batched raster\n\
+                               pass (default 0 = batching off)\n\
+           --batch-max N       most queries per batch (default 16)"
     );
     exit(2)
 }
@@ -49,6 +53,8 @@ struct Args {
     cache_capacity: usize,
     deadline_ms: u64,
     resolution: u32,
+    batch_window_ms: u64,
+    batch_max: usize,
 }
 
 fn parse_args() -> Args {
@@ -61,6 +67,8 @@ fn parse_args() -> Args {
         cache_capacity: 1024,
         deadline_ms: 2_000,
         resolution: 512,
+        batch_window_ms: 0,
+        batch_max: 16,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -91,6 +99,10 @@ fn parse_args() -> Args {
             "--cache-capacity" => args.cache_capacity = num(&flag, &value("--cache-capacity")),
             "--deadline-ms" => args.deadline_ms = num(&flag, &value("--deadline-ms")),
             "--resolution" => args.resolution = num(&flag, &value("--resolution")),
+            "--batch-window-ms" => {
+                args.batch_window_ms = num(&flag, &value("--batch-window-ms"))
+            }
+            "--batch-max" => args.batch_max = num(&flag, &value("--batch-max")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("urbane-serve: unknown flag {other:?}");
@@ -103,6 +115,9 @@ fn parse_args() -> Args {
     }
     if args.resolution == 0 {
         fail("--resolution must be at least 1");
+    }
+    if args.batch_max == 0 {
+        fail("--batch-max must be at least 1");
     }
     args
 }
@@ -127,6 +142,8 @@ fn main() {
         join: raster_join::RasterJoinConfig::with_resolution(args.resolution),
         cache_capacity: args.cache_capacity,
         default_deadline: Duration::from_millis(args.deadline_ms),
+        batch_window: Duration::from_millis(args.batch_window_ms),
+        batch_max: args.batch_max,
         ..Default::default()
     };
     let service = match UrbaneService::new(service_config, catalog, pyramid) {

@@ -177,6 +177,29 @@ impl Router {
         ] {
             let _ = writeln!(out, "urbane_guard_path_total{{path=\"{label}\"}} {n}");
         }
+
+        // Batching planner: occupancy histogram (how many queries shared
+        // each raster pass), window wait, and single-flight dedup. All
+        // stable zeros when batching is disabled (the default).
+        let batch = self.service.batch_stats();
+        let _ = writeln!(out, "# TYPE urbane_batch_size histogram");
+        let mut cumulative = 0u64;
+        for (i, edge) in urbane::BATCH_SIZE_BUCKETS.iter().enumerate() {
+            cumulative += batch.size_buckets[i];
+            let _ = writeln!(out, "urbane_batch_size_bucket{{le=\"{edge}\"}} {cumulative}");
+        }
+        cumulative += batch.size_buckets[urbane::BATCH_SIZE_BUCKETS.len()];
+        let _ = writeln!(out, "urbane_batch_size_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "urbane_batch_size_sum {}", batch.batched_queries);
+        let _ = writeln!(out, "urbane_batch_size_count {}", batch.batches);
+        let _ = writeln!(out, "# TYPE urbane_batch_window_wait_ms_total counter");
+        let _ = writeln!(out, "urbane_batch_window_wait_ms_total {}", batch.window_wait_ms);
+        let _ = writeln!(out, "# TYPE urbane_single_flight_followers_total counter");
+        let _ = writeln!(
+            out,
+            "urbane_single_flight_followers_total {}",
+            self.service.single_flight_followers()
+        );
         Response::text(200, out)
     }
 }
@@ -279,5 +302,11 @@ mod tests {
         assert!(text.contains("urbane_queue_depth 3"), "{text}");
         assert!(text.contains("urbane_cache_misses_total 1"), "{text}");
         assert!(text.contains("urbane_guard_path_total{path=\"full\"} 1"), "{text}");
+        // Batching is off by default: the planner metrics must render as
+        // stable zeros, not disappear.
+        assert!(text.contains("urbane_batch_size_bucket{le=\"+Inf\"} 0"), "{text}");
+        assert!(text.contains("urbane_batch_size_count 0"), "{text}");
+        assert!(text.contains("urbane_batch_window_wait_ms_total 0"), "{text}");
+        assert!(text.contains("urbane_single_flight_followers_total 0"), "{text}");
     }
 }

@@ -96,6 +96,11 @@ pub struct SupervisorConfig {
     pub preview_rows: usize,
     /// Raster-join canvas resolution for shards and the preview service.
     pub resolution: u32,
+    /// Batch admission window passed through to every shard's service
+    /// (`Duration::ZERO`, the default, leaves batching off). Each shard
+    /// coalesces its own concurrent compatible queries; the front needs no
+    /// changes — batching is invisible above the service boundary.
+    pub batch_window: Duration,
 }
 
 impl Default for SupervisorConfig {
@@ -116,6 +121,7 @@ impl Default for SupervisorConfig {
             front_cache_capacity: 512,
             preview_rows: 2_000,
             resolution: 256,
+            batch_window: Duration::ZERO,
         }
     }
 }
@@ -174,6 +180,7 @@ fn build_service(
     specs: &[DatasetSpec],
     resolution: u32,
     default_deadline: Duration,
+    batch_window: Duration,
 ) -> io::Result<UrbaneService> {
     let city = CityModel::nyc_like();
     let mut catalog = DataCatalog::new();
@@ -198,6 +205,7 @@ fn build_service(
         ServiceConfig {
             join: RasterJoinConfig::with_resolution(resolution),
             default_deadline,
+            batch_window,
             ..Default::default()
         },
         catalog,
@@ -220,7 +228,12 @@ impl SupervisorCore {
 
     fn boot_shard(&self, i: usize) -> io::Result<UrbaneServer> {
         let specs = self.specs_for_shard(i);
-        let service = build_service(&specs, self.config.resolution, self.config.default_deadline)?;
+        let service = build_service(
+            &specs,
+            self.config.resolution,
+            self.config.default_deadline,
+            self.config.batch_window,
+        )?;
         UrbaneServer::start(self.config.shard_template.clone(), Arc::new(service))
     }
 
@@ -595,8 +608,14 @@ impl ShardSupervisor {
                 seed: s.seed,
             })
             .collect();
-        let preview =
-            build_service(&preview_specs, config.resolution, config.default_deadline)?;
+        // The front-local preview service answers single fallback queries;
+        // batching there would only add window latency.
+        let preview = build_service(
+            &preview_specs,
+            config.resolution,
+            config.default_deadline,
+            Duration::ZERO,
+        )?;
         let slots: Vec<Slot> = (0..config.shards.max(1))
             .map(|_| Slot {
                 state: Mutex::new(SlotState {

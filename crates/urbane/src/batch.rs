@@ -1,0 +1,512 @@
+//! The batching planner: coalesce concurrent queries into one raster pass.
+//!
+//! Under concurrent load, the serving layer's queries are dominated by the
+//! raster passes' *shared* work: projecting every point through the
+//! viewport and rasterizing every region polygon. Queries that agree on
+//! `(dataset, generation, level, mode, resolution)` — the dimensions that
+//! fix the canvas and the geometry — differ only in their filter
+//! conjunction and aggregate, which raster-join's batched executor
+//! ([`raster_join::RasterJoin::execute_batch_store`]) evaluates as
+//! per-target masks over a single pass. The planner's job is purely
+//! admission: hold the first arrival for a short *window*, admit compatible
+//! arrivals into the same group, then run the whole group as one batch.
+//!
+//! Protocol (leader/follower, mirroring [`crate::cache::SingleFlight`]):
+//!
+//! * The first query for a group key becomes the **leader**. It waits up to
+//!   the window (or until the group hits `max_size`, whichever is first),
+//!   seals the group, and executes the batch with the *minimum* member
+//!   deadline as the batch budget — the batch must be fast enough for its
+//!   most impatient member.
+//! * Later arrivals become **followers**: they park on the group and wake
+//!   when the leader publishes, each taking its own slot of the result.
+//! * Any batch failure (deadline, data error, panic) publishes `None` for
+//!   every member; each falls back *independently* to its own serial
+//!   degradation ladder, so one poisoned member cannot poison its siblings'
+//!   answers — at worst it costs them the window plus a failed pass.
+//!
+//! The planner never changes an answer: the batched executor is
+//! bit-identical to serial execution, and every fallback path re-runs the
+//! exact serial ladder. It only changes *when* work runs — which is why the
+//! window is a latency/throughput trade the caller must opt into
+//! ([`crate::service::ServiceConfig::batch_window`], default off).
+
+use crate::session::lock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use urban_data::query::SpatialAggQuery;
+
+/// Occupancy-histogram bucket upper bounds (a final `+Inf` bucket is
+/// implied). Powers of two because batch sizes cluster there: the window
+/// admits whatever bursts arrive, and bursts are small or saturate
+/// `max_size`.
+pub const BATCH_SIZE_BUCKETS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Planner counters, for `/metrics` and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BatchStats {
+    /// Batches executed (including size-1 batches — a leader whose window
+    /// expired alone).
+    pub batches: u64,
+    /// Queries that went through a batch (Σ over batches of their size).
+    pub batched_queries: u64,
+    /// Per-bucket occupancy counts; `size_buckets[i]` counts batches with
+    /// `BATCH_SIZE_BUCKETS[i-1] < size ≤ BATCH_SIZE_BUCKETS[i]`, and the
+    /// final slot is the `+Inf` bucket.
+    pub size_buckets: [u64; BATCH_SIZE_BUCKETS.len() + 1],
+    /// Total wall-clock time leaders spent holding their admission window
+    /// open, in milliseconds.
+    pub window_wait_ms: f64,
+}
+
+/// One member's share of a successful batch.
+pub(crate) struct BatchOutcome<V> {
+    /// This member's result.
+    pub value: V,
+    /// How many queries shared the raster passes (the `batched: K`
+    /// annotation for the member's [`crate::guard::GuardReport`]).
+    pub batched: usize,
+}
+
+/// Mutable state of one admission group.
+struct GroupState<V> {
+    /// Members admitted so far, in arrival order. Slot `i` of the results
+    /// belongs to member `i`.
+    queries: Vec<SpatialAggQuery>,
+    /// Each member's deadline; the batch runs under the minimum.
+    deadlines: Vec<Duration>,
+    /// Set when the group stops admitting (window expired or `max_size`
+    /// hit). A member that finds its group sealed before it pushed lost the
+    /// race and regroups.
+    sealed: bool,
+    /// Published by the leader: one slot per member (`None` on batch
+    /// failure — fall back to the serial ladder).
+    results: Option<Vec<Option<V>>>,
+}
+
+struct Group<V> {
+    state: Mutex<GroupState<V>>,
+    changed: Condvar,
+}
+
+impl<V> Group<V> {
+    fn new() -> Self {
+        Group {
+            state: Mutex::new(GroupState {
+                queries: Vec::new(),
+                deadlines: Vec::new(),
+                sealed: false,
+                results: None,
+            }),
+            changed: Condvar::new(),
+        }
+    }
+}
+
+/// Drop guard armed while the leader executes: if the execution closure
+/// unwinds, publish `None` for every member so followers wake and fall back
+/// instead of waiting out their timeout.
+struct PublishOnDrop<'g, V> {
+    group: &'g Group<V>,
+    members: usize,
+    armed: bool,
+}
+
+impl<V> Drop for PublishOnDrop<'_, V> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut st = lock(&self.group.state);
+            if st.results.is_none() {
+                st.results = Some((0..self.members).map(|_| None).collect());
+            }
+            self.group.changed.notify_all();
+        }
+    }
+}
+
+/// The admission planner. Generic over the per-member result payload `V`
+/// (the service uses `(Arc<AggTable>, f64)`; tests use plain values).
+pub(crate) struct BatchPlanner<V> {
+    window: Duration,
+    max_size: usize,
+    /// Open (joinable) groups by group key. Invariant: a group in this map
+    /// is unsealed and below `max_size`; sealing removes it, so the map
+    /// never grows beyond the number of concurrently open groups.
+    groups: Mutex<HashMap<String, Arc<Group<V>>>>,
+    batches: AtomicU64,
+    batched_queries: AtomicU64,
+    size_buckets: [AtomicU64; BATCH_SIZE_BUCKETS.len() + 1],
+    window_wait_us: AtomicU64,
+}
+
+impl<V> BatchPlanner<V> {
+    /// A planner admitting for `window` per group, at most `max_size`
+    /// members per batch (clamped to the executor's
+    /// [`raster_join::MAX_BATCH_TARGETS`]).
+    pub fn new(window: Duration, max_size: usize) -> Self {
+        BatchPlanner {
+            window,
+            max_size: max_size.clamp(1, raster_join::MAX_BATCH_TARGETS),
+            groups: Mutex::new(HashMap::new()),
+            batches: AtomicU64::new(0),
+            batched_queries: AtomicU64::new(0),
+            size_buckets: Default::default(),
+            window_wait_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> BatchStats {
+        let mut size_buckets = [0u64; BATCH_SIZE_BUCKETS.len() + 1];
+        for (out, b) in size_buckets.iter_mut().zip(&self.size_buckets) {
+            // lint: relaxed-ok monotone histogram counter read for display only
+            *out = b.load(Ordering::Relaxed);
+        }
+        BatchStats {
+            // lint: relaxed-ok monotone counter reads for display only
+            batches: self.batches.load(Ordering::Relaxed),
+            // lint: relaxed-ok monotone counter reads for display only
+            batched_queries: self.batched_queries.load(Ordering::Relaxed),
+            size_buckets,
+            // lint: relaxed-ok monotone counter reads for display only
+            window_wait_ms: self.window_wait_us.load(Ordering::Relaxed) as f64 / 1e3,
+        }
+    }
+
+    /// Join (or open) the admission group for `group_key` and come back with
+    /// this member's share of the batch, or `None` when the member should
+    /// fall back to its own serial execution (batch failed, or the wait
+    /// outran `deadline`'s grace).
+    ///
+    /// `exec` is invoked by exactly one member — the leader — with every
+    /// admitted query (this member's included) and the minimum member
+    /// deadline; it must return one result per query, in order.
+    pub fn submit<E>(
+        &self,
+        group_key: &str,
+        query: SpatialAggQuery,
+        deadline: Duration,
+        exec: E,
+    ) -> Option<BatchOutcome<V>>
+    where
+        E: FnOnce(&[SpatialAggQuery], Duration) -> crate::Result<Vec<V>>,
+    {
+        // Admission: find an open group or open one, and push this member.
+        // Lock order is groups-map before group-state, everywhere.
+        let (group, index) = loop {
+            let mut groups = lock(&self.groups);
+            let group = match groups.get(group_key) {
+                Some(g) => Arc::clone(g),
+                None => {
+                    let g = Arc::new(Group::new());
+                    // lint: bounded-by the number of concurrently open admission groups (sealing removes the entry)
+                    groups.insert(group_key.to_string(), Arc::clone(&g));
+                    g
+                }
+            };
+            let mut st = lock(&group.state);
+            if st.sealed {
+                // Lost the race with the leader sealing this group between
+                // our map lookup and state lock; regroup into a fresh one.
+                drop(st);
+                drop(groups);
+                continue;
+            }
+            // lint: bounded-by max_size (the member that fills the group seals it below)
+            st.queries.push(query);
+            // lint: bounded-by max_size (sealed in lockstep with queries)
+            st.deadlines.push(deadline);
+            let index = st.queries.len() - 1;
+            if st.queries.len() >= self.max_size {
+                // Full: seal and dispatch immediately — no point holding
+                // the window open for a batch that cannot grow.
+                st.sealed = true;
+                groups.remove(group_key);
+                group.changed.notify_all();
+            }
+            drop(st);
+            drop(groups);
+            break (group, index);
+        };
+
+        if index == 0 {
+            self.lead(group_key, &group, exec)
+        } else {
+            Self::follow(&group, index, deadline, self.window)
+        }
+    }
+
+    /// Leader protocol: hold the window, seal, execute, publish.
+    fn lead<E>(
+        &self,
+        group_key: &str,
+        group: &Arc<Group<V>>,
+        exec: E,
+    ) -> Option<BatchOutcome<V>>
+    where
+        E: FnOnce(&[SpatialAggQuery], Duration) -> crate::Result<Vec<V>>,
+    {
+        // lint: allow(determinism) wall clock feeds only the window-wait metric, never the answer
+        let opened = Instant::now();
+        {
+            let st = lock(&group.state);
+            // Wait out the admission window unless a filler seals us early.
+            // Spurious wakes re-enter the wait; the predicate is the truth.
+            let _st = group
+                .changed
+                .wait_timeout_while(st, self.window, |s| !s.sealed)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+        // Seal on window expiry. The state lock is NOT held while taking the
+        // map lock (lock order), so a late member may still slip in between
+        // the wait and the removal — it simply joins this batch. The
+        // pointer check guards against removing a *successor* group a
+        // filler-sealed predecessor already replaced under the same key.
+        {
+            let mut groups = lock(&self.groups);
+            if groups.get(group_key).is_some_and(|g| Arc::ptr_eq(g, group)) {
+                groups.remove(group_key);
+            }
+        }
+        let (queries, deadlines) = {
+            let mut st = lock(&group.state);
+            st.sealed = true;
+            (std::mem::take(&mut st.queries), std::mem::take(&mut st.deadlines))
+        };
+        // lint: allow(determinism) wall clock feeds only the window-wait metric, never the answer
+        let waited = opened.elapsed();
+        // lint: relaxed-ok monotone metric counter; nothing is published through it
+        self.window_wait_us.fetch_add(waited.as_micros() as u64, Ordering::Relaxed);
+
+        let members = queries.len();
+        let batch_deadline = deadlines.iter().copied().min().unwrap_or(Duration::ZERO);
+
+        // Publish `None` for everyone if `exec` unwinds — followers must
+        // wake and fall back rather than wait out their timeout.
+        let mut guard = PublishOnDrop { group: group.as_ref(), members, armed: true };
+        let outcome = exec(&queries, batch_deadline);
+        guard.armed = false;
+        drop(guard);
+
+        let mut slots: Vec<Option<V>> = match outcome {
+            Ok(values) if values.len() == members => values.into_iter().map(Some).collect(),
+            // Wrong arity is an executor contract violation; treat it like
+            // a failed batch rather than misassigning results.
+            Ok(_) | Err(_) => (0..members).map(|_| None).collect(),
+        };
+        let mine = slots.first_mut().and_then(Option::take);
+
+        self.record(members);
+        let mut st = lock(&group.state);
+        st.results = Some(slots);
+        drop(st);
+        group.changed.notify_all();
+
+        mine.map(|value| BatchOutcome { value, batched: members })
+    }
+
+    /// Follower protocol: park until the leader publishes, bounded by this
+    /// member's own deadline plus the ladder's grace and the window itself —
+    /// past that, answering late serially beats waiting forever.
+    fn follow(
+        group: &Group<V>,
+        index: usize,
+        deadline: Duration,
+        window: Duration,
+    ) -> Option<BatchOutcome<V>> {
+        let timeout = deadline + deadline / 2 + window * 2 + Duration::from_millis(50);
+        let st = lock(&group.state);
+        let (mut st, _timed_out) = group
+            .changed
+            .wait_timeout_while(st, timeout, |s| s.results.is_none())
+            .unwrap_or_else(|p| p.into_inner());
+        let batched = st.results.as_ref().map(|r| r.len()).unwrap_or(0);
+        let mine = st.results.as_mut().and_then(|r| r.get_mut(index)).and_then(Option::take);
+        mine.map(|value| BatchOutcome { value, batched })
+    }
+
+    fn record(&self, members: usize) {
+        // lint: relaxed-ok monotone metric counters; nothing is published through them
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        // lint: relaxed-ok monotone metric counters; nothing is published through them
+        self.batched_queries.fetch_add(members as u64, Ordering::Relaxed);
+        let bucket = BATCH_SIZE_BUCKETS
+            .iter()
+            .position(|&b| members <= b)
+            .unwrap_or(BATCH_SIZE_BUCKETS.len());
+        // lint: relaxed-ok monotone histogram counter; nothing is published through it
+        self.size_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use urban_data::query::AggKind;
+
+    fn q() -> SpatialAggQuery {
+        SpatialAggQuery::new(AggKind::Count)
+    }
+
+    const DL: Duration = Duration::from_secs(5);
+
+    #[test]
+    fn lone_leader_runs_a_batch_of_one() {
+        let p: BatchPlanner<u32> = BatchPlanner::new(Duration::from_millis(5), 8);
+        let out = p
+            .submit("g", q(), DL, |queries, _| Ok(queries.iter().map(|_| 7u32).collect()))
+            .expect("lone batch must succeed");
+        assert_eq!(out.value, 7);
+        assert_eq!(out.batched, 1);
+        let st = p.stats();
+        assert_eq!(st.batches, 1);
+        assert_eq!(st.batched_queries, 1);
+        assert_eq!(st.size_buckets[0], 1, "size-1 batch lands in the ≤1 bucket");
+    }
+
+    #[test]
+    fn concurrent_members_coalesce_into_one_batch() {
+        let p: Arc<BatchPlanner<usize>> = Arc::new(BatchPlanner::new(Duration::from_millis(500), 8));
+        let execs = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let p = Arc::clone(&p);
+                    let execs = &execs;
+                    s.spawn(move || {
+                        p.submit("g", q(), DL, |queries, _| {
+                            execs.fetch_add(1, Ordering::SeqCst);
+                            Ok((0..queries.len()).collect())
+                        })
+                    })
+                })
+                .collect();
+            let outs: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            let k = outs[0].as_ref().unwrap().batched;
+            assert!(k >= 2, "a 500ms window must coalesce threads spawned back-to-back");
+            // Each member gets its own slot, exactly once.
+            let mut values: Vec<usize> =
+                outs.iter().flatten().map(|o| o.value).collect();
+            values.sort_unstable();
+            let batched_total: usize = outs.iter().flatten().count();
+            assert_eq!(batched_total, 4);
+            assert_eq!(values, (0..4).collect::<Vec<_>>());
+        });
+        assert_eq!(execs.load(Ordering::SeqCst), 1, "one exec for the whole batch");
+        assert_eq!(p.stats().batched_queries, 4);
+    }
+
+    #[test]
+    fn full_group_dispatches_before_the_window() {
+        let p: Arc<BatchPlanner<u32>> = Arc::new(BatchPlanner::new(Duration::from_secs(30), 2));
+        // lint: allow(determinism) test-only elapsed-time assertion
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let p = Arc::clone(&p);
+                s.spawn(move || {
+                    p.submit("g", q(), DL, |queries, _| {
+                        Ok(queries.iter().map(|_| 1u32).collect())
+                    })
+                });
+            }
+        });
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "a full group must not wait out a 30s window"
+        );
+        assert_eq!(p.stats().batches, 1);
+    }
+
+    #[test]
+    fn failed_batch_sends_every_member_to_the_fallback() {
+        let p: Arc<BatchPlanner<u32>> = Arc::new(BatchPlanner::new(Duration::from_millis(100), 8));
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let p = Arc::clone(&p);
+                    s.spawn(move || {
+                        p.submit("g", q(), DL, |_, _| {
+                            Err(crate::UrbaneError::DeadlineExceeded)
+                        })
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert!(h.join().unwrap().is_none(), "failure must fall back, not panic");
+            }
+        });
+    }
+
+    #[test]
+    fn panicking_exec_releases_followers() {
+        let p: Arc<BatchPlanner<u32>> = Arc::new(BatchPlanner::new(Duration::from_millis(100), 8));
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let p = Arc::clone(&p);
+                    s.spawn(move || {
+                        // Only the leader's closure runs (and panics); the
+                        // others must still wake with None.
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            p.submit("g", q(), DL, |_, _| panic!("boom"))
+                        }))
+                    })
+                })
+                .collect();
+            let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            let panicked = results.iter().filter(|r| r.is_err()).count();
+            assert_eq!(panicked, 1, "exactly the leader unwinds");
+            for r in results.into_iter().filter_map(|r| r.ok()) {
+                assert!(r.is_none());
+            }
+        });
+    }
+
+    #[test]
+    fn distinct_group_keys_do_not_coalesce() {
+        let p: Arc<BatchPlanner<u32>> = Arc::new(BatchPlanner::new(Duration::from_millis(50), 8));
+        std::thread::scope(|s| {
+            for key in ["a", "b"] {
+                let p = Arc::clone(&p);
+                s.spawn(move || {
+                    let out = p
+                        .submit(key, q(), DL, |queries, _| {
+                            Ok(queries.iter().map(|_| 1u32).collect())
+                        })
+                        .unwrap();
+                    assert_eq!(out.batched, 1, "different keys must not share a batch");
+                });
+            }
+        });
+        assert_eq!(p.stats().batches, 2);
+    }
+
+    #[test]
+    fn batch_budget_is_the_minimum_member_deadline() {
+        let p: Arc<BatchPlanner<u32>> = Arc::new(BatchPlanner::new(Duration::from_millis(500), 8));
+        let seen = Arc::new(Mutex::new(None));
+        std::thread::scope(|s| {
+            for dl_ms in [5_000u64, 700] {
+                let p = Arc::clone(&p);
+                let seen = Arc::clone(&seen);
+                s.spawn(move || {
+                    p.submit("g", q(), Duration::from_millis(dl_ms), move |queries, dl| {
+                        *lock(&seen) = Some(dl);
+                        Ok(queries.iter().map(|_| 1u32).collect())
+                    })
+                });
+            }
+        });
+        let dl = lock(&seen).expect("exactly one exec ran");
+        // Whichever member led, the budget is the smaller deadline when
+        // both coalesced; a solo batch (scheduling raced) sees its own.
+        assert!(
+            dl == Duration::from_millis(700) || p.stats().batches == 2,
+            "coalesced batch must run under the minimum deadline, got {dl:?}"
+        );
+    }
+}

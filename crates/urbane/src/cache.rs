@@ -22,7 +22,8 @@
 use crate::session::{lock, CacheStats};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 /// A canonical cache key: the 64-bit FNV-1a hash picks the shard and the
 /// bucket; the canonical string confirms the match.
@@ -180,6 +181,149 @@ impl<V: Clone> QueryCache<V> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Single-flight: dedupe identical concurrent cache misses.
+// ---------------------------------------------------------------------------
+
+/// What a follower observes on its flight slot.
+enum FlightState<V> {
+    /// The leader is still computing.
+    Pending,
+    /// The leader finished. `None` means it produced nothing shareable
+    /// (degraded answer, error, or panic) — followers fall back to their
+    /// own computation.
+    Done(Option<V>),
+}
+
+/// One in-flight computation, shared between its leader and followers.
+struct FlightSlot<V> {
+    state: Mutex<FlightState<V>>,
+    ready: Condvar,
+}
+
+/// Leader-side handle for an in-flight key. The leader runs the real
+/// computation and publishes it via [`FlightLeader::complete`]; dropping the
+/// handle without completing (early return, panic unwind) publishes `None`,
+/// so followers can never deadlock on an abandoned flight.
+pub struct FlightLeader<'f, V> {
+    registry: &'f SingleFlight<V>,
+    key: String,
+    slot: Arc<FlightSlot<V>>,
+    completed: bool,
+}
+
+impl<V> FlightLeader<'_, V> {
+    /// Publish the computation's shareable value (`None` when there is
+    /// nothing worth sharing) and wake every follower.
+    pub fn complete(mut self, value: Option<V>) {
+        self.completed = true;
+        self.registry.finish(&self.key, &self.slot, value);
+    }
+}
+
+impl<V> Drop for FlightLeader<'_, V> {
+    fn drop(&mut self) {
+        if !self.completed {
+            self.registry.finish(&self.key, &self.slot, None);
+        }
+    }
+}
+
+/// Follower-side handle: wait (bounded) for the leader's result.
+pub struct FlightFollower<V> {
+    slot: Arc<FlightSlot<V>>,
+}
+
+impl<V: Clone> FlightFollower<V> {
+    /// Block until the leader publishes or `timeout` passes. Returns the
+    /// shared value, or `None` on timeout / a leader with nothing to share —
+    /// either way the follower falls back to computing for itself.
+    pub fn wait(self, timeout: Duration) -> Option<V> {
+        let guard = self.slot.state.lock().unwrap_or_else(|p| p.into_inner());
+        let (state, _timed_out) = self
+            .slot
+            .ready
+            .wait_timeout_while(guard, timeout, |s| matches!(s, FlightState::Pending))
+            .unwrap_or_else(|p| p.into_inner());
+        match &*state {
+            FlightState::Done(v) => v.clone(),
+            FlightState::Pending => None,
+        }
+    }
+}
+
+/// The role [`SingleFlight::join`] assigned to a caller.
+pub enum Flight<'f, V> {
+    /// First arrival for the key: compute, then [`FlightLeader::complete`].
+    Leader(FlightLeader<'f, V>),
+    /// A leader is already computing this key: [`FlightFollower::wait`].
+    Follower(FlightFollower<V>),
+}
+
+/// Single-flight dedup for identical concurrent misses: the first caller for
+/// a canonical key becomes the *leader* and computes; arrivals while the
+/// flight is open become *followers* and wait for the leader's answer
+/// instead of redundantly recomputing it. Unlike the [`QueryCache`], this
+/// holds no results at rest — a slot lives exactly as long as its leader's
+/// computation, so it works even when caching is disabled.
+pub struct SingleFlight<V> {
+    slots: Mutex<HashMap<String, Arc<FlightSlot<V>>>>,
+    followers: AtomicU64,
+}
+
+impl<V> Default for SingleFlight<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> SingleFlight<V> {
+    /// An empty registry.
+    pub fn new() -> Self {
+        SingleFlight { slots: Mutex::new(HashMap::new()), followers: AtomicU64::new(0) }
+    }
+
+    /// Join the flight for `key`: leader if none is open, follower otherwise.
+    pub fn join(&self, key: &str) -> Flight<'_, V> {
+        let mut slots = lock(&self.slots);
+        if let Some(slot) = slots.get(key) {
+            // lint: relaxed-ok monotone follower counter; the slot mutex orders the value itself
+            self.followers.fetch_add(1, Ordering::Relaxed);
+            return Flight::Follower(FlightFollower { slot: Arc::clone(slot) });
+        }
+        let slot =
+            Arc::new(FlightSlot { state: Mutex::new(FlightState::Pending), ready: Condvar::new() });
+        // lint: bounded-by the number of in-flight computations (the leader removes its slot on completion or drop)
+        slots.insert(key.to_string(), Arc::clone(&slot));
+        Flight::Leader(FlightLeader {
+            registry: self,
+            key: key.to_string(),
+            slot,
+            completed: false,
+        })
+    }
+
+    /// Total callers that joined as followers (the single-flight metric:
+    /// each one is a full query's worth of work saved).
+    pub fn followers(&self) -> u64 {
+        // lint: relaxed-ok monotone counter read for display only
+        self.followers.load(Ordering::Relaxed)
+    }
+
+    /// Flights currently open (leaders computing right now).
+    pub fn open(&self) -> usize {
+        lock(&self.slots).len()
+    }
+
+    fn finish(&self, key: &str, slot: &FlightSlot<V>, value: Option<V>) {
+        // Remove the slot first so a racing arrival starts a fresh flight
+        // rather than following one that already ended.
+        lock(&self.slots).remove(key);
+        *lock(&slot.state) = FlightState::Done(value);
+        slot.ready.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,5 +418,95 @@ mod tests {
         assert!(c.len() <= 64);
         let st = c.stats();
         assert_eq!(st.hits + st.misses, 2000);
+    }
+
+    #[test]
+    fn single_flight_first_caller_leads() {
+        let sf: SingleFlight<u32> = SingleFlight::new();
+        match sf.join("q") {
+            Flight::Leader(l) => l.complete(Some(7)),
+            Flight::Follower(_) => panic!("first caller must lead"),
+        }
+        assert_eq!(sf.open(), 0, "completion must close the flight");
+        assert_eq!(sf.followers(), 0);
+        // The flight is closed; the next caller leads a fresh one.
+        assert!(matches!(sf.join("q"), Flight::Leader(_)));
+    }
+
+    #[test]
+    fn single_flight_followers_receive_the_leaders_value() {
+        let sf: Arc<SingleFlight<u32>> = Arc::new(SingleFlight::new());
+        let leader = match sf.join("q") {
+            Flight::Leader(l) => l,
+            Flight::Follower(_) => unreachable!(),
+        };
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for _ in 0..3 {
+                let sf = Arc::clone(&sf);
+                handles.push(s.spawn(move || match sf.join("q") {
+                    Flight::Follower(f) => f.wait(Duration::from_secs(10)),
+                    Flight::Leader(_) => panic!("flight is open; must follow"),
+                }));
+            }
+            // All three are registered as followers before the leader
+            // publishes only if they joined first; joining happens-before
+            // their spawn returns a handle, so completing after a short
+            // rendezvous is enough: wait until the registry counted them.
+            while sf.followers() < 3 {
+                std::thread::yield_now();
+            }
+            leader.complete(Some(42));
+            for h in handles {
+                assert_eq!(h.join().unwrap(), Some(42));
+            }
+        });
+        assert_eq!(sf.followers(), 3);
+        assert_eq!(sf.open(), 0);
+    }
+
+    #[test]
+    fn single_flight_dropped_leader_releases_followers_with_nothing() {
+        let sf: Arc<SingleFlight<u32>> = Arc::new(SingleFlight::new());
+        let leader = match sf.join("q") {
+            Flight::Leader(l) => l,
+            Flight::Follower(_) => unreachable!(),
+        };
+        let follower = match sf.join("q") {
+            Flight::Follower(f) => f,
+            Flight::Leader(_) => unreachable!(),
+        };
+        drop(leader); // early return / panic path: completes with None
+        assert_eq!(follower.wait(Duration::from_secs(10)), None);
+        assert_eq!(sf.open(), 0, "an abandoned flight must not leak its slot");
+    }
+
+    #[test]
+    fn single_flight_follower_timeout_returns_none() {
+        let sf: SingleFlight<u32> = SingleFlight::new();
+        let _leader = match sf.join("q") {
+            Flight::Leader(l) => l,
+            Flight::Follower(_) => unreachable!(),
+        };
+        let follower = match sf.join("q") {
+            Flight::Follower(f) => f,
+            Flight::Leader(_) => unreachable!(),
+        };
+        // The leader never completes within the timeout; the follower gives
+        // up and computes for itself.
+        assert_eq!(follower.wait(Duration::from_millis(10)), None);
+    }
+
+    #[test]
+    fn single_flight_distinct_keys_are_independent() {
+        let sf: SingleFlight<u32> = SingleFlight::new();
+        let a = match sf.join("a") {
+            Flight::Leader(l) => l,
+            Flight::Follower(_) => unreachable!(),
+        };
+        assert!(matches!(sf.join("b"), Flight::Leader(_)), "different key, different flight");
+        assert_eq!(sf.open(), 1, "b's leader dropped immediately, a still open");
+        a.complete(None);
+        assert_eq!(sf.open(), 0);
     }
 }

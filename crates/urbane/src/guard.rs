@@ -74,6 +74,10 @@ pub struct GuardReport {
     /// `None` when the bound is unknown (cache hit, or the preview rung,
     /// whose error is statistical rather than positional).
     pub error_bound: Option<f64>,
+    /// When the answer came out of a coalesced batch, the number of queries
+    /// that shared its raster passes (the `batched: K` annotation). `None`
+    /// for solo execution, cache hits, and every ladder rung.
+    pub batched: Option<usize>,
 }
 
 impl GuardPath {
@@ -113,6 +117,13 @@ impl GuardReport {
             "error_bound".to_string(),
             match self.error_bound {
                 Some(e) => Json::Number(e),
+                None => Json::Null,
+            },
+        );
+        m.insert(
+            "batched".to_string(),
+            match self.batched {
+                Some(k) => Json::Number(k as f64),
                 None => Json::Null,
             },
         );
@@ -185,6 +196,7 @@ where
                     elapsed: start.elapsed(),
                     deadline,
                     error_bound,
+                    batched: None,
                 },
             });
         }
@@ -209,6 +221,7 @@ where
                     elapsed: start.elapsed(),
                     deadline,
                     error_bound: Some(epsilon),
+                    batched: None,
                 },
             });
         }
@@ -237,6 +250,7 @@ where
             elapsed: start.elapsed(),
             deadline,
             error_bound: None,
+            batched: None,
         },
     })
 }

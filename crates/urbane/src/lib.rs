@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod batch;
 pub mod brush;
 pub mod cache;
 pub mod catalog;
@@ -33,8 +34,9 @@ pub mod service;
 pub mod session;
 pub mod view;
 
+pub use batch::{BatchStats, BATCH_SIZE_BUCKETS};
 pub use brush::Brush;
-pub use cache::{CacheKey, QueryCache};
+pub use cache::{CacheKey, Flight, QueryCache, SingleFlight};
 pub use catalog::DataCatalog;
 pub use guard::{GuardPath, GuardReport, GuardedResult};
 pub use planner::{PlanChoice, PlannerConfig, QueryPlanner};

@@ -24,7 +24,8 @@
 //!   ladder ([`crate::guard`]) under the request's deadline, so an
 //!   overloaded server degrades fidelity instead of queueing unboundedly.
 
-use crate::cache::{CacheKey, QueryCache};
+use crate::batch::{BatchPlanner, BatchStats};
+use crate::cache::{CacheKey, Flight, QueryCache, SingleFlight};
 use crate::catalog::DataCatalog;
 use crate::guard::{run_ladder, GuardPath, GuardReport, DEGRADED_RESOLUTION, PREVIEW_ROWS};
 use crate::resolution::ResolutionPyramid;
@@ -57,6 +58,18 @@ pub struct ServiceConfig {
     /// Upper bound on per-request canvas resolutions — a guardrail against
     /// a client requesting a 1e9² canvas.
     pub max_resolution: u32,
+    /// Admission window of the batching planner: concurrent queries sharing
+    /// `(dataset, generation, level, mode, resolution)` that arrive within
+    /// this window coalesce into one batched raster pass
+    /// ([`crate::batch::BatchPlanner`]). The window is added latency for the
+    /// first query of a burst, bought back many times over in shared
+    /// projection and rasterization work. `Duration::ZERO` (the default)
+    /// disables batching entirely.
+    pub batch_window: Duration,
+    /// Most queries coalesced into one batch (clamped to the executor's
+    /// [`raster_join::MAX_BATCH_TARGETS`]). Bounds the batch accumulator
+    /// memory: canvas pixels × batch size × one `[count, Σvalue]` texel.
+    pub batch_max: usize,
 }
 
 impl Default for ServiceConfig {
@@ -67,6 +80,8 @@ impl Default for ServiceConfig {
             cache_shards: 8,
             default_deadline: Duration::from_secs(2),
             max_resolution: 4096,
+            batch_window: Duration::ZERO,
+            batch_max: 16,
         }
     }
 }
@@ -218,6 +233,10 @@ pub struct UrbaneService {
     pyramid: ResolutionPyramid,
     datasets: RwLock<BTreeMap<String, DatasetEntry>>,
     cache: QueryCache<CachedAnswer>,
+    /// Dedup of *identical* concurrent misses: one computes, the rest wait.
+    flights: SingleFlight<CachedAnswer>,
+    /// Coalescing of *compatible* concurrent queries into one raster pass.
+    planner: BatchPlanner<(Arc<AggTable>, f64)>,
     // Derived, generation-keyed state (rebuilt lazily after reloads).
     bins: GenerationKeyed<Arc<BinnedPointTable>>,
     samples: GenerationKeyed<Arc<(PointTable, f64)>>,
@@ -273,11 +292,14 @@ impl UrbaneService {
             })
             .collect();
         let cache = QueryCache::new(config.cache_capacity, config.cache_shards);
+        let planner = BatchPlanner::new(config.batch_window, config.batch_max);
         Ok(UrbaneService {
             config,
             pyramid,
             datasets: RwLock::new(datasets),
             cache,
+            flights: SingleFlight::new(),
+            planner,
             bins: Mutex::new(HashMap::new()),
             samples: Mutex::new(HashMap::new()),
             outcomes: Default::default(),
@@ -321,6 +343,18 @@ impl UrbaneService {
     /// Entries currently cached.
     pub fn cache_len(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Batching-planner counters (batches, occupancy histogram, window
+    /// wait).
+    pub fn batch_stats(&self) -> BatchStats {
+        self.planner.stats()
+    }
+
+    /// Identical concurrent misses served from another request's
+    /// computation (each one is a full query's worth of work saved).
+    pub fn single_flight_followers(&self) -> u64 {
+        self.flights.followers()
     }
 
     /// Degradation-ladder outcome counters.
@@ -490,17 +524,104 @@ impl UrbaneService {
                     elapsed: start.elapsed(),
                     deadline,
                     error_bound: hit.epsilon,
+                    batched: None,
                 },
                 cached: true,
                 generation,
             });
         }
 
+        // Single-flight: identical concurrent misses ride one computation.
+        // A follower waits out at most the ladder's worst case (≈1.5× the
+        // deadline) plus slack; past that it computes for itself with
+        // whatever time it has left. The leader publishes its answer at the
+        // end of this function (or `None` on any early exit, via the
+        // handle's drop guard).
+        let flight = match self.flights.join(key.canonical()) {
+            Flight::Follower(follower) => {
+                let timeout = deadline + deadline / 2 + Duration::from_millis(50);
+                if let Some(hit) = follower.wait(timeout) {
+                    OutcomeCounters::bump(&self.outcomes.full);
+                    return Ok(QueryAnswer {
+                        table: hit.table,
+                        regions,
+                        report: GuardReport {
+                            path: GuardPath::Full,
+                            fallbacks: Vec::new(),
+                            retried: false,
+                            elapsed: start.elapsed(),
+                            deadline,
+                            error_bound: hit.epsilon,
+                            batched: None,
+                        },
+                        cached: false,
+                        generation,
+                    });
+                }
+                None
+            }
+            Flight::Leader(leader) => Some(leader),
+        };
+
         let bins = self.dataset_bins(&req.dataset, generation, &points);
         let store = || match &bins {
             Some(b) => PointStore::with_bins(&points, b),
             None => PointStore::plain(&points),
         };
+
+        // Batching planner: distinct-but-compatible concurrent queries
+        // (same dataset, generation, level, mode, and resolution) coalesce
+        // into one multi-target raster pass. Requests that cannot afford
+        // the admission window — or carry a cancel handle the batch could
+        // not honor promptly — bypass the planner and run the serial ladder
+        // directly; a failed batch falls through to the same ladder, so
+        // batching can delay an answer by at most the window plus one
+        // failed pass, never change it.
+        if self.config.batch_window > Duration::ZERO
+            && cancel.is_none()
+            && deadline > self.config.batch_window * 2
+        {
+            let group_key = format!(
+                "{}|{}|{}|{:?}|{}",
+                req.dataset,
+                generation,
+                req.level,
+                req.mode,
+                self.effective_resolution(req),
+            );
+            let exec = |queries: &[SpatialAggQuery], batch_deadline: Duration| {
+                let join = RasterJoin::new(self.join_config(req));
+                let budget = QueryBudget::with_deadline(batch_deadline);
+                let res = join.execute_batch_store(store(), &regions, queries, &budget)?;
+                let epsilon = res.epsilon;
+                Ok(res.tables.into_iter().map(|t| (Arc::new(t), epsilon)).collect())
+            };
+            if let Some(out) = self.planner.submit(&group_key, query.clone(), deadline, exec) {
+                let (table, epsilon) = out.value;
+                OutcomeCounters::bump(&self.outcomes.full);
+                let shared = CachedAnswer { table: Arc::clone(&table), epsilon: Some(epsilon) };
+                if let Some(leader) = flight {
+                    leader.complete(Some(shared.clone()));
+                }
+                // lint: bounded-by cache_capacity (sharded LRU evicts at capacity)
+                self.cache.insert(key, shared);
+                return Ok(QueryAnswer {
+                    table,
+                    regions,
+                    report: GuardReport {
+                        path: GuardPath::Full,
+                        fallbacks: Vec::new(),
+                        retried: false,
+                        elapsed: start.elapsed(),
+                        deadline,
+                        error_bound: Some(epsilon),
+                        batched: Some(out.batched),
+                    },
+                    cached: false,
+                    generation,
+                });
+            }
+        }
 
         let full = |budget: &QueryBudget| -> Result<(Arc<AggTable>, Option<f64>)> {
             let join = RasterJoin::new(self.join_config(req));
@@ -538,14 +659,19 @@ impl UrbaneService {
             GuardPath::PreviewSample => &self.outcomes.preview_sample,
         });
         if result.report.path == GuardPath::Full {
+            let shared = CachedAnswer {
+                table: Arc::clone(&result.table),
+                epsilon: result.report.error_bound,
+            };
+            // Only full-fidelity answers are shared with single-flight
+            // followers — same rule as the cache, same reason.
+            if let Some(leader) = flight {
+                leader.complete(Some(shared.clone()));
+            }
             // lint: bounded-by cache_capacity (sharded LRU evicts at capacity)
-            self.cache.insert(
-                key,
-                CachedAnswer {
-                    table: Arc::clone(&result.table),
-                    epsilon: result.report.error_bound,
-                },
-            );
+            self.cache.insert(key, shared);
+        } else if let Some(leader) = flight {
+            leader.complete(None);
         }
         Ok(QueryAnswer {
             table: result.table,
@@ -684,6 +810,144 @@ mod tests {
         let outcomes = s.guard_outcomes();
         assert_eq!(outcomes.full, 0);
         assert_eq!(outcomes.degraded_bounded + outcomes.preview_sample, 1);
+    }
+
+    fn batching_service(window_ms: u64, cache_capacity: usize) -> UrbaneService {
+        let city = CityModel::nyc_like();
+        let taxi =
+            generate_taxi(&city, &TaxiConfig { rows: 5_000, seed: 3, start: 0, days: 10 });
+        let mut catalog = DataCatalog::new();
+        catalog.register("taxi", taxi);
+        let pyramid = ResolutionPyramid::standard(&city.bbox(), 16, 8, 5);
+        UrbaneService::new(
+            ServiceConfig {
+                join: RasterJoinConfig::with_resolution(256),
+                cache_capacity,
+                batch_window: Duration::from_millis(window_ms),
+                ..Default::default()
+            },
+            catalog,
+            pyramid,
+        )
+        .unwrap()
+    }
+
+    /// Distinct per-client requests that share the batch group key (same
+    /// dataset/level/mode/resolution, different filters).
+    fn distinct_requests(n: usize) -> Vec<QueryRequest> {
+        (0..n)
+            .map(|i| {
+                QueryRequest::count("taxi", 0).filter(Filter::AttrRange {
+                    column: "fare".into(),
+                    min: 0.0,
+                    max: 500.0 + i as f32,
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn concurrent_compatible_queries_coalesce_and_match_serial() {
+        let batched = batching_service(300, 0);
+        let serial = batching_service(0, 0);
+        let reqs = distinct_requests(4);
+        let answers: Vec<QueryAnswer> = std::thread::scope(|s| {
+            let handles: Vec<_> = reqs
+                .iter()
+                .map(|req| {
+                    let batched = &batched;
+                    s.spawn(move || batched.query(req).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (req, a) in reqs.iter().zip(&answers) {
+            assert_eq!(a.report.path, GuardPath::Full);
+            let b = serial.query(req).unwrap();
+            assert_eq!(
+                a.table.values(),
+                b.table.values(),
+                "batched answer must be bit-identical to serial"
+            );
+        }
+        let stats = batched.batch_stats();
+        assert_eq!(stats.batched_queries, 4, "every query must go through the planner");
+        assert!(
+            answers.iter().any(|a| a.report.batched.is_some_and(|k| k >= 2)),
+            "a 300ms window must coalesce at least one pair; got {:?}",
+            answers.iter().map(|a| a.report.batched).collect::<Vec<_>>()
+        );
+        assert_eq!(batched.guard_outcomes().full, 4);
+    }
+
+    #[test]
+    fn batching_disabled_by_default_and_reports_no_annotation() {
+        let s = service(64);
+        let a = s.query(&QueryRequest::count("taxi", 0)).unwrap();
+        assert_eq!(a.report.batched, None);
+        let stats = s.batch_stats();
+        assert_eq!(stats, BatchStats::default(), "window 0 must never open a batch");
+        assert_eq!(s.single_flight_followers(), 0);
+    }
+
+    #[test]
+    fn batched_full_answers_fill_the_cache_for_every_member() {
+        let s = batching_service(200, 64);
+        let reqs = distinct_requests(3);
+        std::thread::scope(|sc| {
+            for req in &reqs {
+                let s = &s;
+                sc.spawn(move || s.query(req).unwrap());
+            }
+        });
+        // Every member's answer must now be a cache hit under its own key.
+        for req in &reqs {
+            let a = s.query(req).unwrap();
+            assert!(a.cached, "batch member's answer missing from the cache");
+        }
+    }
+
+    #[test]
+    fn identical_concurrent_misses_single_flight() {
+        // Cache off: dedup must come from single-flight alone.
+        let s = batching_service(0, 0);
+        let req = QueryRequest::count("taxi", 0);
+        let answers: Vec<QueryAnswer> = std::thread::scope(|sc| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let s = &s;
+                    let req = &req;
+                    sc.spawn(move || s.query(req).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for a in &answers {
+            assert_eq!(a.report.path, GuardPath::Full);
+        }
+        let followers = s.single_flight_followers();
+        assert!(followers <= 3, "at most one leader's worth of followers");
+        // Followers share the leader's table by pointer.
+        if followers == 3 {
+            assert!(answers.windows(2).all(|w| Arc::ptr_eq(&w[0].table, &w[1].table)));
+        }
+    }
+
+    #[test]
+    fn short_deadline_member_bypasses_the_batch_window() {
+        // A member that cannot afford the admission window must go straight
+        // to the serial ladder (and degrade there), while its sibling
+        // batches to a Full answer.
+        let s = batching_service(100, 0);
+        let impatient = QueryRequest::count("taxi", 0).deadline(Duration::ZERO);
+        let a = s.query(&impatient).unwrap();
+        assert!(a.report.degraded());
+        assert_eq!(a.report.batched, None);
+        assert_eq!(s.batch_stats().batched_queries, 0, "zero deadline must bypass the planner");
+        let patient = QueryRequest::count("taxi", 0);
+        let b = s.query(&patient).unwrap();
+        assert_eq!(b.report.path, GuardPath::Full);
+        assert_eq!(b.report.batched, Some(1), "solo member still runs as a batch of one");
     }
 
     #[test]

@@ -63,6 +63,50 @@ trap - EXIT
 rm -f "$serve_log"
 echo "server smoke OK"
 
+# Batch smoke: boot urbane-serve with the admission window open and fire
+# two concurrent distinct queries (distinct filters — different cache keys,
+# so neither the result cache nor single-flight can absorb them). Both must
+# land in ONE coalesced batch: batched_queries (the histogram sum) has to
+# exceed batches (the count). batch-max 2 makes this deterministic — the
+# second arrival seals and dispatches the group immediately.
+serve_log="$(mktemp)"
+target/release/urbane-serve --port 0 --rows 20000 --workers 2 \
+  --deadline-ms 30000 --batch-window-ms 2000 --batch-max 2 > "$serve_log" &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+
+addr=""
+for _ in $(seq 1 50); do
+  addr="$(sed -n 's#^urbane-serve listening on http://##p' "$serve_log")"
+  [ -n "$addr" ] && break
+  sleep 0.2
+done
+[ -n "$addr" ] || { echo "urbane-serve did not report an address"; cat "$serve_log"; exit 1; }
+
+curl -fsS -X POST -d '{"dataset":"taxi","level":1,"filters":[{"type":"range","column":"fare","min":0,"max":500}]}' \
+  "http://$addr/query" > /dev/null &
+c1=$!
+curl -fsS -X POST -d '{"dataset":"taxi","level":1,"filters":[{"type":"range","column":"fare","min":0,"max":501}]}' \
+  "http://$addr/query" > /dev/null &
+c2=$!
+wait "$c1" "$c2"
+
+curl -fsS "http://$addr/metrics" | awk '
+  /^urbane_batch_size_sum /   { sum = $2 }
+  /^urbane_batch_size_count / { count = $2 }
+  END {
+    if (count < 1 || sum <= count) {
+      printf "no coalesced batch: batches=%d batched_queries=%d\n", count, sum
+      exit 1
+    }
+  }'
+
+kill "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+trap - EXIT
+rm -f "$serve_log"
+echo "batch smoke OK"
+
 # Swarm smoke: the chaos-driven sharded front at miniature scale — 2
 # shards, 1 scheduled kill (wedge + health-loop revival), zipfian clients.
 # `repro --exp swarm` exits non-zero unless every full-fidelity answer

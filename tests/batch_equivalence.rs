@@ -1,0 +1,320 @@
+//! Batched == serial bit-identity across the executor matrix.
+//!
+//! `execute_batch_store` runs K queries as ONE raster join — one polygon
+//! rasterization, one point projection, K gated accumulator targets. The
+//! contract is that batching is *pure scheduling*: for every member the
+//! arithmetic sequence is exactly what its solo run would execute, so the
+//! `AggTable`s must be bit-identical (`==` on raw f64 state, not
+//! approximately equal) across execution mode, thread count, spatial
+//! binning, and batch width. The service-level tests assert the other half
+//! of the contract: a failed or bypassed batch falls back to the serial
+//! ladder and never changes an answer.
+
+use std::sync::Arc;
+use std::time::Duration;
+use raster_join::{
+    CanvasSpec, ExecutionMode, PointStore, QueryBudget, RasterJoin, RasterJoinConfig,
+};
+use urban_data::binned::BinnedPointTable;
+use urban_data::filter::Filter;
+use urban_data::gen::city::CityModel;
+use urban_data::gen::regions::voronoi_neighborhoods;
+use urban_data::gen::taxi::{generate_taxi, TaxiConfig};
+use urban_data::query::{AggKind, SpatialAggQuery};
+use urban_data::time::TimeRange;
+use urban_data::{PointTable, RegionSet};
+use urbane::catalog::DataCatalog;
+use urbane::service::{QueryRequest, ServiceConfig, UrbaneService};
+use urbane::{GuardPath, ResolutionPyramid};
+use urbane_bench::workload::Workload;
+
+fn demo_data() -> (PointTable, RegionSet) {
+    let w = Workload::standard(6_000, 17);
+    let regions = voronoi_neighborhoods(&w.city.bbox(), 32, 5, 2);
+    (w.taxi, regions)
+}
+
+/// Eight members with distinct aggregates and filter conjunctions — every
+/// aggregate kind, filtered and unfiltered, plus a spatial predicate.
+fn member_pool(points: &PointTable) -> Vec<SpatialAggQuery> {
+    let bbox = points.bbox();
+    let (w, h) = (bbox.width(), bbox.height());
+    let inner = urbane_geom::BoundingBox::from_coords(
+        bbox.min.x + 0.2 * w,
+        bbox.min.y + 0.2 * h,
+        bbox.max.x - 0.3 * w,
+        bbox.max.y - 0.1 * h,
+    );
+    vec![
+        SpatialAggQuery::count(),
+        SpatialAggQuery::new(AggKind::Sum("fare".into()))
+            .filter(Filter::Time(TimeRange::new(0, i64::MAX / 2))),
+        SpatialAggQuery::new(AggKind::Avg("tip".into())),
+        SpatialAggQuery::new(AggKind::Min("fare".into()))
+            .filter(Filter::AttrRange { column: "fare".into(), min: 2.0, max: 60.0 }),
+        SpatialAggQuery::new(AggKind::Max("tip".into()))
+            .filter(Filter::Time(TimeRange::new(0, i64::MAX / 4))),
+        SpatialAggQuery::count().filter(Filter::SpatialBox(inner)),
+        SpatialAggQuery::new(AggKind::Sum("tip".into()))
+            .filter(Filter::AttrRange { column: "tip".into(), min: 0.5, max: 10.0 })
+            .filter(Filter::Time(TimeRange::new(0, i64::MAX / 3))),
+        SpatialAggQuery::new(AggKind::Avg("fare".into()))
+            .filter(Filter::AttrRange { column: "fare".into(), min: 0.0, max: 500.0 }),
+    ]
+}
+
+fn config(mode: ExecutionMode, threads: usize) -> RasterJoinConfig {
+    RasterJoinConfig {
+        spec: CanvasSpec::Resolution(256),
+        max_tile: 96, // multi-tile plan: the work-stealing path engages
+        mode,
+        threads,
+        binning: raster_join::BinningMode::Off, // stores supplied explicitly
+        ..Default::default()
+    }
+}
+
+/// The full matrix: mode × binning × thread count × batch width. Every
+/// member of every batch must reproduce its solo table bit-for-bit.
+#[test]
+fn batch_matrix_bit_identity() {
+    let (points, regions) = demo_data();
+    let bins = BinnedPointTable::build(&points);
+    let pool = member_pool(&points);
+    let budget = QueryBudget::unlimited();
+
+    for mode in [ExecutionMode::Bounded, ExecutionMode::Weighted, ExecutionMode::Accurate] {
+        for binned in [false, true] {
+            let store = if binned {
+                PointStore::with_bins(&points, &bins)
+            } else {
+                PointStore::plain(&points)
+            };
+            for threads in [1usize, 4] {
+                let join = RasterJoin::new(config(mode, threads));
+                let solos: Vec<_> = pool
+                    .iter()
+                    .map(|q| {
+                        join.execute_store(store, &regions, q, &budget).expect("solo").table
+                    })
+                    .collect();
+                for k in [1usize, 2, 8] {
+                    let batch = join
+                        .execute_batch_store(store, &regions, &pool[..k], &budget)
+                        .expect("batch");
+                    assert!(batch.tiles > 1, "plan must be multi-tile");
+                    for (t, solo) in solos[..k].iter().enumerate() {
+                        assert_eq!(
+                            &batch.tables[t], solo,
+                            "{mode:?} binned={binned} threads={threads} K={k} member {t}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The prepared executor's batch path replays cached rasterizations for all
+/// K members and must match its own solo path exactly.
+#[test]
+fn prepared_batch_bit_identity() {
+    use raster_join::PreparedRasterJoin;
+    let (points, regions) = demo_data();
+    let bins = BinnedPointTable::build(&points);
+    let pool = member_pool(&points);
+    let budget = QueryBudget::unlimited();
+    for mode in [ExecutionMode::Bounded, ExecutionMode::Accurate] {
+        let prepared = PreparedRasterJoin::prepare(&regions, CanvasSpec::Resolution(256), 96, mode)
+            .expect("prepare");
+        for (store_name, store) in [
+            ("plain", PointStore::plain(&points)),
+            ("binned", PointStore::with_bins(&points, &bins)),
+        ] {
+            let batch =
+                prepared.execute_batch_store(store, &pool, &budget).expect("prepared batch");
+            for (t, q) in pool.iter().enumerate() {
+                let solo = prepared.execute_store(store, q, &budget).expect("prepared solo");
+                assert_eq!(
+                    batch.tables[t], solo.table,
+                    "{mode:?} store={store_name} member {t}"
+                );
+            }
+        }
+    }
+}
+
+/// An exhausted budget cancels the batch instead of answering partially.
+#[test]
+fn exhausted_budget_cancels_the_batch() {
+    let (points, regions) = demo_data();
+    let pool = member_pool(&points);
+    let join = RasterJoin::new(config(ExecutionMode::Bounded, 1));
+    let err = join
+        .execute_batch_store(
+            PointStore::plain(&points),
+            &regions,
+            &pool,
+            &QueryBudget::with_deadline(Duration::ZERO),
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, raster_join::RasterJoinError::DeadlineExceeded),
+        "expected DeadlineExceeded, got {err:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Service level: the planner must never change an answer, only its timing.
+// ---------------------------------------------------------------------------
+
+fn batching_service(window_ms: u64, join: RasterJoinConfig) -> UrbaneService {
+    let city = CityModel::nyc_like();
+    let taxi = generate_taxi(&city, &TaxiConfig { rows: 5_000, seed: 3, start: 0, days: 10 });
+    let mut catalog = DataCatalog::new();
+    catalog.register("taxi", taxi);
+    let pyramid = ResolutionPyramid::standard(&city.bbox(), 16, 8, 5);
+    UrbaneService::new(
+        ServiceConfig {
+            join,
+            cache_capacity: 0,
+            batch_window: Duration::from_millis(window_ms),
+            ..Default::default()
+        },
+        catalog,
+        pyramid,
+    )
+    .expect("service boots")
+}
+
+fn distinct_requests(n: usize) -> Vec<QueryRequest> {
+    (0..n)
+        .map(|i| {
+            QueryRequest::count("taxi", 0).filter(Filter::AttrRange {
+                column: "fare".into(),
+                min: 0.0,
+                max: 500.0 + i as f32,
+            })
+        })
+        .collect()
+}
+
+/// A mixed-deadline group: the zero-deadline member cannot afford the
+/// admission window, bypasses the planner, and degrades on its own serial
+/// ladder; its patient siblings coalesce and stay Full — one impatient
+/// member never drags the whole batch down.
+#[test]
+fn mixed_deadlines_degrade_only_the_impatient_member() {
+    let s = batching_service(200, RasterJoinConfig::with_resolution(256));
+    let serial = batching_service(0, RasterJoinConfig::with_resolution(256));
+    let patient = distinct_requests(3);
+    let impatient = QueryRequest::count("taxi", 0).deadline(Duration::ZERO);
+
+    let (rushed, answers) = std::thread::scope(|sc| {
+        let handles: Vec<_> = patient
+            .iter()
+            .map(|req| {
+                let s = &s;
+                sc.spawn(move || s.query(req).expect("patient member"))
+            })
+            .collect();
+        let rushed = s.query(&impatient).expect("impatient member");
+        (rushed, handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>())
+    });
+
+    assert!(rushed.report.degraded(), "zero deadline must degrade");
+    assert_eq!(rushed.report.batched, None, "zero deadline must bypass the planner");
+    for (req, a) in patient.iter().zip(&answers) {
+        assert_eq!(a.report.path, GuardPath::Full);
+        assert!(a.report.batched.is_some(), "patient members go through the planner");
+        let reference = serial.query(req).expect("serial reference");
+        assert_eq!(
+            a.table.values(),
+            reference.table.values(),
+            "batched answer diverged from serial"
+        );
+    }
+}
+
+/// A tile panic inside the shared batch pass fails the whole batch; every
+/// member independently falls back to the serial ladder and still answers
+/// Full and bit-identical to an unfaulted serial run. Seeded like the chaos
+/// harness: the panicking tile is drawn from the seed, so different seeds
+/// exercise different tiles without losing reproducibility.
+#[test]
+fn faulted_batch_falls_back_to_serial_per_member() {
+    for seed in [1u64, 7, 23] {
+        // 256-px canvas at 96-px tiles → multi-tile plan; pick the victim
+        // tile from the seed among the first four (always present).
+        let tile = raster_join::FaultPlan::tile_from_seed(seed, 4);
+        let mut join = RasterJoinConfig::with_resolution(256);
+        join.max_tile = 96;
+        join.faults = Some(raster_join::FaultPlan::new().panic_on_tile(tile));
+        let s = batching_service(200, join);
+        let serial =
+            batching_service(0, { let mut j = RasterJoinConfig::with_resolution(256); j.max_tile = 96; j });
+
+        let reqs = distinct_requests(3);
+        let answers: Vec<_> = std::thread::scope(|sc| {
+            let handles: Vec<_> = reqs
+                .iter()
+                .map(|req| {
+                    let s = &s;
+                    sc.spawn(move || s.query(req).expect("fallback must answer"))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        // The fault disarms after firing once (inside some batch pass), so
+        // every member's serial fallback — or its sibling batch — succeeds.
+        for (req, a) in reqs.iter().zip(&answers) {
+            assert_eq!(a.report.path, GuardPath::Full, "seed {seed}: member not Full");
+            let reference = serial.query(req).expect("serial reference");
+            assert_eq!(
+                a.table.values(),
+                reference.table.values(),
+                "seed {seed}: faulted-batch fallback diverged from serial"
+            );
+        }
+        assert!(s.batch_stats().batches >= 1, "seed {seed}: planner never ran a batch");
+    }
+}
+
+/// Sanity on sharing: a batched Full answer lands in every member's cache
+/// slot, so an immediate repeat is a pointer-shared hit.
+#[test]
+fn batched_answers_are_individually_cacheable() {
+    let city = CityModel::nyc_like();
+    let taxi = generate_taxi(&city, &TaxiConfig { rows: 5_000, seed: 3, start: 0, days: 10 });
+    let mut catalog = DataCatalog::new();
+    catalog.register("taxi", taxi);
+    let pyramid = ResolutionPyramid::standard(&city.bbox(), 16, 8, 5);
+    let s = UrbaneService::new(
+        ServiceConfig {
+            join: RasterJoinConfig::with_resolution(256),
+            cache_capacity: 64,
+            batch_window: Duration::from_millis(200),
+            ..Default::default()
+        },
+        catalog,
+        pyramid,
+    )
+    .expect("service boots");
+    let reqs = distinct_requests(3);
+    let first: Vec<_> = std::thread::scope(|sc| {
+        let handles: Vec<_> = reqs
+            .iter()
+            .map(|req| {
+                let s = &s;
+                sc.spawn(move || s.query(req).expect("first pass"))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (req, a) in reqs.iter().zip(&first) {
+        let again = s.query(req).expect("repeat");
+        assert!(again.cached, "batched Full answer must be cached per member");
+        assert!(Arc::ptr_eq(&a.table, &again.table), "cache hit must share the table");
+    }
+}
