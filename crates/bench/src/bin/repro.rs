@@ -11,13 +11,13 @@ use urbane_bench::{batch_bench, experiments, perf, serve_bench, swarm, verify_ex
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--exp all|bench|serve|swarm|batch|verify|e1|...|e10] [--scale N] [--out DIR]\n\
+        "usage: repro [--exp all|bench|indexjoin|serve|swarm|batch|verify|e1|...|e10] [--scale N] [--out DIR]\n\
          \x20             [--threads N] [--reps N] [--json PATH]\n\
          \x20             [--clients N] [--requests N] [--shards N] [--kills N]\n\
          \x20             [--window-ms N]\n\
          defaults: --exp all --scale 1000000 --out out --threads 4 --reps 5\n\
          \x20         --clients 2 --requests 60 --shards 3 --kills 2 --window-ms 15\n\
-         --threads/--reps apply to `bench` and `serve`; --json also to `verify`/`swarm`/`batch`;\n\
+         --threads/--reps apply to `bench`, `indexjoin` and `serve`; --json also to `verify`/`swarm`/`batch`;\n\
          --clients/--requests apply to `serve`, `swarm`, and `batch` (scale = dataset rows);\n\
          --shards/--kills apply to `swarm` (chaos-driven sharded front);\n\
          --window-ms applies to `batch` (admission window of the batched leg);\n\
@@ -214,6 +214,13 @@ fn main() {
         if !report.passed() {
             std::process::exit(1);
         }
+        return;
+    }
+
+    if exp == "indexjoin" {
+        let cfg = perf::PerfConfig { points: scale, threads, reps, ..Default::default() };
+        let (points, crossover) = perf::index_join_race(&cfg);
+        println!("{}", perf::render_race(&points, crossover));
         return;
     }
 

@@ -16,8 +16,11 @@ use crate::workload::Workload;
 use raster_join::{
     BinningMode, CanvasSpec, PointStore, QueryBudget, RasterJoin, RasterJoinConfig,
 };
+use spatial_index::PackedRegionIndex;
 use urban_data::binned::BinnedPointTable;
+use urban_data::gen::regions::voronoi_neighborhoods;
 use urban_data::query::{AggKind, SpatialAggQuery};
+use urbane_store::{ChunkedPointSource, StoreBuilder};
 
 /// Knobs for the perf suite (all settable from the `repro` CLI).
 #[derive(Debug, Clone)]
@@ -57,6 +60,22 @@ pub struct PerfRow {
     pub binned: bool,
 }
 
+/// One point of the raster-vs-index race: both joins answering the same
+/// query over the same points, at one region-set size.
+#[derive(Debug, Clone)]
+pub struct IndexJoinPoint {
+    /// Regions in the set (the race's x axis).
+    pub regions: usize,
+    /// Median latency of the bounded raster join (ε-approximate).
+    pub raster_ms: f64,
+    /// Median latency of the exact stored index join (ε = 0).
+    pub index_ms: f64,
+    /// Chunks the stored join actually read.
+    pub chunks_scanned: u64,
+    /// Chunks skipped by directory footers without a read.
+    pub chunks_pruned: u64,
+}
+
 /// The full suite result: rows plus the derived headline numbers.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
@@ -71,6 +90,12 @@ pub struct PerfReport {
     /// Unbinned / binned latency ratio for the headline bounded multi-tile
     /// experiment (>1 means binning won).
     pub speedup_bounded_multitile: f64,
+    /// Raster-vs-index race across region-set sizes (exact stored index
+    /// join from `urbane-store` vs the bounded raster path).
+    pub index_join: Vec<IndexJoinPoint>,
+    /// Smallest region count at which the raster join beat the exact index
+    /// join (`None` when the index join won the whole sweep).
+    pub index_crossover_regions: Option<usize>,
 }
 
 impl PerfReport {
@@ -111,7 +136,26 @@ impl PerfReport {
                 if i + 1 < self.rows.len() { "," } else { "" }
             ));
         }
-        s.push_str("  ]\n}\n");
+        s.push_str("  ],\n");
+        s.push_str("  \"index_join\": [\n");
+        for (i, p) in self.index_join.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"regions\": {}, \"raster_ms\": {:.3}, \"index_ms\": {:.3}, \
+                 \"chunks_scanned\": {}, \"chunks_pruned\": {}}}{}\n",
+                p.regions,
+                p.raster_ms,
+                p.index_ms,
+                p.chunks_scanned,
+                p.chunks_pruned,
+                if i + 1 < self.index_join.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        match self.index_crossover_regions {
+            Some(n) => s.push_str(&format!("  \"index_crossover_regions\": {n}\n")),
+            None => s.push_str("  \"index_crossover_regions\": null\n"),
+        }
+        s.push_str("}\n");
         s
     }
 
@@ -130,14 +174,15 @@ impl PerfReport {
         }
         format!(
             "BENCH  Binning + work-stealing ({} points, median of {}; bins: {}x{} built in \
-             {:.1} ms)\n\n{}\nbounded multi-tile speedup (unbinned / binned): {:.2}x\n",
+             {:.1} ms)\n\n{}\nbounded multi-tile speedup (unbinned / binned): {:.2}x\n\n{}",
             self.config.points,
             self.config.reps,
             self.grid.0,
             self.grid.1,
             self.bin_build_ms,
             t.render(),
-            self.speedup_bounded_multitile
+            self.speedup_bounded_multitile,
+            render_race(&self.index_join, self.index_crossover_regions)
         )
     }
 }
@@ -231,13 +276,97 @@ pub fn run(cfg: &PerfConfig) -> PerfReport {
         });
     }
 
+    let (index_join, index_crossover_regions) = race(cfg, &w, &q);
+
     PerfReport {
         config: cfg.clone(),
         bin_build_ms,
         grid: bins.grid_dims(),
         rows,
         speedup_bounded_multitile: head_unbinned / head_binned,
+        index_join,
+        index_crossover_regions,
     }
+}
+
+/// Raster-vs-index race: serialize the workload into an in-memory `.ubs`
+/// store once, then at each region-set size time the bounded raster path
+/// (ε-approximate) against the exact stored index join (ε = 0). Before
+/// either side is timed the streamed join must agree bit-for-bit with the
+/// in-memory index join — a silently-wrong stream never races.
+fn race(
+    cfg: &PerfConfig,
+    w: &Workload,
+    q: &SpatialAggQuery,
+) -> (Vec<IndexJoinPoint>, Option<usize>) {
+    use raster_join::ExecutionMode::Bounded;
+    let plain_store = PointStore::plain(&w.taxi);
+    let store_bytes = StoreBuilder::new().encode(&w.taxi).expect("store encode");
+    let budget = QueryBudget::unlimited();
+    let mut points = Vec::new();
+    for n_regions in [8usize, 32, 128, 512] {
+        let set = voronoi_neighborhoods(&w.city.bbox(), n_regions, 42, 2);
+        let index = PackedRegionIndex::build(&set);
+        let open = || ChunkedPointSource::from_bytes(store_bytes.clone());
+
+        let (stored, stats) = spatial_index::index_join_stored_parallel(
+            open, &set, &index, q, &budget, cfg.threads,
+        )
+        .expect("stored index join");
+        let resident = spatial_index::index_join_budgeted(&w.taxi, &set, &index, q, &budget)
+            .expect("in-memory index join");
+        assert_eq!(stored, resident, "{n_regions} regions: streamed join diverged");
+
+        let raster = RasterJoin::new(config(cfg, BinningMode::Off, Bounded));
+        let raster_ms = median_ms(cfg.reps, || {
+            raster.execute_store(plain_store, &set, q, &budget).expect("raster run");
+        });
+        let index_ms = median_ms(cfg.reps, || {
+            spatial_index::index_join_stored_parallel(
+                open, &set, &index, q, &budget, cfg.threads,
+            )
+            .expect("stored index join");
+        });
+        points.push(IndexJoinPoint {
+            regions: n_regions,
+            raster_ms,
+            index_ms,
+            chunks_scanned: stats.chunks_scanned,
+            chunks_pruned: stats.chunks_pruned,
+        });
+    }
+    let crossover = points.iter().find(|p| p.raster_ms <= p.index_ms).map(|p| p.regions);
+    (points, crossover)
+}
+
+/// Just the raster-vs-index race (the `repro --exp indexjoin` mode):
+/// builds the standard workload and returns the sweep plus the crossover.
+pub fn index_join_race(cfg: &PerfConfig) -> (Vec<IndexJoinPoint>, Option<usize>) {
+    let w = Workload::standard(cfg.points, 42);
+    let q = SpatialAggQuery::new(AggKind::Sum("fare".into()));
+    race(cfg, &w, &q)
+}
+
+/// Human-readable table for an index-join race run standalone.
+pub fn render_race(points: &[IndexJoinPoint], crossover: Option<usize>) -> String {
+    let mut t = Table::new(["regions", "raster ms", "index ms", "scanned", "pruned"]);
+    for p in points {
+        t.row([
+            format!("{}", p.regions),
+            format!("{:.1}", p.raster_ms),
+            format!("{:.1}", p.index_ms),
+            format!("{}", p.chunks_scanned),
+            format!("{}", p.chunks_pruned),
+        ]);
+    }
+    let crossover = match crossover {
+        Some(n) => format!("raster overtakes the exact index join at {n} regions"),
+        None => "the exact index join won at every region count".to_string(),
+    };
+    format!(
+        "Raster join (bounded, ε > 0) vs stored index join (exact, ε = 0):\n\n{}\n{crossover}\n",
+        t.render()
+    )
 }
 
 #[cfg(test)]
@@ -261,10 +390,20 @@ mod tests {
         // stable keys present, one object per experiment row.
         assert!(json.starts_with("{\n") && json.ends_with("}\n"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
-        for key in ["\"bench\"", "\"bin_build_ms\"", "\"speedup_bounded_multitile\"", "\"experiments\""] {
+        for key in [
+            "\"bench\"",
+            "\"bin_build_ms\"",
+            "\"speedup_bounded_multitile\"",
+            "\"experiments\"",
+            "\"index_join\"",
+            "\"index_crossover_regions\"",
+        ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert_eq!(json.matches("\"name\"").count(), report.rows.len());
+        assert_eq!(json.matches("\"raster_ms\"").count(), report.index_join.len());
+        assert_eq!(report.index_join.len(), 4);
         assert!(report.render().contains("speedup"));
+        assert!(report.render().contains("index join"));
     }
 }

@@ -615,6 +615,10 @@ impl RasterJoin {
                         ExecutionMode::Accurate => {
                             batch_accurate_tile(vp, store, regions, cqs, config.path, budget)
                         }
+                        ExecutionMode::IndexJoin => Err(RasterJoinError::Config(
+                            "index join executes at the session layer, not the raster pipeline"
+                                .into(),
+                        )),
                     }
                 }));
             caught.unwrap_or_else(|payload| {

@@ -47,6 +47,10 @@ pub enum ExecutionMode {
     Weighted,
     /// Hybrid path: boundary pixels fixed up with exact PIP tests.
     Accurate,
+    /// Exact index join over the out-of-core store (`urbane-store` packed
+    /// R-tree + exact PIP). Executes at the session layer, not through the
+    /// raster pipeline — the raster executors reject it with a config error.
+    IndexJoin,
 }
 
 /// How region polygons are rasterized (ablation E9.2).
@@ -315,6 +319,10 @@ impl RasterJoin {
                         ExecutionMode::Accurate => {
                             accurate_tile(vp, store, regions, cq, self.config.path, budget)
                         }
+                        ExecutionMode::IndexJoin => Err(RasterJoinError::Config(
+                            "index join executes at the session layer, not the raster pipeline"
+                                .into(),
+                        )),
                     },
                 }
             }));

@@ -5,7 +5,8 @@
 //! than CSV, and the format doubles as the on-disk cache Urbane's session
 //! layer uses between runs.
 //!
-//! Layout:
+//! Layout (format `UPT1`, the whole-table sibling of the chunked
+//! out-of-core `UBS1` store in `urbane-store`):
 //! ```text
 //! magic "UPT1" | u32 n_cols | per col: u8 type, u16 name_len, name bytes
 //! u64 n_rows | xs f64[n] | ys f64[n] | ts i64[n] | per col: f32[n]
@@ -13,7 +14,10 @@
 //!
 //! Decoding is fully bounds-checked: every read goes through a cursor that
 //! returns a typed `Decode` error on truncation, so corrupt or hostile input
-//! can never panic or slice out of bounds.
+//! can never panic or slice out of bounds. A wrong *container* — any first
+//! four bytes other than `UPT1`, such as a `.ubs` store — is reported as
+//! [`DataError::Format`] rather than a generic decode error, so callers can
+//! tell "this is the other format" apart from "this file is damaged".
 
 use crate::schema::{AttrType, Schema};
 use crate::table::PointTable;
@@ -126,7 +130,10 @@ pub fn decode(buf: &[u8]) -> Result<PointTable> {
 
     let magic = cur.take(4, "magic")?;
     if magic != MAGIC {
-        return Err(err("bad magic (not a UPT1 table)"));
+        return Err(DataError::Format {
+            expected: "UPT1",
+            found: String::from_utf8_lossy(magic).into_owned(),
+        });
     }
     let n_cols = cur.u32_le("column count")? as usize;
     if n_cols > 4096 {
@@ -247,6 +254,23 @@ mod tests {
         for cut in 0..bytes.len() {
             assert!(decode(&bytes[..cut]).is_err(), "prefix {cut} decoded");
         }
+    }
+
+    #[test]
+    fn magic_mismatch_is_a_format_error_not_truncation() {
+        let t = sample();
+        let mut bad = encode(&t);
+        bad[..4].copy_from_slice(b"UBS1"); // a store file fed to the table decoder
+        match decode(&bad) {
+            Err(DataError::Format { expected, found }) => {
+                assert_eq!(expected, "UPT1");
+                assert_eq!(found, "UBS1");
+            }
+            other => panic!("expected Format error, got {other:?}"),
+        }
+        // Truncation stays a Decode error — the two must be distinguishable.
+        assert!(matches!(decode(&encode(&t)[..3]), Err(DataError::Decode(_))));
+        assert!(matches!(decode(&encode(&t)[..20]), Err(DataError::Decode(_))));
     }
 
     #[test]

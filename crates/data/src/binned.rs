@@ -113,6 +113,57 @@ impl BinnedPointTable {
         this
     }
 
+    /// Bin a spatially pre-sorted `table` (rows in Hilbert/file order, as
+    /// materialized from a `urbane-store` chunk stream) on an explicit
+    /// `gx × gy` grid. Produces exactly the structure [`Self::with_grid`]
+    /// builds — same offsets, permutation, and cell bounds — but computes
+    /// each row's cell key once instead of twice: keys are staged into a
+    /// scratch array during the histogram pass and replayed during
+    /// placement. Sorted input additionally arrives in long same-cell runs,
+    /// so the histogram increments and cursor writes stay cache-resident
+    /// instead of striding the whole grid.
+    ///
+    /// # Panics
+    /// Panics when either dimension is zero — a caller bug, not a data
+    /// condition.
+    pub fn with_grid_from_sorted(table: &PointTable, gx: u32, gy: u32) -> Self {
+        assert!(gx > 0 && gy > 0, "grid dimensions must be positive");
+        let bbox = table.bbox();
+        let n = table.len();
+        let cells = (gx as usize) * (gy as usize);
+        let cell_w = if bbox.is_empty() || bbox.width() <= 0.0 { 1.0 } else { bbox.width() / gx as f64 };
+        let cell_h = if bbox.is_empty() || bbox.height() <= 0.0 { 1.0 } else { bbox.height() / gy as f64 };
+
+        let mut this = BinnedPointTable {
+            bbox,
+            gx,
+            gy,
+            cell_w,
+            cell_h,
+            offsets: vec![0u32; cells + 1],
+            permutation: vec![0u32; n],
+            cell_bounds: vec![BoundingBox::empty(); cells],
+            n_points: n,
+        };
+
+        let mut keys: Vec<usize> = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = this.cell_of(table.loc(i));
+            keys.push(c);
+            this.offsets[c + 1] += 1;
+        }
+        for c in 0..cells {
+            this.offsets[c + 1] += this.offsets[c];
+        }
+        let mut cursor: Vec<u32> = this.offsets[..cells].to_vec();
+        for (i, &c) in keys.iter().enumerate() {
+            this.permutation[cursor[c] as usize] = i as u32;
+            cursor[c] += 1;
+            this.cell_bounds[c].expand(table.loc(i));
+        }
+        this
+    }
+
     /// The linearized (row-major) cell holding `p`. Out-of-box points clamp
     /// into the edge cells, so every row lands somewhere.
     #[inline]
@@ -294,6 +345,32 @@ mod tests {
         let mut cand = Vec::new();
         b.candidates_into(&BoundingBox::from_coords(0.0, 0.0, 10.0, 10.0), &mut cand);
         assert_eq!(cand.len(), 10);
+    }
+
+    #[test]
+    fn from_sorted_fast_path_is_bit_identical() {
+        // Identical on any input order (the fast path changes the key
+        // staging, not the result)…
+        let t = table(3_000);
+        assert_eq!(
+            BinnedPointTable::with_grid_from_sorted(&t, 12, 9),
+            BinnedPointTable::with_grid(&t, 12, 9)
+        );
+        // …including degenerate shapes.
+        let schema = Schema::new([("v", AttrType::Numeric)]).unwrap();
+        let empty = PointTable::new(schema.clone());
+        assert_eq!(
+            BinnedPointTable::with_grid_from_sorted(&empty, 4, 4),
+            BinnedPointTable::with_grid(&empty, 4, 4)
+        );
+        let mut flat = PointTable::new(schema);
+        for i in 0..20 {
+            flat.push(Point::new(i as f64, 5.0), i, &[0.0]).unwrap();
+        }
+        assert_eq!(
+            BinnedPointTable::with_grid_from_sorted(&flat, 8, 8),
+            BinnedPointTable::with_grid(&flat, 8, 8)
+        );
     }
 
     #[test]

@@ -56,6 +56,10 @@ pub enum DataError {
     Schema(String),
     /// CSV / binary decode failure.
     Decode(String),
+    /// Container magic/version mismatch: the bytes belong to a different
+    /// format (e.g. a `.ubs` store handed to the legacy `.bin` decoder),
+    /// not to a truncated or corrupted file of this one.
+    Format { expected: &'static str, found: String },
 }
 
 impl std::fmt::Display for DataError {
@@ -64,6 +68,9 @@ impl std::fmt::Display for DataError {
             DataError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
             DataError::Schema(m) => write!(f, "schema error: {m}"),
             DataError::Decode(m) => write!(f, "decode error: {m}"),
+            DataError::Format { expected, found } => {
+                write!(f, "format mismatch: expected {expected}, found {found}")
+            }
         }
     }
 }

@@ -27,21 +27,27 @@ pub mod executor;
 pub mod grid;
 pub mod kdtree;
 pub mod naive;
+pub mod packed_region;
 pub mod polygon_probe;
 pub mod preagg;
 pub mod quadtree;
 pub mod rtree;
 pub mod st_index;
+pub mod store_exec;
 
 pub use executor::{index_join, index_join_parallel};
 pub use grid::GridIndex;
 pub use kdtree::KdTree;
 pub use naive::naive_join;
+pub use packed_region::PackedRegionIndex;
 pub use polygon_probe::polygon_probe_join;
 pub use preagg::{CubeQueryError, PreAggCube};
 pub use quadtree::QuadTreeIndex;
 pub use rtree::RTreeIndex;
 pub use st_index::{st_index_join, TimePartitionedPoints};
+pub use store_exec::{
+    index_join_budgeted, index_join_stored, index_join_stored_parallel, StoredJoinStats,
+};
 
 use urban_data::RegionId;
 use urbane_geom::Point;

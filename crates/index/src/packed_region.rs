@@ -1,0 +1,114 @@
+//! A [`RegionIndex`] backed by `urbane-store`'s packed Hilbert R-tree.
+//!
+//! The same flattened level-bounds tree that prunes `.ubs` chunks also
+//! serves as a point-probe index over region bounding boxes: leaf item `i`
+//! of the tree is region `i`, so a box search returns candidate region ids
+//! directly. Compared with [`crate::rtree::RTreeIndex`] (STR bulk-load,
+//! pointer nodes) this is a single flat box array — cache-friendly probes
+//! and a serializable layout shared with the store file format.
+
+use crate::{Probe, RegionIndex};
+use urban_data::{RegionId, RegionSet};
+use urbane_geom::Point;
+use urbane_store::{packed, PackedRTree};
+
+/// Packed-layout R-tree over a region set's bounding boxes.
+#[derive(Debug, Clone)]
+pub struct PackedRegionIndex {
+    tree: PackedRTree,
+}
+
+impl PackedRegionIndex {
+    /// Build the index from a region set. Leaf order is region-id order, so
+    /// probe hits map to ids without a translation table.
+    pub fn build(regions: &RegionSet) -> Self {
+        let boxes: Vec<_> = regions.iter().map(|(_, _, geom)| geom.bbox()).collect();
+        PackedRegionIndex { tree: PackedRTree::build(&boxes, packed::DEFAULT_NODE_SIZE) }
+    }
+
+    /// Build with an explicit tree fan-out (probing-granularity knob).
+    pub fn build_with_node_size(regions: &RegionSet, node_size: usize) -> Self {
+        let boxes: Vec<_> = regions.iter().map(|(_, _, geom)| geom.bbox()).collect();
+        PackedRegionIndex { tree: PackedRTree::build(&boxes, node_size) }
+    }
+
+    /// The underlying packed tree (for serialization alongside a store).
+    pub fn tree(&self) -> &PackedRTree {
+        &self.tree
+    }
+}
+
+impl RegionIndex for PackedRegionIndex {
+    fn probe_into(&self, p: Point, out: &mut Vec<RegionId>) -> Probe {
+        out.clear();
+        let mut hits: Vec<usize> = Vec::new();
+        self.tree.search_point_into(p, &mut hits);
+        if hits.is_empty() {
+            return Probe::Empty;
+        }
+        out.extend(hits.into_iter().map(|i| i as RegionId));
+        Probe::Candidates
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.tree.memory_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "packed-rtree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::index_join;
+    use crate::naive::naive_join;
+    use urban_data::gen::corpus::uniform_points;
+    use urban_data::gen::regions::voronoi_neighborhoods;
+    use urban_data::query::SpatialAggQuery;
+    use urbane_geom::BoundingBox;
+
+    #[test]
+    fn matches_naive_join() {
+        let bbox = BoundingBox::from_coords(0.0, 0.0, 100.0, 100.0);
+        let pts = uniform_points(&bbox, 3_000, 11, 50.0);
+        let rs = voronoi_neighborhoods(&bbox, 25, 9, 2);
+        let q = SpatialAggQuery::count();
+        let truth = naive_join(&pts, &rs, &q).unwrap();
+        let idx = PackedRegionIndex::build(&rs);
+        assert_eq!(index_join(&pts, &rs, &idx, &q).unwrap(), truth);
+    }
+
+    #[test]
+    fn candidates_are_supersets_of_exact_hits() {
+        let bbox = BoundingBox::from_coords(0.0, 0.0, 100.0, 100.0);
+        let rs = voronoi_neighborhoods(&bbox, 40, 3, 2);
+        let idx = PackedRegionIndex::build(&rs);
+        let mut scratch = Vec::new();
+        for i in 0..500 {
+            let p = Point::new((i % 50) as f64 * 2.0 + 0.5, (i / 50) as f64 * 9.0 + 0.5);
+            let probe = idx.probe_into(p, &mut scratch);
+            for (id, _, geom) in rs.iter() {
+                if geom.contains(p) {
+                    match probe {
+                        Probe::Candidates => {
+                            assert!(scratch.contains(&id), "missed region {id} at {p:?}")
+                        }
+                        Probe::Resolved(r) => assert_eq!(r, id),
+                        Probe::Empty => panic!("probe Empty but region {id} contains {p:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_region_set_probes_empty() {
+        let rs = RegionSet::new("none", Vec::new());
+        let idx = PackedRegionIndex::build(&rs);
+        let mut scratch = Vec::new();
+        assert_eq!(idx.probe_into(Point::new(0.0, 0.0), &mut scratch), Probe::Empty);
+        assert_eq!(idx.name(), "packed-rtree");
+    }
+}

@@ -1,0 +1,498 @@
+//! Index-join executors over the out-of-core `.ubs` store.
+//!
+//! These are the exact baseline the paper's scaling comparison races Raster
+//! Join against at cardinalities that don't fit the whole-table serving
+//! model: points stream in chunk-at-a-time from a [`ChunkedPointSource`],
+//! each chunk is pruned against the query using the store's footers (chunk
+//! bbox vs. the region extent and any `SpatialBox` filter, time range vs.
+//! `Time` filters, per-attribute min/max vs. attribute filters) before a
+//! single byte of its payload is read, and surviving chunks run the same
+//! probe-then-exact-PIP loop as [`crate::executor::index_join`].
+//!
+//! Results are **bit-for-bit exact**: aggregation states accumulate f32
+//! attribute values in f64 (lossless at the corpus's dynamic range), chunk
+//! partials merge in chunk order, and the parallel variant assigns workers
+//! contiguous chunk ranges merged in range order — so serial, parallel, and
+//! the in-memory oracle all agree exactly.
+//!
+//! Budget/cancellation discipline matches the raster executors: the shared
+//! [`QueryBudget`] is polled once per chunk, so a cancelled query stops
+//! within one chunk's worth of work.
+
+use crate::{Probe, RegionIndex};
+use raster_join::{QueryBudget, RasterJoinError};
+use std::io::{Read, Seek};
+use urban_data::query::{AggTable, SpatialAggQuery};
+use urban_data::schema::Schema;
+use urban_data::{Filter, PointTable, RegionSet};
+use urbane_geom::BoundingBox;
+use urbane_store::{ChunkMeta, ChunkedPointSource};
+
+/// Per-query accounting for a stored join: how much the footers pruned and
+/// how much actually streamed through memory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoredJoinStats {
+    /// Chunks whose payloads were read and scanned.
+    pub chunks_scanned: u64,
+    /// Chunks skipped entirely on footer evidence.
+    pub chunks_pruned: u64,
+    /// Rows decoded and fed through the filter/probe loop.
+    pub rows_scanned: u64,
+    /// Largest number of rows resident at once (chunk granularity).
+    pub peak_resident_rows: u32,
+}
+
+impl StoredJoinStats {
+    /// Fold another worker's accounting into this one.
+    pub fn merge(&mut self, other: &StoredJoinStats) {
+        self.chunks_scanned += other.chunks_scanned;
+        self.chunks_pruned += other.chunks_pruned;
+        self.rows_scanned += other.rows_scanned;
+        self.peak_resident_rows = self.peak_resident_rows.max(other.peak_resident_rows);
+    }
+}
+
+/// Filter bounds resolved against the store schema once per query, so the
+/// per-chunk pruning test is pure arithmetic against the footers.
+struct ChunkPruner {
+    /// Regions' overall extent intersected with any `SpatialBox` filters.
+    window: BoundingBox,
+    /// `(column, min, max)` for every attribute filter (equals ⇒ min=max).
+    attr_bounds: Vec<(usize, f32, f32)>,
+    /// `(start, end)` half-open for every time filter.
+    time_bounds: Vec<(i64, i64)>,
+}
+
+impl ChunkPruner {
+    fn new(
+        schema: &Schema,
+        regions: &RegionSet,
+        query: &SpatialAggQuery,
+    ) -> Result<Self, RasterJoinError> {
+        let mut window = regions.bbox();
+        let mut attr_bounds = Vec::new();
+        let mut time_bounds = Vec::new();
+        for f in query.filters.filters() {
+            match f {
+                Filter::SpatialBox(b) => {
+                    // Shrink the window: a chunk outside *any* spatial
+                    // filter can contribute nothing.
+                    window = intersect(&window, b);
+                }
+                Filter::AttrRange { column, min, max } => {
+                    let c = schema.index_of(column).map_err(data_err)?;
+                    attr_bounds.push((c, *min, *max));
+                }
+                Filter::AttrEquals { column, value } => {
+                    let c = schema.index_of(column).map_err(data_err)?;
+                    attr_bounds.push((c, *value, *value));
+                }
+                Filter::Time(r) => time_bounds.push((r.start, r.end)),
+            }
+        }
+        Ok(ChunkPruner { window, attr_bounds, time_bounds })
+    }
+
+    /// Can this chunk possibly contribute a row? Footer ranges are exact
+    /// (computed over the chunk's rows at build time), so a disjoint range
+    /// is a proof of emptiness, never a heuristic.
+    fn may_contribute(&self, meta: &ChunkMeta) -> bool {
+        if !self.window.intersects(&meta.bbox) {
+            return false;
+        }
+        for &(start, end) in &self.time_bounds {
+            // Half-open [start, end) vs. closed footer [t_min, t_max].
+            if meta.t_max < start || meta.t_min >= end {
+                return false;
+            }
+        }
+        for &(c, lo, hi) in &self.attr_bounds {
+            let (fmin, fmax) = match (meta.attr_min.get(c), meta.attr_max.get(c)) {
+                (Some(&a), Some(&b)) => (a, b),
+                // Footer narrower than the schema: don't prune on it.
+                _ => continue,
+            };
+            if fmax < lo || fmin > hi {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn intersect(a: &BoundingBox, b: &BoundingBox) -> BoundingBox {
+    BoundingBox {
+        min: urbane_geom::Point::new(a.min.x.max(b.min.x), a.min.y.max(b.min.y)),
+        max: urbane_geom::Point::new(a.max.x.min(b.max.x), a.max.y.min(b.max.y)),
+    }
+}
+
+fn data_err(e: urban_data::DataError) -> RasterJoinError {
+    RasterJoinError::Data(e.to_string())
+}
+
+fn store_err(e: urbane_store::StoreError) -> RasterJoinError {
+    RasterJoinError::Internal(format!("store read failed: {e}"))
+}
+
+/// Validate the query against the store schema before touching any chunk,
+/// so "unknown column" fails identically whether zero or all chunks survive
+/// pruning.
+fn validate_query(schema: &Schema, query: &SpatialAggQuery) -> Result<(), RasterJoinError> {
+    let probe = PointTable::new(schema.clone());
+    query.agg_kind().resolve(&probe).map_err(data_err)?;
+    query.filters.compile(&probe).map_err(data_err)?;
+    Ok(())
+}
+
+/// Scan one decoded chunk through the filter/probe/PIP loop.
+fn scan_chunk<I: RegionIndex>(
+    chunk: &PointTable,
+    regions: &RegionSet,
+    index: &I,
+    query: &SpatialAggQuery,
+    out: &mut AggTable,
+    scratch: &mut Vec<urban_data::RegionId>,
+) -> Result<(), RasterJoinError> {
+    let col = query.agg_kind().resolve(chunk).map_err(data_err)?;
+    let filter = query.filters.compile(chunk).map_err(data_err)?;
+    for i in 0..chunk.len() {
+        if !filter.matches(i) {
+            continue;
+        }
+        let p = chunk.loc(i);
+        let v = col.map_or(0.0, |c| chunk.attr(i, c) as f64);
+        match index.probe_into(p, scratch) {
+            Probe::Empty => {}
+            Probe::Resolved(id) => out.states[id as usize].accumulate(v),
+            Probe::Candidates => {
+                for &id in scratch.iter() {
+                    if regions.geometry(id).contains(p) {
+                        out.states[id as usize].accumulate(v);
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Join a contiguous chunk range `[lo, hi)` of `source` into a fresh
+/// partial table. Shared by the serial and parallel entry points.
+#[allow(clippy::too_many_arguments)] // flat borrow list keeps the worker closure Sync-friendly
+fn join_chunk_range<R: Read + Seek, I: RegionIndex>(
+    source: &mut ChunkedPointSource<R>,
+    regions: &RegionSet,
+    index: &I,
+    query: &SpatialAggQuery,
+    budget: &QueryBudget,
+    pruner: &ChunkPruner,
+    lo: usize,
+    hi: usize,
+) -> Result<(AggTable, StoredJoinStats), RasterJoinError> {
+    let mut out = AggTable::new(query.agg_kind(), regions.len());
+    let mut stats = StoredJoinStats::default();
+    let mut scratch = Vec::with_capacity(8);
+    source.reset_stats();
+    for ci in lo..hi {
+        budget.check()?;
+        let prunable = match source.chunk_meta(ci) {
+            Some(meta) => !pruner.may_contribute(meta),
+            None => {
+                return Err(RasterJoinError::Internal(format!(
+                    "chunk index {ci} out of range"
+                )))
+            }
+        };
+        if prunable {
+            stats.chunks_pruned += 1;
+            continue;
+        }
+        let chunk = source.read_chunk(ci).map_err(store_err)?;
+        stats.chunks_scanned += 1;
+        stats.rows_scanned += chunk.len() as u64;
+        scan_chunk(&chunk, regions, index, query, &mut out, &mut scratch)?;
+    }
+    stats.peak_resident_rows = source.stats().peak_resident_rows;
+    Ok((out, stats))
+}
+
+/// Evaluate `query` over a `.ubs` store with a chunk-streamed index join
+/// (single-threaded). Never holds more than one chunk's rows in memory.
+pub fn index_join_stored<R: Read + Seek, I: RegionIndex>(
+    source: &mut ChunkedPointSource<R>,
+    regions: &RegionSet,
+    index: &I,
+    query: &SpatialAggQuery,
+    budget: &QueryBudget,
+) -> Result<(AggTable, StoredJoinStats), RasterJoinError> {
+    validate_query(source.schema(), query)?;
+    let pruner = ChunkPruner::new(source.schema(), regions, query)?;
+    let n = source.n_chunks();
+    join_chunk_range(source, regions, index, query, budget, &pruner, 0, n)
+}
+
+/// Parallel stored join: each worker opens its own source via `open` (file
+/// handles are not shareable mid-seek), takes a contiguous chunk range, and
+/// partials merge in range order — bit-identical to the serial result for
+/// any thread count.
+pub fn index_join_stored_parallel<R, I, F>(
+    open: F,
+    regions: &RegionSet,
+    index: &I,
+    query: &SpatialAggQuery,
+    budget: &QueryBudget,
+    n_threads: usize,
+) -> Result<(AggTable, StoredJoinStats), RasterJoinError>
+where
+    R: Read + Seek,
+    I: RegionIndex,
+    F: Fn() -> urbane_store::Result<ChunkedPointSource<R>> + Sync,
+{
+    let n_threads = n_threads.max(1);
+    let mut probe_source = open().map_err(store_err)?;
+    validate_query(probe_source.schema(), query)?;
+    let pruner = ChunkPruner::new(probe_source.schema(), regions, query)?;
+    let n = probe_source.n_chunks();
+    if n_threads == 1 || n <= 1 {
+        return join_chunk_range(&mut probe_source, regions, index, query, budget, &pruner, 0, n);
+    }
+    drop(probe_source);
+
+    let per = n.div_ceil(n_threads).max(1);
+    let pruner = &pruner;
+    let open = &open;
+    let mut partials: Vec<Result<(AggTable, StoredJoinStats), RasterJoinError>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..n_threads {
+            let lo = w * per;
+            let hi = ((w + 1) * per).min(n);
+            if lo >= hi {
+                break;
+            }
+            handles.push(scope.spawn(move || {
+                let mut src = open().map_err(store_err)?;
+                join_chunk_range(&mut src, regions, index, query, budget, pruner, lo, hi)
+            }));
+        }
+        partials = handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    Err(RasterJoinError::Internal("stored-join worker panicked".into()))
+                })
+            })
+            .collect();
+    });
+
+    let mut out = AggTable::new(query.agg_kind(), regions.len());
+    let mut stats = StoredJoinStats::default();
+    for p in partials {
+        let (t, s) = p?;
+        out.merge(&t).map_err(data_err)?;
+        stats.merge(&s);
+    }
+    Ok((out, stats))
+}
+
+/// In-memory index join with budget/cancellation polling — the session
+/// layer's entry point when the table is already materialized. Identical
+/// results to [`crate::executor::index_join`]; the budget is polled every
+/// few thousand rows so cancellation latency stays bounded.
+pub fn index_join_budgeted<I: RegionIndex>(
+    points: &PointTable,
+    regions: &RegionSet,
+    index: &I,
+    query: &SpatialAggQuery,
+    budget: &QueryBudget,
+) -> Result<AggTable, RasterJoinError> {
+    const POLL_EVERY: usize = 4096;
+    let col = query.agg_kind().resolve(points).map_err(data_err)?;
+    let filter = query.filters.compile(points).map_err(data_err)?;
+    let mut out = AggTable::new(query.agg_kind(), regions.len());
+    let mut scratch = Vec::with_capacity(8);
+    for i in 0..points.len() {
+        if i % POLL_EVERY == 0 {
+            budget.check()?;
+        }
+        if !filter.matches(i) {
+            continue;
+        }
+        let p = points.loc(i);
+        let v = col.map_or(0.0, |c| points.attr(i, c) as f64);
+        match index.probe_into(p, &mut scratch) {
+            Probe::Empty => {}
+            Probe::Resolved(id) => out.states[id as usize].accumulate(v),
+            Probe::Candidates => {
+                for &id in &scratch {
+                    if regions.geometry(id).contains(p) {
+                        out.states[id as usize].accumulate(v);
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::index_join;
+    use crate::packed_region::PackedRegionIndex;
+    use std::io::Cursor;
+    use urban_data::filter::Filter;
+    use urban_data::gen::corpus::uniform_points;
+    use urban_data::gen::regions::voronoi_neighborhoods;
+    use urban_data::query::AggKind;
+    use urban_data::time::TimeRange;
+    use urbane_store::StoreBuilder;
+
+    fn setup(n: usize) -> (PointTable, RegionSet, Vec<u8>) {
+        let bbox = BoundingBox::from_coords(0.0, 0.0, 100.0, 100.0);
+        let pts = uniform_points(&bbox, n, 21, 50.0);
+        let rs = voronoi_neighborhoods(&bbox, 25, 9, 2);
+        let bytes = StoreBuilder::new().chunk_rows(512).encode(&pts).unwrap();
+        (pts, rs, bytes)
+    }
+
+    fn source(bytes: &[u8]) -> ChunkedPointSource<Cursor<Vec<u8>>> {
+        ChunkedPointSource::from_bytes(bytes.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn stored_join_matches_in_memory_join_bit_for_bit() {
+        let (pts, rs, bytes) = setup(6_000);
+        let idx = PackedRegionIndex::build(&rs);
+        let budget = QueryBudget::unlimited();
+        for agg in [AggKind::Count, AggKind::Sum("v".into()), AggKind::Avg("v".into())] {
+            let q = SpatialAggQuery::new(agg);
+            let truth = index_join(&pts, &rs, &idx, &q).unwrap();
+            let (got, stats) =
+                index_join_stored(&mut source(&bytes), &rs, &idx, &q, &budget).unwrap();
+            assert_eq!(got, truth);
+            assert_eq!(stats.rows_scanned, pts.len() as u64);
+        }
+    }
+
+    #[test]
+    fn parallel_stored_matches_serial_for_all_thread_counts() {
+        let (_, rs, bytes) = setup(6_000);
+        let idx = PackedRegionIndex::build(&rs);
+        let budget = QueryBudget::unlimited();
+        let q = SpatialAggQuery::new(AggKind::Avg("v".into()));
+        let (serial, _) = index_join_stored(&mut source(&bytes), &rs, &idx, &q, &budget).unwrap();
+        for threads in [1, 2, 4, 7] {
+            let (par, _) = index_join_stored_parallel(
+                || ChunkedPointSource::from_bytes(bytes.clone()),
+                &rs,
+                &idx,
+                &q,
+                &budget,
+                threads,
+            )
+            .unwrap();
+            assert_eq!(par, serial, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn footer_pruning_skips_chunks_without_changing_the_answer() {
+        let (pts, rs, bytes) = setup(8_000);
+        let idx = PackedRegionIndex::build(&rs);
+        let budget = QueryBudget::unlimited();
+        // A tight spatial window: the Hilbert layout clusters chunks
+        // spatially, so most must prune.
+        let q = SpatialAggQuery::count()
+            .filter(Filter::SpatialBox(BoundingBox::from_coords(10.0, 10.0, 25.0, 25.0)));
+        let truth = index_join(&pts, &rs, &idx, &q).unwrap();
+        let (got, stats) = index_join_stored(&mut source(&bytes), &rs, &idx, &q, &budget).unwrap();
+        assert_eq!(got, truth);
+        assert!(
+            stats.chunks_pruned > stats.chunks_scanned,
+            "expected pruning to dominate: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn time_and_attr_footers_prune() {
+        let (pts, rs, bytes) = setup(4_000);
+        let idx = PackedRegionIndex::build(&rs);
+        let budget = QueryBudget::unlimited();
+        // Out-of-range time window: every chunk prunes, result is empty.
+        let q = SpatialAggQuery::count().filter(Filter::Time(TimeRange::new(i64::MAX - 2, i64::MAX - 1)));
+        let truth = index_join(&pts, &rs, &idx, &q).unwrap();
+        let (got, stats) = index_join_stored(&mut source(&bytes), &rs, &idx, &q, &budget).unwrap();
+        assert_eq!(got, truth);
+        assert_eq!(stats.chunks_scanned, 0);
+        assert_eq!(got.total_count(), 0);
+
+        // Impossible attribute range: same story via the min/max footers.
+        let q = SpatialAggQuery::count().filter(Filter::AttrRange {
+            column: "v".into(),
+            min: f32::MAX / 2.0,
+            max: f32::MAX,
+        });
+        let (got, stats) = index_join_stored(&mut source(&bytes), &rs, &idx, &q, &budget).unwrap();
+        assert_eq!(stats.chunks_scanned, 0);
+        assert_eq!(got.total_count(), 0);
+    }
+
+    #[test]
+    fn unknown_column_errors_even_when_everything_prunes() {
+        let (_, rs, bytes) = setup(1_000);
+        let idx = PackedRegionIndex::build(&rs);
+        let budget = QueryBudget::unlimited();
+        // The time filter would prune every chunk; the unknown aggregate
+        // column must still surface as an error.
+        let q = SpatialAggQuery::new(AggKind::Sum("ghost".into()))
+            .filter(Filter::Time(TimeRange::new(i64::MAX - 2, i64::MAX - 1)));
+        assert!(matches!(
+            index_join_stored(&mut source(&bytes), &rs, &idx, &q, &budget),
+            Err(RasterJoinError::Data(_))
+        ));
+    }
+
+    #[test]
+    fn cancelled_budget_stops_the_join() {
+        let (_, rs, bytes) = setup(2_000);
+        let idx = PackedRegionIndex::build(&rs);
+        let handle = raster_join::CancelHandle::new();
+        let budget = QueryBudget::unlimited().cancellable(&handle);
+        handle.cancel();
+        let q = SpatialAggQuery::count();
+        assert!(matches!(
+            index_join_stored(&mut source(&bytes), &rs, &idx, &q, &budget),
+            Err(RasterJoinError::Cancelled)
+        ));
+    }
+
+    #[test]
+    fn budgeted_in_memory_matches_plain() {
+        let (pts, rs, _) = setup(3_000);
+        let idx = PackedRegionIndex::build(&rs);
+        let q = SpatialAggQuery::new(AggKind::Sum("v".into()));
+        let plain = index_join(&pts, &rs, &idx, &q).unwrap();
+        let got =
+            index_join_budgeted(&pts, &rs, &idx, &q, &QueryBudget::unlimited()).unwrap();
+        assert_eq!(got, plain);
+    }
+
+    #[test]
+    fn peak_residency_is_one_chunk() {
+        let (_, rs, bytes) = setup(6_000);
+        let idx = PackedRegionIndex::build(&rs);
+        let budget = QueryBudget::unlimited();
+        let (_, stats) = index_join_stored(
+            &mut source(&bytes),
+            &rs,
+            &idx,
+            &SpatialAggQuery::count(),
+            &budget,
+        )
+        .unwrap();
+        assert!(stats.peak_resident_rows <= 512, "peak {}", stats.peak_resident_rows);
+        assert!(stats.chunks_scanned >= 10);
+    }
+}

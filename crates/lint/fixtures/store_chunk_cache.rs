@@ -1,0 +1,35 @@
+//! Fixture: out-of-core store patterns — chunk caching must be capped and
+//! chunk merges must stay wall-clock free.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct ChunkCache {
+    resident: HashMap<u32, Vec<u8>>,
+    order: Vec<u32>,
+}
+
+impl ChunkCache {
+    pub fn admit(&mut self, id: u32, payload: Vec<u8>) {
+        self.resident.insert(id, payload); //~ bounded-growth
+        self.order.push(id); //~ bounded-growth
+    }
+
+    pub fn admit_capped(&mut self, id: u32, payload: Vec<u8>) {
+        if self.resident.len() < 64 {
+            // lint: bounded-by 64 resident chunks (one per worker, LRU evicts)
+            self.resident.insert(id, payload);
+        }
+    }
+
+    pub fn merge_partials(&self, partials: &[u64]) -> u64 {
+        let started = Instant::now(); //~ determinism
+        let sum: u64 = partials.iter().sum();
+        let _ = started;
+        sum
+    }
+
+    pub fn merge_is_pure(&self, partials: &[u64]) -> u64 {
+        partials.iter().sum()
+    }
+}

@@ -130,10 +130,12 @@ pub fn rule_in_scope(rule: RuleId, rel: &str) -> bool {
         | RuleId::ReleaseAcquire
         | RuleId::CatchUnwindPairing
         | RuleId::DirectiveSyntax => true,
-        // "Reachable from request handling": the server crate plus the
-        // session-facing state holders in `urbane`.
+        // "Reachable from request handling": the server crate, the
+        // session-facing state holders in `urbane`, and the out-of-core
+        // store (readers buffer chunk payloads on query paths).
         RuleId::BoundedGrowth => {
             rel.starts_with("crates/server/src")
+                || rel.starts_with("crates/store/src")
                 || matches!(
                     rel,
                     "crates/urbane/src/service.rs"
@@ -152,7 +154,7 @@ pub fn rule_in_scope(rule: RuleId, rel: &str) -> bool {
                 "crates/urbane/src/guard.rs",
                 "crates/server/src/metrics.rs",
             ];
-            let crate_in_scope = ["core", "urbane", "raster", "index", "data", "geometry"]
+            let crate_in_scope = ["core", "urbane", "raster", "index", "data", "geometry", "store"]
                 .iter()
                 .any(|c| rel.starts_with(&format!("crates/{c}/src")));
             crate_in_scope && !rel.contains("/src/bin/") && !ALLOWLISTED.contains(&rel)
@@ -759,5 +761,23 @@ mod tests {
         // bounded-growth is out of scope for a geometry file.
         let fs = scan_source("crates/geometry/src/hull.rs", src, ScanMode::Workspace);
         assert!(fs.violations.is_empty());
+    }
+
+    #[test]
+    fn store_crate_is_in_scope_for_growth_and_determinism() {
+        // The out-of-core store sits on query paths: unbounded chunk
+        // caching and wall-clock reads in its library code must fire.
+        let growth = "impl S {\n    fn f(&mut self) { self.chunks.push(1); }\n}\n";
+        let fs = scan_source("crates/store/src/reader.rs", growth, ScanMode::Workspace);
+        assert_eq!(
+            fs.violations.iter().map(|v| v.rule).collect::<Vec<_>>(),
+            vec![RuleId::BoundedGrowth]
+        );
+        let clock = "fn merge() { let _ = Instant::now(); }\n";
+        let fs = scan_source("crates/store/src/packed.rs", clock, ScanMode::Workspace);
+        assert_eq!(
+            fs.violations.iter().map(|v| v.rule).collect::<Vec<_>>(),
+            vec![RuleId::Determinism]
+        );
     }
 }

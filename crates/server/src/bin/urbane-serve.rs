@@ -34,7 +34,10 @@ fn usage() -> ! {
            --batch-window-ms N admission window for coalescing concurrent\n\
                                compatible queries into one batched raster\n\
                                pass (default 0 = batching off)\n\
-           --batch-max N       most queries per batch (default 16)"
+           --batch-max N       most queries per batch (default 16)\n\
+           --store-dir DIR     register every *.ubs file in DIR as a cold\n\
+                               store-backed dataset (header-only boot; rows\n\
+                               page in lazily or stream via mode=index)"
     );
     exit(2)
 }
@@ -55,6 +58,7 @@ struct Args {
     resolution: u32,
     batch_window_ms: u64,
     batch_max: usize,
+    store_dir: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -69,6 +73,7 @@ fn parse_args() -> Args {
         resolution: 512,
         batch_window_ms: 0,
         batch_max: 16,
+        store_dir: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -103,6 +108,7 @@ fn parse_args() -> Args {
                 args.batch_window_ms = num(&flag, &value("--batch-window-ms"))
             }
             "--batch-max" => args.batch_max = num(&flag, &value("--batch-max")),
+            "--store-dir" => args.store_dir = Some(value("--store-dir")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("urbane-serve: unknown flag {other:?}");
@@ -122,6 +128,24 @@ fn parse_args() -> Args {
     args
 }
 
+/// All `*.ubs` files directly under `dir`, sorted by path so registration
+/// order (and thus boot logs) is deterministic.
+fn store_files(dir: &str) -> Vec<std::path::PathBuf> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => fail(&format!("--store-dir {dir}: {e}")),
+    };
+    let mut files: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().and_then(|x| x.to_str()) == Some("ubs"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        eprintln!("urbane-serve: --store-dir {dir}: no .ubs files found");
+    }
+    files
+}
+
 fn main() {
     let args = parse_args();
 
@@ -135,6 +159,22 @@ fn main() {
         let table = synthetic_table(name, args.rows, args.seed)
             .unwrap_or_else(|| fail(&format!("no generator for dataset {name:?}")));
         catalog.register(name, table);
+    }
+    if let Some(dir) = &args.store_dir {
+        for path in store_files(dir) {
+            let name = match path.file_stem().and_then(|s| s.to_str()) {
+                Some(stem) => stem.to_string(),
+                None => continue,
+            };
+            if let Err(e) = catalog.register_store(&name, &path) {
+                fail(&format!("store {}: {e}", path.display()));
+            }
+            let rows = catalog.rows_of(&name).unwrap_or(0);
+            eprintln!(
+                "urbane-serve: registered cold store {name:?} ({rows} rows, {})",
+                path.display()
+            );
+        }
     }
     let pyramid = ResolutionPyramid::standard(&city.bbox(), 16, 8, 5);
 

@@ -57,7 +57,7 @@ fn status_of(e: &UrbaneError) -> u16 {
         UrbaneError::DeadlineExceeded => 504,
         // Cancellation reaches here only if raised server-side mid-query.
         UrbaneError::Cancelled => 503,
-        UrbaneError::Join(_) | UrbaneError::Io(_) | UrbaneError::Internal(_) => 500,
+        UrbaneError::Join(_) | UrbaneError::Io(_) | UrbaneError::Store(_) | UrbaneError::Internal(_) => 500,
     }
 }
 
@@ -200,6 +200,23 @@ impl Router {
             "urbane_single_flight_followers_total {}",
             self.service.single_flight_followers()
         );
+
+        // Out-of-core `.ubs` paging: page-ins materialize a cold dataset
+        // into memory; streamed queries answer straight off the chunk
+        // directory without ever holding the full table.
+        let paging = self.service.store_paging();
+        let _ = writeln!(out, "# TYPE urbane_store_page_ins_total counter");
+        let _ = writeln!(out, "urbane_store_page_ins_total {}", paging.page_ins);
+        let _ = writeln!(out, "# TYPE urbane_store_chunks_read_total counter");
+        let _ = writeln!(out, "urbane_store_chunks_read_total {}", paging.chunks_read);
+        let _ = writeln!(out, "# TYPE urbane_store_bytes_read_total counter");
+        let _ = writeln!(out, "urbane_store_bytes_read_total {}", paging.bytes_read);
+        let _ = writeln!(out, "# TYPE urbane_store_streamed_queries_total counter");
+        let _ = writeln!(
+            out,
+            "urbane_store_streamed_queries_total {}",
+            paging.streamed_queries
+        );
         Response::text(200, out)
     }
 }
@@ -308,5 +325,49 @@ mod tests {
         assert!(text.contains("urbane_batch_size_count 0"), "{text}");
         assert!(text.contains("urbane_batch_window_wait_ms_total 0"), "{text}");
         assert!(text.contains("urbane_single_flight_followers_total 0"), "{text}");
+        // No store-backed datasets: paging counters render as stable zeros.
+        assert!(text.contains("urbane_store_page_ins_total 0"), "{text}");
+        assert!(text.contains("urbane_store_streamed_queries_total 0"), "{text}");
+    }
+
+    #[test]
+    fn store_backed_index_queries_surface_in_metrics() {
+        let dir = std::env::temp_dir().join(format!("urbane-router-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("taxi.ubs");
+        urbane_store::StoreBuilder::new()
+            .chunk_rows(512)
+            .write_file(&synthetic_table("taxi", 4_000, 1).unwrap(), &path)
+            .unwrap();
+
+        let city = CityModel::nyc_like();
+        let mut catalog = DataCatalog::new();
+        catalog.register_store("taxi", &path).unwrap();
+        let pyramid = ResolutionPyramid::standard(&city.bbox(), 12, 6, 4);
+        let service = UrbaneService::new(
+            ServiceConfig {
+                join: RasterJoinConfig::with_resolution(256),
+                ..Default::default()
+            },
+            catalog,
+            pyramid,
+        )
+        .unwrap();
+        let r = Router::new(Arc::new(service), Arc::new(Metrics::new()));
+
+        // An index-mode query streams straight off the chunk directory: the
+        // dataset must stay cold (no page-in), but chunk traffic is counted.
+        let ok = r.handle(
+            &request("POST", "/query", r#"{"dataset":"taxi","level":0,"mode":"index"}"#),
+            0,
+        );
+        assert_eq!(ok.status, 200, "{:?}", String::from_utf8(ok.body));
+        let page = r.handle(&request("GET", "/metrics", ""), 0);
+        let text = String::from_utf8(page.body).unwrap();
+        assert!(text.contains("urbane_store_streamed_queries_total 1"), "{text}");
+        assert!(text.contains("urbane_store_page_ins_total 0"), "{text}");
+        assert!(!text.contains("urbane_store_chunks_read_total 0\n"), "{text}");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -91,8 +91,9 @@ fn parse_mode(spec: &str) -> Result<ExecutionMode, WireError> {
         "bounded" => Ok(ExecutionMode::Bounded),
         "weighted" => Ok(ExecutionMode::Weighted),
         "accurate" => Ok(ExecutionMode::Accurate),
+        "index" => Ok(ExecutionMode::IndexJoin),
         _ => Err(bad(format!(
-            "bad mode {spec:?}: expected \"bounded\", \"weighted\" or \"accurate\""
+            "bad mode {spec:?}: expected \"bounded\", \"weighted\", \"accurate\" or \"index\""
         ))),
     }
 }

@@ -1,0 +1,419 @@
+//! The `.ubs` binary layout: constants, header model, bounds-checked codec.
+//!
+//! ```text
+//! prelude   magic "UBS1" | u16 version | u16 reserved | u64 payload_off
+//! schema    u32 n_cols | per col: u8 type, u16 name_len, name bytes
+//! shape     u64 n_rows | u32 chunk_rows | u32 n_chunks | bbox 4×f64
+//! directory per chunk: u32 rows | u64 byte_off | bbox 4×f64
+//!                      | i64 t_min | i64 t_max | per col: f32 min, f32 max
+//! tree      u32 node_size | u64 num_items | boxes 4×f64 each,
+//!           levels concatenated root-first (count fixed by level math)
+//! payload   per chunk at byte_off: xs f64[rows] | ys f64[rows]
+//!           | ts i64[rows] | per col: f32[rows]
+//! ```
+//!
+//! `payload_off` doubles as the header length, so a reader can size the
+//! header read from the 16-byte prelude alone. Chunks are laid out
+//! contiguously in directory order immediately after the header — the
+//! decoder *enforces* that (each `byte_off` must equal the previous chunk's
+//! end), which kills every overlap/alias corruption class in one check.
+//! Everything is little-endian; every read is bounds-checked through
+//! [`Cursor`] and surfaces a typed [`StoreError`], mirroring
+//! `urban_data::binfmt`.
+
+use crate::packed::{level_lens, PackedRTree};
+use crate::{Result, StoreError};
+use urban_data::schema::{AttrType, Schema};
+use urban_data::table::PointTable;
+use urbane_geom::{BoundingBox, Point};
+
+/// File magic, distinct from the legacy in-memory `.bin` magic `UPT1`.
+pub const MAGIC: &[u8; 4] = b"UBS1";
+
+/// Supported format version.
+pub const VERSION: u16 = 1;
+
+/// Prelude size: magic + version + reserved + payload_off.
+pub const PRELUDE_LEN: usize = 16;
+
+/// Hard caps keeping hostile headers from driving huge allocations.
+pub const MAX_COLS: usize = 4096;
+pub const MAX_CHUNKS: usize = 1 << 24;
+pub const MAX_HEADER_BYTES: u64 = 1 << 28;
+
+/// Per-chunk directory entry: enough footer metadata to prune the chunk
+/// against a query's spatial window, time range, and attribute filters
+/// without touching its payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkMeta {
+    /// Rows stored in this chunk (1..=chunk_rows).
+    pub rows: u32,
+    /// Absolute file offset of the chunk payload.
+    pub byte_off: u64,
+    /// Tight bounding box over the chunk's points.
+    pub bbox: BoundingBox,
+    /// Minimum timestamp in the chunk.
+    pub t_min: i64,
+    /// Maximum timestamp in the chunk.
+    pub t_max: i64,
+    /// Per-attribute minimum (index-aligned with the schema).
+    pub attr_min: Vec<f32>,
+    /// Per-attribute maximum.
+    pub attr_max: Vec<f32>,
+}
+
+/// Everything known about a store before reading any chunk payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreHeader {
+    /// Attribute schema of the stored table.
+    pub schema: Schema,
+    /// Total rows across all chunks.
+    pub n_rows: u64,
+    /// Maximum rows per chunk (the builder's chunking knob).
+    pub chunk_rows: u32,
+    /// Bounding box over every stored point.
+    pub bbox: BoundingBox,
+    /// Chunk directory, in file (= Hilbert) order.
+    pub chunks: Vec<ChunkMeta>,
+    /// Packed R-tree over the chunk bounding boxes.
+    pub tree: PackedRTree,
+    /// First payload byte == total header length.
+    pub payload_off: u64,
+}
+
+impl StoreHeader {
+    /// Bytes per row in a chunk payload.
+    pub fn row_bytes(&self) -> usize {
+        row_bytes(self.schema.len())
+    }
+
+    /// Payload size of one chunk.
+    pub fn chunk_bytes(&self, meta: &ChunkMeta) -> usize {
+        meta.rows as usize * self.row_bytes()
+    }
+}
+
+/// Bytes per row for a schema of `n_cols` attributes: x, y, t + f32 columns.
+pub fn row_bytes(n_cols: usize) -> usize {
+    8 + 8 + 8 + 4 * n_cols
+}
+
+/// Total header length (== payload offset) for a store shape, computed
+/// before any bytes exist so the writer can assign chunk offsets up front.
+pub fn header_len(schema: &Schema, n_chunks: usize, node_size: usize) -> usize {
+    let schema_bytes: usize =
+        4 + schema.iter().map(|(name, _)| 1 + 2 + name.len()).sum::<usize>();
+    let shape_bytes = 8 + 4 + 4 + 32;
+    let dir_bytes = n_chunks * (4 + 8 + 32 + 8 + 8 + 8 * schema.len());
+    let tree_nodes: usize = level_lens(n_chunks, node_size).iter().sum();
+    let tree_bytes = 4 + 8 + 32 * tree_nodes;
+    PRELUDE_LEN + schema_bytes + shape_bytes + dir_bytes + tree_bytes
+}
+
+/// Serialize a header. `h.payload_off` must equal
+/// [`header_len`] for the same shape — the writer computes it that way.
+pub fn encode_header(h: &StoreHeader) -> Vec<u8> {
+    let mut out = Vec::with_capacity(h.payload_off as usize);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes());
+    out.extend_from_slice(&h.payload_off.to_le_bytes());
+
+    out.extend_from_slice(&(h.schema.len() as u32).to_le_bytes());
+    for (name, ty) in h.schema.iter() {
+        out.push(match ty {
+            AttrType::Numeric => 0,
+            AttrType::Categorical => 1,
+        });
+        out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+    }
+
+    out.extend_from_slice(&h.n_rows.to_le_bytes());
+    out.extend_from_slice(&h.chunk_rows.to_le_bytes());
+    out.extend_from_slice(&(h.chunks.len() as u32).to_le_bytes());
+    put_bbox(&mut out, &h.bbox);
+
+    for m in &h.chunks {
+        out.extend_from_slice(&m.rows.to_le_bytes());
+        out.extend_from_slice(&m.byte_off.to_le_bytes());
+        put_bbox(&mut out, &m.bbox);
+        out.extend_from_slice(&m.t_min.to_le_bytes());
+        out.extend_from_slice(&m.t_max.to_le_bytes());
+        for c in 0..h.schema.len() {
+            let lo = m.attr_min.get(c).copied().unwrap_or(f32::INFINITY);
+            let hi = m.attr_max.get(c).copied().unwrap_or(f32::NEG_INFINITY);
+            out.extend_from_slice(&lo.to_le_bytes());
+            out.extend_from_slice(&hi.to_le_bytes());
+        }
+    }
+
+    out.extend_from_slice(&(h.tree.node_size() as u32).to_le_bytes());
+    out.extend_from_slice(&(h.tree.num_items() as u64).to_le_bytes());
+    for b in h.tree.boxes() {
+        put_bbox(&mut out, b);
+    }
+    out
+}
+
+fn put_bbox(out: &mut Vec<u8>, b: &BoundingBox) {
+    out.extend_from_slice(&b.min.x.to_le_bytes());
+    out.extend_from_slice(&b.min.y.to_le_bytes());
+    out.extend_from_slice(&b.max.x.to_le_bytes());
+    out.extend_from_slice(&b.max.y.to_le_bytes());
+}
+
+/// Parse and validate a full header from exactly the first `payload_off`
+/// bytes of a store. Rejects magic/version mismatches with their dedicated
+/// variants and every structural inconsistency with [`StoreError::Corrupt`].
+pub fn decode_header(buf: &[u8]) -> Result<StoreHeader> {
+    let mut cur = Cursor::new(buf);
+    let magic = cur.take(4, "magic")?;
+    if magic != MAGIC {
+        let mut found = [0u8; 4];
+        found.copy_from_slice(magic);
+        return Err(StoreError::Magic { found });
+    }
+    let version = cur.u16_le("version")?;
+    if version != VERSION {
+        return Err(StoreError::Version { found: version });
+    }
+    cur.u16_le("reserved")?;
+    let payload_off = cur.u64_le("payload offset")?;
+    if payload_off as usize != buf.len() {
+        return Err(StoreError::Corrupt(format!(
+            "payload offset {payload_off} does not match header slice of {} bytes",
+            buf.len()
+        )));
+    }
+
+    let n_cols = cur.u32_le("column count")? as usize;
+    if n_cols > MAX_COLS {
+        return Err(StoreError::Corrupt("implausible column count".into()));
+    }
+    let mut cols = Vec::with_capacity(n_cols);
+    for _ in 0..n_cols {
+        let ty = match cur.u8("column type")? {
+            0 => AttrType::Numeric,
+            1 => AttrType::Categorical,
+            other => return Err(StoreError::Corrupt(format!("unknown column type {other}"))),
+        };
+        let name_len = cur.u16_le("column name length")? as usize;
+        let name = cur.take(name_len, "column name")?;
+        let name = String::from_utf8(name.to_vec())
+            .map_err(|_| StoreError::Corrupt("column name not UTF-8".into()))?;
+        cols.push((name, ty));
+    }
+    let schema = Schema::new(cols)?;
+
+    let n_rows = cur.u64_le("row count")?;
+    let chunk_rows = cur.u32_le("chunk rows")?;
+    let n_chunks = cur.u32_le("chunk count")? as usize;
+    if n_chunks > MAX_CHUNKS {
+        return Err(StoreError::Corrupt("implausible chunk count".into()));
+    }
+    if n_chunks > 0 && chunk_rows == 0 {
+        return Err(StoreError::Corrupt("chunk_rows is zero with chunks present".into()));
+    }
+    let bbox = cur.bbox("store bbox")?;
+
+    let width = row_bytes(schema.len()) as u64;
+    let mut chunks = Vec::with_capacity(n_chunks);
+    let mut expect_off = payload_off;
+    let mut row_sum: u64 = 0;
+    for i in 0..n_chunks {
+        let rows = cur.u32_le("chunk row count")?;
+        if rows == 0 || rows > chunk_rows {
+            return Err(StoreError::Corrupt(format!("chunk {i} has invalid row count {rows}")));
+        }
+        let byte_off = cur.u64_le("chunk offset")?;
+        if byte_off != expect_off {
+            return Err(StoreError::Corrupt(format!(
+                "chunk {i} offset {byte_off} breaks contiguous layout (expected {expect_off})"
+            )));
+        }
+        expect_off = byte_off
+            .checked_add(rows as u64 * width)
+            .ok_or_else(|| StoreError::Corrupt("chunk extent overflow".into()))?;
+        row_sum += rows as u64;
+        let cbox = cur.bbox("chunk bbox")?;
+        let t_min = cur.i64_le("chunk t_min")?;
+        let t_max = cur.i64_le("chunk t_max")?;
+        let mut attr_min = Vec::with_capacity(schema.len());
+        let mut attr_max = Vec::with_capacity(schema.len());
+        for _ in 0..schema.len() {
+            attr_min.push(cur.f32_le("chunk attr min")?);
+            attr_max.push(cur.f32_le("chunk attr max")?);
+        }
+        chunks.push(ChunkMeta { rows, byte_off, bbox: cbox, t_min, t_max, attr_min, attr_max });
+    }
+    if row_sum != n_rows {
+        return Err(StoreError::Corrupt(format!(
+            "directory rows {row_sum} disagree with header row count {n_rows}"
+        )));
+    }
+
+    let node_size = cur.u32_le("tree node size")? as usize;
+    if !(2..=65_536).contains(&node_size) {
+        return Err(StoreError::Corrupt("implausible tree node size".into()));
+    }
+    let num_items = cur.u64_le("tree item count")? as usize;
+    if num_items != n_chunks {
+        return Err(StoreError::Corrupt(format!(
+            "tree indexes {num_items} items but the directory has {n_chunks} chunks"
+        )));
+    }
+    let expected_nodes: usize = level_lens(num_items, node_size).iter().sum();
+    let mut boxes = Vec::with_capacity(expected_nodes);
+    for _ in 0..expected_nodes {
+        boxes.push(cur.bbox("tree node box")?);
+    }
+    let tree = PackedRTree::from_boxes(node_size, num_items, boxes)
+        .ok_or_else(|| StoreError::Corrupt("tree level math failed".into()))?;
+
+    if cur.remaining() != 0 {
+        return Err(StoreError::Corrupt(format!(
+            "{} trailing bytes after header",
+            cur.remaining()
+        )));
+    }
+    Ok(StoreHeader { schema, n_rows, chunk_rows: chunk_rows.max(1), bbox, chunks, tree, payload_off })
+}
+
+/// Serialize one chunk payload: the rows of `table` selected by `rows`
+/// (indices into `table`), columnar within the chunk.
+pub fn encode_chunk(table: &PointTable, rows: &[u32], out: &mut Vec<u8>) {
+    for &i in rows {
+        out.extend_from_slice(&table.xs()[i as usize].to_le_bytes());
+    }
+    for &i in rows {
+        out.extend_from_slice(&table.ys()[i as usize].to_le_bytes());
+    }
+    for &i in rows {
+        out.extend_from_slice(&table.timestamps()[i as usize].to_le_bytes());
+    }
+    for c in 0..table.schema().len() {
+        let col = table.column(c);
+        for &i in rows {
+            out.extend_from_slice(&col[i as usize].to_le_bytes());
+        }
+    }
+}
+
+/// Decode one chunk payload (exactly `rows * row_bytes` bytes) into a
+/// standalone [`PointTable`] with the given schema.
+pub fn decode_chunk(schema: &Schema, rows: u32, buf: &[u8]) -> Result<PointTable> {
+    let rows = rows as usize;
+    if buf.len() != rows * row_bytes(schema.len()) {
+        return Err(StoreError::Corrupt(format!(
+            "chunk payload is {} bytes, expected {}",
+            buf.len(),
+            rows * row_bytes(schema.len())
+        )));
+    }
+    let mut cur = Cursor::new(buf);
+    let mut xs = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        xs.push(cur.f64_le("x column")?);
+    }
+    let mut ys = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        ys.push(cur.f64_le("y column")?);
+    }
+    let mut ts = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        ts.push(cur.i64_le("t column")?);
+    }
+    let mut cols: Vec<Vec<f32>> = Vec::with_capacity(schema.len());
+    for _ in 0..schema.len() {
+        let mut col = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            col.push(cur.f32_le("attribute column")?);
+        }
+        cols.push(col);
+    }
+    // Rebuild through the public API so the bbox invariant is recomputed.
+    let mut table = PointTable::with_capacity(schema.clone(), rows);
+    let mut row = vec![0.0f32; schema.len()];
+    for i in 0..rows {
+        for (r, col) in row.iter_mut().zip(&cols) {
+            *r = col[i];
+        }
+        table.push(Point::new(xs[i], ys[i]), ts[i], &row)?;
+    }
+    Ok(table)
+}
+
+/// Bounds-checked little-endian reader over a byte slice (the same shape as
+/// `binfmt`'s cursor, surfacing [`StoreError::Corrupt`] on truncation).
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(StoreError::Corrupt(format!("truncated reading {what}")));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self, what: &str) -> Result<u8> {
+        match self.take(1, what)? {
+            &[b] => Ok(b),
+            _ => Err(StoreError::Corrupt(format!("truncated reading {what}"))),
+        }
+    }
+
+    pub fn u16_le(&mut self, what: &str) -> Result<u16> {
+        match self.take(2, what)? {
+            &[a, b] => Ok(u16::from_le_bytes([a, b])),
+            _ => Err(StoreError::Corrupt(format!("truncated reading {what}"))),
+        }
+    }
+
+    pub fn u32_le(&mut self, what: &str) -> Result<u32> {
+        match self.take(4, what)? {
+            &[a, b, c, d] => Ok(u32::from_le_bytes([a, b, c, d])),
+            _ => Err(StoreError::Corrupt(format!("truncated reading {what}"))),
+        }
+    }
+
+    pub fn u64_le(&mut self, what: &str) -> Result<u64> {
+        let b = self.take(8, what)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    pub fn f64_le(&mut self, what: &str) -> Result<f64> {
+        Ok(f64::from_bits(self.u64_le(what)?))
+    }
+
+    pub fn i64_le(&mut self, what: &str) -> Result<i64> {
+        Ok(self.u64_le(what)? as i64)
+    }
+
+    pub fn f32_le(&mut self, what: &str) -> Result<f32> {
+        Ok(f32::from_bits(self.u32_le(what)?))
+    }
+
+    pub fn bbox(&mut self, what: &str) -> Result<BoundingBox> {
+        let x0 = self.f64_le(what)?;
+        let y0 = self.f64_le(what)?;
+        let x1 = self.f64_le(what)?;
+        let y1 = self.f64_le(what)?;
+        Ok(BoundingBox { min: Point::new(x0, y0), max: Point::new(x1, y1) })
+    }
+}

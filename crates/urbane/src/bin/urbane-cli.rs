@@ -8,11 +8,16 @@
 //!                     [--time-start S --time-end S] [--range col:lo:hi] [--top 10]
 //! urbane-cli map      --data taxi.upt --regions nbhd:260 --out map.ppm [--size 800]
 //! urbane-cli heatmap  --data taxi.upt --out heat.ppm [--size 800] [--blur 2]
+//! urbane-cli build-store --data taxi.upt --out taxi.ubs [--chunk-rows 65536]
+//!                        (or --csv taxi.csv as the input)
 //! ```
 //!
 //! Region specs: `boroughs`, `nbhd:<count>`, `grid:<n>` (n×n cells).
 //! Data files use the `urban-data` binary format (`.upt`); `generate` also
-//! understands `--kind taxi|311|crime`.
+//! understands `--kind taxi|311|crime`. A `.ubs` path works anywhere
+//! `--data` does (the out-of-core columnar store; `build-store` writes it),
+//! and `query --mode index` runs the exact index join — streamed straight
+//! off the chunk directory when the data is a `.ubs` file.
 
 use std::process::exit;
 use urbane::UrbaneError;
@@ -71,7 +76,7 @@ impl Args {
 
 fn usage() -> ! {
     eprintln!(
-        "urbane-cli <generate|info|query|map|heatmap|explore> [--flags]\n\
+        "urbane-cli <generate|info|query|map|heatmap|explore|build-store> [--flags]\n\
          see the module docs in crates/urbane/src/bin/urbane-cli.rs"
     );
     exit(2);
@@ -115,8 +120,21 @@ fn io_err(context: &str, e: std::io::Error) -> CliError {
     CliError::Runtime(UrbaneError::Io(format!("{context}: {e}")))
 }
 
+fn store_err(e: urbane_store::StoreError) -> CliError {
+    CliError::Runtime(UrbaneError::Store(e.to_string()))
+}
+
+fn is_store(path: &str) -> bool {
+    std::path::Path::new(path).extension().and_then(|x| x.to_str()) == Some("ubs")
+}
+
 fn load_data(args: &Args) -> CliResult<PointTable> {
     let path = args.require("data")?;
+    if is_store(path) {
+        let mut source =
+            urbane_store::ChunkedPointSource::open(std::path::Path::new(path)).map_err(store_err)?;
+        return source.materialize().map_err(store_err);
+    }
     let bytes = std::fs::read(path).map_err(|e| io_err(&format!("reading {path}"), e))?;
     Ok(binfmt::decode(&bytes)?)
 }
@@ -180,7 +198,9 @@ fn join_config(args: &Args) -> Result<raster_join::RasterJoinConfig, String> {
         "bounded" => raster_join::RasterJoinConfig::with_resolution(resolution),
         "weighted" => raster_join::RasterJoinConfig::weighted(resolution),
         "accurate" => raster_join::RasterJoinConfig::accurate(resolution),
-        other => return Err(format!("--mode {other:?}: use bounded, weighted, or accurate")),
+        other => {
+            return Err(format!("--mode {other:?}: use bounded, weighted, accurate, or index"))
+        }
     })
 }
 
@@ -242,7 +262,37 @@ fn cmd_info(args: &Args) -> CliResult {
     Ok(())
 }
 
+/// GeoJSON export + ranked top-N printout shared by the raster and
+/// index-join query paths.
+fn report_table(
+    args: &Args,
+    regions: &RegionSet,
+    table: &urban_data::query::AggTable,
+) -> CliResult {
+    if let Some(path) = args.get("geojson") {
+        let text = urbane::export::choropleth_to_geojson(regions, table);
+        std::fs::write(path, text).map_err(|e| io_err(&format!("writing {path}"), e))?;
+        eprintln!("GeoJSON written to {path}");
+    }
+
+    let top: usize = args.parse_num("top", 10)?;
+    let mut rows: Vec<(u32, f64)> = table
+        .values()
+        .into_iter()
+        .enumerate()
+        .filter_map(|(r, v)| v.map(|v| (r as u32, v)))
+        .collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    for (r, v) in rows.iter().take(top) {
+        println!("{}\t{v:.3}", regions.region_name(*r));
+    }
+    Ok(())
+}
+
 fn cmd_query(args: &Args) -> CliResult {
+    if args.get_or("mode", "bounded") == "index" {
+        return cmd_query_index(args);
+    }
     let t = load_data(args)?;
     let regions = parse_regions(args.get_or("regions", "nbhd:260"), t.bbox())?;
     let q = build_query(args)?;
@@ -261,24 +311,76 @@ fn cmd_query(args: &Args) -> CliResult {
         res.tiles
     );
 
-    if let Some(path) = args.get("geojson") {
-        let text = urbane::export::choropleth_to_geojson(&regions, &res.table);
-        std::fs::write(path, text).map_err(|e| io_err(&format!("writing {path}"), e))?;
-        eprintln!("GeoJSON written to {path}");
-    }
+    report_table(args, &regions, &res.table)
+}
 
-    let top: usize = args.parse_num("top", 10)?;
-    let mut rows: Vec<(u32, f64)> = res
-        .table
-        .values()
-        .into_iter()
-        .enumerate()
-        .filter_map(|(r, v)| v.map(|v| (r as u32, v)))
-        .collect();
-    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-    for (r, v) in rows.iter().take(top) {
-        println!("{}\t{v:.3}", regions.region_name(*r));
+/// `query --mode index`: the exact index join (packed R-tree candidates +
+/// exact point-in-polygon, ε = 0). A `.ubs` input streams chunk-by-chunk
+/// off the directory — the table is never fully resident.
+fn cmd_query_index(args: &Args) -> CliResult {
+    let path = args.require("data")?;
+    let q = build_query(args)?;
+    let budget = raster_join::QueryBudget::unlimited();
+    let start = std::time::Instant::now();
+
+    let (table, regions) = if is_store(path) {
+        let mut source =
+            urbane_store::ChunkedPointSource::open(std::path::Path::new(path)).map_err(store_err)?;
+        let regions = parse_regions(args.get_or("regions", "nbhd:260"), source.bbox())?;
+        let index = spatial_index::PackedRegionIndex::build(&regions);
+        let (table, stats) =
+            spatial_index::index_join_stored(&mut source, &regions, &index, &q, &budget)?;
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        eprintln!(
+            "{} rows x {} regions in {ms:.1} ms (exact index join, streamed: \
+             {} chunks scanned, {} pruned by footers, peak {} resident rows)",
+            source.len(),
+            regions.len(),
+            stats.chunks_scanned,
+            stats.chunks_pruned,
+            stats.peak_resident_rows
+        );
+        (table, regions)
+    } else {
+        let t = load_data(args)?;
+        let regions = parse_regions(args.get_or("regions", "nbhd:260"), t.bbox())?;
+        let index = spatial_index::PackedRegionIndex::build(&regions);
+        let table = spatial_index::index_join_budgeted(&t, &regions, &index, &q, &budget)?;
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        eprintln!(
+            "{} rows x {} regions in {ms:.1} ms (exact index join, in-memory)",
+            t.len(),
+            regions.len()
+        );
+        (table, regions)
+    };
+
+    report_table(args, &regions, &table)
+}
+
+/// `build-store`: Hilbert-sort a point table and write the `.ubs`
+/// out-of-core columnar store (header + chunk directory + packed R-tree).
+fn cmd_build_store(args: &Args) -> CliResult {
+    let out = args.require("out")?;
+    let chunk_rows: usize = args.parse_num("chunk-rows", urbane_store::DEFAULT_CHUNK_ROWS)?;
+    if chunk_rows == 0 {
+        return Err("--chunk-rows must be at least 1".to_string().into());
     }
+    let table = if let Some(path) = args.get("csv") {
+        let f = std::fs::File::open(path).map_err(|e| io_err(&format!("reading {path}"), e))?;
+        csv::read_csv(std::io::BufReader::new(f))?
+    } else {
+        load_data(args)?
+    };
+    urbane_store::StoreBuilder::new()
+        .chunk_rows(chunk_rows)
+        .write_file(&table, std::path::Path::new(out))
+        .map_err(store_err)?;
+    let chunks = table.len().div_ceil(chunk_rows);
+    eprintln!(
+        "wrote {} rows to {out} (Hilbert-sorted, {chunks} chunks of <= {chunk_rows} rows)",
+        table.len()
+    );
     Ok(())
 }
 
@@ -390,6 +492,7 @@ fn main() {
         "map" => cmd_map(&args),
         "heatmap" => cmd_heatmap(&args),
         "explore" => cmd_explore(&args),
+        "build-store" => cmd_build_store(&args),
         _ => usage(),
     };
     match result {

@@ -1,16 +1,51 @@
 //! The data-set registry: Urbane sessions explore several point data sets
 //! side by side (taxi, 311, crime, …), switching and comparing them freely.
+//!
+//! Data sets come in two flavors:
+//!
+//! * **memory** — a [`PointTable`] registered directly ([`register`]), the
+//!   original serving model;
+//! * **store-backed** — a `.ubs` file registered by path
+//!   ([`register_store`]): only the header (row count, bounding box) is read
+//!   at registration, so a server can boot against tens of millions of rows
+//!   without touching their payloads. The table materializes lazily on first
+//!   [`get`], and chunk-streamed executors can bypass materialization
+//!   entirely via [`store_path`].
+//!
+//! [`register`]: DataCatalog::register
+//! [`register_store`]: DataCatalog::register_store
+//! [`get`]: DataCatalog::get
+//! [`store_path`]: DataCatalog::store_path
 
+use crate::session::lock;
 use crate::{Result, UrbaneError};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 use urban_data::PointTable;
 use urbane_geom::BoundingBox;
+use urbane_store::ChunkedPointSource;
+
+/// A lazily-materialized `.ubs`-backed data set. Header metadata is always
+/// available; the table itself pages in on first access and stays resident.
+#[derive(Debug)]
+struct StoreBacked {
+    path: PathBuf,
+    rows: u64,
+    bbox: BoundingBox,
+    resident: Mutex<Option<Arc<PointTable>>>,
+}
+
+#[derive(Debug, Clone)]
+enum CatalogEntry {
+    Memory(Arc<PointTable>),
+    Store(Arc<StoreBacked>),
+}
 
 /// A named collection of point data sets.
 #[derive(Debug, Clone, Default)]
 pub struct DataCatalog {
-    datasets: BTreeMap<String, Arc<PointTable>>,
+    datasets: BTreeMap<String, CatalogEntry>,
 }
 
 impl DataCatalog {
@@ -19,16 +54,74 @@ impl DataCatalog {
         Self::default()
     }
 
-    /// Register (or replace) a data set under `name`.
+    /// Register (or replace) an in-memory data set under `name`.
     pub fn register<S: Into<String>>(&mut self, name: S, table: PointTable) {
-        self.datasets.insert(name.into(), Arc::new(table));
+        self.datasets.insert(name.into(), CatalogEntry::Memory(Arc::new(table)));
     }
 
-    /// Fetch a data set.
+    /// Register (or replace) a `.ubs` store-backed data set under `name`.
+    /// Reads only the file's header — row count and bounding box are
+    /// available immediately, the payload stays on disk until first use.
+    pub fn register_store<S: Into<String>>(&mut self, name: S, path: &Path) -> Result<()> {
+        let source = ChunkedPointSource::open(path).map_err(store_err)?;
+        let entry = StoreBacked {
+            path: path.to_path_buf(),
+            rows: source.len(),
+            bbox: source.bbox(),
+            resident: Mutex::new(None),
+        };
+        self.datasets.insert(name.into(), CatalogEntry::Store(Arc::new(entry)));
+        Ok(())
+    }
+
+    /// Fetch a data set, materializing a store-backed one on first access.
     pub fn get(&self, name: &str) -> Result<Arc<PointTable>> {
+        match self.entry(name)? {
+            CatalogEntry::Memory(t) => Ok(Arc::clone(t)),
+            CatalogEntry::Store(s) => {
+                let mut resident = lock(&s.resident);
+                if let Some(t) = resident.as_ref() {
+                    return Ok(Arc::clone(t));
+                }
+                let mut source = ChunkedPointSource::open(&s.path).map_err(store_err)?;
+                let table = Arc::new(source.materialize().map_err(store_err)?);
+                *resident = Some(Arc::clone(&table));
+                Ok(table)
+            }
+        }
+    }
+
+    /// The `.ubs` path behind a store-backed data set (`None` for in-memory
+    /// sets). Chunk-streaming executors use this to answer queries without
+    /// ever materializing the table.
+    pub fn store_path(&self, name: &str) -> Option<&Path> {
+        match self.datasets.get(name) {
+            Some(CatalogEntry::Store(s)) => Some(&s.path),
+            _ => None,
+        }
+    }
+
+    /// Is the data set's table resident in memory right now? In-memory sets
+    /// always are; store-backed sets only after a [`get`](Self::get).
+    pub fn is_resident(&self, name: &str) -> Result<bool> {
+        match self.entry(name)? {
+            CatalogEntry::Memory(_) => Ok(true),
+            CatalogEntry::Store(s) => Ok(lock(&s.resident).is_some()),
+        }
+    }
+
+    /// Row count without materializing (header metadata for store-backed
+    /// sets).
+    pub fn rows_of(&self, name: &str) -> Result<usize> {
+        match self.entry(name)? {
+            CatalogEntry::Memory(t) => Ok(t.len()),
+            CatalogEntry::Store(s) => Ok(s.rows as usize),
+        }
+    }
+
+    fn entry(&self, name: &str) -> Result<&CatalogEntry> {
         self.datasets
             .get(name)
-            .cloned()
             .ok_or_else(|| UrbaneError::UnknownDataset(name.to_string()))
     }
 
@@ -48,23 +141,36 @@ impl DataCatalog {
     }
 
     /// Union of all data sets' bounding boxes (the city extent in practice).
+    /// Store-backed sets contribute their header bbox — no materialization.
     pub fn combined_bbox(&self) -> BoundingBox {
-        self.datasets
-            .values()
-            .fold(BoundingBox::empty(), |b, t| b.union(&t.bbox()))
+        self.datasets.values().fold(BoundingBox::empty(), |b, e| match e {
+            CatalogEntry::Memory(t) => b.union(&t.bbox()),
+            CatalogEntry::Store(s) => b.union(&s.bbox),
+        })
     }
 
-    /// Total rows across data sets.
+    /// Total rows across data sets (header metadata for store-backed sets).
     pub fn total_rows(&self) -> usize {
-        self.datasets.values().map(|t| t.len()).sum()
+        self.datasets
+            .values()
+            .map(|e| match e {
+                CatalogEntry::Memory(t) => t.len(),
+                CatalogEntry::Store(s) => s.rows as usize,
+            })
+            .sum()
     }
+}
+
+pub(crate) fn store_err(e: urbane_store::StoreError) -> UrbaneError {
+    UrbaneError::Store(e.to_string())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use urban_data::schema::Schema;
+    use urban_data::schema::{AttrType, Schema};
     use urbane_geom::Point;
+    use urbane_store::StoreBuilder;
 
     fn table(at: (f64, f64)) -> PointTable {
         let mut t = PointTable::new(Schema::empty());
@@ -100,5 +206,60 @@ mod tests {
         c.register("b", table((10.0, 4.0)));
         assert_eq!(c.combined_bbox(), BoundingBox::from_coords(0.0, 0.0, 10.0, 4.0));
         assert_eq!(c.total_rows(), 2);
+    }
+
+    fn sample_store(dir: &Path, n: usize) -> PathBuf {
+        let schema = Schema::new([("v", AttrType::Numeric)]).unwrap();
+        let mut t = PointTable::new(schema);
+        for i in 0..n {
+            let x = (i.wrapping_mul(104_729) % 1_000) as f64 / 10.0;
+            let y = (i.wrapping_mul(15_485_863) % 1_000) as f64 / 10.0;
+            t.push(Point::new(x, y), i as i64, &[i as f32]).unwrap();
+        }
+        let path = dir.join("sample.ubs");
+        StoreBuilder::new().chunk_rows(256).write_file(&t, &path).unwrap();
+        path
+    }
+
+    #[test]
+    fn store_registration_is_lazy_and_get_materializes() {
+        let dir = std::env::temp_dir().join(format!("urbane-catalog-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = sample_store(&dir, 2_000);
+
+        let mut c = DataCatalog::new();
+        c.register_store("cold", &path).unwrap();
+        // Metadata without touching the payload.
+        assert!(!c.is_resident("cold").unwrap());
+        assert_eq!(c.rows_of("cold").unwrap(), 2_000);
+        assert_eq!(c.total_rows(), 2_000);
+        assert!(!c.combined_bbox().is_empty());
+        assert_eq!(c.store_path("cold").unwrap(), path.as_path());
+
+        // First get pages the table in; it stays resident and shared.
+        let a = c.get("cold").unwrap();
+        assert_eq!(a.len(), 2_000);
+        assert!(c.is_resident("cold").unwrap());
+        let b = c.get("cold").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_store_path_is_a_typed_error() {
+        let mut c = DataCatalog::new();
+        let err = c
+            .register_store("ghost", Path::new("/nonexistent/never.ubs"))
+            .expect_err("missing file must fail registration");
+        assert!(matches!(err, UrbaneError::Store(_)), "{err:?}");
+    }
+
+    #[test]
+    fn memory_sets_have_no_store_path() {
+        let mut c = DataCatalog::new();
+        c.register("a", table((0.0, 0.0)));
+        assert!(c.store_path("a").is_none());
+        assert!(c.is_resident("a").unwrap());
     }
 }

@@ -59,6 +59,8 @@ pub enum UrbaneError {
     Data(String),
     /// I/O failure when exporting images.
     Io(String),
+    /// `.ubs` store failure (open, header decode, chunk read).
+    Store(String),
     /// Invalid session/framework configuration.
     Config(String),
     /// The query was cancelled by its cancel handle.
@@ -79,6 +81,7 @@ impl std::fmt::Display for UrbaneError {
             UrbaneError::Join(m) => write!(f, "raster join error: {m}"),
             UrbaneError::Data(m) => write!(f, "data error: {m}"),
             UrbaneError::Io(m) => write!(f, "io error: {m}"),
+            UrbaneError::Store(m) => write!(f, "store error: {m}"),
             UrbaneError::Config(m) => write!(f, "config error: {m}"),
             UrbaneError::Cancelled => write!(f, "query cancelled"),
             UrbaneError::DeadlineExceeded => write!(f, "query deadline exceeded"),

@@ -202,9 +202,54 @@ pub struct GuardOutcomes {
     pub cached: u64,
 }
 
+/// Where a dataset's rows live right now.
+#[derive(Clone)]
+enum TableState {
+    /// Fully materialized in memory.
+    Resident(Arc<PointTable>),
+    /// Registered from a `.ubs` store; only header metadata is loaded.
+    /// Raster queries page the table in on first touch; index-join queries
+    /// stream chunks and leave it cold.
+    Cold { path: std::path::PathBuf, rows: u64 },
+}
+
 struct DatasetEntry {
-    table: Arc<PointTable>,
+    state: TableState,
     generation: u64,
+}
+
+/// `.ubs` paging / streaming counters (for `/metrics`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorePaging {
+    /// Cold datasets fully materialized since boot.
+    pub page_ins: u64,
+    /// Chunks read from `.ubs` files (page-ins and streamed queries).
+    pub chunks_read: u64,
+    /// Payload bytes read from `.ubs` files.
+    pub bytes_read: u64,
+    /// Queries answered by streaming chunks, never materializing.
+    pub streamed_queries: u64,
+}
+
+/// Monotone counters behind [`StorePaging`].
+#[derive(Default)]
+struct PagingCounters {
+    page_ins: AtomicU64,
+    chunks_read: AtomicU64,
+    bytes_read: AtomicU64,
+    streamed_queries: AtomicU64,
+}
+
+impl PagingCounters {
+    fn add(counter: &AtomicU64, n: u64) {
+        // lint: relaxed-ok monotone paging counter; nothing is published through it
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn read(counter: &AtomicU64) -> u64 {
+        // lint: relaxed-ok monotone paging counter read for display only
+        counter.load(Ordering::Relaxed)
+    }
 }
 
 /// What the cache stores per canonical query.
@@ -240,7 +285,10 @@ pub struct UrbaneService {
     // Derived, generation-keyed state (rebuilt lazily after reloads).
     bins: GenerationKeyed<Arc<BinnedPointTable>>,
     samples: GenerationKeyed<Arc<(PointTable, f64)>>,
+    // Packed region R-trees per pyramid level (pyramid is immutable).
+    region_indexes: Mutex<HashMap<usize, Arc<spatial_index::PackedRegionIndex>>>,
     outcomes: OutcomeCounters,
+    paging: PagingCounters,
 }
 
 /// Monotone counters behind [`GuardOutcomes`], one per ladder outcome.
@@ -286,9 +334,19 @@ impl UrbaneService {
             .names()
             .into_iter()
             .map(|name| {
-                // lint: allow(panic-freedom) name came from catalog.names() one line up; documented expect
-                let table = catalog.get(name).expect("name came from the catalog");
-                (name.to_string(), DatasetEntry { table, generation: 0 })
+                let state = match catalog.store_path(name) {
+                    // Store-backed catalog entries boot cold in the service
+                    // too: header metadata only, payload on first touch.
+                    Some(path) => TableState::Cold {
+                        path: path.to_path_buf(),
+                        rows: catalog.rows_of(name).unwrap_or(0) as u64,
+                    },
+                    None => TableState::Resident(
+                        // lint: allow(panic-freedom) name came from catalog.names() one line up
+                        catalog.get(name).expect("name came from the catalog"),
+                    ),
+                };
+                (name.to_string(), DatasetEntry { state, generation: 0 })
             })
             .collect();
         let cache = QueryCache::new(config.cache_capacity, config.cache_shards);
@@ -302,7 +360,9 @@ impl UrbaneService {
             planner,
             bins: Mutex::new(HashMap::new()),
             samples: Mutex::new(HashMap::new()),
+            region_indexes: Mutex::new(HashMap::new()),
             outcomes: Default::default(),
+            paging: Default::default(),
         })
     }
 
@@ -322,10 +382,32 @@ impl UrbaneService {
             .iter()
             .map(|(name, e)| DatasetInfo {
                 name: name.clone(),
-                rows: e.table.len(),
+                rows: match &e.state {
+                    TableState::Resident(t) => t.len(),
+                    TableState::Cold { rows, .. } => *rows as usize,
+                },
                 generation: e.generation,
             })
             .collect()
+    }
+
+    /// `.ubs` paging / streaming counters.
+    pub fn store_paging(&self) -> StorePaging {
+        StorePaging {
+            page_ins: PagingCounters::read(&self.paging.page_ins),
+            chunks_read: PagingCounters::read(&self.paging.chunks_read),
+            bytes_read: PagingCounters::read(&self.paging.bytes_read),
+            streamed_queries: PagingCounters::read(&self.paging.streamed_queries),
+        }
+    }
+
+    /// Is the dataset's table resident in memory right now? `None` if
+    /// unregistered. Cold store-backed datasets report `false` until a
+    /// raster query (or a degraded/preview rung) pages them in.
+    pub fn dataset_resident(&self, name: &str) -> Option<bool> {
+        read(&self.datasets)
+            .get(name)
+            .map(|e| matches!(e.state, TableState::Resident(_)))
     }
 
     /// The current generation of one dataset, or `None` if unregistered.
@@ -373,13 +455,25 @@ impl UrbaneService {
     /// `Arc` finish against the snapshot they started with. Returns the new
     /// generation.
     pub fn reload_dataset(&self, name: &str, table: PointTable) -> u64 {
+        self.install_dataset(name, TableState::Resident(Arc::new(table)))
+    }
+
+    /// Register (or replace) a dataset from a `.ubs` store, cold: only the
+    /// header is read here, the payload pages in lazily. Returns the new
+    /// generation. Same invalidation semantics as
+    /// [`reload_dataset`](Self::reload_dataset).
+    pub fn register_store_dataset(&self, name: &str, path: &std::path::Path) -> Result<u64> {
+        let source =
+            urbane_store::ChunkedPointSource::open(path).map_err(crate::catalog::store_err)?;
+        let rows = source.len();
+        Ok(self.install_dataset(name, TableState::Cold { path: path.to_path_buf(), rows }))
+    }
+
+    fn install_dataset(&self, name: &str, state: TableState) -> u64 {
         let generation = {
             let mut datasets = write(&self.datasets);
             let generation = datasets.get(name).map(|e| e.generation + 1).unwrap_or(0);
-            datasets.insert(
-                name.to_string(),
-                DatasetEntry { table: Arc::new(table), generation },
-            );
+            datasets.insert(name.to_string(), DatasetEntry { state, generation });
             generation
         };
         // Eager hygiene: stale entries are already unreachable (the key
@@ -391,12 +485,61 @@ impl UrbaneService {
         generation
     }
 
-    /// Dataset snapshot + generation, or `UnknownDataset`.
-    fn dataset(&self, name: &str) -> Result<(Arc<PointTable>, u64)> {
+    /// Dataset state snapshot + generation, or `UnknownDataset`. Does not
+    /// page a cold dataset in — callers that need the table go through
+    /// [`Self::resident_table`].
+    fn dataset_state(&self, name: &str) -> Result<(TableState, u64)> {
         read(&self.datasets)
             .get(name)
-            .map(|e| (Arc::clone(&e.table), e.generation))
+            .map(|e| (e.state.clone(), e.generation))
             .ok_or_else(|| UrbaneError::UnknownDataset(name.to_string()))
+    }
+
+    /// Materialize a dataset snapshot taken by [`Self::dataset_state`].
+    /// For a cold snapshot this pages the store in (outside any lock) and
+    /// upgrades the shared entry **generation-safely**: the resident table
+    /// is installed only if the entry still carries the same generation — a
+    /// concurrent reload wins, and this request keeps serving the snapshot
+    /// it pinned.
+    fn resident_table(
+        &self,
+        name: &str,
+        generation: u64,
+        state: &TableState,
+    ) -> Result<Arc<PointTable>> {
+        let path = match state {
+            TableState::Resident(t) => return Ok(Arc::clone(t)),
+            TableState::Cold { path, .. } => path.clone(),
+        };
+        let mut source =
+            urbane_store::ChunkedPointSource::open(&path).map_err(crate::catalog::store_err)?;
+        let table = Arc::new(source.materialize().map_err(crate::catalog::store_err)?);
+        let stats = source.stats();
+        PagingCounters::add(&self.paging.page_ins, 1);
+        PagingCounters::add(&self.paging.chunks_read, stats.chunks_read);
+        PagingCounters::add(&self.paging.bytes_read, stats.bytes_read);
+        let mut datasets = write(&self.datasets);
+        if let Some(e) = datasets.get_mut(name) {
+            if e.generation == generation {
+                if let TableState::Resident(t) = &e.state {
+                    // Another request paged it in first; share theirs.
+                    return Ok(Arc::clone(t));
+                }
+                e.state = TableState::Resident(Arc::clone(&table));
+            }
+        }
+        Ok(table)
+    }
+
+    /// The packed region R-tree for a pyramid level, built once and shared
+    /// (the pyramid never changes under a live service).
+    fn region_index(&self, level: usize, regions: &RegionSet) -> Arc<spatial_index::PackedRegionIndex> {
+        if let Some(hit) = lock(&self.region_indexes).get(&level).cloned() {
+            return hit;
+        }
+        let built = Arc::new(spatial_index::PackedRegionIndex::build(regions));
+        lock(&self.region_indexes).insert(level, built.clone());
+        built
     }
 
     /// Canonical cache key: dataset + generation + every query dimension in
@@ -506,7 +649,7 @@ impl UrbaneService {
     ) -> Result<QueryAnswer> {
         // lint: allow(determinism) wall-clock feeds only GuardReport::elapsed (latency metadata), never the answer table
         let start = Instant::now();
-        let (points, generation) = self.dataset(&req.dataset)?;
+        let (state, generation) = self.dataset_state(&req.dataset)?;
         let regions = self.pyramid.level(req.level)?;
         let deadline = req.deadline.unwrap_or(self.config.default_deadline);
         let query = req.to_query();
@@ -563,10 +706,14 @@ impl UrbaneService {
             Flight::Leader(leader) => Some(leader),
         };
 
-        let bins = self.dataset_bins(&req.dataset, generation, &points);
-        let store = || match &bins {
-            Some(b) => PointStore::with_bins(&points, b),
-            None => PointStore::plain(&points),
+        // Lazy residency: rungs that need the whole table share one page-in
+        // (a cold store materializes at most once per request); the
+        // index-join full rung streams chunks and never triggers it.
+        let resident: std::sync::OnceLock<Result<Arc<PointTable>>> = std::sync::OnceLock::new();
+        let points = || -> Result<Arc<PointTable>> {
+            resident
+                .get_or_init(|| self.resident_table(&req.dataset, generation, &state))
+                .clone()
         };
 
         // Batching planner: distinct-but-compatible concurrent queries
@@ -579,6 +726,7 @@ impl UrbaneService {
         // failed pass, never change it.
         if self.config.batch_window > Duration::ZERO
             && cancel.is_none()
+            && req.mode != ExecutionMode::IndexJoin
             && deadline > self.config.batch_window * 2
         {
             let group_key = format!(
@@ -590,9 +738,15 @@ impl UrbaneService {
                 self.effective_resolution(req),
             );
             let exec = |queries: &[SpatialAggQuery], batch_deadline: Duration| {
+                let pts = points()?;
+                let bins = self.dataset_bins(&req.dataset, generation, &pts);
+                let store = match &bins {
+                    Some(b) => PointStore::with_bins(&pts, b),
+                    None => PointStore::plain(&pts),
+                };
                 let join = RasterJoin::new(self.join_config(req));
                 let budget = QueryBudget::with_deadline(batch_deadline);
-                let res = join.execute_batch_store(store(), &regions, queries, &budget)?;
+                let res = join.execute_batch_store(store, &regions, queries, &budget)?;
                 let epsilon = res.epsilon;
                 Ok(res.tables.into_iter().map(|t| (Arc::new(t), epsilon)).collect())
             };
@@ -624,11 +778,58 @@ impl UrbaneService {
         }
 
         let full = |budget: &QueryBudget| -> Result<(Arc<AggTable>, Option<f64>)> {
+            if req.mode == ExecutionMode::IndexJoin {
+                // Exact path: packed R-tree probe + exact PIP, ε = 0. A
+                // cold dataset streams chunk-at-a-time from its `.ubs` file
+                // and stays cold.
+                let index = self.region_index(req.level, &regions);
+                let table = match &state {
+                    TableState::Cold { path, .. } => {
+                        let mut source = urbane_store::ChunkedPointSource::open(path)
+                            .map_err(crate::catalog::store_err)?;
+                        let (table, _) = spatial_index::index_join_stored(
+                            &mut source,
+                            &regions,
+                            index.as_ref(),
+                            &query,
+                            budget,
+                        )?;
+                        let stats = source.stats();
+                        PagingCounters::add(&self.paging.streamed_queries, 1);
+                        PagingCounters::add(&self.paging.chunks_read, stats.chunks_read);
+                        PagingCounters::add(&self.paging.bytes_read, stats.bytes_read);
+                        table
+                    }
+                    TableState::Resident(_) => {
+                        let pts = points()?;
+                        spatial_index::index_join_budgeted(
+                            &pts,
+                            &regions,
+                            index.as_ref(),
+                            &query,
+                            budget,
+                        )?
+                    }
+                };
+                return Ok((Arc::new(table), Some(0.0)));
+            }
+            let pts = points()?;
+            let bins = self.dataset_bins(&req.dataset, generation, &pts);
+            let store = match &bins {
+                Some(b) => PointStore::with_bins(&pts, b),
+                None => PointStore::plain(&pts),
+            };
             let join = RasterJoin::new(self.join_config(req));
-            let res = join.execute_store(store(), &regions, &query, budget)?;
+            let res = join.execute_store(store, &regions, &query, budget)?;
             Ok((Arc::new(res.table), Some(res.epsilon)))
         };
         let degraded = |budget: &QueryBudget| -> Result<(AggTable, f64)> {
+            let pts = points()?;
+            let bins = self.dataset_bins(&req.dataset, generation, &pts);
+            let store = match &bins {
+                Some(b) => PointStore::with_bins(&pts, b),
+                None => PointStore::plain(&pts),
+            };
             let config = RasterJoinConfig {
                 spec: CanvasSpec::Resolution(DEGRADED_RESOLUTION),
                 mode: ExecutionMode::Bounded,
@@ -636,13 +837,19 @@ impl UrbaneService {
                 ..self.config.join.clone()
             };
             let join = RasterJoin::new(config);
-            let res = join.execute_store(store(), &regions, &query, budget)?;
+            let res = join.execute_store(store, &regions, &query, budget)?;
             Ok((res.table, res.epsilon))
         };
         let preview = || -> Result<AggTable> {
-            let sample_and_scale = self.preview_sample(&req.dataset, generation, &points);
+            let pts = points()?;
+            let sample_and_scale = self.preview_sample(&req.dataset, generation, &pts);
             let (sample, scale) = (&sample_and_scale.0, sample_and_scale.1);
-            let join = RasterJoin::new(self.join_config(req));
+            // Previews always raster: index-join has no approximate variant.
+            let mut config = self.join_config(req);
+            if config.mode == ExecutionMode::IndexJoin {
+                config.mode = ExecutionMode::Bounded;
+            }
+            let join = RasterJoin::new(config);
             let mut res = join.execute(sample, &regions, &query)?;
             for state in &mut res.table.states {
                 state.count = (state.count as f64 * scale).round() as u64;
@@ -948,6 +1155,92 @@ mod tests {
         let b = s.query(&patient).unwrap();
         assert_eq!(b.report.path, GuardPath::Full);
         assert_eq!(b.report.batched, Some(1), "solo member still runs as a batch of one");
+    }
+
+    fn store_file(rows: usize, seed: u64) -> (CityModel, std::path::PathBuf) {
+        let city = CityModel::nyc_like();
+        let taxi = generate_taxi(&city, &TaxiConfig { rows, seed, start: 0, days: 10 });
+        let dir =
+            std::env::temp_dir().join(format!("urbane-service-store-{}-{seed}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("taxi.ubs");
+        urbane_store::StoreBuilder::new().chunk_rows(512).write_file(&taxi, &path).unwrap();
+        (city, path)
+    }
+
+    #[test]
+    fn index_join_requests_match_accurate_exactly_and_report_zero_epsilon() {
+        let s = service(64);
+        let exact = s
+            .query(&QueryRequest::count("taxi", 1).mode(ExecutionMode::Accurate))
+            .unwrap();
+        let indexed = s
+            .query(&QueryRequest::count("taxi", 1).mode(ExecutionMode::IndexJoin))
+            .unwrap();
+        assert_eq!(indexed.report.path, GuardPath::Full);
+        assert_eq!(indexed.report.error_bound, Some(0.0));
+        assert_eq!(exact.table.values(), indexed.table.values());
+        // Distinct cache entries per mode; re-asking hits the cache.
+        let again = s
+            .query(&QueryRequest::count("taxi", 1).mode(ExecutionMode::IndexJoin))
+            .unwrap();
+        assert!(again.cached);
+        assert_eq!(again.report.error_bound, Some(0.0));
+    }
+
+    #[test]
+    fn cold_store_dataset_serves_index_joins_without_materializing() {
+        let (city, path) = store_file(4_000, 31);
+        let mut catalog = DataCatalog::new();
+        catalog.register_store("taxi", &path).unwrap();
+        let pyramid = ResolutionPyramid::standard(&city.bbox(), 16, 8, 5);
+        let s = UrbaneService::new(
+            ServiceConfig {
+                join: RasterJoinConfig::with_resolution(256),
+                ..Default::default()
+            },
+            catalog,
+            pyramid,
+        )
+        .unwrap();
+        assert_eq!(s.dataset_resident("taxi"), Some(false));
+        assert_eq!(s.datasets()[0].rows, 4_000, "header rows visible before paging");
+
+        // Index joins stream the store and leave the dataset cold.
+        let a = s
+            .query(&QueryRequest::count("taxi", 0).mode(ExecutionMode::IndexJoin))
+            .unwrap();
+        assert_eq!(a.report.path, GuardPath::Full);
+        assert_eq!(s.dataset_resident("taxi"), Some(false), "streaming must not page in");
+        let paging = s.store_paging();
+        assert_eq!(paging.streamed_queries, 1);
+        assert!(paging.chunks_read > 0);
+        assert_eq!(paging.page_ins, 0);
+
+        // A raster query pages the table in exactly once.
+        let b = s.query(&QueryRequest::count("taxi", 0)).unwrap();
+        assert_eq!(b.report.path, GuardPath::Full);
+        assert_eq!(s.dataset_resident("taxi"), Some(true));
+        assert_eq!(s.store_paging().page_ins, 1);
+        assert!(b.table.total_count() > 0);
+
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn register_store_dataset_bumps_generation_and_invalidates() {
+        let s = service(64);
+        let warm = s.query(&QueryRequest::count("taxi", 0)).unwrap();
+        assert_eq!(warm.generation, 0);
+        let (_, path) = store_file(2_000, 32);
+        let generation = s.register_store_dataset("taxi", &path).unwrap();
+        assert_eq!(generation, 1);
+        assert_eq!(s.cache_len(), 0, "store registration must purge stale answers");
+        assert_eq!(s.dataset_resident("taxi"), Some(false));
+        let cold = s.query(&QueryRequest::count("taxi", 0)).unwrap();
+        assert_eq!(cold.generation, 1);
+        assert!(cold.table.total_count() > 0);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
     }
 
     #[test]

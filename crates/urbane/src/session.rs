@@ -86,6 +86,9 @@ pub struct UrbaneSession {
     // every subsequent frame (the catalog is immutable for the session's
     // lifetime, so bins never go stale).
     bins: Mutex<HashMap<String, Arc<BinnedPointTable>>>,
+    // Packed region R-trees per pyramid level, for the exact index-join
+    // mode. The pyramid is immutable for the session's lifetime.
+    region_indexes: Mutex<HashMap<usize, Arc<spatial_index::PackedRegionIndex>>>,
 }
 
 impl UrbaneSession {
@@ -116,6 +119,7 @@ impl UrbaneSession {
             cache_stats: Mutex::new(CacheStats::default()),
             samples: Mutex::new(HashMap::new()),
             bins: Mutex::new(HashMap::new()),
+            region_indexes: Mutex::new(HashMap::new()),
         })
     }
 
@@ -251,17 +255,51 @@ impl UrbaneSession {
         }
         lock(&self.cache_stats).misses += 1;
 
-        let points = self.catalog.get(&self.active_dataset)?;
         let regions = self.pyramid.level(self.active_level)?;
-        let join = raster_join::RasterJoin::new(self.config.join.clone());
-        let bins = self.dataset_bins(&self.active_dataset, &points);
-        let store = match &bins {
-            Some(b) => PointStore::with_bins(&points, b),
-            None => PointStore::plain(&points),
-        };
-        let res = join.execute_store(store, &regions, &self.current_query(), budget)?;
-        let epsilon = res.epsilon;
-        let table = Arc::new(res.table);
+        let (table, epsilon) =
+            if self.config.join.mode == raster_join::ExecutionMode::IndexJoin {
+                // Exact path: R-tree probe + exact PIP, ε = 0 by construction.
+                // A store-backed dataset streams chunk-at-a-time straight
+                // from its `.ubs` file — the table never materializes.
+                let index = self.region_index(self.active_level, &regions);
+                let query = self.current_query();
+                let table = match self.catalog.store_path(&self.active_dataset) {
+                    Some(path) => {
+                        let mut source = urbane_store::ChunkedPointSource::open(path)
+                            .map_err(crate::catalog::store_err)?;
+                        let (table, _) = spatial_index::index_join_stored(
+                            &mut source,
+                            &regions,
+                            index.as_ref(),
+                            &query,
+                            budget,
+                        )?;
+                        table
+                    }
+                    None => {
+                        let points = self.catalog.get(&self.active_dataset)?;
+                        spatial_index::index_join_budgeted(
+                            &points,
+                            &regions,
+                            index.as_ref(),
+                            &query,
+                            budget,
+                        )?
+                    }
+                };
+                (Arc::new(table), 0.0)
+            } else {
+                let points = self.catalog.get(&self.active_dataset)?;
+                let join = raster_join::RasterJoin::new(self.config.join.clone());
+                let bins = self.dataset_bins(&self.active_dataset, &points);
+                let store = match &bins {
+                    Some(b) => PointStore::with_bins(&points, b),
+                    None => PointStore::plain(&points),
+                };
+                let res =
+                    join.execute_store(store, &regions, &self.current_query(), budget)?;
+                (Arc::new(res.table), res.epsilon)
+            };
 
         if self.config.cache_capacity > 0 {
             let mut cache = lock(&self.cache);
@@ -303,6 +341,21 @@ impl UrbaneSession {
         };
         let res = join.execute_store(store, &regions, &self.current_query(), budget)?;
         Ok((res.table, res.epsilon))
+    }
+
+    /// The packed region R-tree for a pyramid level, built once and shared
+    /// across frames (the pyramid never changes under a live session).
+    fn region_index(
+        &self,
+        level: usize,
+        regions: &urban_data::RegionSet,
+    ) -> Arc<spatial_index::PackedRegionIndex> {
+        if let Some(hit) = lock(&self.region_indexes).get(&level).cloned() {
+            return hit;
+        }
+        let built = Arc::new(spatial_index::PackedRegionIndex::build(regions));
+        lock(&self.region_indexes).insert(level, built.clone());
+        built
     }
 
     /// The active dataset's spatial bins, built once and reused across
@@ -371,7 +424,13 @@ impl UrbaneSession {
         };
         let (sample, scale) = (&sample_and_scale.0, sample_and_scale.1);
 
-        let join = raster_join::RasterJoin::new(self.config.join.clone());
+        // Previews always raster: the index-join mode has no approximate
+        // variant, and the preview rung exists precisely to buy speed.
+        let mut config = self.config.join.clone();
+        if config.mode == raster_join::ExecutionMode::IndexJoin {
+            config.mode = raster_join::ExecutionMode::Bounded;
+        }
+        let join = raster_join::RasterJoin::new(config);
         let mut res = join.execute(sample, &regions, &self.current_query())?;
         for state in &mut res.table.states {
             state.count = (state.count as f64 * scale).round() as u64;
@@ -586,6 +645,66 @@ mod tests {
             let _ = s.evaluate().unwrap();
         }
         assert!(lock(&s.cache).len() <= s.config.cache_capacity);
+    }
+
+    #[test]
+    fn index_join_mode_matches_accurate_exactly() {
+        let city = CityModel::nyc_like();
+        let taxi = generate_taxi(&city, &TaxiConfig { rows: 4_000, seed: 7, start: 0, days: 10 });
+        let pyramid = ResolutionPyramid::standard(&city.bbox(), 16, 8, 5);
+        let mk = |mode| {
+            let mut catalog = DataCatalog::new();
+            catalog.register("taxi", taxi.clone());
+            UrbaneSession::new(
+                SessionConfig {
+                    join: raster_join::RasterJoinConfig {
+                        mode,
+                        ..raster_join::RasterJoinConfig::with_resolution(256)
+                    },
+                    ..Default::default()
+                },
+                catalog,
+                pyramid.clone(),
+            )
+            .unwrap()
+        };
+        let exact = mk(raster_join::ExecutionMode::Accurate);
+        let indexed = mk(raster_join::ExecutionMode::IndexJoin);
+        let a = exact.evaluate().unwrap();
+        let b = indexed.evaluate().unwrap();
+        assert_eq!(a.as_ref(), b.as_ref(), "two exact paths must agree bit-for-bit");
+    }
+
+    #[test]
+    fn index_join_session_streams_from_a_store_file() {
+        let city = CityModel::nyc_like();
+        let taxi = generate_taxi(&city, &TaxiConfig { rows: 4_000, seed: 8, start: 0, days: 10 });
+        let dir = std::env::temp_dir().join(format!("urbane-session-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("taxi.ubs");
+        urbane_store::StoreBuilder::new().chunk_rows(512).write_file(&taxi, &path).unwrap();
+
+        let mut in_mem = DataCatalog::new();
+        in_mem.register("taxi", taxi);
+        let mut cold = DataCatalog::new();
+        cold.register_store("taxi", &path).unwrap();
+        let pyramid = ResolutionPyramid::standard(&city.bbox(), 16, 8, 5);
+        let config = SessionConfig {
+            join: raster_join::RasterJoinConfig {
+                mode: raster_join::ExecutionMode::IndexJoin,
+                ..raster_join::RasterJoinConfig::with_resolution(256)
+            },
+            ..Default::default()
+        };
+        let warm = UrbaneSession::new(config.clone(), in_mem, pyramid.clone()).unwrap();
+        let stored = UrbaneSession::new(config, cold, pyramid).unwrap();
+        let a = warm.evaluate().unwrap();
+        let b = stored.evaluate().unwrap();
+        assert_eq!(a.as_ref(), b.as_ref(), "stored and in-memory joins must agree bit-for-bit");
+        // The chunked path answered without ever materializing the table.
+        assert!(!stored.catalog().is_resident("taxi").unwrap());
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -5,6 +5,10 @@
 #
 #   scripts/bench.sh             # 1M points, 4 threads → BENCH_rasterjoin.json
 #   SCALE=200000 THREADS=2 scripts/bench.sh   # smaller/laptop-friendly run
+#   scripts/bench.sh indexjoin   # just the raster-vs-index race (the
+#                                # `index_join` series of the JSON): bounded
+#                                # raster vs exact `.ubs` index join across
+#                                # region-set sizes, with the crossover point
 #
 # Also reproduces BENCH_batch.json — the multi-query batching suite: 8
 # closed-loop clients with distinct filters against one in-process service,
@@ -23,6 +27,11 @@ BATCH_CLIENTS="${BATCH_CLIENTS:-8}"
 BATCH_REQUESTS="${BATCH_REQUESTS:-8}"
 BATCH_WINDOW_MS="${BATCH_WINDOW_MS:-30}"
 BATCH_OUT="${BATCH_OUT:-BENCH_batch.json}"
+
+if [ "${1:-}" = "indexjoin" ]; then
+  exec cargo run --release -p urbane-bench --bin repro -- \
+    --exp indexjoin --scale "$SCALE" --threads "$THREADS" --reps "$REPS"
+fi
 
 cargo run --release -p urbane-bench --bin repro -- \
   --exp bench --scale "$SCALE" --threads "$THREADS" --reps "$REPS" --json "$OUT"

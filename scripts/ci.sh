@@ -63,6 +63,60 @@ trap - EXIT
 rm -f "$serve_log"
 echo "server smoke OK"
 
+# Store smoke: build a `.ubs` out-of-core store with the CLI, prove the
+# build is byte-deterministic, answer an exact index join straight off the
+# chunk directory, and cold-boot the server against the store directory
+# (--store-dir) with a streamed mode=index query that must not page the
+# table in.
+store_dir="$(mktemp -d)"
+target/release/urbane-cli generate --rows 20000 --seed 7 \
+  --out "$store_dir/taxi.upt" 2> /dev/null
+target/release/urbane-cli build-store --data "$store_dir/taxi.upt" \
+  --out "$store_dir/taxi.ubs" --chunk-rows 4096 2> /dev/null
+target/release/urbane-cli build-store --data "$store_dir/taxi.upt" \
+  --out "$store_dir/rebuild.ubs" --chunk-rows 4096 2> /dev/null
+cmp "$store_dir/taxi.ubs" "$store_dir/rebuild.ubs" \
+  || { echo "store build is not byte-deterministic"; exit 1; }
+rm -f "$store_dir/rebuild.ubs"
+
+# The exact index join over the store must rank regions identically to the
+# accurate raster path over the original table.
+idx="$(target/release/urbane-cli query --data "$store_dir/taxi.ubs" \
+  --regions grid:8 --agg count --mode index --top 5 2> /dev/null)"
+acc="$(target/release/urbane-cli query --data "$store_dir/taxi.upt" \
+  --regions grid:8 --agg count --mode accurate --top 5 2> /dev/null)"
+[ "$idx" = "$acc" ] || {
+  echo "index join diverged from accurate raster:"
+  printf 'index:\n%s\naccurate:\n%s\n' "$idx" "$acc"
+  exit 1
+}
+
+serve_log="$(mktemp)"
+target/release/urbane-serve --port 0 --rows 2000 --workers 2 \
+  --store-dir "$store_dir" > "$serve_log" 2>&1 &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+
+addr=""
+for _ in $(seq 1 50); do
+  addr="$(sed -n 's#^urbane-serve listening on http://##p' "$serve_log")"
+  [ -n "$addr" ] && break
+  sleep 0.2
+done
+[ -n "$addr" ] || { echo "urbane-serve did not report an address"; cat "$serve_log"; exit 1; }
+
+curl -fsS -X POST -d '{"dataset":"taxi","level":1,"mode":"index"}' \
+  "http://$addr/query" | grep '"error_bound":0' > /dev/null
+curl -fsS "http://$addr/metrics" | grep '^urbane_store_streamed_queries_total 1' > /dev/null
+curl -fsS "http://$addr/metrics" | grep '^urbane_store_page_ins_total 0' > /dev/null
+
+kill "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+trap - EXIT
+rm -f "$serve_log"
+rm -rf "$store_dir"
+echo "store smoke OK"
+
 # Batch smoke: boot urbane-serve with the admission window open and fire
 # two concurrent distinct queries (distinct filters — different cache keys,
 # so neither the result cache nor single-flight can absorb them). Both must

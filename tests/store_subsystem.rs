@@ -1,0 +1,233 @@
+//! End-to-end coverage of the out-of-core store subsystem: the `.ubs`
+//! container round-trips losslessly and byte-deterministically, the
+//! chunk-streamed exact index join never holds more than one chunk of rows
+//! per worker (the out-of-core guarantee), answers are bit-identical across
+//! thread counts and to the in-memory join, and the session/service layers
+//! serve cold stores without materializing them. Also pins that the `.ubs`
+//! and legacy `.upt` magics are mutually distinguishable.
+
+use raster_join::{ExecutionMode, QueryBudget, RasterJoinConfig};
+use spatial_index::{
+    index_join_budgeted, index_join_stored, index_join_stored_parallel, naive_join,
+    PackedRegionIndex,
+};
+use urban_data::gen::city::CityModel;
+use urban_data::gen::regions::voronoi_neighborhoods;
+use urban_data::gen::taxi::{generate_taxi, TaxiConfig};
+use urban_data::query::SpatialAggQuery;
+use urban_data::time::TimeRange;
+use urban_data::{binfmt, AggKind, Filter, PointTable, RegionSet};
+use urbane::{
+    DataCatalog, QueryRequest, ResolutionPyramid, ServiceConfig, SessionConfig, UrbaneService,
+    UrbaneSession,
+};
+use urbane_store::{ChunkedPointSource, StoreBuilder, StoreError};
+
+fn workload(rows: usize, seed: u64) -> (CityModel, PointTable, RegionSet) {
+    let city = CityModel::nyc_like();
+    let taxi = generate_taxi(&city, &TaxiConfig { rows, seed, start: 0, days: 10 });
+    let regions = voronoi_neighborhoods(&city.bbox(), 32, seed, 2);
+    (city, taxi, regions)
+}
+
+fn temp_store(tag: &str, table: &PointTable, chunk_rows: usize) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("urbane-store-subsys-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("data.ubs");
+    StoreBuilder::new().chunk_rows(chunk_rows).write_file(table, &path).unwrap();
+    path
+}
+
+#[test]
+fn roundtrip_preserves_rows_and_query_answers() {
+    let (_, taxi, regions) = workload(6_000, 41);
+    let bytes = StoreBuilder::new().chunk_rows(512).encode(&taxi).unwrap();
+    let mut source = ChunkedPointSource::from_bytes(bytes).unwrap();
+    assert_eq!(source.len(), taxi.len() as u64);
+    assert_eq!(source.schema().len(), taxi.schema().len());
+
+    // The store Hilbert-reorders rows, so compare via order-insensitive
+    // exact joins rather than row-for-row.
+    let back = source.materialize().unwrap();
+    assert_eq!(back.len(), taxi.len());
+    for q in [SpatialAggQuery::count(), SpatialAggQuery::new(AggKind::Sum("fare".into()))] {
+        let a = naive_join(&taxi, &regions, &q).unwrap();
+        let b = naive_join(&back, &regions, &q).unwrap();
+        assert_eq!(a.values(), b.values(), "round-trip changed an exact answer");
+    }
+}
+
+#[test]
+fn store_encoding_is_byte_deterministic() {
+    let (_, taxi, _) = workload(4_000, 42);
+    let a = StoreBuilder::new().chunk_rows(1024).encode(&taxi).unwrap();
+    let b = StoreBuilder::new().chunk_rows(1024).encode(&taxi).unwrap();
+    assert_eq!(a, b, "two encodes of the same table must be byte-identical");
+
+    let path = temp_store("determinism", &taxi, 1024);
+    let on_disk = std::fs::read(&path).unwrap();
+    assert_eq!(a, on_disk, "write_file must emit exactly the encode() bytes");
+    std::fs::remove_dir_all(path.parent().unwrap()).ok();
+}
+
+/// The acceptance criterion for out-of-core serving: a dataset many times
+/// larger than one chunk is fully queried while the executor never holds
+/// more than `chunk_rows` rows of payload at once. `STORE_SUBSYS_ROWS=10000000`
+/// (or any size) scales the same invariant to disk-resident sweeps.
+#[test]
+fn streamed_join_peak_residency_is_bounded_by_one_chunk() {
+    let rows = std::env::var("STORE_SUBSYS_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000);
+    let chunk_rows = 4096;
+    let (_, taxi, regions) = workload(rows, 43);
+    let path = temp_store("residency", &taxi, chunk_rows);
+
+    let index = PackedRegionIndex::build(&regions);
+    let q = SpatialAggQuery::new(AggKind::Sum("fare".into()));
+    let mut source = ChunkedPointSource::open(&path).unwrap();
+    let n_chunks = source.n_chunks();
+    assert!(n_chunks >= rows / chunk_rows, "dataset must span many chunks");
+
+    let (table, stats) =
+        index_join_stored(&mut source, &regions, &index, &q, &QueryBudget::unlimited()).unwrap();
+    assert!(table.total_count() > 0);
+    assert_eq!(stats.rows_scanned, rows as u64);
+    assert_eq!(stats.chunks_scanned + stats.chunks_pruned, n_chunks as u64);
+    assert!(
+        stats.peak_resident_rows as usize <= chunk_rows,
+        "peak residency {} exceeded one chunk ({chunk_rows} rows) over a {rows}-row dataset",
+        stats.peak_resident_rows
+    );
+
+    // A query whose time window misses the data entirely must prune every
+    // chunk off the directory footers without touching a single payload.
+    source.reset_stats();
+    let never = SpatialAggQuery::count().filter(Filter::Time(TimeRange::new(i64::MIN, -1)));
+    let (empty, pruned) =
+        index_join_stored(&mut source, &regions, &index, &never, &QueryBudget::unlimited())
+            .unwrap();
+    assert_eq!(empty.total_count(), 0);
+    assert_eq!(pruned.chunks_pruned, n_chunks as u64);
+    assert_eq!(pruned.rows_scanned, 0);
+    assert_eq!(source.stats().chunks_read, 0, "pruned query must read no payload bytes");
+
+    std::fs::remove_dir_all(path.parent().unwrap()).ok();
+}
+
+#[test]
+fn stored_join_is_bit_identical_across_threads_and_to_memory() {
+    let (_, taxi, regions) = workload(20_000, 44);
+    let bytes = StoreBuilder::new().chunk_rows(1024).encode(&taxi).unwrap();
+    let index = PackedRegionIndex::build(&regions);
+    let q = SpatialAggQuery::new(AggKind::Avg("fare".into()))
+        .filter(Filter::Time(TimeRange::new(0, 5 * 86_400)));
+    let budget = QueryBudget::unlimited();
+
+    let in_memory = index_join_budgeted(&taxi, &regions, &index, &q, &budget).unwrap();
+    for threads in [1, 2, 4] {
+        let open = || ChunkedPointSource::from_bytes(bytes.clone());
+        let (streamed, _) =
+            index_join_stored_parallel(open, &regions, &index, &q, &budget, threads).unwrap();
+        assert_eq!(
+            streamed.values(),
+            in_memory.values(),
+            "stored join diverged from the in-memory join at {threads} thread(s)"
+        );
+    }
+}
+
+#[test]
+fn session_streams_cold_store_and_matches_in_memory() {
+    let (city, taxi, _) = workload(5_000, 45);
+    let path = temp_store("session", &taxi, 512);
+
+    let mut warm = DataCatalog::new();
+    warm.register("taxi", taxi);
+    let mut cold = DataCatalog::new();
+    cold.register_store("taxi", &path).unwrap();
+    let pyramid = ResolutionPyramid::standard(&city.bbox(), 16, 8, 5);
+    let config = SessionConfig {
+        join: RasterJoinConfig {
+            mode: ExecutionMode::IndexJoin,
+            ..RasterJoinConfig::with_resolution(256)
+        },
+        ..Default::default()
+    };
+    let warm_session = UrbaneSession::new(config.clone(), warm, pyramid.clone()).unwrap();
+    let cold_session = UrbaneSession::new(config, cold, pyramid).unwrap();
+    let a = warm_session.evaluate().unwrap();
+    let b = cold_session.evaluate().unwrap();
+    assert_eq!(a.as_ref(), b.as_ref(), "cold store answer must match in-memory bit-for-bit");
+    assert!(
+        !cold_session.catalog().is_resident("taxi").unwrap(),
+        "index-join evaluation must leave the store cold"
+    );
+
+    std::fs::remove_dir_all(path.parent().unwrap()).ok();
+}
+
+#[test]
+fn service_cold_start_counts_paging_and_pages_in_exactly_once() {
+    let (city, taxi, _) = workload(4_000, 46);
+    let path = temp_store("service", &taxi, 512);
+
+    let mut catalog = DataCatalog::new();
+    catalog.register_store("taxi", &path).unwrap();
+    let pyramid = ResolutionPyramid::standard(&city.bbox(), 16, 8, 5);
+    let service = UrbaneService::new(
+        ServiceConfig { join: RasterJoinConfig::with_resolution(256), ..Default::default() },
+        catalog,
+        pyramid,
+    )
+    .unwrap();
+    assert_eq!(service.datasets()[0].rows, 4_000, "header rows visible before any paging");
+    assert_eq!(service.dataset_resident("taxi"), Some(false));
+
+    // A streamed index query answers off the chunk directory: paging
+    // counters move, the page-in counter does not.
+    let streamed =
+        service.query(&QueryRequest::count("taxi", 0).mode(ExecutionMode::IndexJoin)).unwrap();
+    assert_eq!(streamed.report.error_bound, Some(0.0));
+    let paging = service.store_paging();
+    assert_eq!(paging.streamed_queries, 1);
+    assert!(paging.chunks_read > 0 && paging.bytes_read > 0);
+    assert_eq!(paging.page_ins, 0);
+    assert_eq!(service.dataset_resident("taxi"), Some(false));
+
+    // Raster queries page the table in once; repeats reuse the resident copy.
+    let first = service.query(&QueryRequest::count("taxi", 0)).unwrap();
+    let second = service
+        .query(&QueryRequest::count("taxi", 0).agg(AggKind::Sum("fare".into())))
+        .unwrap();
+    assert!(first.table.total_count() > 0 && second.table.total_count() > 0);
+    assert_eq!(service.dataset_resident("taxi"), Some(true));
+    assert_eq!(service.store_paging().page_ins, 1, "OnceLock must page in exactly once");
+
+    std::fs::remove_dir_all(path.parent().unwrap()).ok();
+}
+
+#[test]
+fn ubs_and_upt_magics_are_mutually_distinguishable() {
+    let (_, taxi, _) = workload(1_000, 47);
+
+    // Legacy `.upt` bytes fed to the store reader: a typed magic error that
+    // names what was found, not a panic or a silent misparse.
+    let upt = binfmt::encode(&taxi);
+    match ChunkedPointSource::from_bytes(upt) {
+        Err(StoreError::Magic { found }) => assert_eq!(&found, b"UPT1"),
+        other => panic!("expected StoreError::Magic for .upt bytes, got {other:?}"),
+    }
+
+    // Store bytes fed to the legacy decoder must error, not misparse.
+    let ubs = StoreBuilder::new().chunk_rows(512).encode(&taxi).unwrap();
+    assert!(binfmt::decode(&ubs).is_err(), ".ubs bytes must not decode as .upt");
+
+    // Truncation behind a valid prelude stays a typed error.
+    let cut = ubs[..ubs.len() / 2].to_vec();
+    match ChunkedPointSource::from_bytes(cut) {
+        Err(StoreError::Corrupt(_)) | Err(StoreError::Io(_)) => {}
+        other => panic!("expected Corrupt/Io for truncated store, got {other:?}"),
+    }
+}
