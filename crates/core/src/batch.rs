@@ -370,6 +370,7 @@ pub(crate) fn batch_accurate_tile(
     // Boundary pixels are a property of (regions, viewport) alone — computed
     // once for the whole batch, exactly as the serial kernel computes them.
     let mut boundary_pairs: Vec<(u32, RegionId)> = Vec::new();
+    // lint: capped-by regions.len() — the region table of the requested level, server-side data the wire only selects
     let mut region_boundary: Vec<HashSet<u32>> = Vec::with_capacity(regions.len());
     for (id, _, geom) in regions.iter() {
         budget.check()?;
@@ -633,6 +634,7 @@ impl RasterJoin {
         let mut stats = RenderStats::new();
         let threads = config.threads.max(1).min(plan.tiles.len());
         if threads == 1 {
+            // lint: polls-budget run_tile checks the budget at its head before every tile; the closure body is opaque to the call graph
             for (idx, vp) in plan.tiles.iter().enumerate() {
                 let (ts, s) = run_tile(idx, vp)?;
                 merge_batch(&mut tables, &ts)?;
@@ -734,6 +736,7 @@ impl RasterJoin {
 /// by member — each member sees the same merge sequence a solo run would.
 fn merge_batch(into: &mut [AggTable], tile: &[AggTable]) -> Result<()> {
     debug_assert_eq!(into.len(), tile.len());
+    // lint: allow(cancel-poll-reachability) merges K member tables of one finished tile, bounded by the batch width
     for (dst, src) in into.iter_mut().zip(tile) {
         dst.merge(src)?;
     }

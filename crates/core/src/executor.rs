@@ -338,6 +338,7 @@ impl RasterJoin {
         let mut stats = RenderStats::new();
         let threads = self.config.threads.max(1).min(plan.tiles.len());
         if threads == 1 {
+            // lint: polls-budget run_tile checks the budget at its head before every tile; the closure body is opaque to the call graph
             for (idx, vp) in plan.tiles.iter().enumerate() {
                 let (t, s) = run_tile(idx, vp)?;
                 table.merge(&t)?;

@@ -183,6 +183,7 @@ impl PreparedRasterJoin {
                 let lo = tile.offsets[r] as usize;
                 let hi = tile.offsets[r + 1] as usize;
                 let state = &mut table.states[r];
+                // lint: allow(cancel-poll-reachability) the enclosing region loop polls every iteration; a per-pixel poll would dominate the fold
                 for &pix in &tile.pixels[lo..hi] {
                     fold_pixel(state, &bufs, pix % w, pix / w);
                 }
@@ -213,6 +214,7 @@ impl PreparedRasterJoin {
                         continue;
                     }
                     let v = column.map_or(0.0, |vals| vals[i] as f64);
+                    // lint: allow(cancel-poll-reachability) walks the few boundary pairs sharing one pixel; the point loop above polls per POINT_CHUNK
                     for &(q, id) in &tile.boundary_pairs[lo..] {
                         if q != pix {
                             break;
@@ -263,6 +265,7 @@ impl PreparedRasterJoin {
                 budget.check()?;
                 let lo = tile.offsets[r] as usize;
                 let hi = tile.offsets[r + 1] as usize;
+                // lint: allow(cancel-poll-reachability) the enclosing region loop polls every iteration; a per-pixel poll would dominate the fold
                 for &pix in &tile.pixels[lo..hi] {
                     crate::batch::batch_fold_pixel(&mut tables, r, &bufs, pix % w, pix / w);
                 }
@@ -292,6 +295,7 @@ impl PreparedRasterJoin {
                     if lo == tile.boundary_pairs.len() || tile.boundary_pairs[lo].0 != pix {
                         continue;
                     }
+                    // lint: allow(cancel-poll-reachability) walks the few boundary pairs sharing one pixel; the point loop above polls per POINT_CHUNK
                     for &(q, id) in &tile.boundary_pairs[lo..] {
                         if q != pix {
                             break;

@@ -60,6 +60,10 @@ pub enum DataError {
     /// format (e.g. a `.ubs` store handed to the legacy `.bin` decoder),
     /// not to a truncated or corrupted file of this one.
     Format { expected: &'static str, found: String },
+    /// A parallel worker died mid-computation; carries the panic message so
+    /// the failure surfaces as a diagnosable error instead of tearing down
+    /// the caller.
+    Worker(String),
 }
 
 impl std::fmt::Display for DataError {
@@ -71,6 +75,7 @@ impl std::fmt::Display for DataError {
             DataError::Format { expected, found } => {
                 write!(f, "format mismatch: expected {expected}, found {found}")
             }
+            DataError::Worker(m) => write!(f, "worker panicked: {m}"),
         }
     }
 }

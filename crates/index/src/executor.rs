@@ -99,7 +99,21 @@ pub fn index_join_parallel<I: RegionIndex>(
                 Ok(part)
             }));
         }
-        partials = handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+        partials = handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|payload| {
+                    // A worker panic becomes a typed error so one poisoned
+                    // partition fails the join instead of the process.
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    Err(urban_data::DataError::Worker(msg))
+                })
+            })
+            .collect();
     });
 
     let mut out = AggTable::new(agg, regions.len());

@@ -114,7 +114,10 @@ impl QuadTreeIndex {
         self.nodes.len()
     }
 
-    fn leaf_for(&self, p: Point) -> Option<&Node> {
+    /// Descend to the leaf covering `p` and return its payload as
+    /// `(candidates, covers)` slices — the node enum never escapes, so
+    /// callers cannot observe (and need not match) an internal node.
+    fn leaf_for(&self, p: Point) -> Option<(&[RegionId], &[RegionId])> {
         if !self.bbox.contains(p) {
             return None;
         }
@@ -122,7 +125,7 @@ impl QuadTreeIndex {
         let mut node_box = self.bbox;
         loop {
             match &self.nodes[node] {
-                leaf @ Node::Leaf { .. } => return Some(leaf),
+                Node::Leaf { candidates, covers } => return Some((candidates, covers)),
                 Node::Internal { children } => {
                     let c = node_box.center();
                     let east = p.x >= c.x;
@@ -151,9 +154,9 @@ impl RegionIndex for QuadTreeIndex {
         out.clear();
         match self.leaf_for(p) {
             None => Probe::Empty,
-            Some(Node::Leaf { candidates, covers }) => {
+            Some((candidates, covers)) => {
                 if candidates.is_empty() {
-                    return match covers.as_slice() {
+                    return match covers {
                         [] => Probe::Empty,
                         [only] => Probe::Resolved(*only),
                         many => {
@@ -168,7 +171,6 @@ impl RegionIndex for QuadTreeIndex {
                 out.extend(covers.iter().filter(|id| !candidates.contains(id)));
                 Probe::Candidates
             }
-            Some(Node::Internal { .. }) => unreachable!("leaf_for returns leaves"),
         }
     }
 

@@ -105,7 +105,9 @@ impl RTreeIndex {
             }
             level = next;
         }
-        let root = level[0].1;
+        // The packing loop exits with exactly one entry; fall back to node 0
+        // (the first leaf) rather than index unconditionally.
+        let root = level.first().map_or(0, |&(_, idx)| idx);
         RTreeIndex { nodes, root, height }
     }
 

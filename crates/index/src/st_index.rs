@@ -130,6 +130,7 @@ pub fn st_index_join<I: RegionIndex>(
     let mut out = AggTable::new(agg, regions.len());
     let mut scratch = Vec::with_capacity(8);
     for b in partitions.overlapping(window) {
+        // lint: allow(cancel-poll-reachability) the planner routes a query here only when its estimated surviving rows are under index_threshold_rows; full scans take the budget-polled raster path
         for &row in partitions.partition(b) {
             let i = row as usize;
             if !filter.matches(i) {

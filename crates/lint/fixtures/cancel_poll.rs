@@ -1,0 +1,59 @@
+//! Fixture: cancel-poll reachability. Loops over points reached from an
+//! annotated entry point must transitively hit a budget/cancel poll.
+
+pub struct CpBudget {
+    cancelled: bool,
+}
+
+impl CpBudget {
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled
+    }
+}
+
+// lint: entrypoint fixture request dispatch
+pub fn cp_handle(points: &[u64], budget: &CpBudget) -> u64 {
+    cp_route(points, budget)
+}
+
+fn cp_route(points: &[u64], budget: &CpBudget) -> u64 {
+    cp_scan_unpolled(points) + cp_scan_polled(points, budget) + cp_scan_waived(points)
+}
+
+fn cp_scan_unpolled(points: &[u64]) -> u64 {
+    let mut acc = 0;
+    for p in points {
+        //~^ cancel-poll-reachability
+        acc += *p;
+    }
+    acc
+}
+
+fn cp_scan_polled(points: &[u64], budget: &CpBudget) -> u64 {
+    let mut acc = 0;
+    for p in points {
+        if budget.is_cancelled() {
+            return acc;
+        }
+        acc += *p;
+    }
+    acc
+}
+
+fn cp_scan_waived(points: &[u64]) -> u64 {
+    let mut acc = 0;
+    // lint: allow(cancel-poll-reachability) fixture: bounded preview slice
+    for p in points {
+        acc += *p;
+    }
+    acc
+}
+
+/// Not reachable from any entry point: silent even without a poll.
+pub fn cp_offline_rebuild(points: &[u64]) -> u64 {
+    let mut acc = 0;
+    for p in points {
+        acc ^= *p;
+    }
+    acc
+}

@@ -19,3 +19,15 @@ pub fn missing_cap() {}
 // lint: frobnicate the widget
 //~^ directive-syntax
 pub fn unknown_directive() {}
+
+// lint: capped-by
+//~^ directive-syntax
+pub fn missing_capped_bound() {}
+
+// lint: entrypoint
+//~^ directive-syntax
+pub fn entrypoint_missing_reason() {}
+
+// lint: polls-budget
+//~^ directive-syntax
+pub fn polls_budget_missing_reason() {}

@@ -1,0 +1,45 @@
+//! Fixture: lock acquisition order. Two code paths taking the same pair of
+//! locks in opposite orders can deadlock; consistent order is clean.
+
+use std::sync::Mutex;
+
+pub struct LoShared {
+    lo_alpha: Mutex<u64>,
+    lo_beta: Mutex<u64>,
+    lo_gamma: Mutex<u64>,
+}
+
+impl LoShared {
+    pub fn lo_alpha_then_beta(&self) -> u64 {
+        let a = self.lo_alpha.lock();
+        //~^ lock-order
+        let b = self.lo_beta.lock();
+        let out = a.is_ok() as u64 + b.is_ok() as u64;
+        drop(b);
+        drop(a);
+        out
+    }
+
+    pub fn lo_beta_then_alpha(&self) -> u64 {
+        let b = self.lo_beta.lock();
+        let a = self.lo_alpha.lock();
+        let out = a.is_ok() as u64 + b.is_ok() as u64;
+        drop(a);
+        drop(b);
+        out
+    }
+
+    /// Same pair through a call: holding gamma while the callee takes beta
+    /// is fine as long as no path takes them the other way round.
+    pub fn lo_gamma_then_beta(&self) -> u64 {
+        let g = self.lo_gamma.lock();
+        let out = self.lo_take_beta() + g.is_ok() as u64;
+        drop(g);
+        out
+    }
+
+    fn lo_take_beta(&self) -> u64 {
+        let b = self.lo_beta.lock();
+        b.is_ok() as u64
+    }
+}

@@ -1,0 +1,32 @@
+//! Fixture: raw identifiers (`r#type`, `r#match`) must lex as single ident
+//! tokens. A mislexed `r#` would desync the brace-matched scope index and
+//! misplace every finding below it — the marker here pins the alignment.
+
+pub struct RawCfg {
+    pub r#type: Option<u32>,
+    pub r#match: u32,
+}
+
+pub fn raw_read_type(cfg: &RawCfg) -> u32 {
+    cfg.r#type.unwrap() //~ panic-freedom
+}
+
+pub fn raw_read_checked(cfg: &RawCfg) -> u32 {
+    match cfg.r#type {
+        Some(v) => v + cfg.r#match,
+        None => cfg.r#match,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Inside a test span the unwrap is exempt: if raw idents split into
+    // `r # type` the scope index would drift and this would fire.
+    #[test]
+    fn raw_idents_keep_test_spans_aligned() {
+        let cfg = RawCfg { r#type: Some(1), r#match: 2 };
+        assert_eq!(cfg.r#type.unwrap(), 1);
+    }
+}

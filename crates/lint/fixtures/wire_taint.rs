@@ -1,0 +1,39 @@
+//! Fixture: wire-input taint. Request-derived sizes must pass a bounds
+//! check (or carry a `capped-by` directive) before sizing an allocation.
+
+pub fn wt_uncapped(body: &str) -> Vec<u8> {
+    let n = body.len();
+    let mut out = Vec::with_capacity(n);
+    //~^ wire-taint
+    out.push(0);
+    out
+}
+
+pub fn wt_guarded(body: &str, max: usize) -> Vec<u8> {
+    let n = body.len();
+    if n > max {
+        return Vec::new();
+    }
+    Vec::with_capacity(n)
+}
+
+pub fn wt_clamped(body: &str) -> Vec<u8> {
+    let n = body.len().min(4096);
+    Vec::with_capacity(n)
+}
+
+pub fn wt_annotated(body: &str) -> Vec<u8> {
+    let n = body.len();
+    // lint: capped-by fixture: the framing layer rejects bodies over 1 MiB
+    Vec::with_capacity(n)
+}
+
+pub fn wt_boundary(headers: &[String]) -> Vec<u8> {
+    let n = headers.len();
+    wt_alloc_helper(n)
+}
+
+fn wt_alloc_helper(n: usize) -> Vec<u8> {
+    vec![0u8; n]
+    //~^ wire-taint
+}

@@ -206,7 +206,7 @@ mod tests {
     use crate::rules::RuleId;
 
     fn v(file: &str, line: u32, rule: RuleId) -> Violation {
-        Violation { file: file.to_string(), line, rule, message: format!("m{line}") }
+        Violation::new(file, line, rule, format!("m{line}"))
     }
 
     #[test]

@@ -3,9 +3,13 @@
 //! `urbane-lint` CLI.
 //!
 //! ```text
-//! urbane-lint check    [--root DIR] [--baseline FILE] [--json]
+//! urbane-lint check    [--root DIR] [--baseline FILE] [--json] [--trace FILE:LINE]
 //! urbane-lint baseline [--root DIR] [--baseline FILE]
 //! ```
+//!
+//! `--trace crates/x/src/y.rs:42` prints the full witness path of the
+//! violation at that location (call chain / lock chain / taint path) and
+//! nothing else.
 //!
 //! Exit codes: 0 clean (or within baseline), 1 ratchet regression,
 //! 2 usage or I/O error.
@@ -17,15 +21,17 @@ use std::process::ExitCode;
 
 use urbane_lint::baseline::{check, Baseline};
 use urbane_lint::engine::{find_workspace_root, scan_workspace};
-use urbane_lint::json;
+use urbane_lint::{json, RuleId};
 
-const USAGE: &str = "usage: urbane-lint <check|baseline> [--root DIR] [--baseline FILE] [--json]";
+const USAGE: &str =
+    "usage: urbane-lint <check|baseline> [--root DIR] [--baseline FILE] [--json] [--trace FILE:LINE]";
 
 struct Opts {
     command: String,
     root: Option<PathBuf>,
     baseline: Option<PathBuf>,
     json: bool,
+    trace: Option<(String, u32)>,
 }
 
 fn parse_args(args: &[String]) -> Result<Opts, String> {
@@ -34,7 +40,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
     if command != "check" && command != "baseline" {
         return Err(format!("unknown command `{command}`\n{USAGE}"));
     }
-    let mut opts = Opts { command, root: None, baseline: None, json: false };
+    let mut opts = Opts { command, root: None, baseline: None, json: false, trace: None };
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--root" => {
@@ -46,6 +52,14 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                     Some(PathBuf::from(it.next().ok_or("--baseline needs a file")?));
             }
             "--json" => opts.json = true,
+            "--trace" => {
+                let spec = it.next().ok_or("--trace needs FILE:LINE")?;
+                let (file, line) =
+                    spec.rsplit_once(':').ok_or("--trace needs FILE:LINE")?;
+                let line: u32 =
+                    line.parse().map_err(|_| format!("--trace: bad line in `{spec}`"))?;
+                opts.trace = Some((file.to_string(), line));
+            }
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
     }
@@ -80,6 +94,24 @@ fn run() -> Result<ExitCode, String> {
         return Ok(ExitCode::SUCCESS);
     }
 
+    if let Some((file, line)) = opts.trace {
+        let matches: Vec<_> =
+            violations.iter().filter(|v| v.file == file && v.line == line).collect();
+        if matches.is_empty() {
+            println!("urbane-lint: no violation at {file}:{line}");
+            return Ok(ExitCode::FAILURE);
+        }
+        for v in matches {
+            println!("{}", v.render());
+            if v.trace.is_empty() {
+                println!("  (per-line rule — no witness trace)");
+            } else {
+                println!("  witness:\n{}", v.render_trace());
+            }
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
     let base = Baseline::load(&baseline_path)?;
     let report = check(&violations, &base);
 
@@ -87,20 +119,39 @@ fn run() -> Result<ExitCode, String> {
         let mut out = String::from("{");
         let _ = write!(
             out,
-            "\"ok\": {}, \"current_total\": {}, \"baseline_total\": {}, \"violations\": [",
+            "\"ok\": {}, \"current_total\": {}, \"baseline_total\": {}, \"rules\": [",
             report.ok(),
             report.current_total,
             report.baseline_total
         );
+        for (i, r) in RuleId::ALL.iter().enumerate() {
+            let comma = if i + 1 == RuleId::ALL.len() { "" } else { ", " };
+            let _ = write!(out, "{}{}", json::escape(r.as_str()), comma);
+        }
+        out.push_str("], \"violations\": [");
         for (i, v) in violations.iter().enumerate() {
             let comma = if i + 1 == violations.len() { "" } else { ", " };
+            let mut trace = String::from("[");
+            for (j, s) in v.trace.iter().enumerate() {
+                let tc = if j + 1 == v.trace.len() { "" } else { ", " };
+                let _ = write!(
+                    trace,
+                    "{{\"file\": {}, \"line\": {}, \"note\": {}}}{}",
+                    json::escape(&s.file),
+                    s.line,
+                    json::escape(&s.note),
+                    tc
+                );
+            }
+            trace.push(']');
             let _ = write!(
                 out,
-                "{{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}{}",
+                "{{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}, \"trace\": {}}}{}",
                 json::escape(&v.file),
                 v.line,
                 json::escape(v.rule.as_str()),
                 json::escape(&v.message),
+                trace,
                 comma
             );
         }
@@ -142,6 +193,9 @@ fn run() -> Result<ExitCode, String> {
             );
             for v in &r.violations {
                 println!("    {}", v.render());
+                if !v.trace.is_empty() {
+                    println!("{}", v.render_trace());
+                }
             }
         }
         println!(

@@ -2,15 +2,19 @@
 //!
 //! The engine owns everything above a single file: discovering which files
 //! are project code (crate `src/` trees — not `vendor/`, not `target/`, not
-//! the deliberately-bad `fixtures/`), running the per-file scanner, and
-//! resolving the one cross-file rule (`release-acquire`: a `Release` store
-//! in one crate may be paired with an `Acquire` load in another).
+//! the deliberately-bad `fixtures/`), parsing each file once into a
+//! [`SourceFile`], running the per-file scanner, resolving the cross-file
+//! `release-acquire` pairing, and running the call-graph dataflow analyses
+//! (`cancel-poll-reachability`, `lock-order`, `wire-taint`) over the whole
+//! set.
 
 use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use crate::rules::{scan_source, AtomicSite, RuleId, ScanMode, Violation};
+use crate::callgraph::{CallGraph, SourceFile};
+use crate::dataflow;
+use crate::rules::{scan_file, AtomicSite, RuleId, ScanMode, Violation};
 
 /// Walk up from `start` to the workspace root: the first ancestor holding
 /// both a `Cargo.toml` and a `crates/` directory.
@@ -71,18 +75,24 @@ fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     Ok(())
 }
 
-/// Scan a set of files as one unit: per-file rules plus cross-file
-/// release/acquire resolution. `root` anchors the repo-relative names.
+/// Scan a set of files as one unit: per-file rules, cross-file
+/// release/acquire resolution, and the call-graph dataflow analyses.
+/// `root` anchors the repo-relative names.
 pub fn scan_files(root: &Path, files: &[PathBuf], mode: ScanMode) -> Result<Vec<Violation>, String> {
-    let mut violations = Vec::new();
-    let mut stores: Vec<AtomicSite> = Vec::new();
-    let mut load_names: BTreeSet<String> = BTreeSet::new();
-
+    let mut sources = Vec::with_capacity(files.len());
     for path in files {
         let rel = rel_path(root, path);
         let src =
             fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        let scan = scan_source(&rel, &src, mode);
+        sources.push(SourceFile::parse(&rel, &src));
+    }
+
+    let mut violations = Vec::new();
+    let mut stores: Vec<AtomicSite> = Vec::new();
+    let mut load_names: BTreeSet<String> = BTreeSet::new();
+
+    for sf in &sources {
+        let scan = scan_file(sf, mode);
         violations.extend(scan.violations);
         stores.extend(scan.release_stores);
         load_names.extend(scan.acquire_loads.into_iter().map(|s| s.name));
@@ -90,18 +100,21 @@ pub fn scan_files(root: &Path, files: &[PathBuf], mode: ScanMode) -> Result<Vec<
 
     for s in stores {
         if !load_names.contains(&s.name) {
-            violations.push(Violation {
-                file: s.file,
-                line: s.line,
-                rule: RuleId::ReleaseAcquire,
-                message: format!(
+            violations.push(Violation::new(
+                &s.file,
+                s.line,
+                RuleId::ReleaseAcquire,
+                format!(
                     "`{}` is stored with Release but never loaded with Acquire anywhere in \
                      the scanned set — the release has nothing to synchronize with",
                     s.name
                 ),
-            });
+            ));
         }
     }
+
+    let graph = CallGraph::build(&sources);
+    violations.extend(dataflow::run(&sources, &graph, mode));
 
     violations.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))

@@ -7,10 +7,12 @@
 //! isolation) rests on conventions that `rustc` cannot see. This crate makes
 //! them mechanical: a lightweight Rust [`lexer`] (string/char/comment/
 //! raw-string aware — no `syn`, the tree is offline), a structural [`scope`]
-//! index (test spans, attributes, fn bodies), a [`rules`] catalog of seven
-//! project invariants, an [`engine`] that walks every `crates/*/src` file,
-//! and a committed ratcheting [`baseline`] so existing debt is frozen while
-//! new debt fails CI.
+//! index (test spans, attributes, fn bodies), a [`rules`] catalog of eleven
+//! project invariants, a whole-workspace [`callgraph`] feeding the
+//! [`dataflow`] analyses (cancel-poll reachability, lock ordering,
+//! wire-input taint — each finding carries a witness trace), an [`engine`]
+//! that walks every `crates/*/src` file, and a committed ratcheting
+//! [`baseline`] so existing debt is frozen while new debt fails CI.
 //!
 //! Two entry points:
 //!
@@ -19,9 +21,12 @@
 //! cargo run -p urbane-lint -- baseline   # regenerate the ledger (ratchet down)
 //! ```
 //!
-//! See DESIGN.md §11 for the rule catalog and suppression grammar.
+//! See DESIGN.md §11 for the rule catalog and suppression grammar, and §16
+//! for the call-graph analyses and the evidence-directive vocabulary.
 
 pub mod baseline;
+pub mod callgraph;
+pub mod dataflow;
 pub mod engine;
 pub mod json;
 pub mod lexer;
@@ -29,7 +34,8 @@ pub mod rules;
 pub mod scope;
 
 pub use baseline::{check, Baseline, CheckReport};
+pub use callgraph::{CallGraph, SourceFile};
 pub use engine::{
     collect_workspace_files, find_workspace_root, scan_files, scan_fixtures, scan_workspace,
 };
-pub use rules::{scan_source, RuleId, ScanMode, Violation};
+pub use rules::{scan_source, RuleId, ScanMode, TraceStep, Violation};

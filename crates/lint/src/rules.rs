@@ -14,6 +14,16 @@
 //! | `bounded-retry`       | every retry loop visibly references an attempt cap or budget     |
 //! | `directive-syntax`    | every `// lint:` comment parses                                  |
 //!
+//! Three further rules are *cross-procedural* — they run over the workspace
+//! call graph (see [`crate::callgraph`] / [`crate::dataflow`]) and report a
+//! witness trace with every violation:
+//!
+//! | rule                       | invariant                                                   |
+//! |----------------------------|-------------------------------------------------------------|
+//! | `cancel-poll-reachability` | loops over points/chunks/tiles/batches reachable from a request entry point must reach a budget/cancel poll |
+//! | `lock-order`               | the interprocedural lock acquisition graph is acyclic       |
+//! | `wire-taint`               | request-derived sizes are capped before sizing allocations  |
+//!
 //! Suppression grammar (line comments only, applies to its own line, or —
 //! when the comment stands alone — to the next code line):
 //!
@@ -21,13 +31,23 @@
 //! // lint: allow(<rule>) <justification>
 //! // lint: relaxed-ok <reason>          (shorthand for allow(relaxed-ordering))
 //! // lint: bounded-by <cap>             (shorthand for allow(bounded-growth))
+//! // lint: capped-by <bound>            (shorthand for allow(wire-taint))
+//! ```
+//!
+//! Evidence directives feed the graph analyses instead of suppressing:
+//!
+//! ```text
+//! // lint: entrypoint <why>             (next fn is a request entry point)
+//! // lint: polls-budget <why>           (this loop/fn polls the budget in a
+//! //                                     way the token scanner cannot see)
 //! ```
 //!
 //! The justification/reason/cap is mandatory: a suppression without a *why*
 //! is itself a `directive-syntax` violation.
 
-use crate::lexer::{lex, Token, TokenKind};
-use crate::scope::{analyze, significant, Scopes};
+use crate::callgraph::SourceFile;
+use crate::lexer::{Token, TokenKind};
+use crate::scope::Scopes;
 
 /// Identity of a lint rule; `as_str` gives the kebab-case name used in
 /// suppressions, baselines, and output.
@@ -41,10 +61,13 @@ pub enum RuleId {
     Determinism,
     BoundedRetry,
     DirectiveSyntax,
+    CancelPollReachability,
+    LockOrder,
+    WireTaint,
 }
 
 impl RuleId {
-    pub const ALL: [RuleId; 8] = [
+    pub const ALL: [RuleId; 11] = [
         RuleId::PanicFreedom,
         RuleId::RelaxedOrdering,
         RuleId::ReleaseAcquire,
@@ -53,6 +76,9 @@ impl RuleId {
         RuleId::Determinism,
         RuleId::BoundedRetry,
         RuleId::DirectiveSyntax,
+        RuleId::CancelPollReachability,
+        RuleId::LockOrder,
+        RuleId::WireTaint,
     ];
 
     pub fn as_str(self) -> &'static str {
@@ -65,6 +91,9 @@ impl RuleId {
             RuleId::Determinism => "determinism",
             RuleId::BoundedRetry => "bounded-retry",
             RuleId::DirectiveSyntax => "directive-syntax",
+            RuleId::CancelPollReachability => "cancel-poll-reachability",
+            RuleId::LockOrder => "lock-order",
+            RuleId::WireTaint => "wire-taint",
         }
     }
 
@@ -74,19 +103,47 @@ impl RuleId {
     }
 }
 
+/// One step of a witness trace: a source location plus what happens there
+/// (entry point, call, lock acquisition, taint source, sink…).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep {
+    pub file: String,
+    pub line: u32,
+    pub note: String,
+}
+
 /// One rule violation at a source location. `file` is repo-relative with
-/// forward slashes.
+/// forward slashes. Cross-procedural rules attach the `trace` proving the
+/// violation (call chain, lock chain, taint path); per-line rules leave it
+/// empty.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     pub file: String,
     pub line: u32,
     pub rule: RuleId,
     pub message: String,
+    pub trace: Vec<TraceStep>,
 }
 
 impl Violation {
+    pub fn new(file: &str, line: u32, rule: RuleId, message: String) -> Violation {
+        Violation { file: file.to_string(), line, rule, message, trace: Vec::new() }
+    }
+
     pub fn render(&self) -> String {
         format!("{}:{} [{}] {}", self.file, self.line, self.rule.as_str(), self.message)
+    }
+
+    /// Human rendering of the witness trace, one indented line per step.
+    pub fn render_trace(&self) -> String {
+        let mut out = String::new();
+        for (i, s) in self.trace.iter().enumerate() {
+            if i > 0 {
+                out.push('\n');
+            }
+            out.push_str(&format!("      {}. {}:{} {}", i + 1, s.file, s.line, s.note));
+        }
+        out
     }
 }
 
@@ -168,22 +225,51 @@ pub fn rule_in_scope(rule: RuleId, rel: &str) -> bool {
                     "crates/urbane/src/service.rs" | "crates/urbane/src/guard.rs"
                 )
         }
+        // Loops on the request path live in the engine crates. The bench
+        // harness, the linter itself, and the offline verifier never serve a
+        // request, so a missing poll there cannot stall a query.
+        RuleId::CancelPollReachability => {
+            !bench && !rel.starts_with("crates/lint/") && !rel.starts_with("crates/verify/")
+        }
+        // Lock graphs span every serving crate; the bench harness and the
+        // linter run single-purpose processes where an inversion cannot
+        // deadlock a query.
+        RuleId::LockOrder => !bench && !rel.starts_with("crates/lint/"),
+        // Wire bytes enter through the server crate only; everything else
+        // sees sizes already validated at the boundary.
+        RuleId::WireTaint => rel.starts_with("crates/server/src"),
     }
 }
 
 /// A parsed `// lint:` directive and the code line it governs.
-#[derive(Debug, Clone)]
-enum Directive {
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Directive {
     Allow(RuleId),
     RelaxedOk,
     BoundedBy,
+    /// `capped-by <bound>` — evidence a request-derived size is bounded;
+    /// suppresses `wire-taint` on its target line.
+    CappedBy,
+    /// `entrypoint <why>` — the next `fn` is a request entry point; seeds
+    /// the cancel-poll reachability analysis.
+    Entrypoint,
+    /// `polls-budget <why>` — evidence this loop/function polls the budget
+    /// in a way the token scanner cannot see (e.g. through a trait object).
+    PollsBudget,
 }
 
 #[derive(Debug, Clone)]
-struct Annotation {
-    directive: Directive,
+pub(crate) struct Annotation {
+    pub(crate) directive: Directive,
     /// The code line this annotation suppresses on.
-    target_line: u32,
+    pub(crate) target_line: u32,
+}
+
+/// Annotations of a file, without directive-syntax reporting — for the graph
+/// analyses, which consume evidence directives (`entrypoint`, `polls-budget`,
+/// `capped-by`) the per-file scanner has already syntax-checked.
+pub(crate) fn annotations_of(tokens: &[Token]) -> Vec<Annotation> {
+    collect_annotations("", tokens, false).0
 }
 
 /// Extract annotations (and malformed-directive violations) from the token
@@ -217,12 +303,12 @@ fn collect_annotations(
             Ok(directive) => anns.push(Annotation { directive, target_line }),
             Err(why) => {
                 if emit_syntax {
-                    viols.push(Violation {
-                        file: rel.to_string(),
-                        line: t.line,
-                        rule: RuleId::DirectiveSyntax,
-                        message: format!("malformed `// lint:` directive: {why}"),
-                    });
+                    viols.push(Violation::new(
+                        rel,
+                        t.line,
+                        RuleId::DirectiveSyntax,
+                        format!("malformed `// lint:` directive: {why}"),
+                    ));
                 }
             }
         }
@@ -255,20 +341,44 @@ fn parse_directive(rest: &str) -> Result<Directive, String> {
         } else {
             Ok(Directive::BoundedBy)
         }
+    } else if let Some(bound) = rest.strip_prefix("capped-by") {
+        if bound.trim().is_empty() {
+            Err("`capped-by` needs a bound".to_string())
+        } else {
+            Ok(Directive::CappedBy)
+        }
+    } else if let Some(why) = rest.strip_prefix("entrypoint") {
+        if why.trim().is_empty() {
+            Err("`entrypoint` needs a why".to_string())
+        } else {
+            Ok(Directive::Entrypoint)
+        }
+    } else if let Some(why) = rest.strip_prefix("polls-budget") {
+        if why.trim().is_empty() {
+            Err("`polls-budget` needs a why".to_string())
+        } else {
+            Ok(Directive::PollsBudget)
+        }
     } else {
         Err(format!(
-            "expected `allow(<rule>) <why>`, `relaxed-ok <reason>`, or `bounded-by <cap>`, got `{rest}`"
+            "expected `allow(<rule>) <why>`, `relaxed-ok <reason>`, `bounded-by <cap>`, \
+             `capped-by <bound>`, `entrypoint <why>`, or `polls-budget <why>`, got `{rest}`"
         ))
     }
 }
 
-fn suppressed(anns: &[Annotation], rule: RuleId, line: u32) -> bool {
+pub(crate) fn suppressed(anns: &[Annotation], rule: RuleId, line: u32) -> bool {
     anns.iter().any(|a| {
         a.target_line == line
             && match a.directive {
                 Directive::Allow(r) => r == rule,
                 Directive::RelaxedOk => rule == RuleId::RelaxedOrdering,
                 Directive::BoundedBy => rule == RuleId::BoundedGrowth,
+                Directive::CappedBy => rule == RuleId::WireTaint,
+                // `polls-budget` is primarily evidence, but targeting a loop
+                // line it also vouches for that loop directly.
+                Directive::PollsBudget => rule == RuleId::CancelPollReachability,
+                Directive::Entrypoint => false,
             }
     })
 }
@@ -306,7 +416,7 @@ struct FileCtx<'a> {
     rel: &'a str,
     tokens: &'a [Token],
     sig: &'a [usize],
-    scopes: Scopes,
+    scopes: &'a Scopes,
     anns: Vec<Annotation>,
     mode: ScanMode,
 }
@@ -329,7 +439,7 @@ impl FileCtx<'_> {
 
     fn violation(&self, out: &mut Vec<Violation>, rule: RuleId, line: u32, message: String) {
         if !suppressed(&self.anns, rule, line) {
-            out.push(Violation { file: self.rel.to_string(), line, rule, message });
+            out.push(Violation::new(self.rel, line, rule, message));
         }
     }
 
@@ -454,18 +564,24 @@ impl FileCtx<'_> {
 }
 
 /// Scan one file's source. `rel` must be the repo-relative path (used both
-/// for output and for path-scoped rules).
+/// for output and for path-scoped rules). Convenience wrapper over
+/// [`scan_file`] for callers holding raw source.
 pub fn scan_source(rel: &str, src: &str, mode: ScanMode) -> FileScan {
-    let tokens = lex(src);
-    let sig = significant(&tokens);
-    let scopes = analyze(&tokens, &sig);
+    scan_file(&SourceFile::parse(rel, src), mode)
+}
+
+/// Run the per-file rules over an already-parsed [`SourceFile`]. The graph
+/// rules run separately in [`crate::dataflow`] over the whole file set.
+pub fn scan_file(sf: &SourceFile, mode: ScanMode) -> FileScan {
+    let rel = sf.rel.as_str();
     let emit_syntax = mode == ScanMode::AllRules || rule_in_scope(RuleId::DirectiveSyntax, rel);
-    let (anns, mut violations) = collect_annotations(rel, &tokens, emit_syntax);
-    let ctx = FileCtx { rel, tokens: &tokens, sig: &sig, scopes, anns, mode };
+    let (anns, mut violations) = collect_annotations(rel, &sf.tokens, emit_syntax);
+    let ctx =
+        FileCtx { rel, tokens: &sf.tokens, sig: &sf.sig, scopes: &sf.scopes, anns, mode };
 
     let mut scan = FileScan::default();
 
-    for pos in 0..sig.len() {
+    for pos in 0..ctx.sig.len() {
         let Some(t) = ctx.tok(pos) else { break };
         if t.kind == TokenKind::Ident && !ctx.skip(pos) {
             scan_ident(&ctx, pos, t, &mut violations, &mut scan);

@@ -56,6 +56,11 @@ impl Scopes {
         self.attr_spans.iter().any(|s| s.contains(idx))
     }
 
+    /// All `fn` items with bodies, in source order.
+    pub fn fn_spans(&self) -> &[FnSpan] {
+        &self.fns
+    }
+
     /// Innermost function body containing token `idx`, if any.
     pub fn enclosing_fn(&self, idx: usize) -> Option<FnSpan> {
         self.fns

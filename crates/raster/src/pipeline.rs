@@ -66,6 +66,7 @@ impl Pipeline {
         V: FnMut(usize) -> T,
     {
         self.stats.draw_calls += 1;
+        // lint: allow(cancel-poll-reachability) emulates one GPU draw call; the core executors poll the budget between POINT_CHUNK-sized draws, matching real command-buffer granularity
         for (i, p) in points.into_iter().enumerate() {
             self.stats.points_in += 1;
             let frags = draw_point(target, &self.viewport, p, value_fn(i), op);

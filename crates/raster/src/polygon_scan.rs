@@ -68,6 +68,7 @@ pub fn rasterize_rings<F: FnMut(u32, u32)>(
         }
         xs.sort_by(|p, q| p.partial_cmp(q).unwrap_or(std::cmp::Ordering::Equal));
         // Fill between crossing pairs: pixel centers x + 0.5 ∈ [x0, x1).
+        // lint: allow(cancel-poll-reachability) spans the crossing pairs of one scanline, bounded by ring complexity; region rasterization happens once per canvas plan
         for pair in xs.chunks_exact(2) {
             let &[x0, x1] = pair else { continue };
             let px_start = (x0 - 0.5).ceil().max(0.0) as i64;

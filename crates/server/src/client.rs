@@ -6,6 +6,12 @@ use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
+/// Largest response body the client will buffer. A wedged or misbehaving
+/// peer must not be able to size our allocation with a forged
+/// `Content-Length`; anything larger is truncated (and will fail whatever
+/// assertion the caller makes about the body).
+const MAX_RESPONSE_BODY: usize = 64 * 1024 * 1024;
+
 /// A response as seen by the client.
 #[derive(Debug, Clone)]
 pub struct ClientResponse {
@@ -98,7 +104,8 @@ impl Client {
             .iter()
             .find(|(k, _)| k == "content-length")
             .and_then(|(_, v)| v.parse::<usize>().ok())
-            .unwrap_or(0);
+            .unwrap_or(0)
+            .min(MAX_RESPONSE_BODY);
         let mut body = vec![0u8; len];
         self.reader.read_exact(&mut body)?;
         Ok(ClientResponse {

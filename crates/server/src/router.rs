@@ -80,6 +80,7 @@ impl Router {
 
     /// Dispatch one request. `queue_depth` is sampled by the caller (the
     /// worker) so the metrics page can report it without a pool handle.
+    // lint: entrypoint every HTTP request enters the engine through this dispatch
     pub fn handle(&self, req: &Request, queue_depth: usize) -> Response {
         match route_of(&req.method, &req.path) {
             Route::Healthz => Response::text(200, "ok\n".into()),
@@ -184,6 +185,7 @@ impl Router {
         let batch = self.service.batch_stats();
         let _ = writeln!(out, "# TYPE urbane_batch_size histogram");
         let mut cumulative = 0u64;
+        // lint: allow(cancel-poll-reachability) renders the fixed histogram bucket table on the metrics page
         for (i, edge) in urbane::BATCH_SIZE_BUCKETS.iter().enumerate() {
             cumulative += batch.size_buckets[i];
             let _ = writeln!(out, "urbane_batch_size_bucket{{le=\"{edge}\"}} {cumulative}");

@@ -221,6 +221,7 @@ pub fn decode_header(buf: &[u8]) -> Result<StoreHeader> {
     let mut chunks = Vec::with_capacity(n_chunks);
     let mut expect_off = payload_off;
     let mut row_sum: u64 = 0;
+    // lint: allow(cancel-poll-reachability) walks the chunk directory once at open; n_chunks is validated against the file size before this loop
     for i in 0..n_chunks {
         let rows = cur.u32_le("chunk row count")?;
         if rows == 0 || rows > chunk_rows {
@@ -313,20 +314,24 @@ pub fn decode_chunk(schema: &Schema, rows: u32, buf: &[u8]) -> Result<PointTable
     }
     let mut cur = Cursor::new(buf);
     let mut xs = Vec::with_capacity(rows);
+    // lint: allow(cancel-poll-reachability) decodes one chunk; rows is capped at chunk_rows by decode_header validation
     for _ in 0..rows {
         xs.push(cur.f64_le("x column")?);
     }
     let mut ys = Vec::with_capacity(rows);
+    // lint: allow(cancel-poll-reachability) decodes one chunk; rows is capped at chunk_rows by decode_header validation
     for _ in 0..rows {
         ys.push(cur.f64_le("y column")?);
     }
     let mut ts = Vec::with_capacity(rows);
+    // lint: allow(cancel-poll-reachability) decodes one chunk; rows is capped at chunk_rows by decode_header validation
     for _ in 0..rows {
         ts.push(cur.i64_le("t column")?);
     }
     let mut cols: Vec<Vec<f32>> = Vec::with_capacity(schema.len());
     for _ in 0..schema.len() {
         let mut col = Vec::with_capacity(rows);
+        // lint: allow(cancel-poll-reachability) decodes one chunk; rows is capped at chunk_rows by decode_header validation
         for _ in 0..rows {
             col.push(cur.f32_le("attribute column")?);
         }
@@ -335,7 +340,9 @@ pub fn decode_chunk(schema: &Schema, rows: u32, buf: &[u8]) -> Result<PointTable
     // Rebuild through the public API so the bbox invariant is recomputed.
     let mut table = PointTable::with_capacity(schema.clone(), rows);
     let mut row = vec![0.0f32; schema.len()];
+    // lint: allow(cancel-poll-reachability) decodes one chunk; rows is capped at chunk_rows by decode_header validation
     for i in 0..rows {
+        // lint: allow(cancel-poll-reachability) copies one row across the chunk's columns
         for (r, col) in row.iter_mut().zip(&cols) {
             *r = col[i];
         }

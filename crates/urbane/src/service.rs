@@ -636,12 +636,14 @@ impl UrbaneService {
     /// Serve one request: cache lookup, then the degradation ladder under
     /// the request's deadline. Full-fidelity answers are cached; degraded
     /// ones are not (they must not shadow the real answer once load drops).
+    // lint: entrypoint embedded callers (CLI, bench, shards) enter here without the HTTP router
     pub fn query(&self, req: &QueryRequest) -> Result<QueryAnswer> {
         self.query_cancellable(req, None)
     }
 
     /// [`query`](Self::query) with an explicit cancel handle (a client
     /// disconnect raises it).
+    // lint: entrypoint the cancellable request path shared by router and batch planner
     pub fn query_cancellable(
         &self,
         req: &QueryRequest,

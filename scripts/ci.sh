@@ -11,10 +11,22 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 
-# Invariant lint: panic-freedom, atomics orderings, catch_unwind pairing,
-# bounded growth, determinism. Fails on any violation beyond the committed
-# lint-baseline.json ratchet (see DESIGN.md §11).
+# Invariant lint: the per-line rules (panic-freedom, atomics orderings,
+# catch_unwind pairing, bounded growth, determinism) plus the call-graph
+# analyses (cancel-poll reachability, lock ordering, wire-input taint; see
+# DESIGN.md §11 and §16). Fails on any violation beyond the committed
+# lint-baseline.json ratchet. The machine-readable report is kept as a CI
+# artifact, and the rule catalog has a floor — a refactor that silently
+# drops a rule fails here, not in review.
 cargo run --release -p urbane-lint -- check
+cargo run --release -p urbane-lint -- check --json > LINT_report.json
+rule_count="$(sed -n 's/.*"rules": \[\([^]]*\)\].*/\1/p' LINT_report.json \
+  | grep -o '"[a-z-]*"' | wc -l)"
+[ "$rule_count" -ge 11 ] || {
+  echo "lint rule catalog shrank to $rule_count rules (floor: 11)"
+  exit 1
+}
+echo "lint report OK ($rule_count rules) — artifact: LINT_report.json"
 
 # Verify stage: the ε-certification harness on the fast corpus (15 seeded
 # workloads ≈ 280 differential runs + the metamorphic laws, sub-second

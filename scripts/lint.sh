@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
-# Run the workspace invariant linter (see DESIGN.md §11).
+# Run the workspace invariant linter (see DESIGN.md §11 and §16).
 #
-#   scripts/lint.sh            # check against the committed baseline
-#   scripts/lint.sh --json     # same, machine-readable
-#   scripts/lint.sh baseline   # regenerate lint-baseline.json (ratchet down)
+#   scripts/lint.sh                                    # check against the committed baseline
+#   scripts/lint.sh --json                             # same, machine-readable
+#   scripts/lint.sh --trace FILE:LINE
+#                                 # print the witness path (entry point ->
+#                                 # call chain -> offending line) behind the
+#                                 # finding at FILE:LINE; fails if nothing
+#                                 # fires there
+#   scripts/lint.sh baseline                           # regenerate lint-baseline.json (ratchet down)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
