@@ -7,11 +7,11 @@
 //!     --scale 1000000 --threads 4 --reps 5 --json BENCH_rasterjoin.json
 //! ```
 
-use urbane_bench::{batch_bench, experiments, perf, serve_bench, swarm, verify_exp};
+use urbane_bench::{batch_bench, blockcache_bench, experiments, perf, serve_bench, swarm, verify_exp};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--exp all|bench|indexjoin|serve|swarm|batch|verify|e1|...|e10] [--scale N] [--out DIR]\n\
+        "usage: repro [--exp all|bench|indexjoin|serve|swarm|batch|blockcache|verify|e1|...|e10] [--scale N] [--out DIR]\n\
          \x20             [--threads N] [--reps N] [--json PATH]\n\
          \x20             [--clients N] [--requests N] [--shards N] [--kills N]\n\
          \x20             [--window-ms N]\n\
@@ -21,6 +21,7 @@ fn usage() -> ! {
          --clients/--requests apply to `serve`, `swarm`, and `batch` (scale = dataset rows);\n\
          --shards/--kills apply to `swarm` (chaos-driven sharded front);\n\
          --window-ms applies to `batch` (admission window of the batched leg);\n\
+         `blockcache` replays a zoom/pan/drill trace against the additive block cache (scale = rows);\n\
          for `verify`, scale maps to corpus size (default = fast CI corpus)"
     );
     std::process::exit(2);
@@ -183,6 +184,29 @@ fn main() {
             cfg.clients, cfg.requests, cfg.rows, cfg.window_ms
         );
         let report = batch_bench::run(&cfg);
+        if let Some(path) = &json_path {
+            std::fs::write(path, report.to_json())
+                .unwrap_or_else(|e| panic!("write {path}: {e}"));
+            println!("wrote {path}");
+        }
+        print!("{}", report.render());
+        if !report.passed() {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if exp == "blockcache" {
+        let cfg = blockcache_bench::BlockCacheBenchConfig {
+            rows: scale.min(500_000),
+            ..Default::default()
+        };
+        println!(
+            "blockcache: zoom/pan/drill trace over {} rows, {} MiB block budget",
+            cfg.rows,
+            cfg.block_cache_bytes >> 20
+        );
+        let report = blockcache_bench::run(&cfg);
         if let Some(path) = &json_path {
             std::fs::write(path, report.to_json())
                 .unwrap_or_else(|e| panic!("write {path}: {e}"));

@@ -1,0 +1,354 @@
+//! Additive block-cache benchmark — the `--exp blockcache` mode of the
+//! `repro` binary and the generator of `BENCH_blockcache.json`.
+//!
+//! One in-process [`UrbaneService`] with the block cache enabled replays an
+//! interactive zoom/pan/drill trace: every step carries a *distinct*
+//! viewport (so the exact-key cache is useless — hit rate ~0), but
+//! consecutive viewports overlap heavily, which is exactly the workload the
+//! GeoBlocks-style sub-result cache composes from per-block partial
+//! aggregates. The identical trace replays against a cold service (block
+//! cache disabled) for the latency-vs-cold curve and as the correctness
+//! oracle: every composed answer must match direct evaluation bit-for-bit
+//! on counts and within the *reported* certified bound on values — the ε
+//! violation count committed in the JSON must be zero.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use urbane::catalog::DataCatalog;
+use urbane::service::{QueryRequest, ServiceConfig, UrbaneService};
+use urbane::ResolutionPyramid;
+use urbane_geom::BoundingBox;
+use urbane_serve::router::synthetic_table;
+use urban_data::filter::Filter;
+use urban_data::gen::city::CityModel;
+
+/// Knobs for the block-cache suite (settable from the `repro` CLI).
+#[derive(Debug, Clone)]
+pub struct BlockCacheBenchConfig {
+    /// Taxi rows in the served dataset.
+    pub rows: usize,
+    /// Raster canvas resolution.
+    pub resolution: u32,
+    /// Steps in each pan sweep (the trace runs two sweeps plus zoom+drill).
+    pub pan_steps: usize,
+    /// Steps in the zoom ladder.
+    pub zoom_steps: usize,
+    /// Byte budget for the block cache on the warm service.
+    pub block_cache_bytes: usize,
+}
+
+impl Default for BlockCacheBenchConfig {
+    fn default() -> Self {
+        BlockCacheBenchConfig {
+            rows: 120_000,
+            resolution: 512,
+            pan_steps: 12,
+            zoom_steps: 4,
+            block_cache_bytes: 32 << 20,
+        }
+    }
+}
+
+/// One trace step's measurement.
+#[derive(Debug, Clone)]
+pub struct StepStats {
+    /// Interaction kind (`pan`, `pan_back`, `zoom`, `drill`).
+    pub kind: &'static str,
+    /// Latency on the block-cache service, milliseconds.
+    pub warm_ms: f64,
+    /// Latency on the cold (cache-free) service, milliseconds.
+    pub cold_ms: f64,
+    /// Cached blocks composed into this step's answer.
+    pub block_hits: u64,
+    /// Blocks this step had to compute and back-fill.
+    pub residual_blocks: u64,
+    /// Did the step compose at least one cached block?
+    pub partial_hit: bool,
+}
+
+/// The full suite result.
+#[derive(Debug, Clone)]
+pub struct BlockCacheReport {
+    /// Config the suite ran with.
+    pub config: BlockCacheBenchConfig,
+    /// Per-step latency and cache-yield curve.
+    pub steps: Vec<StepStats>,
+    /// Σ cached blocks composed across the trace.
+    pub block_hits: u64,
+    /// Σ blocks computed and back-filled across the trace.
+    pub residual_blocks: u64,
+    /// Steps that composed at least one cached block.
+    pub partial_hits: u64,
+    /// Exact-key cache hits on the warm service (must be ~0: every step's
+    /// viewport is distinct).
+    pub exact_key_hits: u64,
+    /// Steps whose composed answer disagreed with direct evaluation beyond
+    /// the reported certified bound (must be 0).
+    pub eps_violations: usize,
+    /// Failed queries on either service (must be 0).
+    pub errors: usize,
+}
+
+fn boot(cfg: &BlockCacheBenchConfig, block_cache_bytes: usize) -> Arc<UrbaneService> {
+    let city = CityModel::nyc_like();
+    let mut catalog = DataCatalog::new();
+    catalog.register(
+        "taxi",
+        synthetic_table("taxi", cfg.rows, 11).expect("taxi generator exists"),
+    );
+    let pyramid = ResolutionPyramid::standard(&city.bbox(), 16, 8, 5);
+    let service = UrbaneService::new(
+        ServiceConfig {
+            join: raster_join::RasterJoinConfig::with_resolution(cfg.resolution),
+            // Exact-key cache stays on: the trace must defeat it naturally
+            // (distinct viewports), not by configuration.
+            cache_capacity: 1024,
+            default_deadline: Duration::from_secs(60),
+            block_cache_bytes,
+            ..Default::default()
+        },
+        catalog,
+        pyramid,
+    )
+    .expect("service boots");
+    Arc::new(service)
+}
+
+/// The interactive trace: two overlapping pan sweeps, a zoom ladder, and a
+/// resolution drill. Every step's `(level, viewport)` pair is distinct.
+fn trace(cfg: &BlockCacheBenchConfig, extent: &BoundingBox) -> Vec<(&'static str, usize, BoundingBox)> {
+    let (w, h) = (extent.width(), extent.height());
+    let window = 0.6 * w;
+    let mut steps = Vec::new();
+    // Forward pan: the 60% window slides right in 3% increments.
+    for i in 0..cfg.pan_steps {
+        let x0 = extent.min.x + 0.03 * w * i as f64;
+        steps.push((
+            "pan",
+            2usize,
+            BoundingBox::from_coords(x0, extent.min.y, x0 + window, extent.max.y),
+        ));
+    }
+    // Zoom ladder: shrink around the extent center; inner regions stay
+    // within blocks the pan sweep already cached.
+    for i in 0..cfg.zoom_steps {
+        let k = 0.9f64.powi(i as i32 + 1);
+        let c = extent.center();
+        steps.push((
+            "zoom",
+            2usize,
+            BoundingBox::from_coords(
+                c.x - 0.5 * k * w,
+                c.y - 0.5 * k * h,
+                c.x + 0.5 * k * w,
+                c.y + 0.5 * k * h,
+            ),
+        ));
+    }
+    // Return pan: same sweep in reverse, offset by half an increment so no
+    // viewport repeats exactly (the exact-key cache must stay cold).
+    for i in (0..cfg.pan_steps).rev() {
+        let x0 = extent.min.x + 0.03 * w * (i as f64 + 0.5);
+        steps.push((
+            "pan_back",
+            2usize,
+            BoundingBox::from_coords(x0, extent.min.y, x0 + window, extent.max.y),
+        ));
+    }
+    // Drill: the resolution switcher walks the pyramid at a fixed viewport.
+    let x0 = extent.min.x + 0.2 * w;
+    let drill = BoundingBox::from_coords(x0, extent.min.y, x0 + window, extent.max.y);
+    for level in [0usize, 1, 2] {
+        steps.push(("drill", level, drill));
+    }
+    steps
+}
+
+/// Replay the trace on a warm (block cache) and a cold service.
+pub fn run(cfg: &BlockCacheBenchConfig) -> BlockCacheReport {
+    let warm = boot(cfg, cfg.block_cache_bytes);
+    let cold = boot(cfg, 0);
+    let extent = warm.pyramid().level(2).expect("tract level").bbox();
+
+    let mut steps = Vec::new();
+    let mut eps_violations = 0usize;
+    let mut errors = 0usize;
+    let mut prev = warm.blockcache_stats();
+
+    for (kind, level, viewport) in trace(cfg, &extent) {
+        let req = QueryRequest::count("taxi", level).filter(Filter::SpatialBox(viewport));
+        let t0 = Instant::now();
+        let warm_answer = warm.query(&req);
+        let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let cold_answer = cold.query(&req);
+        let cold_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        let now = warm.blockcache_stats();
+        match (&warm_answer, &cold_answer) {
+            (Ok(a), Ok(b)) => {
+                let bound = a.report.error_bound.unwrap_or(0.0);
+                let agree = a
+                    .table
+                    .states
+                    .iter()
+                    .zip(&b.table.states)
+                    .all(|(x, y)| x.count == y.count && (x.sum - y.sum).abs() <= bound.max(1e-9));
+                if !agree {
+                    eps_violations += 1;
+                }
+            }
+            _ => errors += 1,
+        }
+        steps.push(StepStats {
+            kind,
+            warm_ms,
+            cold_ms,
+            block_hits: now.hits - prev.hits,
+            residual_blocks: now.residual_blocks - prev.residual_blocks,
+            partial_hit: now.partial_hits > prev.partial_hits,
+        });
+        prev = now;
+    }
+
+    let totals = warm.blockcache_stats();
+    BlockCacheReport {
+        config: cfg.clone(),
+        steps,
+        block_hits: totals.hits,
+        residual_blocks: totals.residual_blocks,
+        partial_hits: totals.partial_hits,
+        exact_key_hits: warm.cache_stats().hits,
+        eps_violations,
+        errors,
+    }
+}
+
+impl BlockCacheReport {
+    /// Fraction of needed blocks served from cache across the trace.
+    pub fn hit_yield(&self) -> f64 {
+        let needed = self.block_hits + self.residual_blocks;
+        if needed == 0 {
+            0.0
+        } else {
+            self.block_hits as f64 / needed as f64
+        }
+    }
+
+    /// Acceptance gate: every answer correct within its certified bound,
+    /// ≥50% of needed blocks served from cache, exact-key cache defeated
+    /// (~0 hits), and the trace actually exercised partial composition.
+    /// Latency is reported, not asserted.
+    pub fn passed(&self) -> bool {
+        self.errors == 0
+            && self.eps_violations == 0
+            && self.hit_yield() >= 0.5
+            && self.exact_key_hits == 0
+            && self.partial_hits > 0
+    }
+
+    /// Hand-rolled JSON (the workspace deliberately has no serde), written
+    /// to `BENCH_blockcache.json`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"bench\": \"blockcache\",\n");
+        s.push_str(&format!(
+            "  \"command\": \"cargo run --release -p urbane-bench --bin repro -- \
+             --exp blockcache --scale {} --json BENCH_blockcache.json\",\n",
+            self.config.rows
+        ));
+        s.push_str(&format!("  \"rows\": {},\n", self.config.rows));
+        s.push_str(&format!("  \"resolution\": {},\n", self.config.resolution));
+        s.push_str(&format!(
+            "  \"block_cache_bytes\": {},\n",
+            self.config.block_cache_bytes
+        ));
+        s.push_str(&format!("  \"trace_steps\": {},\n", self.steps.len()));
+        s.push_str("  \"steps\": [\n");
+        for (i, st) in self.steps.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"kind\": \"{}\", \"warm_ms\": {:.3}, \"cold_ms\": {:.3}, \
+                 \"block_hits\": {}, \"residual_blocks\": {}, \"partial_hit\": {}}}{}\n",
+                st.kind,
+                st.warm_ms,
+                st.cold_ms,
+                st.block_hits,
+                st.residual_blocks,
+                st.partial_hit,
+                if i + 1 < self.steps.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!("  \"block_hits\": {},\n", self.block_hits));
+        s.push_str(&format!("  \"residual_blocks\": {},\n", self.residual_blocks));
+        s.push_str(&format!("  \"partial_hits\": {},\n", self.partial_hits));
+        s.push_str(&format!("  \"hit_yield\": {:.4},\n", self.hit_yield()));
+        s.push_str(&format!("  \"exact_key_hits\": {},\n", self.exact_key_hits));
+        s.push_str(&format!("  \"eps_violations\": {},\n", self.eps_violations));
+        s.push_str(&format!("  \"errors\": {},\n", self.errors));
+        s.push_str(&format!("  \"passed\": {}\n", self.passed()));
+        s.push_str("}\n");
+        s
+    }
+
+    /// Human-readable table for the repro binary's stdout.
+    pub fn render(&self) -> String {
+        let mut t = crate::Table::new(["phase", "steps", "warm p50 ms", "cold p50 ms", "hit blocks", "residual"]);
+        for phase in ["pan", "zoom", "pan_back", "drill"] {
+            let mut warm: Vec<f64> = Vec::new();
+            let mut cold: Vec<f64> = Vec::new();
+            let (mut hits, mut residual) = (0u64, 0u64);
+            for st in self.steps.iter().filter(|s| s.kind == phase) {
+                warm.push(st.warm_ms);
+                cold.push(st.cold_ms);
+                hits += st.block_hits;
+                residual += st.residual_blocks;
+            }
+            if warm.is_empty() {
+                continue;
+            }
+            warm.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            cold.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            t.row([
+                phase.to_string(),
+                format!("{}", warm.len()),
+                format!("{:.2}", warm[warm.len() / 2]),
+                format!("{:.2}", cold[cold.len() / 2]),
+                format!("{hits}"),
+                format!("{residual}"),
+            ]);
+        }
+        format!(
+            "{}\nblock hit yield: {:.1}%  partial hits: {}  exact-key hits: {}  \
+             eps violations: {}\n",
+            t.render(),
+            100.0 * self.hit_yield(),
+            self.partial_hits,
+            self.exact_key_hits,
+            self.eps_violations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_trace_composes_and_passes() {
+        // Miniature end-to-end replay: small data, short sweeps, but the
+        // same acceptance gate as the committed benchmark.
+        let report = run(&BlockCacheBenchConfig {
+            rows: 15_000,
+            resolution: 256,
+            pan_steps: 6,
+            zoom_steps: 2,
+            block_cache_bytes: 8 << 20,
+        });
+        assert!(report.passed(), "{}", report.render());
+        assert_eq!(report.steps.len(), 6 + 2 + 6 + 3);
+        let json = report.to_json();
+        assert!(urbane_geom::geojson::parse_json(&json).is_ok(), "{json}");
+    }
+}

@@ -1,0 +1,54 @@
+//! Fixture: additive block-cache patterns — per-query block admission must
+//! be byte-budgeted, and the LRU bookkeeping that makes the budget real
+//! (recency list, byte counter) is state too.
+
+use std::collections::HashMap;
+
+pub struct BlockStore {
+    blocks: HashMap<u64, Vec<u8>>,
+    recency: Vec<u64>,
+    bytes: usize,
+    budget_bytes: usize,
+}
+
+impl BlockStore {
+    /// Every query that misses admits a block: without a cap this grows by
+    /// one entry per distinct viewport forever.
+    pub fn admit(&mut self, key: u64, block: Vec<u8>) {
+        self.blocks.insert(key, block); //~ bounded-growth
+        self.recency.push(key); //~ bounded-growth
+    }
+
+    /// The real pattern: admit under a byte budget and evict the coldest
+    /// entries until the budget holds again.
+    pub fn admit_budgeted(&mut self, key: u64, block: Vec<u8>) {
+        let cost = block.len();
+        if cost > self.budget_bytes {
+            return;
+        }
+        // lint: bounded-by budget_bytes (evict-while-over-budget below)
+        self.blocks.insert(key, block);
+        // lint: bounded-by budget_bytes (one recency slot per resident block)
+        self.recency.push(key);
+        self.bytes += cost;
+        while self.bytes > self.budget_bytes {
+            let Some(coldest) = self.recency.first().copied() else { break };
+            self.recency.retain(|&k| k != coldest);
+            if let Some(evicted) = self.blocks.remove(&coldest) {
+                self.bytes -= evicted.len();
+            }
+        }
+    }
+
+    /// Composing an answer from resident blocks only reads; scratch state
+    /// local to the call is not request-path growth.
+    pub fn compose(&self, keys: &[u64]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for k in keys {
+            if let Some(b) = self.blocks.get(k) {
+                out.extend_from_slice(b);
+            }
+        }
+        out
+    }
+}

@@ -35,6 +35,10 @@ fn usage() -> ! {
                                compatible queries into one batched raster\n\
                                pass (default 0 = batching off)\n\
            --batch-max N       most queries per batch (default 16)\n\
+           --block-cache-bytes N  byte budget for the additive block cache\n\
+                               (per-region partial aggregates composed\n\
+                               across overlapping viewports; default 0 =\n\
+                               disabled)\n\
            --store-dir DIR     register every *.ubs file in DIR as a cold\n\
                                store-backed dataset (header-only boot; rows\n\
                                page in lazily or stream via mode=index)"
@@ -58,6 +62,7 @@ struct Args {
     resolution: u32,
     batch_window_ms: u64,
     batch_max: usize,
+    block_cache_bytes: usize,
     store_dir: Option<String>,
 }
 
@@ -73,6 +78,7 @@ fn parse_args() -> Args {
         resolution: 512,
         batch_window_ms: 0,
         batch_max: 16,
+        block_cache_bytes: 0,
         store_dir: None,
     };
     let mut it = std::env::args().skip(1);
@@ -108,6 +114,9 @@ fn parse_args() -> Args {
                 args.batch_window_ms = num(&flag, &value("--batch-window-ms"))
             }
             "--batch-max" => args.batch_max = num(&flag, &value("--batch-max")),
+            "--block-cache-bytes" => {
+                args.block_cache_bytes = num(&flag, &value("--block-cache-bytes"))
+            }
             "--store-dir" => args.store_dir = Some(value("--store-dir")),
             "--help" | "-h" => usage(),
             other => {
@@ -184,6 +193,7 @@ fn main() {
         default_deadline: Duration::from_millis(args.deadline_ms),
         batch_window: Duration::from_millis(args.batch_window_ms),
         batch_max: args.batch_max,
+        block_cache_bytes: args.block_cache_bytes,
         ..Default::default()
     };
     let service = match UrbaneService::new(service_config, catalog, pyramid) {

@@ -219,6 +219,25 @@ impl Router {
             "urbane_store_streamed_queries_total {}",
             paging.streamed_queries
         );
+
+        // Additive block cache: hits count individual cached blocks served,
+        // partial_hits count queries composed from cached blocks plus a
+        // residual pass, residual_blocks count blocks back-filled by those
+        // passes. All stable zeros when the cache is disabled (the default).
+        let blocks = self.service.blockcache_stats();
+        let _ = writeln!(out, "# TYPE urbane_blockcache_hits_total counter");
+        let _ = writeln!(out, "urbane_blockcache_hits_total {}", blocks.hits);
+        let _ = writeln!(out, "# TYPE urbane_blockcache_partial_hits_total counter");
+        let _ = writeln!(out, "urbane_blockcache_partial_hits_total {}", blocks.partial_hits);
+        let _ = writeln!(out, "# TYPE urbane_blockcache_residual_blocks_total counter");
+        let _ =
+            writeln!(out, "urbane_blockcache_residual_blocks_total {}", blocks.residual_blocks);
+        let _ = writeln!(out, "# TYPE urbane_blockcache_evictions_total counter");
+        let _ = writeln!(out, "urbane_blockcache_evictions_total {}", blocks.evictions);
+        let _ = writeln!(out, "# TYPE urbane_blockcache_entries gauge");
+        let _ = writeln!(out, "urbane_blockcache_entries {}", blocks.entries);
+        let _ = writeln!(out, "# TYPE urbane_blockcache_bytes gauge");
+        let _ = writeln!(out, "urbane_blockcache_bytes {}", blocks.bytes);
         Response::text(200, out)
     }
 }

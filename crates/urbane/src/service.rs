@@ -25,6 +25,7 @@
 //!   overloaded server degrades fidelity instead of queueing unboundedly.
 
 use crate::batch::{BatchPlanner, BatchStats};
+use crate::blockcache::{self, BlockCache, BlockCacheStats, BlockEntry, BlockPlan};
 use crate::cache::{CacheKey, Flight, QueryCache, SingleFlight};
 use crate::catalog::DataCatalog;
 use crate::guard::{run_ladder, GuardPath, GuardReport, DEGRADED_RESOLUTION, PREVIEW_ROWS};
@@ -70,6 +71,12 @@ pub struct ServiceConfig {
     /// [`raster_join::MAX_BATCH_TARGETS`]). Bounds the batch accumulator
     /// memory: canvas pixels × batch size × one `[count, Σvalue]` texel.
     pub batch_max: usize,
+    /// Byte budget of the additive block cache
+    /// ([`crate::blockcache::BlockCache`]): per-block partial aggregates
+    /// keyed without the query's viewport filters, composed additively so
+    /// zoom/pan/drill traces hit even when the exact-key cache misses.
+    /// `0` (the default) disables the block cache entirely.
+    pub block_cache_bytes: usize,
 }
 
 impl Default for ServiceConfig {
@@ -82,6 +89,7 @@ impl Default for ServiceConfig {
             max_resolution: 4096,
             batch_window: Duration::ZERO,
             batch_max: 16,
+            block_cache_bytes: 0,
         }
     }
 }
@@ -278,6 +286,10 @@ pub struct UrbaneService {
     pyramid: ResolutionPyramid,
     datasets: RwLock<BTreeMap<String, DatasetEntry>>,
     cache: QueryCache<CachedAnswer>,
+    /// Additive sub-result cache: viewport-independent per-block partials,
+    /// consulted before the exact-key cache and back-filled by residual
+    /// passes ([`crate::blockcache`]).
+    blocks: BlockCache,
     /// Dedup of *identical* concurrent misses: one computes, the rest wait.
     flights: SingleFlight<CachedAnswer>,
     /// Coalescing of *compatible* concurrent queries into one raster pass.
@@ -350,12 +362,14 @@ impl UrbaneService {
             })
             .collect();
         let cache = QueryCache::new(config.cache_capacity, config.cache_shards);
+        let blocks = BlockCache::new(config.block_cache_bytes);
         let planner = BatchPlanner::new(config.batch_window, config.batch_max);
         Ok(UrbaneService {
             config,
             pyramid,
             datasets: RwLock::new(datasets),
             cache,
+            blocks,
             flights: SingleFlight::new(),
             planner,
             bins: Mutex::new(HashMap::new()),
@@ -433,6 +447,12 @@ impl UrbaneService {
         self.planner.stats()
     }
 
+    /// Additive block-cache counters (hits, partial hits, residual blocks,
+    /// evictions, occupancy).
+    pub fn blockcache_stats(&self) -> BlockCacheStats {
+        self.blocks.stats()
+    }
+
     /// Identical concurrent misses served from another request's
     /// computation (each one is a full query's worth of work saved).
     pub fn single_flight_followers(&self) -> u64 {
@@ -480,6 +500,7 @@ impl UrbaneService {
         // embeds the generation), but dropping them now releases memory and
         // keeps LRU pressure honest.
         self.cache.purge(&format!("{name}|"));
+        self.blocks.purge(&format!("{name}|"));
         lock(&self.bins).retain(|(n, _), _| n != name);
         lock(&self.samples).retain(|(n, _), _| n != name);
         generation
@@ -558,6 +579,47 @@ impl UrbaneService {
             req.agg,
             filters.join("&"),
         ))
+    }
+
+    /// Canonical block-key prefix: like [`Self::cache_key`] but with every
+    /// `SpatialBox` filter stripped — a cached block answers *any* viewport
+    /// that cannot clip its regions, so the viewport must not participate
+    /// in the key. The per-block key appends `#b{block}` to this prefix
+    /// (and shares the `{dataset}|` purge prefix with the exact-key cache).
+    fn block_base_key(&self, req: &QueryRequest, generation: u64) -> String {
+        let mut filters: Vec<String> = req
+            .filters
+            .iter()
+            .filter(|f| !matches!(f, Filter::SpatialBox(_)))
+            .map(|f| format!("{f:?}"))
+            .collect();
+        filters.sort();
+        format!(
+            "{}|{}|{}|{:?}|{}|{:?}|{}",
+            req.dataset,
+            generation,
+            req.level,
+            req.mode,
+            self.effective_resolution(req),
+            req.agg,
+            filters.join("&"),
+        )
+    }
+
+    /// The block-composition plan for a request, or `None` when the block
+    /// cache cannot serve it: disabled, an index join (executes outside the
+    /// raster pipeline), or the id-buffer strategy (whose region results
+    /// are not independent and therefore do not compose).
+    fn block_plan(&self, req: &QueryRequest, regions: &RegionSet) -> Option<BlockPlan> {
+        if !self.blocks.enabled()
+            || req.mode == ExecutionMode::IndexJoin
+            || self.config.join.strategy != raster_join::PointStrategy::PointsFirst
+        {
+            return None;
+        }
+        let margin =
+            blockcache::assignment_margin(&regions.bbox(), self.effective_resolution(req));
+        Some(blockcache::plan(regions, &req.filters, margin))
     }
 
     /// The canvas resolution a request resolves to (clamped to the
@@ -656,6 +718,58 @@ impl UrbaneService {
         let deadline = req.deadline.unwrap_or(self.config.default_deadline);
         let query = req.to_query();
 
+        // Additive block cache, consulted before the exact-key cache: when
+        // every needed block is cached and no region straddles the viewport
+        // edge, the answer composes without touching the executors at all —
+        // the high-yield path on zoom/pan traces whose exact keys never
+        // repeat. Partially-covered plans keep their fetched entries and
+        // finish through the residual passes further down.
+        let block_plan = self.block_plan(req, &regions);
+        let mut block_entries: HashMap<u32, BlockEntry> = HashMap::new();
+        if let Some(plan) = &block_plan {
+            let base = self.block_base_key(req, generation);
+            for &b in &plan.blocks {
+                if let Some(e) = self.blocks.get(&format!("{base}#b{b}")) {
+                    block_entries.insert(b, e);
+                }
+            }
+            if !plan.blocks.is_empty()
+                && plan.band.is_empty()
+                && block_entries.len() == plan.blocks.len()
+            {
+                let mut table = AggTable::new(req.agg.clone(), regions.len());
+                for &r in &plan.inner {
+                    let b = blockcache::block_of(r);
+                    let span = blockcache::block_span(b, regions.len());
+                    if let Some(e) = block_entries.get(&b) {
+                        // lint: capped-by regions.len() — `r` is a region id of the requested level (server-side data the wire only selects), and every block span ends at or before regions.len()
+                        table.states[r as usize] = e.states[(r - span.start) as usize];
+                    }
+                }
+                // Composed certified bound: the sum of the component
+                // blocks' bounds (conservative, but closed under further
+                // composition).
+                let bound: f64 =
+                    plan.blocks.iter().filter_map(|b| block_entries.get(b)).map(|e| e.epsilon).sum();
+                OutcomeCounters::bump(&self.outcomes.cached);
+                return Ok(QueryAnswer {
+                    table: Arc::new(table),
+                    regions,
+                    report: GuardReport {
+                        path: GuardPath::Full,
+                        fallbacks: Vec::new(),
+                        retried: false,
+                        elapsed: start.elapsed(),
+                        deadline,
+                        error_bound: Some(bound),
+                        batched: None,
+                    },
+                    cached: true,
+                    generation,
+                });
+            }
+        }
+
         let key = self.cache_key(req, generation);
         if let Some(hit) = self.cache.get(&key) {
             OutcomeCounters::bump(&self.outcomes.cached);
@@ -729,6 +843,7 @@ impl UrbaneService {
         if self.config.batch_window > Duration::ZERO
             && cancel.is_none()
             && req.mode != ExecutionMode::IndexJoin
+            && block_plan.is_none()
             && deadline > self.config.batch_window * 2
         {
             let group_key = format!(
@@ -772,6 +887,135 @@ impl UrbaneService {
                         deadline,
                         error_bound: Some(epsilon),
                         batched: Some(out.batched),
+                    },
+                    cached: false,
+                    generation,
+                });
+            }
+        }
+
+        // Additive composition: inner regions come from cached blocks,
+        // missing blocks back-fill through a viewport-free residual pass
+        // (pass 1), and the viewport band evaluates with the full
+        // conjunction (pass 2). Both passes restrict the canvas-identical
+        // plan to an explicit region subset, so composed states are
+        // bit-identical to a direct evaluation. Any failure (deadline,
+        // cancel, executor error) falls through to the ladder below —
+        // composition can delay an answer, never lose one.
+        if let Some(plan) = &block_plan {
+            let cached_blocks = block_entries.len();
+            let composed = (|| -> Result<(Arc<AggTable>, f64, usize)> {
+                let mut budget = QueryBudget::with_deadline(deadline);
+                if let Some(c) = cancel {
+                    budget = budget.cancellable(c);
+                }
+                let pts = points()?;
+                let bins = self.dataset_bins(&req.dataset, generation, &pts);
+                let join = RasterJoin::new(self.join_config(req));
+                let base = self.block_base_key(req, generation);
+                let missing: Vec<u32> = plan
+                    .blocks
+                    .iter()
+                    .copied()
+                    .filter(|b| !block_entries.contains_key(b))
+                    .collect();
+                if !missing.is_empty() {
+                    // Pass 1 (back-fill): viewport-free, restricted to the
+                    // missing blocks' member regions, so the new entries
+                    // answer any future viewport.
+                    let members: Vec<u32> = missing
+                        .iter()
+                        .flat_map(|&b| blockcache::block_span(b, regions.len()))
+                        .collect();
+                    let mut base_query = SpatialAggQuery::new(req.agg.clone());
+                    for f in blockcache::strip_spatial(&req.filters) {
+                        base_query = base_query.filter(f);
+                    }
+                    let store = match &bins {
+                        Some(b) => PointStore::with_bins(&pts, b),
+                        None => PointStore::plain(&pts),
+                    };
+                    let res = join.execute_store_subset(
+                        store,
+                        &regions,
+                        &members,
+                        &base_query,
+                        &budget,
+                    )?;
+                    for &b in &missing {
+                        let span = blockcache::block_span(b, regions.len());
+                        let entry = BlockEntry {
+                            states: res.table.states[span.start as usize..span.end as usize]
+                                .to_vec(),
+                            epsilon: res.epsilon,
+                        };
+                        // lint: bounded-by block_cache_bytes (BlockStore::insert runs a byte-budgeted LRU that evicts past the budget)
+                        self.blocks.insert(format!("{base}#b{b}"), entry.clone());
+                        block_entries.insert(b, entry);
+                    }
+                    self.blocks.note_residual_blocks(missing.len() as u64);
+                }
+                // Pass 2 (band): full conjunction over the band regions;
+                // used directly and never block-cached (it depends on the
+                // viewport).
+                let band = if plan.band.is_empty() {
+                    None
+                } else {
+                    let store = match &bins {
+                        Some(b) => PointStore::with_bins(&pts, b),
+                        None => PointStore::plain(&pts),
+                    };
+                    Some(join.execute_store_subset(store, &regions, &plan.band, &query, &budget)?)
+                };
+                let mut table = AggTable::new(req.agg.clone(), regions.len());
+                for &r in &plan.inner {
+                    let b = blockcache::block_of(r);
+                    let span = blockcache::block_span(b, regions.len());
+                    if let Some(e) = block_entries.get(&b) {
+                        table.states[r as usize] = e.states[(r - span.start) as usize];
+                    }
+                }
+                // Composed certified bound: sum of component-block bounds
+                // plus the band pass's bound.
+                let mut bound: f64 = plan
+                    .blocks
+                    .iter()
+                    .filter_map(|b| block_entries.get(b))
+                    .map(|e| e.epsilon)
+                    .sum();
+                if let Some(band_res) = &band {
+                    for &r in &plan.band {
+                        table.states[r as usize] = band_res.table.states[r as usize];
+                    }
+                    bound += band_res.epsilon;
+                }
+                Ok((Arc::new(table), bound, missing.len()))
+            })();
+            if let Ok((table, bound, _residual)) = composed {
+                if cached_blocks > 0 {
+                    // The full-hit path returned above, so reaching here
+                    // with cached blocks means residual work completed a
+                    // partial hit.
+                    self.blocks.note_partial_hit();
+                }
+                OutcomeCounters::bump(&self.outcomes.full);
+                let shared = CachedAnswer { table: Arc::clone(&table), epsilon: Some(bound) };
+                if let Some(leader) = flight {
+                    leader.complete(Some(shared.clone()));
+                }
+                // lint: bounded-by cache_capacity (sharded LRU evicts at capacity)
+                self.cache.insert(key, shared);
+                return Ok(QueryAnswer {
+                    table,
+                    regions,
+                    report: GuardReport {
+                        path: GuardPath::Full,
+                        fallbacks: Vec::new(),
+                        retried: false,
+                        elapsed: start.elapsed(),
+                        deadline,
+                        error_bound: Some(bound),
+                        batched: None,
                     },
                     cached: false,
                     generation,
@@ -896,6 +1140,7 @@ impl UrbaneService {
 mod tests {
     use super::*;
     use urban_data::gen::city::CityModel;
+    use urbane_geom::BoundingBox;
     use urban_data::gen::taxi::{generate_taxi, TaxiConfig};
     use urban_data::time::{TimeRange, DAY};
 
@@ -1253,5 +1498,147 @@ mod tests {
             UrbaneService::new(ServiceConfig::default(), DataCatalog::new(), pyramid),
             Err(UrbaneError::Config(_))
         ));
+    }
+
+    fn block_service() -> UrbaneService {
+        let city = CityModel::nyc_like();
+        let taxi =
+            generate_taxi(&city, &TaxiConfig { rows: 5_000, seed: 3, start: 0, days: 10 });
+        let mut catalog = DataCatalog::new();
+        catalog.register("taxi", taxi);
+        let pyramid = ResolutionPyramid::standard(&city.bbox(), 16, 8, 5);
+        UrbaneService::new(
+            ServiceConfig {
+                join: RasterJoinConfig::with_resolution(256),
+                cache_capacity: 64,
+                block_cache_bytes: 1 << 20,
+                ..Default::default()
+            },
+            catalog,
+            pyramid,
+        )
+        .unwrap()
+    }
+
+    /// A pan step: two overlapping viewports have distinct exact keys (no
+    /// exact-key hit possible) but share interior blocks, so the second
+    /// query must compose cached blocks and only run the residual.
+    #[test]
+    fn pan_step_composes_cached_blocks_and_matches_direct() {
+        let warm = block_service();
+        let direct = service(64); // block cache disabled — ground truth
+        // Level 2 is the tract grid: fine enough that a 70% viewport fully
+        // contains many regions (inner blocks); boroughs would all straddle.
+        let b = warm.pyramid().level(2).unwrap().bbox();
+        let w = b.width();
+        let v1 = BoundingBox::from_coords(b.min.x, b.min.y, b.min.x + 0.7 * w, b.max.y);
+        let v2 =
+            BoundingBox::from_coords(b.min.x + 0.1 * w, b.min.y, b.min.x + 0.8 * w, b.max.y);
+        let q1 = QueryRequest::count("taxi", 2).filter(Filter::SpatialBox(v1));
+        let q2 = QueryRequest::count("taxi", 2).filter(Filter::SpatialBox(v2));
+
+        let a1 = warm.query(&q1).unwrap();
+        assert!(!a1.cached);
+        let seeded = warm.blockcache_stats();
+        assert!(seeded.residual_blocks > 0, "first viewport must back-fill blocks");
+
+        let a2 = warm.query(&q2).unwrap();
+        assert!(!a2.cached, "pan step still does residual work");
+        let d2 = direct.query(&q2).unwrap();
+        assert_eq!(
+            a2.table.states, d2.table.states,
+            "composed answer must be bit-identical to direct evaluation"
+        );
+        // Certified bound is the conservative composed sum — present, and
+        // at least as large as the direct bound.
+        let composed = a2.report.error_bound.unwrap();
+        assert!(composed >= d2.report.error_bound.unwrap());
+
+        let st = warm.blockcache_stats();
+        assert!(st.hits > seeded.hits, "overlap must hit cached blocks");
+        assert_eq!(st.partial_hits, 1, "second query is a partial hit");
+        assert!(st.bytes > 0 && st.entries > 0);
+    }
+
+    /// A viewport that covers the whole extent shares every block with a
+    /// viewport-free query: the second query has a different exact key but
+    /// is answered entirely from cached blocks (no executor work).
+    #[test]
+    fn full_block_coverage_serves_from_cache_across_distinct_keys() {
+        let s = block_service();
+        let base = QueryRequest::count("taxi", 0);
+        let a = s.query(&base).unwrap();
+        assert!(!a.cached);
+
+        // Inflate well past the block-assignment margin so every region is
+        // an inner region of this viewport.
+        let base_bbox = s.pyramid().level(0).unwrap().bbox();
+        let wide = base_bbox.inflate(base_bbox.width());
+        let covered = base.clone().filter(Filter::SpatialBox(wide));
+        let b = s.query(&covered).unwrap();
+        assert!(b.cached, "full block coverage must answer without executors");
+        assert_eq!(a.table.states, b.table.states);
+        assert!(b.report.error_bound.is_some());
+        assert_eq!(s.blockcache_stats().partial_hits, 0, "full hit is not partial");
+        assert!(s.guard_outcomes().cached >= 1);
+    }
+
+    /// Reload purges blocks by generation prefix: a pan step after a reload
+    /// must never compose stale blocks into its answer.
+    #[test]
+    fn reload_purges_block_cache_by_generation() {
+        let s = block_service();
+        let b = s.pyramid().level(2).unwrap().bbox();
+        let v = BoundingBox::from_coords(b.min.x, b.min.y, b.min.x + 0.7 * b.width(), b.max.y);
+        let q = QueryRequest::count("taxi", 2).filter(Filter::SpatialBox(v));
+        let _ = s.query(&q).unwrap();
+        assert!(s.blockcache_stats().entries > 0);
+
+        let city = CityModel::nyc_like();
+        let bigger =
+            generate_taxi(&city, &TaxiConfig { rows: 9_000, seed: 4, start: 0, days: 10 });
+        s.reload_dataset("taxi", bigger);
+        assert_eq!(s.blockcache_stats().entries, 0, "reload must purge the block store");
+
+        let after = s.query(&q).unwrap();
+        assert!(!after.cached);
+        assert_eq!(after.generation, 1);
+        // Fresh evaluation of the bigger table, not a stale composition.
+        let direct = {
+            let city = CityModel::nyc_like();
+            let taxi =
+                generate_taxi(&city, &TaxiConfig { rows: 9_000, seed: 4, start: 0, days: 10 });
+            let mut catalog = DataCatalog::new();
+            catalog.register("taxi", taxi);
+            let pyramid = ResolutionPyramid::standard(&city.bbox(), 16, 8, 5);
+            UrbaneService::new(
+                ServiceConfig {
+                    join: RasterJoinConfig::with_resolution(256),
+                    cache_capacity: 64,
+                    ..Default::default()
+                },
+                catalog,
+                pyramid,
+            )
+            .unwrap()
+            .query(&q)
+            .unwrap()
+        };
+        assert_eq!(after.table.states, direct.table.states);
+    }
+
+    /// The block cache is default-off and IndexJoin requests never consult
+    /// it (they execute outside the raster pipeline).
+    #[test]
+    fn block_cache_default_off_and_index_join_bypasses() {
+        let off = service(64);
+        let _ = off.query(&QueryRequest::count("taxi", 0)).unwrap();
+        let st = off.blockcache_stats();
+        assert_eq!((st.entries, st.hits, st.partial_hits), (0, 0, 0));
+
+        let on = block_service();
+        let req = QueryRequest::count("taxi", 0).mode(ExecutionMode::IndexJoin);
+        let _ = on.query(&req).unwrap();
+        assert_eq!(on.blockcache_stats().entries, 0, "index join must not back-fill");
     }
 }

@@ -77,8 +77,10 @@ pub struct UrbaneSession {
     agg: AggKind,
     /// Visible world window (None = fit the whole region set).
     view_window: Option<urbane_geom::BoundingBox>,
-    // Result cache: query fingerprint → per-region aggregates.
-    cache: Mutex<HashMap<String, Arc<AggTable>>>,
+    // Result cache: query fingerprint → per-region aggregates plus the ε
+    // bound of the run that produced them (replayed on hits so a cached
+    // approximate answer never reports a tighter bound than it earned).
+    cache: Mutex<HashMap<String, (Arc<AggTable>, f64)>>,
     cache_stats: Mutex<CacheStats>,
     // Preview samples: (dataset, sample size) → (sample table, scale-up).
     samples: Mutex<HashMap<(String, usize), SampleEntry>>,
@@ -242,16 +244,17 @@ impl UrbaneSession {
 
     /// Budgeted evaluation: like [`evaluate`](Self::evaluate) but the join
     /// polls `budget` cooperatively. Returns the table plus the join's ε
-    /// error bound (`None` when served from cache, where the bound is not
-    /// re-derived). Failed/aborted queries are never cached.
+    /// error bound; a cache hit replays the bound persisted with the entry,
+    /// so an approximate answer keeps reporting its real ε when served from
+    /// cache. Failed/aborted queries are never cached.
     pub(crate) fn evaluate_budgeted(
         &self,
         budget: &QueryBudget,
     ) -> Result<(Arc<AggTable>, Option<f64>)> {
         let key = self.fingerprint();
-        if let Some(hit) = lock(&self.cache).get(&key).cloned() {
+        if let Some((hit, epsilon)) = lock(&self.cache).get(&key).cloned() {
             lock(&self.cache_stats).hits += 1;
-            return Ok((hit, None));
+            return Ok((hit, Some(epsilon)));
         }
         lock(&self.cache_stats).misses += 1;
 
@@ -310,7 +313,7 @@ impl UrbaneSession {
                     cache.remove(&k);
                 }
             }
-            cache.insert(key, table.clone());
+            cache.insert(key, (table.clone(), epsilon));
         }
         Ok((table, Some(epsilon)))
     }

@@ -43,6 +43,8 @@ pub struct VerifyReport {
     pub modes: BTreeMap<String, ModeSummary>,
     /// Metamorphic law executions.
     pub law_runs: usize,
+    /// Distinct law names exercised (the acceptance floor counts these).
+    pub law_names: std::collections::BTreeSet<&'static str>,
     /// Human-readable law violations (empty = all laws held).
     pub law_failures: Vec<String>,
     /// Human-readable differential failures (empty = all runs passed).
@@ -83,6 +85,7 @@ impl VerifyReport {
     pub fn add_laws(&mut self, laws: &[LawResult]) {
         for l in laws {
             self.law_runs += 1;
+            self.law_names.insert(l.law);
             if let Some(v) = &l.violation {
                 self.law_failures.push(format!("{} [{}]: {}", l.scenario, l.law, v));
             }
@@ -115,6 +118,12 @@ impl VerifyReport {
 
         let mut laws = BTreeMap::new();
         laws.insert("runs".to_string(), Json::Number(self.law_runs as f64));
+        laws.insert(
+            "names".to_string(),
+            Json::Array(
+                self.law_names.iter().map(|n| Json::String(n.to_string())).collect(),
+            ),
+        );
         laws.insert("failures".to_string(), strings(&self.law_failures));
 
         let mut root = BTreeMap::new();

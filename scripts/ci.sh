@@ -188,3 +188,45 @@ grep -q '"wrong": 0' "$swarm_json" || { echo "swarm served wrong answers"; cat "
 grep -q '"passed": true' "$swarm_json" || { echo "swarm smoke failed"; cat "$swarm_json"; exit 1; }
 rm -f "$swarm_json"
 echo "swarm smoke OK"
+
+# Block-cache smoke: boot urbane-serve with the additive block cache on and
+# replay one pan step — two overlapping viewports whose exact keys differ,
+# so neither the result cache nor single-flight can help. The second query
+# must compose cached blocks from the first: /metrics has to report a
+# nonzero partial_hit count (and nonzero per-block hits). Coordinates are
+# the nyc_like extent in Mercator meters; level 2 is the tract grid, fine
+# enough that a 70% viewport fully contains many regions.
+serve_log="$(mktemp)"
+target/release/urbane-serve --port 0 --rows 20000 --workers 2 \
+  --deadline-ms 30000 --block-cache-bytes 8388608 > "$serve_log" &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+
+addr=""
+for _ in $(seq 1 50); do
+  addr="$(sed -n 's#^urbane-serve listening on http://##p' "$serve_log")"
+  [ -n "$addr" ] && break
+  sleep 0.2
+done
+[ -n "$addr" ] || { echo "urbane-serve did not report an address"; cat "$serve_log"; exit 1; }
+
+curl -fsS -X POST -d '{"dataset":"taxi","level":2,"filters":[{"type":"bbox","x0":-8243208,"y0":4944000,"x1":-8215935,"y1":5001000}]}' \
+  "http://$addr/query" | grep '"cached":false' > /dev/null
+curl -fsS -X POST -d '{"dataset":"taxi","level":2,"filters":[{"type":"bbox","x0":-8239312,"y0":4944000,"x1":-8212038,"y1":5001000}]}' \
+  "http://$addr/query" | grep '"cached":false' > /dev/null
+
+curl -fsS "http://$addr/metrics" | awk '
+  /^urbane_blockcache_hits_total /         { hits = $2 }
+  /^urbane_blockcache_partial_hits_total / { partial = $2 }
+  END {
+    if (partial < 1 || hits < 1) {
+      printf "pan step did not compose cached blocks: hits=%d partial_hits=%d\n", hits, partial
+      exit 1
+    }
+  }'
+
+kill "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+trap - EXIT
+rm -f "$serve_log"
+echo "blockcache smoke OK"

@@ -332,3 +332,106 @@ fn exhausted_deadline_degrades_over_the_wire() {
 
     server.shutdown();
 }
+
+/// Boot a server like [`boot`] but with a chosen generator seed and the
+/// additive block cache enabled (`block_cache_bytes` > 0).
+fn boot_with(config: ServerConfig, seed: u64, block_cache_bytes: usize) -> UrbaneServer {
+    let city = CityModel::nyc_like();
+    let mut catalog = DataCatalog::new();
+    catalog.register("taxi", synthetic_table("taxi", 6_000, seed).expect("taxi generator"));
+    let pyramid = ResolutionPyramid::standard(&city.bbox(), 16, 8, 5);
+    let service = UrbaneService::new(
+        ServiceConfig {
+            join: raster_join::RasterJoinConfig::with_resolution(256),
+            default_deadline: Duration::from_secs(30),
+            block_cache_bytes,
+            ..Default::default()
+        },
+        catalog,
+        pyramid,
+    )
+    .expect("service boots");
+    UrbaneServer::start(config, Arc::new(service)).expect("server binds ephemeral port")
+}
+
+/// Value of a Prometheus-style metric line (`name value`) in `/metrics`.
+fn metric(body: &str, name: &str) -> f64 {
+    body.lines()
+        .find_map(|l| match l.split_once(' ') {
+            Some((n, v)) if n == name => v.trim().parse().ok(),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("metric {name} missing:\n{body}"))
+}
+
+#[test]
+fn reload_between_pan_steps_never_composes_stale_blocks() {
+    let server = boot_with(ServerConfig::default(), 3, 8 << 20);
+    let mut client = Client::connect(server.addr(), Duration::from_secs(30)).unwrap();
+
+    let b = CityModel::nyc_like().bbox();
+    let w = b.width();
+    let step = |client: &mut Client, x0f: f64, x1f: f64| -> Json {
+        let body = format!(
+            "{{\"dataset\":\"taxi\",\"level\":2,\"filters\":[{{\"type\":\"bbox\",\
+             \"x0\":{},\"y0\":{},\"x1\":{},\"y1\":{}}}]}}",
+            b.min.x + x0f * w,
+            b.min.y,
+            b.min.x + x1f * w,
+            b.max.y
+        );
+        let resp = client.post("/query", &body).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        parse_body(&resp.body)
+    };
+
+    // Two overlapping pan steps warm the block store and prove the second
+    // actually composed cached blocks (distinct exact keys throughout).
+    let s1 = step(&mut client, 0.0, 0.7);
+    assert_eq!(s1.get("cached").and_then(Json::as_bool), Some(false));
+    let s2 = step(&mut client, 0.1, 0.8);
+    assert_eq!(s2.get("cached").and_then(Json::as_bool), Some(false));
+    let m = client.get("/metrics").unwrap().body;
+    let hits_before_reload = metric(&m, "urbane_blockcache_hits_total");
+    assert!(hits_before_reload > 0.0, "pan overlap must hit cached blocks:\n{m}");
+    assert!(metric(&m, "urbane_blockcache_partial_hits_total") >= 1.0);
+
+    // Reload between pan steps: the generation-prefix purge must empty the
+    // block store atomically with the exact-key purge.
+    let reload = client
+        .post("/reload", "{\"dataset\":\"taxi\",\"rows\":6000,\"seed\":4}")
+        .unwrap();
+    assert_eq!(reload.status, 200, "{}", reload.body);
+    let m = client.get("/metrics").unwrap().body;
+    assert_eq!(
+        metric(&m, "urbane_blockcache_entries"),
+        0.0,
+        "reload must purge every block of the old generation:\n{m}"
+    );
+
+    // The next pan step runs against generation 1 and must not compose a
+    // single stale block: the hit counter stays exactly where it was.
+    let s3 = step(&mut client, 0.2, 0.9);
+    assert_eq!(s3.get("generation").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(s3.get("cached").and_then(Json::as_bool), Some(false));
+    let m = client.get("/metrics").unwrap().body;
+    assert_eq!(
+        metric(&m, "urbane_blockcache_hits_total"),
+        hits_before_reload,
+        "a stale block was composed across the reload boundary:\n{m}"
+    );
+
+    // And the answer is the reloaded dataset's truth: a fresh server built
+    // directly on the seed-4 table must report the identical region table.
+    let reference = boot_with(ServerConfig::default(), 4, 0);
+    let mut ref_client = Client::connect(reference.addr(), Duration::from_secs(30)).unwrap();
+    let r3 = step(&mut ref_client, 0.2, 0.9);
+    assert_eq!(
+        s3.get("regions").map(|r| format!("{r}")),
+        r3.get("regions").map(|r| format!("{r}")),
+        "post-reload pan answer must equal direct evaluation of the new data"
+    );
+
+    reference.shutdown();
+    server.shutdown();
+}

@@ -145,3 +145,41 @@ fn wire_snapshots_are_stable() {
 
     server.shutdown();
 }
+
+/// Regression: a cached exact-key hit for an *approximate* answer must
+/// replay the original certified bound, not report `error_bound: 0`/null.
+/// The bound is part of the answer — losing it on the hit path silently
+/// upgrades an approximate answer to "exact" in every scraping client.
+#[test]
+fn cached_hits_replay_the_certified_bound() {
+    use urbane_geom::geojson::{parse_json, Json};
+
+    let server = boot();
+    let mut client = Client::connect(server.addr(), Duration::from_secs(30)).unwrap();
+
+    // Bounded mode (the default) reports a non-zero certified bound.
+    let body = "{\"dataset\":\"taxi\",\"level\":1}";
+    let first = client.post("/query", body).unwrap();
+    assert_eq!(first.status, 200, "{}", first.body);
+    let first_json = parse_json(&first.body).expect("answer is JSON");
+    assert_eq!(first_json.get("cached").and_then(Json::as_bool), Some(false));
+    let bound = first_json
+        .get("guard")
+        .and_then(|g| g.get("error_bound"))
+        .and_then(Json::as_f64)
+        .expect("bounded answer carries a certified bound");
+    assert!(bound > 0.0, "bounded mode must certify a positive bound");
+
+    let second = client.post("/query", body).unwrap();
+    assert_eq!(second.status, 200, "{}", second.body);
+    let second_json = parse_json(&second.body).expect("answer is JSON");
+    assert_eq!(second_json.get("cached").and_then(Json::as_bool), Some(true));
+    let replayed = second_json
+        .get("guard")
+        .and_then(|g| g.get("error_bound"))
+        .and_then(Json::as_f64)
+        .expect("cached hit must replay the original bound");
+    assert_eq!(replayed, bound, "cached hit replayed a different bound");
+
+    server.shutdown();
+}
